@@ -1,0 +1,129 @@
+//! Ablation benchmarks for the design decisions listed in DESIGN.md §5:
+//! prediction strategy, distance metric, allocation policy and the ILP solver
+//! itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_core::{
+    cross_validate, AccelerationGroups, AllocationPolicy, DistanceKind, PredictionStrategy,
+    ResourceAllocator, SlotHistory, TimeSlot, WorkloadForecast,
+};
+use mca_lp::{Problem, Sense, VarKind};
+use mca_offload::{AccelerationGroupId, UserId};
+
+fn synthetic_history(hours: usize) -> SlotHistory {
+    let mut history = SlotHistory::hourly();
+    for h in 0..hours {
+        let ramp = [4u32, 8, 14, 20, 26, 20, 14, 8][h % 8];
+        let mut pairs = Vec::new();
+        for u in 0..(12 + ramp) {
+            pairs.push((AccelerationGroupId(1), UserId(u)));
+        }
+        for u in 0..(3 + ramp / 4) {
+            pairs.push((AccelerationGroupId(2), UserId(1_000 + u)));
+        }
+        for u in 0..(1 + ramp / 8) {
+            pairs.push((AccelerationGroupId(3), UserId(2_000 + u)));
+        }
+        history.push(TimeSlot::from_assignments(h, pairs));
+    }
+    history
+}
+
+fn ablation_prediction_strategy(c: &mut Criterion) {
+    let history = synthetic_history(24);
+    let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    let mut group = c.benchmark_group("ablation_prediction_strategy");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("nearest_slot", PredictionStrategy::NearestSlot),
+        ("successor_of_nearest", PredictionStrategy::SuccessorOfNearest),
+        ("last_value", PredictionStrategy::LastValue),
+        ("mean_of_history", PredictionStrategy::MeanOfHistory),
+    ] {
+        group.bench_with_input(BenchmarkId::new("cross_validate", name), &strategy, |b, &strategy| {
+            b.iter(|| cross_validate(&history, &groups, strategy, DistanceKind::SetEdit, 8))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_distance_metric(c: &mut Criterion) {
+    let history = synthetic_history(24);
+    let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    let mut group = c.benchmark_group("ablation_distance_metric");
+    group.sample_size(20);
+    for (name, distance) in [
+        ("set_edit", DistanceKind::SetEdit),
+        ("levenshtein", DistanceKind::Levenshtein),
+        ("count_difference", DistanceKind::CountDifference),
+    ] {
+        group.bench_with_input(BenchmarkId::new("cross_validate", name), &distance, |b, &distance| {
+            b.iter(|| cross_validate(&history, &groups, PredictionStrategy::NearestSlot, distance, 8))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_allocation_policy(c: &mut Criterion) {
+    let forecast = WorkloadForecast {
+        per_group: vec![
+            (AccelerationGroupId(1), 180),
+            (AccelerationGroupId(2), 300),
+            (AccelerationGroupId(3), 90),
+        ],
+        matched_slot: None,
+    };
+    let mut group = c.benchmark_group("ablation_allocation_policy");
+    group.sample_size(30);
+    for (name, policy) in [
+        ("ilp_exact", AllocationPolicy::IlpExact),
+        ("greedy_cheapest", AllocationPolicy::GreedyCheapest),
+        ("over_provision", AllocationPolicy::OverProvision),
+    ] {
+        let allocator =
+            ResourceAllocator::with_policy(AccelerationGroups::paper_three_groups(), policy);
+        group.bench_with_input(BenchmarkId::new("allocate", name), &allocator, |b, allocator| {
+            b.iter(|| allocator.allocate(&forecast).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ilp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ilp_solver");
+    group.sample_size(30);
+    for n_types in [3usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::new("covering_ilp", n_types), &n_types, |b, &n| {
+            b.iter(|| {
+                let mut p = Problem::minimize();
+                let vars: Vec<_> = (0..n)
+                    .map(|i| {
+                        p.add_var(
+                            format!("x{i}"),
+                            VarKind::Integer,
+                            0.0,
+                            Some(20.0),
+                            0.01 * (i + 1) as f64,
+                        )
+                    })
+                    .collect();
+                let caps: Vec<(mca_lp::VarId, f64)> =
+                    vars.iter().enumerate().map(|(i, v)| (*v, 20.0 * (i + 1) as f64)).collect();
+                p.add_constraint("cover", &caps, Sense::Ge, 700.0);
+                let all: Vec<(mca_lp::VarId, f64)> = vars.iter().map(|v| (*v, 1.0)).collect();
+                p.add_constraint("cap", &all, Sense::Le, 20.0);
+                p.solve().expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_prediction_strategy,
+    ablation_distance_metric,
+    ablation_allocation_policy,
+    ablation_ilp_solver
+);
+criterion_main!(ablations);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks: one group per paper figure (scaled-down parameters
+//! so a full `cargo bench` completes in minutes) plus ablation groups for the
+//! design decisions called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_bench::DEFAULT_SEED;
+
+fn fig4_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_characterization");
+    group.sample_size(10);
+    group.bench_function("six_instances_short", |b| {
+        b.iter(|| mca_bench::fig4::run(5_000.0, DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+fn fig5_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_levels");
+    group.sample_size(10);
+    group.bench_function("static_minimax_sweep", |b| {
+        b.iter(|| mca_bench::fig5::run(5_000.0, DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+fn fig6_anomaly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_anomaly");
+    group.sample_size(10);
+    group.bench_function("nano_vs_micro", |b| b.iter(|| mca_bench::fig6::run(5_000.0, DEFAULT_SEED)));
+    group.finish();
+}
+
+fn fig7_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_components");
+    group.sample_size(10);
+    group.bench_function("timing_decomposition", |b| b.iter(|| mca_bench::fig7::run(30, DEFAULT_SEED)));
+    group.finish();
+}
+
+fn fig8_routing_and_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_routing_and_saturation");
+    group.sample_size(10);
+    group.bench_function("doubling_rate_sweep", |b| {
+        b.iter(|| mca_bench::fig8::run(30, 5_000.0, DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+fn fig9_perception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_perception");
+    group.sample_size(10);
+    group.bench_function("scaled_8h_experiment", |b| {
+        b.iter(|| mca_bench::fig9::run(20, 1_800_000.0, 400, DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+fn fig10_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_prediction");
+    group.sample_size(10);
+    group.bench_function("scaled_16h_study", |b| {
+        b.iter(|| mca_bench::fig10::run(20, 1_800_000.0, 400, 12, DEFAULT_SEED))
+    });
+    group.finish();
+}
+
+fn fig11_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_latency");
+    group.sample_size(10);
+    for scale in [2_000usize, 500] {
+        group.bench_with_input(BenchmarkId::new("netradar_campaign", scale), &scale, |b, &scale| {
+            b.iter(|| mca_bench::fig11::run(scale, DEFAULT_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig4_characterization,
+    fig5_levels,
+    fig6_anomaly,
+    fig7_components,
+    fig8_routing_and_saturation,
+    fig9_perception,
+    fig10_prediction,
+    fig11_latency
+);
+criterion_main!(figures);

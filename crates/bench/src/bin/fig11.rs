@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11: 3G/LTE latency per operator and time of day.
+fn main() {
+    let series = mca_bench::fig11::run(50, mca_bench::DEFAULT_SEED);
+    mca_bench::fig11::print(&series);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4: instance characterization and acceleration levels.
+fn main() {
+    let output = mca_bench::fig4::run(90_000.0, mca_bench::DEFAULT_SEED);
+    mca_bench::fig4::print(&output);
+}

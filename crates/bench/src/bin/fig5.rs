@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5: differences between acceleration levels.
+fn main() {
+    let output = mca_bench::fig5::run(90_000.0, mca_bench::DEFAULT_SEED);
+    mca_bench::fig5::print(&output);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6: the t2.nano / t2.micro anomaly.
+fn main() {
+    let rows = mca_bench::fig6::run(90_000.0, mca_bench::DEFAULT_SEED);
+    mca_bench::fig6::print(&rows);
+}

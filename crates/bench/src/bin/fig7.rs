@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7: per-component times and per-level stability.
+fn main() {
+    let output = mca_bench::fig7::run(200, mca_bench::DEFAULT_SEED);
+    mca_bench::fig7::print(&output);
+}

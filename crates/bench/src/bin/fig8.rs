@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8: routing overhead and the saturation sweep.
+fn main() {
+    let output = mca_bench::fig8::run(250, 60_000.0, mca_bench::DEFAULT_SEED);
+    mca_bench::fig8::print(&output);
+}

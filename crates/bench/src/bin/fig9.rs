@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9: the 8-hour, 100-user dynamic acceleration experiment.
+fn main() {
+    let output = mca_bench::fig9::run(100, 8.0 * 3_600_000.0, 4_000, mca_bench::DEFAULT_SEED);
+    mca_bench::fig9::print(&output);
+}

@@ -1,0 +1,103 @@
+//! Fig. 11 — 3G and LTE round-trip times per mobile operator and time of
+//! day, from a synthetic NetRadar-style measurement campaign calibrated to
+//! the per-operator statistics reported in §VI-C-4.
+
+use crate::util;
+use mca_network::{LatencyStats, NetRadarCampaign, Operator, Technology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One operator's campaign for both technologies.
+#[derive(Debug, Clone)]
+pub struct OperatorSeries {
+    /// The operator.
+    pub operator: Operator,
+    /// Overall 3G statistics.
+    pub threeg: LatencyStats,
+    /// Overall LTE statistics.
+    pub lte: LatencyStats,
+    /// Hourly mean RTT for 3G (24 entries).
+    pub threeg_hourly: Vec<f64>,
+    /// Hourly mean RTT for LTE (24 entries).
+    pub lte_hourly: Vec<f64>,
+}
+
+/// Runs the synthetic campaign. `scale` divides the paper's per-pair sample
+/// counts (≈150 k–500 k); `scale = 50` keeps the run fast while preserving
+/// the statistics.
+pub fn run(scale: usize, seed: u64) -> Vec<OperatorSeries> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Operator::ALL
+        .iter()
+        .map(|&operator| {
+            let threeg =
+                NetRadarCampaign::run_paper_sized(operator, Technology::ThreeG, scale, &mut rng);
+            let lte = NetRadarCampaign::run_paper_sized(operator, Technology::Lte, scale, &mut rng);
+            OperatorSeries {
+                operator,
+                threeg: threeg.overall_stats(),
+                lte: lte.overall_stats(),
+                threeg_hourly: threeg.hourly_aggregate().iter().map(|h| h.stats.mean_ms).collect(),
+                lte_hourly: lte.hourly_aggregate().iter().map(|h| h.stats.mean_ms).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the overall statistics and the diurnal series.
+pub fn print(series: &[OperatorSeries]) {
+    util::header("Fig 11: overall RTT per operator", &[
+        "operator", "tech", "mean_ms", "sd_ms", "median_ms", "samples",
+    ]);
+    for s in series {
+        util::row(&[
+            s.operator.to_string(),
+            "3G".into(),
+            util::f1(s.threeg.mean_ms),
+            util::f1(s.threeg.std_dev_ms),
+            util::f1(s.threeg.median_ms),
+            s.threeg.count.to_string(),
+        ]);
+        util::row(&[
+            s.operator.to_string(),
+            "LTE".into(),
+            util::f1(s.lte.mean_ms),
+            util::f1(s.lte.std_dev_ms),
+            util::f1(s.lte.median_ms),
+            s.lte.count.to_string(),
+        ]);
+    }
+    for s in series {
+        util::header(&format!("Fig 11: hourly mean RTT, operator {}", s.operator), &["hour", "3G_ms", "LTE_ms"]);
+        for hour in 0..24 {
+            util::row(&[
+                hour.to_string(),
+                util::f1(s.threeg_hourly[hour]),
+                util::f1(s.lte_hourly[hour]),
+            ]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_statistics_match_paper_calibration() {
+        let series = run(200, 3);
+        assert_eq!(series.len(), 3);
+        let expectations = [
+            (Operator::Alpha, 128.0, 41.0),
+            (Operator::Beta, 141.0, 36.0),
+            (Operator::Gamma, 137.0, 42.0),
+        ];
+        for (operator, threeg_mean, lte_mean) in expectations {
+            let s = series.iter().find(|s| s.operator == operator).unwrap();
+            assert!((s.threeg.mean_ms - threeg_mean).abs() / threeg_mean < 0.15, "{operator} 3G {}", s.threeg.mean_ms);
+            assert!((s.lte.mean_ms - lte_mean).abs() / lte_mean < 0.15, "{operator} LTE {}", s.lte.mean_ms);
+            assert!(s.lte.mean_ms < s.threeg.mean_ms, "LTE beats 3G");
+            assert_eq!(s.threeg_hourly.len(), 24);
+        }
+    }
+}

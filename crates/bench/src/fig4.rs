@@ -1,0 +1,88 @@
+//! Fig. 4 — per-instance characterization: response time vs concurrent users
+//! for the six general-purpose instances, plus the acceleration-level
+//! classification derived from it.
+
+use crate::util;
+use mca_cloudsim::{InstanceBenchmark, InstanceType, LevelClassification};
+use mca_offload::TaskPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Output of the Fig. 4 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4Output {
+    /// One characterization per instance of the Fig. 4 set.
+    pub benchmarks: Vec<InstanceBenchmark>,
+    /// The acceleration levels derived from the characterization.
+    pub classification: LevelClassification,
+}
+
+/// Runs the characterization. `duration_per_level_ms` controls the simulated
+/// measurement time per load level (the paper uses 3 hours per server; a few
+/// simulated minutes already give stable statistics).
+pub fn run(duration_per_level_ms: f64, seed: u64) -> Fig4Output {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = TaskPool::paper_default();
+    let benchmarks: Vec<InstanceBenchmark> = InstanceType::FIG4_SET
+        .iter()
+        .map(|&ty| {
+            InstanceBenchmark::run(
+                ty,
+                &pool,
+                &InstanceBenchmark::PAPER_LOAD_LEVELS,
+                duration_per_level_ms,
+                500.0,
+                &mut rng,
+            )
+        })
+        .collect();
+    let classification = LevelClassification::classify(&benchmarks, 1.5);
+    Fig4Output { benchmarks, classification }
+}
+
+/// Prints the figure as text tables.
+pub fn print(output: &Fig4Output) {
+    for b in &output.benchmarks {
+        util::header(
+            &format!(
+                "Fig 4: {} (acceleration level {})",
+                b.instance_type,
+                output.classification.level_of(b.instance_type).unwrap_or(255)
+            ),
+            &["users", "mean_ms", "sd_ms", "p5_ms", "p95_ms"],
+        );
+        for p in &b.points {
+            util::row(&[
+                p.users.to_string(),
+                util::f1(p.mean_ms),
+                util::f1(p.std_dev_ms),
+                util::f1(p.p5_ms),
+                util::f1(p.p95_ms),
+            ]);
+        }
+    }
+    util::header("Fig 4: acceleration level classification", &["level", "instances", "capacity"]);
+    for level in &output.classification.levels {
+        let members: Vec<String> = level.members.iter().map(|m| m.to_string()).collect();
+        util::row(&[level.level.to_string(), members.join(","), level.capacity.to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_has_expected_shape() {
+        let out = run(20_000.0, 7);
+        assert_eq!(out.benchmarks.len(), 6);
+        assert!(out.classification.num_levels() >= 3);
+        // micro never classifies above nano
+        let micro = out.classification.level_of(InstanceType::T2Micro).unwrap();
+        let nano = out.classification.level_of(InstanceType::T2Nano).unwrap();
+        assert!(micro <= nano);
+        // the m4 is the top level
+        let m4 = out.classification.level_of(InstanceType::M4_10XLarge).unwrap();
+        assert_eq!(m4 as usize, out.classification.num_levels() - 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 5 — differences between acceleration levels for a static minimax
+//! load: a level-2 server executes the task ≈1.25× faster than level 1, a
+//! level-3 server ≈1.73× faster than level 1 (≈1.36× faster than level 2).
+
+use crate::util;
+use mca_cloudsim::{InstanceType, Server};
+use mca_offload::{TaskPool, TaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean response time per acceleration level at one concurrency.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Number of concurrent mobile users.
+    pub users: usize,
+    /// Mean response time on the level-1 representative (t2.small), ms.
+    pub level1_ms: f64,
+    /// Mean response time on the level-2 representative (t2.large), ms.
+    pub level2_ms: f64,
+    /// Mean response time on the level-3 representative (m4.10xlarge), ms.
+    pub level3_ms: f64,
+}
+
+/// Output of the Fig. 5 experiment: the per-load rows and the single-task
+/// speed-up ratios between levels.
+#[derive(Debug, Clone)]
+pub struct Fig5Output {
+    /// Response time per concurrency level.
+    pub rows: Vec<Fig5Row>,
+    /// Speed-up of level 2 over level 1 for a single task.
+    pub speedup_2_over_1: f64,
+    /// Speed-up of level 3 over level 1 for a single task.
+    pub speedup_3_over_1: f64,
+    /// Speed-up of level 3 over level 2 for a single task.
+    pub speedup_3_over_2: f64,
+}
+
+/// Runs the static-minimax comparison across acceleration levels.
+pub fn run(duration_per_level_ms: f64, seed: u64) -> Fig5Output {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = TaskPool::static_load(TaskSpec::paper_static_minimax());
+    let levels =
+        [InstanceType::T2Small, InstanceType::T2Large, InstanceType::M4_10XLarge];
+    let loads = [1usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    let mut rows = Vec::new();
+    for users in loads {
+        let mut means = [0.0f64; 3];
+        for (i, ty) in levels.iter().enumerate() {
+            let mut server = Server::new(*ty);
+            means[i] = server.run_closed_loop(&pool, users, duration_per_level_ms, &mut rng).mean_ms;
+        }
+        rows.push(Fig5Row { users, level1_ms: means[0], level2_ms: means[1], level3_ms: means[2] });
+    }
+    // single-task ratios, excluding the per-request surrogate overhead
+    let work = TaskSpec::paper_static_minimax().work_units();
+    let single = |ty: InstanceType| Server::new(ty).expected_execution_ms(work, 1) - 18.0;
+    let (l1, l2, l3) = (single(levels[0]), single(levels[1]), single(levels[2]));
+    Fig5Output {
+        rows,
+        speedup_2_over_1: l1 / l2,
+        speedup_3_over_1: l1 / l3,
+        speedup_3_over_2: l2 / l3,
+    }
+}
+
+/// Prints the figure as a text table.
+pub fn print(output: &Fig5Output) {
+    util::header("Fig 5: acceleration level differences (static minimax)", &[
+        "users",
+        "accel1_ms",
+        "accel2_ms",
+        "accel3_ms",
+    ]);
+    for r in &output.rows {
+        util::row(&[
+            r.users.to_string(),
+            util::f1(r.level1_ms),
+            util::f1(r.level2_ms),
+            util::f1(r.level3_ms),
+        ]);
+    }
+    println!(
+        "single-task speedups: level2/level1 = {:.2}x, level3/level1 = {:.2}x, level3/level2 = {:.2}x",
+        output.speedup_2_over_1, output.speedup_3_over_1, output.speedup_3_over_2
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_match_the_paper_ratios() {
+        let out = run(20_000.0, 3);
+        assert!((out.speedup_2_over_1 - 1.25).abs() < 0.05, "{}", out.speedup_2_over_1);
+        assert!((out.speedup_3_over_1 - 1.73).abs() < 0.05, "{}", out.speedup_3_over_1);
+        assert!((out.speedup_3_over_2 - 1.38).abs() < 0.06, "{}", out.speedup_3_over_2);
+        // higher levels are faster at every load level
+        for r in &out.rows {
+            assert!(r.level1_ms > r.level2_ms);
+            assert!(r.level2_ms > r.level3_ms);
+        }
+    }
+}

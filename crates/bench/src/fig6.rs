@@ -1,0 +1,81 @@
+//! Fig. 6 — the t2.nano / t2.micro anomaly: despite smaller nominal
+//! resources, t2.nano serves load with lower (and less variable) response
+//! times than t2.micro, which is why micro is demoted to acceleration
+//! group 0.
+
+use crate::util;
+use mca_cloudsim::{InstanceType, Server};
+use mca_offload::TaskPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean and standard deviation for both instances at one concurrency.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Number of concurrent users.
+    pub users: usize,
+    /// t2.nano mean response, ms.
+    pub nano_mean_ms: f64,
+    /// t2.nano standard deviation, ms.
+    pub nano_sd_ms: f64,
+    /// t2.micro mean response, ms.
+    pub micro_mean_ms: f64,
+    /// t2.micro standard deviation, ms.
+    pub micro_sd_ms: f64,
+}
+
+/// Runs the nano-vs-micro comparison.
+pub fn run(duration_per_level_ms: f64, seed: u64) -> Vec<Fig6Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = TaskPool::paper_default();
+    [1usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        .iter()
+        .map(|&users| {
+            let mut nano = Server::new(InstanceType::T2Nano);
+            let mut micro = Server::new(InstanceType::T2Micro);
+            let n = nano.run_closed_loop(&pool, users, duration_per_level_ms, &mut rng);
+            let m = micro.run_closed_loop(&pool, users, duration_per_level_ms, &mut rng);
+            Fig6Row {
+                users,
+                nano_mean_ms: n.mean_ms,
+                nano_sd_ms: n.std_dev_ms,
+                micro_mean_ms: m.mean_ms,
+                micro_sd_ms: m.std_dev_ms,
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure as a text table.
+pub fn print(rows: &[Fig6Row]) {
+    util::header("Fig 6: t2.nano vs t2.micro anomaly", &[
+        "users",
+        "nano_mean_ms",
+        "nano_sd_ms",
+        "micro_mean_ms",
+        "micro_sd_ms",
+    ]);
+    for r in rows {
+        util::row(&[
+            r.users.to_string(),
+            util::f1(r.nano_mean_ms),
+            util::f1(r.nano_sd_ms),
+            util::f1(r.micro_mean_ms),
+            util::f1(r.micro_sd_ms),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_is_consistently_worse_than_nano_under_load() {
+        let rows = run(20_000.0, 5);
+        assert_eq!(rows.len(), 11);
+        for r in rows.iter().filter(|r| r.users >= 10) {
+            assert!(r.micro_mean_ms > r.nano_mean_ms, "{r:?}");
+        }
+    }
+}

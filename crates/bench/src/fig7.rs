@@ -1,0 +1,157 @@
+//! Fig. 7 — system performance: the `T_response = T1 + T2 + T_cloud`
+//! decomposition per acceleration level under a 30-user concurrent load
+//! (Fig. 7b), and the stability (standard deviation) of each level as the
+//! concurrency grows, including the level-4 c4.8xlarge added in §VI-B
+//! (Fig. 7c).
+
+use crate::util;
+use mca_core::{SdnAccelerator, SystemConfig};
+use mca_cloudsim::{InstanceType, Server};
+use mca_offload::{AccelerationGroupId, OffloadRequest, RequestId, TaskPool, TaskSpec, UserId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean per-component times for one acceleration level (Fig. 7b).
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentRow {
+    /// Acceleration level (1–4).
+    pub level: u8,
+    /// Mean total response time, ms.
+    pub t_response_ms: f64,
+    /// Mean mobile ↔ front-end communication time, ms.
+    pub t1_ms: f64,
+    /// Mean front-end ↔ back-end routing time, ms.
+    pub t2_ms: f64,
+    /// Mean cloud execution time, ms.
+    pub t_cloud_ms: f64,
+}
+
+/// Standard deviation of the response time per level and concurrency
+/// (Fig. 7c).
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityRow {
+    /// Number of concurrent users.
+    pub users: usize,
+    /// Standard deviation per acceleration level 1–4, ms.
+    pub sd_ms: [f64; 4],
+}
+
+/// Output of the Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Output {
+    /// Fig. 7b rows.
+    pub components: Vec<ComponentRow>,
+    /// Fig. 7c rows.
+    pub stability: Vec<StabilityRow>,
+}
+
+const LEVEL_INSTANCES: [InstanceType; 4] = [
+    InstanceType::T2Small,
+    InstanceType::T2Large,
+    InstanceType::M4_10XLarge,
+    InstanceType::C4_8XLarge,
+];
+
+/// Runs the per-component timing and stability measurements.
+pub fn run(requests_per_level: u32, seed: u64) -> Fig7Output {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fig. 7b: 30 concurrent users through the SDN-accelerator, four groups
+    // (1..=4) backed by the level representatives.
+    let config = SystemConfig::paper_five_groups().with_background_load(30);
+    let mut sdn = SdnAccelerator::new(config);
+    let mut components = Vec::new();
+    for level in 1u8..=4 {
+        let mut sums = [0.0f64; 4];
+        for i in 0..requests_per_level {
+            let request = OffloadRequest::new(
+                RequestId(u64::from(i)),
+                UserId(i),
+                AccelerationGroupId(level),
+                TaskSpec::paper_static_minimax(),
+                90.0,
+                f64::from(i) * 30_000.0,
+            );
+            let record =
+                sdn.handle(&request, f64::from(i) * 30_000.0, &mut rng).expect("route").record;
+            sums[0] += record.round_trip_ms;
+            sums[1] += record.t1_ms;
+            sums[2] += record.t2_ms;
+            sums[3] += record.t_cloud_ms;
+        }
+        let n = f64::from(requests_per_level);
+        components.push(ComponentRow {
+            level,
+            t_response_ms: sums[0] / n,
+            t1_ms: sums[1] / n,
+            t2_ms: sums[2] / n,
+            t_cloud_ms: sums[3] / n,
+        });
+    }
+
+    // Fig. 7c: standard deviation per level as concurrency grows.
+    let pool = TaskPool::static_load(TaskSpec::paper_static_minimax());
+    let mut stability = Vec::new();
+    for users in [1usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let mut sd = [0.0f64; 4];
+        for (i, ty) in LEVEL_INSTANCES.iter().enumerate() {
+            let mut server = Server::new(*ty);
+            sd[i] = server.run_closed_loop(&pool, users, 15_000.0, &mut rng).std_dev_ms;
+        }
+        stability.push(StabilityRow { users, sd_ms: sd });
+    }
+    Fig7Output { components, stability }
+}
+
+/// Prints both panels of the figure.
+pub fn print(output: &Fig7Output) {
+    util::header("Fig 7b: per-component times (30 concurrent users)", &[
+        "level",
+        "Tresponse_ms",
+        "T1_ms",
+        "T2_ms",
+        "Tcloud_ms",
+    ]);
+    for r in &output.components {
+        util::row(&[
+            r.level.to_string(),
+            util::f1(r.t_response_ms),
+            util::f1(r.t1_ms),
+            util::f1(r.t2_ms),
+            util::f1(r.t_cloud_ms),
+        ]);
+    }
+    util::header("Fig 7c: response-time standard deviation per level", &[
+        "users", "accel1_sd", "accel2_sd", "accel3_sd", "accel4_sd",
+    ]);
+    for r in &output.stability {
+        util::row(&[
+            r.users.to_string(),
+            util::f1(r.sd_ms[0]),
+            util::f1(r.sd_ms[1]),
+            util::f1(r.sd_ms[2]),
+            util::f1(r.sd_ms[3]),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcloud_dominates_and_shrinks_with_level() {
+        let out = run(40, 9);
+        assert_eq!(out.components.len(), 4);
+        for r in &out.components {
+            assert!(r.t_cloud_ms > r.t2_ms, "{r:?}");
+            assert!(r.t1_ms < 1_000.0, "communication stays under a second");
+            let sum = r.t1_ms + r.t2_ms + r.t_cloud_ms;
+            assert!((sum - r.t_response_ms).abs() < 1.0);
+        }
+        // higher acceleration -> lower cloud time
+        assert!(out.components[0].t_cloud_ms > out.components[3].t_cloud_ms);
+        // stability: the top level varies less than level 1 at heavy load
+        let heavy = out.stability.last().unwrap();
+        assert!(heavy.sd_ms[0] > heavy.sd_ms[3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig. 8 — workload management: (a) the ≈150 ms routing overhead of the
+//! SDN-accelerator per acceleration group, (b) the response time of a
+//! t2.large as the arrival rate doubles every five minutes from 1 Hz to
+//! 1024 Hz, and (c) the fraction of requests served vs dropped at each rate.
+
+use crate::util;
+use mca_core::{SdnAccelerator, SystemConfig};
+use mca_cloudsim::{InstanceType, OpenLoopResult, Server};
+use mca_offload::{AccelerationGroupId, OffloadRequest, RequestId, TaskPool, TaskSpec, UserId};
+use mca_workload::DoublingRateScenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Routing-time samples per acceleration group (Fig. 8a).
+#[derive(Debug, Clone)]
+pub struct RoutingSeries {
+    /// Acceleration group.
+    pub group: u8,
+    /// Per-request routing times (`T2`), ms.
+    pub samples: Vec<f64>,
+}
+
+/// One step of the saturation experiment (Fig. 8b/8c).
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationRow {
+    /// Offered arrival rate, Hz.
+    pub arrival_hz: f64,
+    /// Mean response time of completed requests, ms.
+    pub mean_response_ms: f64,
+    /// Fraction of requests served successfully.
+    pub success_ratio: f64,
+    /// Fraction of requests dropped.
+    pub fail_ratio: f64,
+}
+
+/// Output of the Fig. 8 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig8Output {
+    /// Fig. 8a: routing time per group.
+    pub routing: Vec<RoutingSeries>,
+    /// Fig. 8b/8c: the saturation sweep.
+    pub saturation: Vec<SaturationRow>,
+}
+
+/// Runs both panels. `step_duration_ms` is the simulated time per arrival
+/// rate (the paper uses 5 minutes per rate).
+pub fn run(requests_per_group: u32, step_duration_ms: f64, seed: u64) -> Fig8Output {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fig. 8a: routing overhead per group under a 30-user concurrent load.
+    let config = SystemConfig::paper_five_groups().with_background_load(30);
+    let mut sdn = SdnAccelerator::new(config);
+    let mut routing = Vec::new();
+    for group in 1u8..=4 {
+        let mut samples = Vec::new();
+        for i in 0..requests_per_group {
+            let request = OffloadRequest::new(
+                RequestId(u64::from(i)),
+                UserId(i),
+                AccelerationGroupId(group),
+                TaskSpec::paper_static_minimax(),
+                90.0,
+                f64::from(i) * 10_000.0,
+            );
+            let record =
+                sdn.handle(&request, f64::from(i) * 10_000.0, &mut rng).expect("route").record;
+            samples.push(record.t2_ms);
+        }
+        routing.push(RoutingSeries { group, samples });
+    }
+
+    // Fig. 8b/8c: the t2.large saturation sweep with doubling arrival rates.
+    let scenario = DoublingRateScenario { start_hz: 1.0, end_hz: 1024.0, step_duration_ms };
+    let pool = TaskPool::paper_default();
+    let saturation = scenario
+        .steps()
+        .iter()
+        .map(|step| {
+            let mut server = Server::new(InstanceType::T2Large);
+            let result: OpenLoopResult =
+                server.run_open_loop(&pool, step.arrival_hz, step.duration_ms, &mut rng);
+            SaturationRow {
+                arrival_hz: step.arrival_hz,
+                mean_response_ms: result.mean_response_ms,
+                success_ratio: result.success_ratio,
+                fail_ratio: 1.0 - result.success_ratio,
+            }
+        })
+        .collect();
+
+    Fig8Output { routing, saturation }
+}
+
+/// Prints all three panels.
+pub fn print(output: &Fig8Output) {
+    util::header("Fig 8a: SDN routing time by acceleration group", &["group", "mean_T2_ms", "min_ms", "max_ms"]);
+    for series in &output.routing {
+        let mean = series.samples.iter().sum::<f64>() / series.samples.len().max(1) as f64;
+        let min = series.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = series.samples.iter().copied().fold(0.0, f64::max);
+        util::row(&[format!("A{}", series.group), util::f1(mean), util::f1(min), util::f1(max)]);
+    }
+    util::header("Fig 8b/8c: t2.large under doubling arrival rate", &[
+        "arrival_hz",
+        "mean_response_ms",
+        "success_%",
+        "fail_%",
+    ]);
+    for r in &output.saturation {
+        util::row(&[
+            format!("{}", r.arrival_hz),
+            util::f1(r.mean_response_ms),
+            util::f1(r.success_ratio * 100.0),
+            util::f1(r.fail_ratio * 100.0),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_overhead_is_stable_across_groups() {
+        let out = run(30, 10_000.0, 1);
+        for series in &out.routing {
+            let mean = series.samples.iter().sum::<f64>() / series.samples.len() as f64;
+            assert!((mean - 150.0).abs() < 25.0, "group {} mean {mean}", series.group);
+        }
+    }
+
+    #[test]
+    fn saturation_knee_sits_between_32_and_128_hz() {
+        let out = run(5, 20_000.0, 2);
+        let at = |hz: f64| out.saturation.iter().find(|r| r.arrival_hz == hz).copied().unwrap();
+        assert!(at(16.0).success_ratio > 0.95);
+        assert!(at(128.0).success_ratio < 0.7);
+        assert!(at(1024.0).fail_ratio > 0.9);
+        assert!(at(1024.0).mean_response_ms > 4.0 * at(8.0).mean_response_ms);
+        // response time is monotone-ish non-decreasing in offered rate beyond the knee
+        let knee = at(32.0).mean_response_ms;
+        assert!(at(256.0).mean_response_ms > knee);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mca-bench — evaluation harness
+//!
+//! One module per figure of the paper's evaluation (§VI). Every module
+//! exposes a `run(...)` function that produces the series/rows of the figure
+//! and a `print(...)` helper that writes them as an aligned text table, so
+//! the binaries (`cargo run -p mca-bench --bin fig4` … `fig11`) regenerate
+//! the paper's figures and the Criterion benches time the underlying
+//! machinery.
+//!
+//! The harness is calibrated for *shape* fidelity, not absolute numbers: the
+//! back-end is the `mca-cloudsim` simulator rather than EC2 hardware. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison of every figure.
+
+#![forbid(unsafe_code)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod util;
+
+/// Default RNG seed used by every figure harness so that regenerated figures
+/// are reproducible run-to-run.
+pub const DEFAULT_SEED: u64 = 20170605;

@@ -1,0 +1,114 @@
+//! Hourly billing of allocated instances.
+//!
+//! §IV: "A provisioned instance is billed by hour by most of the cloud
+//! vendors" — the allocation model exists precisely because every provisioning
+//! interval costs real money. The meter accumulates instance-hours per type
+//! and reports the total bill, which the allocation benchmarks compare across
+//! policies.
+
+use crate::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulates billed instance-hours per instance type.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BillingMeter {
+    hours: BTreeMap<InstanceType, f64>,
+}
+
+impl BillingMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bills `count` instances of `instance_type` for `hours` hours each.
+    /// Partial hours are rounded **up** per instance-allocation, as cloud
+    /// vendors do.
+    pub fn bill(&mut self, instance_type: InstanceType, count: usize, hours: f64) {
+        let billed = hours.max(0.0).ceil().max(if count > 0 && hours > 0.0 { 1.0 } else { 0.0 });
+        if count == 0 || billed == 0.0 {
+            return;
+        }
+        *self.hours.entry(instance_type).or_insert(0.0) += billed * count as f64;
+    }
+
+    /// Billed instance-hours for one type.
+    pub fn hours_for(&self, instance_type: InstanceType) -> f64 {
+        self.hours.get(&instance_type).copied().unwrap_or(0.0)
+    }
+
+    /// Total billed instance-hours across all types.
+    pub fn total_hours(&self) -> f64 {
+        self.hours.values().sum()
+    }
+
+    /// Total cost in USD.
+    pub fn total_cost(&self) -> f64 {
+        self.hours.iter().map(|(t, h)| t.spec().cost_per_hour * h).sum()
+    }
+
+    /// Cost attributable to one instance type, USD.
+    pub fn cost_for(&self, instance_type: InstanceType) -> f64 {
+        instance_type.spec().cost_per_hour * self.hours_for(instance_type)
+    }
+
+    /// Iterates over `(type, billed hours)` pairs in catalogue order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceType, f64)> + '_ {
+        self.hours.iter().map(|(t, h)| (*t, *h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_hours_round_up() {
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Large, 2, 0.5);
+        assert_eq!(m.hours_for(InstanceType::T2Large), 2.0);
+        m.bill(InstanceType::T2Large, 1, 1.2);
+        assert_eq!(m.hours_for(InstanceType::T2Large), 4.0);
+    }
+
+    #[test]
+    fn zero_count_or_duration_bills_nothing() {
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Nano, 0, 5.0);
+        m.bill(InstanceType::T2Nano, 3, 0.0);
+        assert_eq!(m.total_hours(), 0.0);
+        assert_eq!(m.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn cost_uses_catalogue_prices() {
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Nano, 10, 1.0);
+        m.bill(InstanceType::M4_10XLarge, 1, 1.0);
+        let expected = 10.0 * 0.0063 + 2.377;
+        assert!((m.total_cost() - expected).abs() < 1e-9);
+        assert!((m.cost_for(InstanceType::M4_10XLarge) - 2.377).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_instances_dominate_the_bill() {
+        // The motivation for the allocation model: one m4.10xlarge hour costs
+        // more than 300 t2.nano hours.
+        let mut nano = BillingMeter::new();
+        nano.bill(InstanceType::T2Nano, 300, 1.0);
+        let mut m4 = BillingMeter::new();
+        m4.bill(InstanceType::M4_10XLarge, 1, 1.0);
+        assert!(m4.total_cost() > nano.total_cost());
+    }
+
+    #[test]
+    fn iteration_and_accumulation() {
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Small, 1, 2.0);
+        m.bill(InstanceType::T2Medium, 2, 1.0);
+        let collected: Vec<_> = m.iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(m.total_hours(), 4.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Dalvik-x86 surrogate model (§V).
+//!
+//! The paper builds a stripped-down Dalvik-x86 AMI (no Applications /
+//! Application Framework layers, no Zygote, no GUI manager) that is ≈40 %
+//! smaller than an Android-x86 surrogate, boots the compiler through an
+//! executable wrapper, preloads the available APKs and spawns one `dalvikvm`
+//! process per offloading request (each APK can be instantiated on several
+//! ports). This module models those mechanics: storage footprint, APK
+//! registry, per-request worker processes with ports, and the per-request
+//! spawn overhead that feeds the server model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Storage footprint of a full Android-x86 surrogate image, MiB.
+pub const ANDROID_X86_IMAGE_MIB: f64 = 1_800.0;
+/// Relative size reduction the custom Dalvik-x86 build achieves (§V: ≈40 %).
+pub const DALVIK_X86_SIZE_REDUCTION: f64 = 0.40;
+
+/// An application package registered with the surrogate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ApkPackage {
+    /// Identifier used by offload requests.
+    pub apk_id: u32,
+    /// Human-readable package name.
+    pub name: String,
+    /// Size of the APK in KiB (affects push time at boot).
+    pub size_kib: u32,
+}
+
+/// Errors reported by the surrogate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SurrogateError {
+    /// A request referenced an APK that was never pushed to the surrogate.
+    UnknownApk {
+        /// The requested APK id.
+        apk_id: u32,
+    },
+    /// All worker slots are busy.
+    NoFreePort,
+}
+
+impl fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurrogateError::UnknownApk { apk_id } => write!(f, "unknown apk id {apk_id}"),
+            SurrogateError::NoFreePort => write!(f, "no free worker port available"),
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {}
+
+/// A running `dalvikvm` worker process serving one offloading request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerProcess {
+    /// Operating-system process id (monotonically increasing in the model).
+    pub pid: u32,
+    /// TCP port the worker listens on.
+    pub port: u16,
+    /// APK the worker is executing.
+    pub apk_id: u32,
+}
+
+/// The Dalvik-x86 surrogate running on one cloud instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DalvikSurrogate {
+    apks: HashMap<u32, ApkPackage>,
+    workers: HashMap<u32, WorkerProcess>,
+    next_pid: u32,
+    base_port: u16,
+    max_workers: usize,
+    /// Per-request process spawn overhead in milliseconds (feeds the server
+    /// model's `per_request_overhead_ms`).
+    pub spawn_overhead_ms: f64,
+}
+
+impl DalvikSurrogate {
+    /// Boots a surrogate with a worker-slot budget (one slot per outstanding
+    /// request the instance is willing to hold).
+    pub fn boot(max_workers: usize) -> Self {
+        Self {
+            apks: HashMap::new(),
+            workers: HashMap::new(),
+            next_pid: 1,
+            base_port: 42_000,
+            max_workers,
+            spawn_overhead_ms: 18.0,
+        }
+    }
+
+    /// Storage footprint of the stripped Dalvik-x86 image, MiB (≈40 % smaller
+    /// than Android-x86, §V).
+    pub fn image_size_mib() -> f64 {
+        ANDROID_X86_IMAGE_MIB * (1.0 - DALVIK_X86_SIZE_REDUCTION)
+    }
+
+    /// Pushes an APK into the surrogate (done for every APK found in the OS
+    /// folder when the server initiates).
+    pub fn push_apk(&mut self, apk: ApkPackage) {
+        self.apks.insert(apk.apk_id, apk);
+    }
+
+    /// Registered APKs.
+    pub fn apks(&self) -> impl Iterator<Item = &ApkPackage> {
+        self.apks.values()
+    }
+
+    /// Number of running worker processes.
+    pub fn active_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns a `dalvikvm` worker for a request against `apk_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::UnknownApk`] if the APK was never pushed and
+    /// [`SurrogateError::NoFreePort`] when every worker slot is busy.
+    pub fn spawn_worker(&mut self, apk_id: u32) -> Result<WorkerProcess, SurrogateError> {
+        if !self.apks.contains_key(&apk_id) {
+            return Err(SurrogateError::UnknownApk { apk_id });
+        }
+        if self.workers.len() >= self.max_workers {
+            return Err(SurrogateError::NoFreePort);
+        }
+        // find the lowest free port offset
+        let used: std::collections::HashSet<u16> =
+            self.workers.values().map(|w| w.port).collect();
+        let port = (0..self.max_workers as u16)
+            .map(|off| self.base_port + off)
+            .find(|p| !used.contains(p))
+            .expect("a free port exists because workers < max_workers");
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let worker = WorkerProcess { pid, port, apk_id };
+        self.workers.insert(pid, worker);
+        Ok(worker)
+    }
+
+    /// Terminates the worker with the given pid (used to troubleshoot a
+    /// problematic request without restarting the system, §V). Returns `true`
+    /// if a worker was terminated.
+    pub fn kill_worker(&mut self, pid: u32) -> bool {
+        self.workers.remove(&pid).is_some()
+    }
+
+    /// Time to push all registered APKs into the VM at boot, ms (about 1 ms
+    /// per 100 KiB).
+    pub fn boot_push_time_ms(&self) -> f64 {
+        self.apks.values().map(|a| f64::from(a.size_kib) / 100.0).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apk(id: u32) -> ApkPackage {
+        ApkPackage { apk_id: id, name: format!("app{id}"), size_kib: 2_000 }
+    }
+
+    #[test]
+    fn image_is_forty_percent_smaller() {
+        assert!((DalvikSurrogate::image_size_mib() - 1_080.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spawn_requires_registered_apk() {
+        let mut s = DalvikSurrogate::boot(4);
+        assert_eq!(s.spawn_worker(7), Err(SurrogateError::UnknownApk { apk_id: 7 }));
+        s.push_apk(apk(7));
+        let w = s.spawn_worker(7).unwrap();
+        assert_eq!(w.apk_id, 7);
+        assert_eq!(s.active_workers(), 1);
+    }
+
+    #[test]
+    fn one_process_per_request_with_distinct_ports_and_pids() {
+        let mut s = DalvikSurrogate::boot(8);
+        s.push_apk(apk(1));
+        let workers: Vec<_> = (0..8).map(|_| s.spawn_worker(1).unwrap()).collect();
+        let pids: std::collections::HashSet<_> = workers.iter().map(|w| w.pid).collect();
+        let ports: std::collections::HashSet<_> = workers.iter().map(|w| w.port).collect();
+        assert_eq!(pids.len(), 8);
+        assert_eq!(ports.len(), 8, "each APK instance listens on its own port");
+        assert_eq!(s.spawn_worker(1), Err(SurrogateError::NoFreePort));
+    }
+
+    #[test]
+    fn killing_a_worker_frees_its_slot_and_port() {
+        let mut s = DalvikSurrogate::boot(2);
+        s.push_apk(apk(1));
+        let a = s.spawn_worker(1).unwrap();
+        let _b = s.spawn_worker(1).unwrap();
+        assert!(s.kill_worker(a.pid));
+        assert!(!s.kill_worker(a.pid), "double kill reports false");
+        let c = s.spawn_worker(1).unwrap();
+        assert_eq!(c.port, a.port, "freed port is reused");
+        assert_ne!(c.pid, a.pid, "pids are never reused");
+    }
+
+    #[test]
+    fn boot_push_time_scales_with_apk_sizes() {
+        let mut s = DalvikSurrogate::boot(2);
+        assert_eq!(s.boot_push_time_ms(), 0.0);
+        s.push_apk(apk(1));
+        s.push_apk(apk(2));
+        assert!((s.boot_push_time_ms() - 40.0).abs() < 1e-9);
+        assert_eq!(s.apks().count(), 2);
+    }
+}

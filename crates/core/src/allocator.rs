@@ -1,0 +1,418 @@
+//! Dynamic resource allocation (§IV-C).
+//!
+//! Given the predicted workload `W = Σ W_{a_n}`, the allocator chooses how
+//! many instances `x_s` of each type `s` to run during the next provisioning
+//! interval so that (1) every acceleration group has enough capacity for its
+//! predicted workload, (2) the total number of instances stays below the
+//! cloud account cap `CC`, and (3) the total hourly cost `Σ x_s · c_s` is
+//! minimal. The paper solves this Integer Linear Program with R's
+//! `lpSolveAPI`; here it is solved exactly with `mca-lp`, and two baseline
+//! policies (greedy and over-provisioning) are provided for the ablation
+//! benchmarks.
+
+use crate::accel::AccelerationGroups;
+use crate::error::CoreError;
+use crate::predictor::WorkloadForecast;
+use mca_cloudsim::{InstanceType, Server};
+use mca_lp::{Problem, Sense, VarKind};
+use mca_offload::AccelerationGroupId;
+use serde::{Deserialize, Serialize};
+
+/// Which allocation policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AllocationPolicy {
+    /// The paper's policy: exact cost minimization via Integer Linear
+    /// Programming.
+    #[default]
+    IlpExact,
+    /// Per group, allocate only the type with the best capacity-per-dollar
+    /// ratio, rounding the count up. Cheap to compute, may over-pay when
+    /// mixing types would be cheaper.
+    GreedyCheapest,
+    /// Allocate the most capable type of each group and add one spare
+    /// instance — the "always safe" policy the paper argues against because
+    /// it over-provisions.
+    OverProvision,
+}
+
+/// The chosen allocation for one provisioning interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Instances to run, per type (summed over groups).
+    pub counts: Vec<(InstanceType, usize)>,
+    /// Instances to run per acceleration group and type.
+    pub per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)>,
+    /// Hourly cost of the allocation, USD.
+    pub hourly_cost: f64,
+    /// Total capacity provided per group, in concurrent users.
+    pub capacity_per_group: Vec<(AccelerationGroupId, usize)>,
+}
+
+impl Allocation {
+    /// Total number of instances in the allocation.
+    pub fn total_instances(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Number of instances of one type.
+    pub fn count_of(&self, instance_type: InstanceType) -> usize {
+        self.counts.iter().find(|(t, _)| *t == instance_type).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// Capacity provided for one group, in concurrent users.
+    pub fn capacity_of(&self, group: AccelerationGroupId) -> usize {
+        self.capacity_per_group.iter().find(|(g, _)| *g == group).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    /// Returns `true` when the allocation provides at least the forecast
+    /// workload in every group.
+    pub fn covers(&self, forecast: &WorkloadForecast) -> bool {
+        forecast.per_group.iter().all(|(g, w)| self.capacity_of(*g) >= *w)
+    }
+
+    /// The instance counts per group for the instance pool
+    /// (`mca_cloudsim::InstancePool::apply_allocation`).
+    pub fn pool_allocation(&self) -> Vec<(InstanceType, usize)> {
+        self.counts.clone()
+    }
+}
+
+/// The dynamic resource allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceAllocator {
+    groups: AccelerationGroups,
+    policy: AllocationPolicy,
+    /// Cloud account instance cap (`CC`).
+    pub account_cap: usize,
+    /// Minimum number of instances kept running per group even when the
+    /// predicted workload is zero (so that a newly promoted device always has
+    /// a server to land on).
+    pub min_instances_per_group: usize,
+    /// Typical task work used to derive per-type capacities, work units.
+    pub typical_work_units: f64,
+    /// Per-type capacity under the response-time target, in concurrent users
+    /// (the paper's `K_s`).
+    capacities: Vec<(AccelerationGroupId, InstanceType, usize)>,
+}
+
+impl ResourceAllocator {
+    /// Creates an allocator over the given groups with the paper's defaults
+    /// (ILP policy, `CC = 20`, one instance minimum per group).
+    pub fn new(groups: AccelerationGroups) -> Self {
+        Self::with_policy(groups, AllocationPolicy::IlpExact)
+    }
+
+    /// Creates an allocator with an explicit policy.
+    pub fn with_policy(groups: AccelerationGroups, policy: AllocationPolicy) -> Self {
+        let typical_work_units = 65.0;
+        let capacities = Self::derive_capacities(&groups, typical_work_units);
+        Self {
+            groups,
+            policy,
+            account_cap: mca_cloudsim::pool::DEFAULT_ACCOUNT_CAP,
+            min_instances_per_group: 1,
+            typical_work_units,
+            capacities,
+        }
+    }
+
+    /// Overrides the account cap.
+    pub fn with_account_cap(mut self, cap: usize) -> Self {
+        self.account_cap = cap;
+        self
+    }
+
+    /// Overrides the per-group minimum.
+    pub fn with_min_instances(mut self, min: usize) -> Self {
+        self.min_instances_per_group = min;
+        self
+    }
+
+    /// The allocation policy in force.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// The acceleration groups the allocator provisions for.
+    pub fn groups(&self) -> &AccelerationGroups {
+        &self.groups
+    }
+
+    /// Capacity `K_s` of one instance of `instance_type` when serving
+    /// `group`, in concurrent users.
+    pub fn capacity_of(&self, group: AccelerationGroupId, instance_type: InstanceType) -> usize {
+        self.capacities
+            .iter()
+            .find(|(g, t, _)| *g == group && *t == instance_type)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    }
+
+    fn derive_capacities(
+        groups: &AccelerationGroups,
+        typical_work_units: f64,
+    ) -> Vec<(AccelerationGroupId, InstanceType, usize)> {
+        let target = groups.response_target_ms;
+        groups
+            .groups()
+            .iter()
+            .flat_map(|g| {
+                g.instance_types.iter().map(move |&t| {
+                    let capacity =
+                        Server::new(t).capacity_under(typical_work_units, target).max(1);
+                    (g.id, t, capacity)
+                })
+            })
+            .collect()
+    }
+
+    /// Computes the allocation for a forecast workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AllocationInfeasible`] when no allocation within
+    /// the account cap can serve the forecast.
+    pub fn allocate(&self, forecast: &WorkloadForecast) -> Result<Allocation, CoreError> {
+        match self.policy {
+            AllocationPolicy::IlpExact => self.allocate_ilp(forecast),
+            AllocationPolicy::GreedyCheapest => self.allocate_greedy(forecast, false),
+            AllocationPolicy::OverProvision => self.allocate_greedy(forecast, true),
+        }
+    }
+
+    fn allocate_ilp(&self, forecast: &WorkloadForecast) -> Result<Allocation, CoreError> {
+        let mut problem = Problem::minimize();
+        // one variable per (group, instance type)
+        let mut vars = Vec::new();
+        for group in self.groups.groups() {
+            for &ty in &group.instance_types {
+                let cost = ty.spec().cost_per_hour;
+                let var = problem.add_var(
+                    format!("{}-{}", group.id, ty),
+                    VarKind::Integer,
+                    0.0,
+                    Some(self.account_cap as f64),
+                    cost,
+                );
+                vars.push((group.id, ty, var));
+            }
+        }
+        // per-group capacity and minimum-instance constraints
+        for group in self.groups.groups() {
+            let workload = forecast.load_of(group.id);
+            let capacity_terms: Vec<(mca_lp::VarId, f64)> = vars
+                .iter()
+                .filter(|(g, _, _)| *g == group.id)
+                .map(|(_, ty, var)| (*var, self.capacity_of(group.id, *ty) as f64))
+                .collect();
+            problem.add_constraint(
+                format!("capacity-{}", group.id),
+                &capacity_terms,
+                Sense::Ge,
+                workload as f64,
+            );
+            let count_terms: Vec<(mca_lp::VarId, f64)> = vars
+                .iter()
+                .filter(|(g, _, _)| *g == group.id)
+                .map(|(_, _, var)| (*var, 1.0))
+                .collect();
+            problem.add_constraint(
+                format!("min-{}", group.id),
+                &count_terms,
+                Sense::Ge,
+                self.min_instances_per_group as f64,
+            );
+        }
+        // account cap
+        let all_terms: Vec<(mca_lp::VarId, f64)> = vars.iter().map(|(_, _, v)| (*v, 1.0)).collect();
+        problem.add_constraint("account-cap", &all_terms, Sense::Le, self.account_cap as f64);
+
+        let solution = problem.solve().map_err(|e| CoreError::AllocationInfeasible {
+            reason: e.to_string(),
+        })?;
+
+        let mut per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)> = Vec::new();
+        for group in self.groups.groups() {
+            let counts: Vec<(InstanceType, usize)> = vars
+                .iter()
+                .filter(|(g, _, _)| *g == group.id)
+                .map(|(_, ty, var)| (*ty, solution.value_rounded(*var).max(0) as usize))
+                .filter(|(_, n)| *n > 0)
+                .collect();
+            per_group.push((group.id, counts));
+        }
+        Ok(self.build_allocation(per_group))
+    }
+
+    fn allocate_greedy(
+        &self,
+        forecast: &WorkloadForecast,
+        over_provision: bool,
+    ) -> Result<Allocation, CoreError> {
+        let mut per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)> = Vec::new();
+        for group in self.groups.groups() {
+            let workload = forecast.load_of(group.id);
+            let chosen = if over_provision {
+                // most capable member
+                group
+                    .instance_types
+                    .iter()
+                    .copied()
+                    .max_by_key(|&t| self.capacity_of(group.id, t))
+            } else {
+                // best capacity per dollar
+                group.instance_types.iter().copied().max_by(|&a, &b| {
+                    let ra = self.capacity_of(group.id, a) as f64 / a.spec().cost_per_hour;
+                    let rb = self.capacity_of(group.id, b) as f64 / b.spec().cost_per_hour;
+                    ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+            }
+            .ok_or_else(|| CoreError::AllocationInfeasible {
+                reason: format!("group {} has no instance types", group.id),
+            })?;
+            let capacity = self.capacity_of(group.id, chosen).max(1);
+            let mut count = workload.div_ceil(capacity).max(self.min_instances_per_group);
+            if over_provision {
+                count += 1;
+            }
+            per_group.push((group.id, vec![(chosen, count)]));
+        }
+        let allocation = self.build_allocation(per_group);
+        if allocation.total_instances() > self.account_cap {
+            return Err(CoreError::AllocationInfeasible {
+                reason: format!(
+                    "{} instances needed but the account cap is {}",
+                    allocation.total_instances(),
+                    self.account_cap
+                ),
+            });
+        }
+        Ok(allocation)
+    }
+
+    fn build_allocation(
+        &self,
+        per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)>,
+    ) -> Allocation {
+        let mut counts: Vec<(InstanceType, usize)> = Vec::new();
+        let mut capacity_per_group = Vec::new();
+        for (group, group_counts) in &per_group {
+            let mut cap = 0usize;
+            for (ty, n) in group_counts {
+                cap += self.capacity_of(*group, *ty) * n;
+                match counts.iter_mut().find(|(t, _)| t == ty) {
+                    Some((_, total)) => *total += n,
+                    None => counts.push((*ty, *n)),
+                }
+            }
+            capacity_per_group.push((*group, cap));
+        }
+        let hourly_cost =
+            counts.iter().map(|(t, n)| t.spec().cost_per_hour * *n as f64).sum::<f64>();
+        Allocation { counts, per_group, hourly_cost, capacity_per_group }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::WorkloadForecast;
+
+    fn forecast(loads: &[(u8, usize)]) -> WorkloadForecast {
+        WorkloadForecast {
+            per_group: loads.iter().map(|&(g, n)| (AccelerationGroupId(g), n)).collect(),
+            matched_slot: None,
+        }
+    }
+
+    fn allocator(policy: AllocationPolicy) -> ResourceAllocator {
+        ResourceAllocator::with_policy(AccelerationGroups::paper_three_groups(), policy)
+    }
+
+    #[test]
+    fn ilp_allocation_covers_the_forecast_within_cap() {
+        let alloc = allocator(AllocationPolicy::IlpExact);
+        let f = forecast(&[(1, 60), (2, 120), (3, 40)]);
+        let a = alloc.allocate(&f).unwrap();
+        assert!(a.covers(&f), "{a:?}");
+        assert!(a.total_instances() <= 20);
+        assert!(a.hourly_cost > 0.0);
+    }
+
+    #[test]
+    fn zero_workload_keeps_the_minimum_fleet() {
+        let alloc = allocator(AllocationPolicy::IlpExact);
+        let a = alloc.allocate(&forecast(&[(1, 0), (2, 0), (3, 0)])).unwrap();
+        assert_eq!(a.total_instances(), 3, "one instance per group");
+        for group in [1u8, 2, 3] {
+            assert!(a.capacity_of(AccelerationGroupId(group)) >= 1);
+        }
+    }
+
+    #[test]
+    fn ilp_never_costs_more_than_greedy_or_overprovisioning() {
+        let f = forecast(&[(1, 150), (2, 300), (3, 100)]);
+        let ilp = allocator(AllocationPolicy::IlpExact).allocate(&f).unwrap();
+        let greedy = allocator(AllocationPolicy::GreedyCheapest).allocate(&f).unwrap();
+        let over = allocator(AllocationPolicy::OverProvision).allocate(&f).unwrap();
+        assert!(ilp.hourly_cost <= greedy.hourly_cost + 1e-9, "ilp {} greedy {}", ilp.hourly_cost, greedy.hourly_cost);
+        assert!(ilp.hourly_cost <= over.hourly_cost + 1e-9, "ilp {} over {}", ilp.hourly_cost, over.hourly_cost);
+        assert!(greedy.covers(&f));
+        assert!(over.covers(&f));
+    }
+
+    #[test]
+    fn growing_workload_increases_cost_monotonically() {
+        let alloc = allocator(AllocationPolicy::IlpExact);
+        let mut last_cost = 0.0;
+        for load in [10usize, 100, 400, 800] {
+            let a = alloc.allocate(&forecast(&[(1, load), (2, load), (3, load / 2)])).unwrap();
+            assert!(a.hourly_cost >= last_cost - 1e-9, "cost must not shrink as load grows");
+            last_cost = a.hourly_cost;
+        }
+    }
+
+    #[test]
+    fn infeasible_when_workload_exceeds_account_cap() {
+        let alloc = allocator(AllocationPolicy::IlpExact).with_account_cap(2);
+        // three groups with a minimum of one instance each cannot fit in 2
+        let err = alloc.allocate(&forecast(&[(1, 1), (2, 1), (3, 1)])).unwrap_err();
+        assert!(matches!(err, CoreError::AllocationInfeasible { .. }));
+    }
+
+    #[test]
+    fn greedy_reports_infeasible_over_cap() {
+        let alloc = allocator(AllocationPolicy::GreedyCheapest).with_account_cap(3);
+        let err = alloc.allocate(&forecast(&[(1, 100_000), (2, 0), (3, 0)])).unwrap_err();
+        assert!(matches!(err, CoreError::AllocationInfeasible { .. }));
+    }
+
+    #[test]
+    fn overprovision_allocates_spares() {
+        let f = forecast(&[(1, 10), (2, 10), (3, 10)]);
+        let over = allocator(AllocationPolicy::OverProvision).allocate(&f).unwrap();
+        let exact = allocator(AllocationPolicy::IlpExact).allocate(&f).unwrap();
+        assert!(over.total_instances() > exact.total_instances());
+        assert!(over.hourly_cost >= exact.hourly_cost);
+    }
+
+    #[test]
+    fn capacities_grow_with_acceleration_level() {
+        let alloc = allocator(AllocationPolicy::IlpExact);
+        let c1 = alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Nano);
+        let c2 = alloc.capacity_of(AccelerationGroupId(2), mca_cloudsim::InstanceType::T2Large);
+        let c3 = alloc.capacity_of(AccelerationGroupId(3), mca_cloudsim::InstanceType::M4_4XLarge);
+        assert!(c1 < c2 && c2 < c3, "{c1} {c2} {c3}");
+        assert_eq!(alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Large), 0);
+    }
+
+    #[test]
+    fn pool_allocation_lists_every_type_once() {
+        let f = forecast(&[(1, 200), (2, 50), (3, 10)]);
+        let a = allocator(AllocationPolicy::IlpExact).allocate(&f).unwrap();
+        let mut types: Vec<_> = a.pool_allocation().iter().map(|(t, _)| *t).collect();
+        let before = types.len();
+        types.dedup();
+        assert_eq!(before, types.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! System configuration.
+
+use crate::accel::AccelerationGroups;
+use crate::allocator::AllocationPolicy;
+use crate::predictor::{DistanceKind, PredictionStrategy};
+use mca_mobile::{DeviceClass, PromotionPolicy};
+use mca_network::{CellularNetwork, Operator, Technology};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the closed-loop system (Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The acceleration groups offered as a service.
+    pub groups: AccelerationGroups,
+    /// Provisioning slot length, ms (instances are billed and re-allocated at
+    /// this granularity; the paper supports any fraction of an hour).
+    pub slot_length_ms: f64,
+    /// Client-side promotion policy applied by every device's moderator.
+    pub promotion_policy: PromotionPolicy,
+    /// Device class of the emulated handsets.
+    pub device_class: DeviceClass,
+    /// Constant background load per back-end server, in concurrent users
+    /// (the 8-hour experiment induces 50 concurrent users per server).
+    pub background_load: usize,
+    /// Access network between the devices and the SDN front-end.
+    pub network: CellularNetwork,
+    /// Mean SDN routing overhead (`T2`), ms (§VI-B: ≈150 ms).
+    pub routing_overhead_ms: f64,
+    /// Cloud account instance cap (`CC`).
+    pub account_cap: usize,
+    /// Allocation policy.
+    pub allocation_policy: AllocationPolicy,
+    /// Prediction strategy.
+    pub prediction_strategy: PredictionStrategy,
+    /// Distance function used by the predictor.
+    pub distance_kind: DistanceKind,
+    /// Size of the downlink result payload, bytes.
+    pub result_bytes: usize,
+    /// Hour of day at which the experiment starts (affects network latency).
+    pub start_hour_of_day: f64,
+}
+
+impl SystemConfig {
+    /// The configuration of the paper's 8-hour experiment (§VI-C-1): three
+    /// acceleration groups served by t2.nano / t2.large / m4.4xlarge, the
+    /// static 1/50 promotion probability, a 50-user background load per
+    /// server, LTE access and hourly provisioning.
+    pub fn paper_three_groups() -> Self {
+        Self {
+            groups: AccelerationGroups::paper_three_groups(),
+            slot_length_ms: 3_600_000.0,
+            promotion_policy: PromotionPolicy::paper_default(),
+            device_class: DeviceClass::MidRange,
+            background_load: 50,
+            network: CellularNetwork::new(Operator::Beta, Technology::Lte),
+            routing_overhead_ms: 150.0,
+            account_cap: 20,
+            allocation_policy: AllocationPolicy::IlpExact,
+            prediction_strategy: PredictionStrategy::NearestSlot,
+            distance_kind: DistanceKind::SetEdit,
+            result_bytes: 256,
+            start_hour_of_day: 9.0,
+        }
+    }
+
+    /// The five-group catalogue (levels 0–4) with otherwise paper defaults.
+    pub fn paper_five_groups() -> Self {
+        Self { groups: AccelerationGroups::paper_five_groups(), ..Self::paper_three_groups() }
+    }
+
+    /// Overrides the provisioning slot length.
+    pub fn with_slot_length_ms(mut self, slot_length_ms: f64) -> Self {
+        self.slot_length_ms = slot_length_ms;
+        self
+    }
+
+    /// Overrides the promotion policy.
+    pub fn with_promotion_policy(mut self, policy: PromotionPolicy) -> Self {
+        self.promotion_policy = policy;
+        self
+    }
+
+    /// Overrides the background load per server.
+    pub fn with_background_load(mut self, background_load: usize) -> Self {
+        self.background_load = background_load;
+        self
+    }
+
+    /// Overrides the allocation policy.
+    pub fn with_allocation_policy(mut self, policy: AllocationPolicy) -> Self {
+        self.allocation_policy = policy;
+        self
+    }
+
+    /// Overrides the prediction strategy.
+    pub fn with_prediction_strategy(mut self, strategy: PredictionStrategy) -> Self {
+        self.prediction_strategy = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_the_evaluation_setup() {
+        let c = SystemConfig::paper_three_groups();
+        assert_eq!(c.groups.len(), 3);
+        assert_eq!(c.background_load, 50);
+        assert_eq!(c.account_cap, 20);
+        assert_eq!(c.routing_overhead_ms, 150.0);
+        assert_eq!(c.slot_length_ms, 3_600_000.0);
+        assert_eq!(c.promotion_policy, PromotionPolicy::Probabilistic { probability: 0.02 });
+    }
+
+    #[test]
+    fn builder_overrides_work() {
+        let c = SystemConfig::paper_three_groups()
+            .with_slot_length_ms(1_800_000.0)
+            .with_background_load(0)
+            .with_promotion_policy(PromotionPolicy::Never)
+            .with_allocation_policy(AllocationPolicy::GreedyCheapest)
+            .with_prediction_strategy(PredictionStrategy::LastValue);
+        assert_eq!(c.slot_length_ms, 1_800_000.0);
+        assert_eq!(c.background_load, 0);
+        assert_eq!(c.promotion_policy, PromotionPolicy::Never);
+        assert_eq!(c.allocation_policy, AllocationPolicy::GreedyCheapest);
+        assert_eq!(c.prediction_strategy, PredictionStrategy::LastValue);
+    }
+
+    #[test]
+    fn five_group_config_has_level_zero_to_four() {
+        let c = SystemConfig::paper_five_groups();
+        assert_eq!(c.groups.len(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! The distance metric of §IV-B-1.
+//!
+//! Given two time slots `t_x` and `t_z`, the per-group distance `δ` is zero
+//! when the group has exactly the same assigned users in both slots and an
+//! edit distance `D > 0` otherwise; the slot distance `Δ` is the sum of the
+//! per-group distances. The paper computes `D` with the R `RecordLinkage`
+//! package (Levenshtein edit distance); for sets of user ids the natural edit
+//! distance is the number of insertions plus deletions that turn one user set
+//! into the other, i.e. the size of the symmetric difference. Both are
+//! provided, together with the Marzal–Vidal normalized edit distance used as
+//! an ablation.
+
+use crate::timeslot::TimeSlot;
+use mca_offload::{AccelerationGroupId, UserId};
+use std::collections::BTreeSet;
+
+/// Edit distance between the user sets of one acceleration group in two
+/// slots: the minimum number of single-user insertions and deletions that
+/// turn one set into the other (`|A \ B| + |B \ A|`, the symmetric
+/// difference). Returns 0 exactly when the sets are equal, matching the
+/// paper's definition of `δ`.
+pub fn group_distance(a: &BTreeSet<UserId>, b: &BTreeSet<UserId>) -> usize {
+    a.symmetric_difference(b).count()
+}
+
+/// The slot distance `Δ(t_x, t_z)`: the sum of per-group distances `δ` over
+/// the acceleration groups in `groups`.
+pub fn slot_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]) -> usize {
+    groups.iter().map(|g| group_distance(&a.users_in(*g), &b.users_in(*g))).sum()
+}
+
+/// A coarser distance that only compares per-group user *counts* (ignoring
+/// identities). Used as an ablation of the distance metric.
+pub fn count_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]) -> usize {
+    groups
+        .iter()
+        .map(|g| a.load_of(*g).abs_diff(b.load_of(*g)))
+        .sum()
+}
+
+/// Classic Levenshtein edit distance between two sequences (the paper's
+/// `RecordLinkage` primitive operates on strings; user-id sequences sorted by
+/// id are the equivalent here).
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ai) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let cost = usize::from(ai != bj);
+            current[j + 1] = (prev[j + 1] + 1).min(current[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// Marzal–Vidal normalized edit distance between two sequences: the edit
+/// distance divided by the length of the longer sequence, in `[0, 1]`.
+/// (The exact Marzal–Vidal definition normalizes over editing paths; the
+/// length normalization is the standard practical approximation and
+/// preserves the `[0, 1]` range and the identity-of-indiscernibles
+/// property.)
+pub fn normalized_levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    let longest = a.len().max(b.len());
+    if longest == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / longest as f64
+}
+
+/// Slot distance computed with Levenshtein over the sorted user-id sequences
+/// of each group (an ablation variant closest to the paper's string-based
+/// implementation).
+pub fn slot_levenshtein_distance(
+    a: &TimeSlot,
+    b: &TimeSlot,
+    groups: &[AccelerationGroupId],
+) -> usize {
+    groups
+        .iter()
+        .map(|g| {
+            let ua: Vec<UserId> = a.users_in(*g).into_iter().collect();
+            let ub: Vec<UserId> = b.users_in(*g).into_iter().collect();
+            levenshtein(&ua, &ub)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<UserId> {
+        ids.iter().map(|&i| UserId(i)).collect()
+    }
+
+    fn slot(index: usize, pairs: &[(u8, u32)]) -> TimeSlot {
+        TimeSlot::from_assignments(
+            index,
+            pairs.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u))),
+        )
+    }
+
+    const GROUPS: [AccelerationGroupId; 3] =
+        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+
+    #[test]
+    fn group_distance_is_zero_iff_equal() {
+        assert_eq!(group_distance(&set(&[1, 2, 3]), &set(&[1, 2, 3])), 0);
+        assert_eq!(group_distance(&set(&[]), &set(&[])), 0);
+        assert!(group_distance(&set(&[1, 2]), &set(&[1, 2, 3])) > 0);
+    }
+
+    #[test]
+    fn group_distance_counts_insertions_and_deletions() {
+        assert_eq!(group_distance(&set(&[1, 2, 3]), &set(&[2, 3, 4])), 2);
+        assert_eq!(group_distance(&set(&[1, 2]), &set(&[3, 4])), 4);
+        assert_eq!(group_distance(&set(&[]), &set(&[7, 8, 9])), 3);
+    }
+
+    #[test]
+    fn group_distance_is_a_metric() {
+        let sets = [set(&[1, 2]), set(&[2, 3]), set(&[1, 2, 3, 4]), set(&[])];
+        for a in &sets {
+            assert_eq!(group_distance(a, a), 0);
+            for b in &sets {
+                assert_eq!(group_distance(a, b), group_distance(b, a), "symmetry");
+                for c in &sets {
+                    assert!(
+                        group_distance(a, c) <= group_distance(a, b) + group_distance(b, c),
+                        "triangle inequality"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_distance_sums_over_groups() {
+        let a = slot(0, &[(1, 1), (1, 2), (2, 5)]);
+        let b = slot(1, &[(1, 1), (2, 5), (2, 6), (3, 9)]);
+        // group 1: {1,2} vs {1} -> 1; group 2: {5} vs {5,6} -> 1; group 3: {} vs {9} -> 1
+        assert_eq!(slot_distance(&a, &b, &GROUPS), 3);
+        assert_eq!(slot_distance(&a, &a, &GROUPS), 0);
+        assert_eq!(slot_distance(&a, &b, &GROUPS), slot_distance(&b, &a, &GROUPS));
+    }
+
+    #[test]
+    fn count_distance_ignores_identities() {
+        let a = slot(0, &[(1, 1), (1, 2)]);
+        let b = slot(1, &[(1, 7), (1, 8)]);
+        assert_eq!(count_distance(&a, &b, &GROUPS), 0);
+        assert_eq!(slot_distance(&a, &b, &GROUPS), 4);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn normalized_levenshtein_range() {
+        assert_eq!(normalized_levenshtein::<u8>(&[], &[]), 0.0);
+        assert_eq!(normalized_levenshtein(b"abc", b"abc"), 0.0);
+        assert_eq!(normalized_levenshtein(b"abc", b"xyz"), 1.0);
+        let d = normalized_levenshtein(b"kitten", b"sitting");
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn slot_levenshtein_close_to_set_distance_for_sorted_ids() {
+        let a = slot(0, &[(1, 1), (1, 2), (1, 3)]);
+        let b = slot(1, &[(1, 1), (1, 2), (1, 4)]);
+        // substitute 3 -> 4
+        assert_eq!(slot_levenshtein_distance(&a, &b, &GROUPS), 1);
+        // the set distance counts the same change as one deletion + one insertion
+        assert_eq!(slot_distance(&a, &b, &GROUPS), 2);
+    }
+}

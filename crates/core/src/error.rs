@@ -1,0 +1,70 @@
+//! Error type for the SDN code-acceleration core.
+
+use mca_offload::AccelerationGroupId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SDN-accelerator and the adaptive model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A request asked for an acceleration group the system does not provide.
+    UnknownGroup {
+        /// The requested group.
+        group: AccelerationGroupId,
+    },
+    /// The group exists but currently has no running instance to serve it.
+    NoInstanceAvailable {
+        /// The group without capacity.
+        group: AccelerationGroupId,
+    },
+    /// The predictor has no history to learn from yet.
+    EmptyHistory,
+    /// The allocator could not find a feasible allocation (e.g. the predicted
+    /// workload cannot be served within the account cap).
+    AllocationInfeasible {
+        /// Human-readable reason from the solver.
+        reason: String,
+    },
+    /// System configuration is inconsistent (e.g. no acceleration groups).
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownGroup { group } => write!(f, "unknown acceleration group {group}"),
+            CoreError::NoInstanceAvailable { group } => {
+                write!(f, "no running instance serves acceleration group {group}")
+            }
+            CoreError::EmptyHistory => write!(f, "prediction requires at least one historical time slot"),
+            CoreError::AllocationInfeasible { reason } => {
+                write!(f, "resource allocation infeasible: {reason}")
+            }
+            CoreError::InvalidConfig { reason } => write!(f, "invalid system configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::UnknownGroup { group: AccelerationGroupId(9) };
+        assert!(e.to_string().contains("a9"));
+        assert!(CoreError::EmptyHistory.to_string().contains("historical"));
+        assert!(CoreError::AllocationInfeasible { reason: "cap".into() }.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,79 @@
+//! # mca-core — software-defined code acceleration
+//!
+//! The primary contribution of *Modeling Mobile Code Acceleration in the
+//! Cloud* (ICDCS 2017): an SDN-style front-end that routes mobile code
+//! offloading requests to **acceleration groups** of cloud instances, plus an
+//! **adaptive model** that (a) predicts the per-group workload of the next
+//! provisioning interval from the history of time slots using an edit
+//! distance, and (b) allocates the cheapest combination of instances able to
+//! serve the predicted workload through Integer Linear Programming.
+//!
+//! Crate layout (matching §IV–§V of the paper):
+//!
+//! * [`accel`] — acceleration groups `A = {a_1 … a_N}`: which instance types
+//!   provide which level of acceleration, with what capacity.
+//! * [`logs`] — the request log (the paper's MySQL trace store).
+//! * [`timeslot`] — time slots `T = {t_i}`: per-slot assignment of users to
+//!   acceleration groups, built from the log.
+//! * [`distance`] — the distance metric of §IV-B-1: per-group edit distance
+//!   `δ` and slot distance `Δ`, plus Levenshtein and normalized variants.
+//! * [`predictor`] — workload prediction (§IV-B): nearest-neighbour search
+//!   over the slot history, with alternative strategies for ablation.
+//! * [`metrics`] — prediction accuracy (the paper's 87.5 % headline metric)
+//!   and k-fold cross-validation.
+//! * [`allocator`] — dynamic resource allocation (§IV-C): the ILP and two
+//!   baseline policies (greedy, over-provisioning).
+//! * [`sdn`] — the SDN-accelerator front-end: request handler, code
+//!   offloader/router, per-component timing `T1`/`T2`/`T_cloud` (Fig. 7a).
+//! * [`system`] — the closed-loop system of Fig. 2: workload →
+//!   SDN-accelerator → back-end pool, with per-interval re-provisioning and
+//!   client-side promotions.
+//! * [`config`] — system configuration builder.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mca_core::{AccelerationGroups, SystemConfig, System};
+//! use mca_workload::WorkloadGenerator;
+//! use mca_offload::{TaskPool, TaskSpec};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let config = SystemConfig::paper_three_groups();
+//! let mut system = System::new(config);
+//! let workload = WorkloadGenerator::inter_arrival(
+//!     20,
+//!     TaskPool::static_load(TaskSpec::paper_static_minimax()),
+//! )
+//! .generate(10.0 * 60_000.0, &mut rng);
+//! let report = system.run(&workload, &mut rng);
+//! assert!(report.records.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod allocator;
+pub mod config;
+pub mod distance;
+pub mod error;
+pub mod logs;
+pub mod metrics;
+pub mod predictor;
+pub mod sdn;
+pub mod system;
+pub mod timeslot;
+
+pub use accel::{AccelerationGroup, AccelerationGroups};
+pub use allocator::{Allocation, AllocationPolicy, ResourceAllocator};
+pub use config::SystemConfig;
+pub use error::CoreError;
+pub use logs::TraceLog;
+pub use metrics::{
+    accuracy, cross_validate, learning_curve, CrossValidationReport, PredictionQuality,
+};
+pub use predictor::{DistanceKind, PredictionStrategy, WorkloadForecast, WorkloadPredictor};
+pub use sdn::{RoutedRequest, SdnAccelerator};
+pub use system::{PromotionEvent, SlotObservation, System, SystemReport, UserPerception};
+pub use timeslot::{SlotHistory, TimeSlot};

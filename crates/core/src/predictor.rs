@@ -1,0 +1,314 @@
+//! Workload prediction (§IV-B).
+//!
+//! Given the current time slot `t_h`, the model computes the knowledge base
+//! `P = {p_k}` of distances between `t_h` and every historical slot, and
+//! approximates the next slot `t'_h` by the historical slot with the minimum
+//! distance. Because the prediction is always a slot that has actually been
+//! observed, "dramatically growing loads are only ever matched to the largest
+//! load seen in the near history", which makes the subsequent allocation
+//! conservative (§IV-B-2).
+//!
+//! Besides the paper's strategy, three ablation strategies are provided:
+//! predicting the *successor* of the nearest slot, repeating the last
+//! observed slot, and using the per-group mean of the history.
+
+use crate::distance::{count_distance, slot_distance, slot_levenshtein_distance};
+use crate::error::CoreError;
+use crate::timeslot::{SlotHistory, TimeSlot};
+use mca_offload::AccelerationGroupId;
+use serde::{Deserialize, Serialize};
+
+/// How the predictor turns the slot history into a forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PredictionStrategy {
+    /// The paper's strategy: the forecast is the historical slot closest to
+    /// the current slot under the edit distance.
+    #[default]
+    NearestSlot,
+    /// Forecast the slot that *followed* the nearest historical slot
+    /// (classic nearest-neighbour sequence prediction).
+    SuccessorOfNearest,
+    /// Forecast that the next slot equals the current slot (persistence
+    /// baseline).
+    LastValue,
+    /// Forecast the per-group mean load over the whole history (mean
+    /// baseline; loses user identities).
+    MeanOfHistory,
+}
+
+/// Which distance function drives the nearest-neighbour search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceKind {
+    /// Set edit distance over assigned users (insertions + deletions).
+    #[default]
+    SetEdit,
+    /// Levenshtein distance over the sorted user-id sequences.
+    Levenshtein,
+    /// Absolute difference of per-group user counts.
+    CountDifference,
+}
+
+/// The per-group workload forecast for the next provisioning interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadForecast {
+    /// Predicted number of users per acceleration group (`W_{a_n}`).
+    pub per_group: Vec<(AccelerationGroupId, usize)>,
+    /// Index of the historical slot the forecast was taken from, when the
+    /// strategy is history-based.
+    pub matched_slot: Option<usize>,
+}
+
+impl WorkloadForecast {
+    /// Predicted workload for one group (0 when the group is absent).
+    pub fn load_of(&self, group: AccelerationGroupId) -> usize {
+        self.per_group.iter().find(|(g, _)| *g == group).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// Total predicted number of users across groups.
+    pub fn total(&self) -> usize {
+        self.per_group.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The workload predictor: a knowledge base of historical slots plus a
+/// prediction strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPredictor {
+    history: SlotHistory,
+    strategy: PredictionStrategy,
+    distance: DistanceKind,
+    groups: Vec<AccelerationGroupId>,
+}
+
+impl WorkloadPredictor {
+    /// Creates a predictor over the given acceleration groups with the
+    /// paper's configuration (nearest slot, set edit distance).
+    pub fn new(groups: Vec<AccelerationGroupId>, slot_length_ms: f64) -> Self {
+        Self {
+            history: SlotHistory::new(slot_length_ms),
+            strategy: PredictionStrategy::NearestSlot,
+            distance: DistanceKind::SetEdit,
+            groups,
+        }
+    }
+
+    /// Overrides the prediction strategy.
+    pub fn with_strategy(mut self, strategy: PredictionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the distance function.
+    pub fn with_distance(mut self, distance: DistanceKind) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// The prediction strategy in force.
+    pub fn strategy(&self) -> PredictionStrategy {
+        self.strategy
+    }
+
+    /// The acceleration groups the predictor forecasts for.
+    pub fn groups(&self) -> &[AccelerationGroupId] {
+        &self.groups
+    }
+
+    /// Read access to the accumulated history.
+    pub fn history(&self) -> &SlotHistory {
+        &self.history
+    }
+
+    /// Appends an observed slot to the knowledge base.
+    pub fn observe_slot(&mut self, slot: TimeSlot) {
+        self.history.push(slot);
+    }
+
+    /// Replaces the whole history (used by cross-validation).
+    pub fn set_history(&mut self, history: SlotHistory) {
+        self.history = history;
+    }
+
+    /// Distance between two slots under the configured distance function.
+    pub fn distance_between(&self, a: &TimeSlot, b: &TimeSlot) -> usize {
+        match self.distance {
+            DistanceKind::SetEdit => slot_distance(a, b, &self.groups),
+            DistanceKind::Levenshtein => slot_levenshtein_distance(a, b, &self.groups),
+            DistanceKind::CountDifference => count_distance(a, b, &self.groups),
+        }
+    }
+
+    /// The knowledge base `P`: the distance from `current` to every
+    /// historical slot, in chronological order.
+    pub fn knowledge_base(&self, current: &TimeSlot) -> Vec<usize> {
+        self.history.slots().iter().map(|s| self.distance_between(current, s)).collect()
+    }
+
+    /// Predicts the workload of the next slot given the current slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistory`] when no historical slot is
+    /// available for a history-based strategy.
+    pub fn predict(&self, current: &TimeSlot) -> Result<WorkloadForecast, CoreError> {
+        match self.strategy {
+            PredictionStrategy::LastValue => Ok(WorkloadForecast {
+                per_group: self.groups.iter().map(|g| (*g, current.load_of(*g))).collect(),
+                matched_slot: None,
+            }),
+            PredictionStrategy::MeanOfHistory => {
+                if self.history.is_empty() {
+                    return Err(CoreError::EmptyHistory);
+                }
+                let n = self.history.len() as f64;
+                let per_group = self
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let total: usize =
+                            self.history.slots().iter().map(|s| s.load_of(*g)).sum();
+                        (*g, (total as f64 / n).round() as usize)
+                    })
+                    .collect();
+                Ok(WorkloadForecast { per_group, matched_slot: None })
+            }
+            PredictionStrategy::NearestSlot | PredictionStrategy::SuccessorOfNearest => {
+                if self.history.is_empty() {
+                    return Err(CoreError::EmptyHistory);
+                }
+                let distances = self.knowledge_base(current);
+                let (best_idx, _) = distances
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| **d)
+                    .expect("history is non-empty");
+                let source_idx = match self.strategy {
+                    PredictionStrategy::SuccessorOfNearest => {
+                        (best_idx + 1).min(self.history.len() - 1)
+                    }
+                    _ => best_idx,
+                };
+                let slot = &self.history.slots()[source_idx];
+                Ok(WorkloadForecast {
+                    per_group: self.groups.iter().map(|g| (*g, slot.load_of(*g))).collect(),
+                    matched_slot: Some(source_idx),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_offload::UserId;
+
+    const GROUPS: [AccelerationGroupId; 3] =
+        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+
+    /// A synthetic slot with `n1`/`n2`/`n3` users in groups 1/2/3, using user
+    /// ids offset so that similar loads share most user identities.
+    fn slot(n1: u32, n2: u32, n3: u32) -> TimeSlot {
+        let mut pairs = Vec::new();
+        for u in 0..n1 {
+            pairs.push((AccelerationGroupId(1), UserId(u)));
+        }
+        for u in 0..n2 {
+            pairs.push((AccelerationGroupId(2), UserId(1_000 + u)));
+        }
+        for u in 0..n3 {
+            pairs.push((AccelerationGroupId(3), UserId(2_000 + u)));
+        }
+        TimeSlot::from_assignments(0, pairs)
+    }
+
+    fn predictor_with_history(slots: Vec<TimeSlot>) -> WorkloadPredictor {
+        let mut p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
+        for s in slots {
+            p.observe_slot(s);
+        }
+        p
+    }
+
+    #[test]
+    fn empty_history_is_an_error() {
+        let p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
+        assert_eq!(p.predict(&slot(3, 0, 0)).unwrap_err(), CoreError::EmptyHistory);
+    }
+
+    #[test]
+    fn nearest_slot_matches_the_most_similar_history_entry() {
+        let p = predictor_with_history(vec![slot(10, 2, 0), slot(40, 10, 5), slot(3, 1, 0)]);
+        let forecast = p.predict(&slot(9, 2, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(0));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 10);
+        assert_eq!(forecast.load_of(AccelerationGroupId(2)), 2);
+        assert_eq!(forecast.total(), 12);
+    }
+
+    #[test]
+    fn growing_load_is_matched_to_largest_seen_slot() {
+        // §IV-B-2: a dramatically growing load can only be matched to the
+        // largest load in the history, making allocation conservative.
+        let p = predictor_with_history(vec![slot(5, 0, 0), slot(20, 5, 0), slot(60, 20, 10)]);
+        let huge = slot(500, 100, 50);
+        let forecast = p.predict(&huge).unwrap();
+        assert_eq!(forecast.matched_slot, Some(2));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 60);
+    }
+
+    #[test]
+    fn successor_strategy_predicts_following_slot() {
+        let p = predictor_with_history(vec![slot(10, 0, 0), slot(20, 5, 0), slot(30, 10, 2)])
+            .with_strategy(PredictionStrategy::SuccessorOfNearest);
+        let forecast = p.predict(&slot(11, 0, 0)).unwrap();
+        // nearest is slot 0, successor is slot 1
+        assert_eq!(forecast.matched_slot, Some(1));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 20);
+    }
+
+    #[test]
+    fn successor_of_last_slot_saturates() {
+        let p = predictor_with_history(vec![slot(10, 0, 0), slot(50, 0, 0)])
+            .with_strategy(PredictionStrategy::SuccessorOfNearest);
+        let forecast = p.predict(&slot(49, 0, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(1));
+    }
+
+    #[test]
+    fn last_value_strategy_repeats_current() {
+        let p = predictor_with_history(vec![slot(1, 1, 1)])
+            .with_strategy(PredictionStrategy::LastValue);
+        let forecast = p.predict(&slot(7, 3, 2)).unwrap();
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 7);
+        assert_eq!(forecast.load_of(AccelerationGroupId(2)), 3);
+        assert_eq!(forecast.matched_slot, None);
+    }
+
+    #[test]
+    fn mean_strategy_averages_history() {
+        let p = predictor_with_history(vec![slot(10, 0, 0), slot(20, 4, 0), slot(30, 2, 0)])
+            .with_strategy(PredictionStrategy::MeanOfHistory);
+        let forecast = p.predict(&slot(0, 0, 0)).unwrap();
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 20);
+        assert_eq!(forecast.load_of(AccelerationGroupId(2)), 2);
+    }
+
+    #[test]
+    fn knowledge_base_has_one_entry_per_history_slot() {
+        let p = predictor_with_history(vec![slot(1, 0, 0), slot(2, 0, 0), slot(3, 0, 0)]);
+        let kb = p.knowledge_base(&slot(2, 0, 0));
+        assert_eq!(kb.len(), 3);
+        assert_eq!(kb[1], 0, "identical slot has distance zero");
+        assert!(kb[0] > 0 && kb[2] > 0);
+    }
+
+    #[test]
+    fn distance_kinds_agree_on_identical_slots() {
+        for kind in [DistanceKind::SetEdit, DistanceKind::Levenshtein, DistanceKind::CountDifference] {
+            let p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0).with_distance(kind);
+            assert_eq!(p.distance_between(&slot(5, 3, 1), &slot(5, 3, 1)), 0);
+            assert!(p.distance_between(&slot(5, 3, 1), &slot(9, 0, 0)) > 0);
+        }
+    }
+}

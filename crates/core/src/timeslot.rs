@@ -1,0 +1,263 @@
+//! Time slots: the per-interval assignment of users to acceleration groups.
+//!
+//! §IV-A: "The traces are sorted in chronological order and transformed into a
+//! set of time slots. Let `T` be a set of time slots `T = {t_i}` … of equal
+//! length … Each time slot consists of a set of acceleration groups … each
+//! acceleration group at a time period `t` contains a certain number of users
+//! or an empty set." The model supports any slot length, defined in
+//! (fractions of) hours.
+
+use crate::logs::TraceLog;
+use mca_offload::{AccelerationGroupId, TraceRecord, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One time slot `t_i`: which users were active in which acceleration group.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSlot {
+    /// Slot index within the history (chronological).
+    pub index: usize,
+    /// Users active per acceleration group during the slot.
+    assignments: BTreeMap<AccelerationGroupId, BTreeSet<UserId>>,
+}
+
+impl TimeSlot {
+    /// Creates an empty slot with the given index.
+    pub fn new(index: usize) -> Self {
+        Self { index, assignments: BTreeMap::new() }
+    }
+
+    /// Records that `user` was active in `group` during this slot. A user
+    /// that appears in several groups within one slot (it was promoted
+    /// mid-slot) is counted in each group it touched, matching the paper's
+    /// per-group workload definition `W_an`.
+    pub fn assign(&mut self, group: AccelerationGroupId, user: UserId) {
+        self.assignments.entry(group).or_default().insert(user);
+    }
+
+    /// The set of users active in `group` (empty set when none).
+    pub fn users_in(&self, group: AccelerationGroupId) -> BTreeSet<UserId> {
+        self.assignments.get(&group).cloned().unwrap_or_default()
+    }
+
+    /// Number of users active in `group` — the workload `W_an`.
+    pub fn load_of(&self, group: AccelerationGroupId) -> usize {
+        self.assignments.get(&group).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// The acceleration groups that have at least one user in this slot.
+    pub fn groups(&self) -> Vec<AccelerationGroupId> {
+        self.assignments.keys().copied().collect()
+    }
+
+    /// Total number of distinct users active in the slot.
+    pub fn total_users(&self) -> usize {
+        let mut all: BTreeSet<UserId> = BTreeSet::new();
+        for users in self.assignments.values() {
+            all.extend(users.iter().copied());
+        }
+        all.len()
+    }
+
+    /// The per-group workload vector over `groups` (0 for missing groups).
+    pub fn workload_vector(&self, groups: &[AccelerationGroupId]) -> Vec<usize> {
+        groups.iter().map(|g| self.load_of(*g)).collect()
+    }
+
+    /// Returns `true` when no user is assigned to any group.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.values().all(BTreeSet::is_empty)
+    }
+
+    /// Builds a slot directly from `(group, user)` pairs (mainly for tests
+    /// and synthetic histories).
+    pub fn from_assignments(
+        index: usize,
+        pairs: impl IntoIterator<Item = (AccelerationGroupId, UserId)>,
+    ) -> Self {
+        let mut slot = Self::new(index);
+        for (g, u) in pairs {
+            slot.assign(g, u);
+        }
+        slot
+    }
+}
+
+/// The chronological history of time slots `T` extracted from the log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotHistory {
+    slots: Vec<TimeSlot>,
+    /// Slot length in milliseconds.
+    pub slot_length_ms: f64,
+}
+
+impl SlotHistory {
+    /// Creates an empty history with the given slot length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot length is not strictly positive.
+    pub fn new(slot_length_ms: f64) -> Self {
+        assert!(slot_length_ms > 0.0, "slot length must be positive");
+        Self { slots: Vec::new(), slot_length_ms }
+    }
+
+    /// A one-hour slot length — the granularity at which cloud instances are
+    /// billed and (re-)allocated.
+    pub fn hourly() -> Self {
+        Self::new(3_600_000.0)
+    }
+
+    /// Builds the history from a trace log, assigning each record to the slot
+    /// containing its timestamp.
+    pub fn from_log(log: &TraceLog, slot_length_ms: f64) -> Self {
+        let mut history = Self::new(slot_length_ms);
+        for record in log.records() {
+            history.observe(record);
+        }
+        history
+    }
+
+    /// Incorporates one processed request into the history, creating slots as
+    /// needed.
+    pub fn observe(&mut self, record: &TraceRecord) {
+        let idx = (record.timestamp_ms / self.slot_length_ms).floor().max(0.0) as usize;
+        while self.slots.len() <= idx {
+            let next = self.slots.len();
+            self.slots.push(TimeSlot::new(next));
+        }
+        self.slots[idx].assign(record.group, record.user);
+    }
+
+    /// Appends an already-built slot (its index is rewritten to stay
+    /// chronological).
+    pub fn push(&mut self, mut slot: TimeSlot) {
+        slot.index = self.slots.len();
+        self.slots.push(slot);
+    }
+
+    /// The slots in chronological order.
+    pub fn slots(&self) -> &[TimeSlot] {
+        &self.slots
+    }
+
+    /// Number of slots (`H`, the amount of stored history available).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the history holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The most recent slot, if any.
+    pub fn last(&self) -> Option<&TimeSlot> {
+        self.slots.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64, user: u32, group: u8) -> TraceRecord {
+        TraceRecord {
+            timestamp_ms: t,
+            user: UserId(user),
+            group: AccelerationGroupId(group),
+            battery_level: 90.0,
+            round_trip_ms: 500.0,
+            t1_ms: 40.0,
+            t2_ms: 150.0,
+            t_cloud_ms: 310.0,
+            success: true,
+        }
+    }
+
+    #[test]
+    fn slot_counts_distinct_users_per_group() {
+        let mut slot = TimeSlot::new(0);
+        slot.assign(AccelerationGroupId(1), UserId(1));
+        slot.assign(AccelerationGroupId(1), UserId(1)); // duplicate ignored
+        slot.assign(AccelerationGroupId(1), UserId(2));
+        slot.assign(AccelerationGroupId(2), UserId(3));
+        assert_eq!(slot.load_of(AccelerationGroupId(1)), 2);
+        assert_eq!(slot.load_of(AccelerationGroupId(2)), 1);
+        assert_eq!(slot.load_of(AccelerationGroupId(3)), 0);
+        assert_eq!(slot.total_users(), 3);
+        assert_eq!(slot.groups(), vec![AccelerationGroupId(1), AccelerationGroupId(2)]);
+        assert!(!slot.is_empty());
+    }
+
+    #[test]
+    fn promoted_user_counts_in_both_groups_but_once_in_total() {
+        let slot = TimeSlot::from_assignments(
+            0,
+            [
+                (AccelerationGroupId(1), UserId(8)),
+                (AccelerationGroupId(2), UserId(8)),
+            ],
+        );
+        assert_eq!(slot.load_of(AccelerationGroupId(1)), 1);
+        assert_eq!(slot.load_of(AccelerationGroupId(2)), 1);
+        assert_eq!(slot.total_users(), 1);
+    }
+
+    #[test]
+    fn workload_vector_follows_group_order() {
+        let slot = TimeSlot::from_assignments(
+            0,
+            [
+                (AccelerationGroupId(1), UserId(1)),
+                (AccelerationGroupId(3), UserId(2)),
+                (AccelerationGroupId(3), UserId(3)),
+            ],
+        );
+        let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+        assert_eq!(slot.workload_vector(&groups), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn history_from_log_partitions_by_timestamp() {
+        let log: TraceLog = vec![
+            record(100.0, 1, 1),
+            record(200.0, 2, 1),
+            record(3_700_000.0, 1, 2), // second hour
+            record(7_300_000.0, 3, 1), // third hour
+        ]
+        .into_iter()
+        .collect();
+        let history = SlotHistory::from_log(&log, 3_600_000.0);
+        assert_eq!(history.len(), 3);
+        assert_eq!(history.slots()[0].load_of(AccelerationGroupId(1)), 2);
+        assert_eq!(history.slots()[1].load_of(AccelerationGroupId(2)), 1);
+        assert_eq!(history.slots()[2].load_of(AccelerationGroupId(1)), 1);
+        assert_eq!(history.last().unwrap().index, 2);
+    }
+
+    #[test]
+    fn intermediate_empty_slots_are_materialized() {
+        let log: TraceLog =
+            vec![record(100.0, 1, 1), record(10.0 * 3_600_000.0 + 1.0, 2, 1)].into_iter().collect();
+        let history = SlotHistory::from_log(&log, 3_600_000.0);
+        assert_eq!(history.len(), 11);
+        assert!(history.slots()[5].is_empty());
+    }
+
+    #[test]
+    fn push_rewrites_index() {
+        let mut history = SlotHistory::hourly();
+        history.push(TimeSlot::from_assignments(99, [(AccelerationGroupId(1), UserId(1))]));
+        history.push(TimeSlot::from_assignments(42, [(AccelerationGroupId(1), UserId(2))]));
+        assert_eq!(history.slots()[0].index, 0);
+        assert_eq!(history.slots()[1].index, 1);
+        assert_eq!(history.slot_length_ms, 3_600_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn zero_slot_length_panics() {
+        let _ = SlotHistory::new(0.0);
+    }
+}

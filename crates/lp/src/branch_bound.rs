@@ -1,0 +1,276 @@
+//! Branch-and-bound search over LP relaxations for integer variables.
+
+use crate::error::LpError;
+use crate::model::{Objective, Problem, Sense, Solution, SolveStats, VarKind};
+use crate::simplex::{SimplexOutcome, SimplexSolver};
+use crate::VarId;
+
+/// Tuning knobs for the branch-and-bound search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchBoundOptions {
+    /// Maximum number of nodes (LP relaxations) to explore before giving up
+    /// with [`LpError::NodeLimit`].
+    pub max_nodes: usize,
+    /// Integrality tolerance: an LP value within this distance of an integer
+    /// is considered integral.
+    pub integrality_tolerance: f64,
+    /// Absolute gap below which an incumbent is accepted as optimal early.
+    pub absolute_gap: f64,
+}
+
+impl Default for BranchBoundOptions {
+    fn default() -> Self {
+        Self { max_nodes: 100_000, integrality_tolerance: 1e-6, absolute_gap: 1e-9 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Vec<(VarId, Sense, f64)>,
+}
+
+/// Solves `problem` (which may contain integer variables) by branch-and-bound.
+pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<Solution, LpError> {
+    let maximize = problem.objective_sense() == Objective::Maximize;
+    let integer_vars: Vec<usize> = problem
+        .variables()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(j, _)| j)
+        .collect();
+
+    let mut stack = vec![Node { bounds: Vec::new() }];
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+    let mut pivots = 0usize;
+    let mut root_infeasible = true;
+    let mut root_unbounded = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= options.max_nodes {
+            return incumbent.ok_or(LpError::NodeLimit { explored: nodes });
+        }
+        nodes += 1;
+
+        let solver = SimplexSolver::from_problem(problem, &node.bounds);
+        let (objective, values, node_pivots) = match solver.solve()? {
+            SimplexOutcome::Optimal { objective, values, pivots } => (objective, values, pivots),
+            SimplexOutcome::Infeasible => continue,
+            SimplexOutcome::Unbounded => {
+                if node.bounds.is_empty() {
+                    root_unbounded = true;
+                }
+                // An unbounded relaxation at the root means the ILP is
+                // unbounded (or infeasible); deeper nodes are only more
+                // constrained, so stop exploring this branch.
+                continue;
+            }
+        };
+        root_infeasible = false;
+        pivots += node_pivots;
+
+        // Bound: prune nodes that cannot beat the incumbent.
+        if let Some(ref inc) = incumbent {
+            let worse = if maximize {
+                objective <= inc.objective + options.absolute_gap
+            } else {
+                objective >= inc.objective - options.absolute_gap
+            };
+            if worse {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let fractional = integer_vars
+            .iter()
+            .map(|&j| {
+                let x = values[j];
+                let frac = (x - x.round()).abs();
+                (j, x, frac)
+            })
+            .filter(|&(_, _, frac)| frac > options.integrality_tolerance)
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+
+        match fractional {
+            None => {
+                // Integral solution: round the integer coordinates exactly and
+                // keep it if it improves the incumbent.
+                let mut vals = values;
+                for &j in &integer_vars {
+                    vals[j] = vals[j].round();
+                }
+                let obj = problem.objective_value(&vals);
+                let better = match &incumbent {
+                    None => true,
+                    Some(inc) => {
+                        if maximize {
+                            obj > inc.objective + options.absolute_gap
+                        } else {
+                            obj < inc.objective - options.absolute_gap
+                        }
+                    }
+                };
+                if better {
+                    incumbent = Some(Solution {
+                        objective: obj,
+                        values: vals,
+                        stats: SolveStats { nodes, pivots },
+                    });
+                }
+            }
+            Some((j, x, _frac)) => {
+                let var = VarId(j);
+                let floor = x.floor();
+                let ceil = x.ceil();
+                let mut down = node.bounds.clone();
+                down.push((var, Sense::Le, floor));
+                let mut up = node.bounds.clone();
+                up.push((var, Sense::Ge, ceil));
+                // Depth-first: push the "up" branch last so it is explored
+                // first — for covering-style minimization problems (like the
+                // paper's allocation) rounding up tends to reach feasibility
+                // quickly and yields early incumbents for pruning.
+                stack.push(Node { bounds: down });
+                stack.push(Node { bounds: up });
+            }
+        }
+    }
+
+    match incumbent {
+        Some(mut sol) => {
+            sol.stats = SolveStats { nodes, pivots };
+            Ok(sol)
+        }
+        None if root_unbounded => Err(LpError::Unbounded),
+        None if root_infeasible => Err(LpError::Infeasible),
+        None => Err(LpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, VarKind};
+
+    /// Brute-force reference for small integer problems over a box.
+    fn brute_force_min(problem: &Problem, max_value: i64) -> Option<(f64, Vec<f64>)> {
+        let n = problem.num_vars();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut assignment = vec![0i64; n];
+        loop {
+            let xs: Vec<f64> = assignment.iter().map(|&v| v as f64).collect();
+            if problem.is_feasible(&xs, 1e-9) {
+                let obj = problem.objective_value(&xs);
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => {
+                        if problem.objective_sense() == Objective::Maximize {
+                            obj > *b
+                        } else {
+                            obj < *b
+                        }
+                    }
+                };
+                if better {
+                    best = Some((obj, xs));
+                }
+            }
+            // increment mixed-radix counter
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                assignment[i] += 1;
+                if assignment[i] > max_value {
+                    assignment[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_covering_problem() {
+        // A miniature version of the paper's allocation problem: choose
+        // instance counts to cover workloads at minimum cost.
+        let mut p = Problem::minimize();
+        let small = p.add_var("small", VarKind::Integer, 0.0, Some(8.0), 0.026);
+        let medium = p.add_var("medium", VarKind::Integer, 0.0, Some(8.0), 0.052);
+        let large = p.add_var("large", VarKind::Integer, 0.0, Some(8.0), 0.104);
+        p.add_constraint(
+            "capacity",
+            &[(small, 30.0), (medium, 60.0), (large, 90.0)],
+            Sense::Ge,
+            200.0,
+        );
+        p.add_constraint("cc", &[(small, 1.0), (medium, 1.0), (large, 1.0)], Sense::Le, 8.0);
+        let sol = p.solve().unwrap();
+        let (bf_obj, _) = brute_force_min(&p, 8).unwrap();
+        assert!((sol.objective - bf_obj).abs() < 1e-9, "bb={} bf={}", sol.objective, bf_obj);
+        assert!(p.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = (0..6)
+            .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, Some(50.0), 1.0 + i as f64))
+            .collect();
+        let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 7.0)).collect();
+        p.add_constraint("c", &terms, Sense::Ge, 100.0);
+        let options = BranchBoundOptions { max_nodes: 1, ..Default::default() };
+        // Either an incumbent was found within one node or we get NodeLimit;
+        // with one node no incumbent can exist unless the relaxation is integral.
+        match p.solve_with(&options) {
+            Ok(sol) => assert!(p.is_feasible(&sol.values, 1e-6)),
+            Err(LpError::NodeLimit { explored }) => assert_eq!(explored, 1),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 2x + y, x integer, y continuous, x + y >= 3.5, x <= 2
+        // best: x = 2 (cost 4), y = 1.5 (cost 1.5) -> 5.5; or x=1,y=2.5 -> 4.5; x=0,y=3.5 -> 3.5
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, Some(2.0), 2.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, None, 1.0);
+        p.add_constraint("c", &[(x, 1.0), (y, 1.0)], Sense::Ge, 3.5);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+        assert_eq!(sol.value_rounded(x), 0);
+    }
+
+    #[test]
+    fn all_integer_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, Some(3.0), 1.0);
+        p.add_constraint("lo", &[(x, 2.0)], Sense::Ge, 100.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn integer_unbounded() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, None, 1.0);
+        p.add_constraint("c", &[(x, 1.0)], Sense::Ge, 0.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn maximization_knapsack_matches_brute_force() {
+        let mut p = Problem::maximize();
+        let a = p.add_var("a", VarKind::Integer, 0.0, Some(5.0), 10.0);
+        let b = p.add_var("b", VarKind::Integer, 0.0, Some(5.0), 13.0);
+        let c = p.add_var("c", VarKind::Integer, 0.0, Some(5.0), 7.0);
+        p.add_constraint("w", &[(a, 4.0), (b, 6.0), (c, 3.0)], Sense::Le, 11.0);
+        let sol = p.solve().unwrap();
+        let (bf, _) = brute_force_min(&p, 5).unwrap();
+        assert!((sol.objective - bf).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! # mca-lp — linear and integer linear programming substrate
+//!
+//! The resource-allocation model of *Modeling Mobile Code Acceleration in the
+//! Cloud* (ICDCS 2017, §IV-C) minimizes the hourly cost of the cloud instances
+//! allocated to serve a predicted offloading workload, subject to per
+//! acceleration-group capacity constraints and the cloud account instance cap.
+//! The authors solved this with R's `lpSolveAPI`; this crate provides an
+//! equivalent, dependency-free solver:
+//!
+//! * [`Problem`] — a small modelling API (continuous and integer variables,
+//!   linear constraints, minimize/maximize objectives),
+//! * a two-phase dense **primal simplex** for the LP relaxation
+//!   ([`SimplexSolver`]), and
+//! * **branch-and-bound** for integrality (configured by
+//!   [`BranchBoundOptions`]).
+//!
+//! The allocation instances produced by the paper's model are tiny (one
+//! variable per instance type, a handful of constraints), so an exact
+//! branch-and-bound search is both practical and reproducible.
+//!
+//! # Example
+//!
+//! Minimize `3x + 5y` subject to `x + 2y >= 8`, `x + y <= 6`, integer `x, y`:
+//!
+//! ```
+//! use mca_lp::{Problem, Sense, VarKind};
+//!
+//! # fn main() -> Result<(), mca_lp::LpError> {
+//! let mut p = Problem::minimize();
+//! let x = p.add_var("x", VarKind::Integer, 0.0, None, 3.0);
+//! let y = p.add_var("y", VarKind::Integer, 0.0, None, 5.0);
+//! p.add_constraint("cap", &[(x, 1.0), (y, 2.0)], Sense::Ge, 8.0);
+//! p.add_constraint("cc", &[(x, 1.0), (y, 1.0)], Sense::Le, 6.0);
+//! let sol = p.solve()?;
+//! assert!((sol.objective - 20.0).abs() < 1e-6); // x = 0, y = 4
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod model;
+mod simplex;
+
+pub use branch_bound::BranchBoundOptions;
+pub use error::LpError;
+pub use expr::{LinearExpr, VarId};
+pub use model::{Constraint, Objective, Problem, Sense, Solution, SolveStats, VarKind, Variable};
+pub use simplex::{SimplexOutcome, SimplexSolver};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_example_solves() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, None, 3.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, None, 5.0);
+        p.add_constraint("cap", &[(x, 1.0), (y, 2.0)], Sense::Ge, 8.0);
+        p.add_constraint("cc", &[(x, 1.0), (y, 1.0)], Sense::Le, 6.0);
+        let sol = p.solve().expect("feasible");
+        assert!((sol.objective - 20.0).abs() < 1e-6);
+        assert!((sol.value(x) - 0.0).abs() < 1e-6);
+        assert!((sol.value(y) - 4.0).abs() < 1e-6);
+    }
+}

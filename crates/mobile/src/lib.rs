@@ -1,0 +1,33 @@
+//! # mca-mobile — mobile device substrate
+//!
+//! The client side of the code-acceleration architecture:
+//!
+//! * [`device`] — device profiles (flagship, mid-range, legacy, wearable)
+//!   with local execution speed and power draw; the paper motivates the whole
+//!   system with the observation that "complex routines … can be computed
+//!   easily by last generation smartphones but can be expensive to compute on
+//!   older devices and wearables" (§I).
+//! * [`battery`] — a simple energy store drained by computation, radio
+//!   activity and idling; battery level is part of every trace record.
+//! * [`moderator`] — the client-side moderator component that monitors
+//!   response time and promotes the device to a higher acceleration group
+//!   when quality degrades (§I, §VI-C-3). Includes the paper's static
+//!   1/50 promotion probability as well as threshold-, degradation- and
+//!   battery-aware policies (§VII-3 sketches the battery-aware variant).
+//! * [`usage`] — a generative model of smartphone usage sessions calibrated
+//!   to the paper's 3-month, 6-participant study: inter-arrival times between
+//!   100 ms and 5000 ms during active periods, with inactive night periods
+//!   removed (§VI-C-1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod device;
+pub mod moderator;
+pub mod usage;
+
+pub use battery::Battery;
+pub use device::{DeviceClass, DeviceProfile};
+pub use moderator::{Moderator, ModeratorEvent, PromotionPolicy};
+pub use usage::{InterArrivalSampler, ParticipantTrace, UsageStudy};

@@ -1,0 +1,30 @@
+//! # mca-network — cellular network substrate
+//!
+//! *Modeling Mobile Code Acceleration in the Cloud* assumes that offloading
+//! happens over LTE with cloudlet-like latency (§IV assumption (c), §VII-2)
+//! and justifies that assumption with a large-scale analysis of the NetRadar
+//! dataset: 3G and LTE round-trip times for three anonymized Finnish mobile
+//! operators (§VI-C-4, Fig. 11). The dataset itself is not distributable, so
+//! this crate synthesizes an equivalent:
+//!
+//! * [`cellular`] — per-operator, per-technology RTT models calibrated to the
+//!   mean / standard deviation / median values reported in the paper, with a
+//!   diurnal (time-of-day) modulation,
+//! * [`netradar`] — a synthetic NetRadar-style measurement campaign generator
+//!   and the hourly aggregation used to draw Fig. 11,
+//! * [`latency`] — reusable latency distributions (constant, uniform,
+//!   log-normal) and summary statistics,
+//! * [`transfer`] — payload transfer times over each technology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cellular;
+pub mod latency;
+pub mod netradar;
+pub mod transfer;
+
+pub use cellular::{CellularNetwork, Operator, OperatorProfile, Technology};
+pub use latency::{LatencyDistribution, LatencyStats};
+pub use netradar::{HourlyLatency, NetRadarCampaign, NetRadarSample};
+pub use transfer::TransferModel;

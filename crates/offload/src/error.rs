@@ -1,0 +1,64 @@
+//! Error type for the offloading runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the offloading runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffloadError {
+    /// The serialized application state could not be decoded.
+    CorruptState {
+        /// Reason reported by the decoder.
+        reason: String,
+    },
+    /// A task specification was invalid (e.g. zero-sized input where a
+    /// positive size is required).
+    InvalidTask {
+        /// Reason the specification was rejected.
+        reason: String,
+    },
+    /// An offloading request referenced an unknown task in the pool.
+    UnknownTask {
+        /// Index requested from the pool.
+        index: usize,
+        /// Size of the pool.
+        pool_size: usize,
+    },
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::CorruptState { reason } => {
+                write!(f, "corrupt application state: {reason}")
+            }
+            OffloadError::InvalidTask { reason } => write!(f, "invalid task: {reason}"),
+            OffloadError::UnknownTask { index, pool_size } => {
+                write!(f, "task index {index} out of range for pool of {pool_size}")
+            }
+        }
+    }
+}
+
+impl Error for OffloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OffloadError::CorruptState { reason: "bad length".into() }
+            .to_string()
+            .contains("bad length"));
+        assert!(OffloadError::UnknownTask { index: 12, pool_size: 10 }
+            .to_string()
+            .contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<OffloadError>();
+    }
+}

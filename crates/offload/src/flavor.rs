@@ -1,0 +1,104 @@
+//! The three offloading implementation models of §II-A.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Implementation flavour of code offloading (Fig. 1 of the paper).
+///
+/// The paper's system uses the **homogeneous** model: mobile and cloud share
+/// the same runtime environment and the same task code, so the mobile
+/// serializes its application state, the surrogate reconstructs it and
+/// executes the exact same method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OffloadingModel {
+    /// Same runtime environment and task code on both sides; application
+    /// state is transferred and reconstructed in the cloud. The device can
+    /// compute the task locally when disconnected. (Used by this system.)
+    #[default]
+    Homogeneous,
+    /// Different runtime environments; the mobile has a simpler task
+    /// implementation and only input parameters travel over the network.
+    /// Local results are less accurate than cloud results.
+    Heterogeneous,
+    /// The task code exists only in the cloud; the mobile merely invokes it
+    /// and cannot provide the functionality offline.
+    Neutral,
+}
+
+impl OffloadingModel {
+    /// Whether the mobile application can still provide the functionality
+    /// with no network connectivity.
+    pub fn supports_offline_execution(self) -> bool {
+        match self {
+            OffloadingModel::Homogeneous | OffloadingModel::Heterogeneous => true,
+            OffloadingModel::Neutral => false,
+        }
+    }
+
+    /// Whether the local (on-device) execution produces a result of the same
+    /// accuracy as the cloud execution.
+    pub fn local_result_is_equivalent(self) -> bool {
+        matches!(self, OffloadingModel::Homogeneous)
+    }
+
+    /// Whether full application state (rather than only input parameters)
+    /// must be transferred when offloading.
+    pub fn transfers_application_state(self) -> bool {
+        matches!(self, OffloadingModel::Homogeneous)
+    }
+
+    /// Whether the same runtime environment must exist on the mobile and the
+    /// server (the reason the paper builds a Dalvik-x86 surrogate).
+    pub fn requires_matching_runtime(self) -> bool {
+        matches!(self, OffloadingModel::Homogeneous)
+    }
+}
+
+impl fmt::Display for OffloadingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OffloadingModel::Homogeneous => "homogeneous",
+            OffloadingModel::Heterogeneous => "heterogeneous",
+            OffloadingModel::Neutral => "neutral",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_homogeneous() {
+        assert_eq!(OffloadingModel::default(), OffloadingModel::Homogeneous);
+    }
+
+    #[test]
+    fn offline_support_matrix() {
+        assert!(OffloadingModel::Homogeneous.supports_offline_execution());
+        assert!(OffloadingModel::Heterogeneous.supports_offline_execution());
+        assert!(!OffloadingModel::Neutral.supports_offline_execution());
+    }
+
+    #[test]
+    fn only_homogeneous_transfers_state_and_needs_matching_runtime() {
+        assert!(OffloadingModel::Homogeneous.transfers_application_state());
+        assert!(!OffloadingModel::Heterogeneous.transfers_application_state());
+        assert!(!OffloadingModel::Neutral.transfers_application_state());
+        assert!(OffloadingModel::Homogeneous.requires_matching_runtime());
+        assert!(!OffloadingModel::Neutral.requires_matching_runtime());
+    }
+
+    #[test]
+    fn heterogeneous_local_result_is_degraded() {
+        assert!(OffloadingModel::Homogeneous.local_result_is_equivalent());
+        assert!(!OffloadingModel::Heterogeneous.local_result_is_equivalent());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OffloadingModel::Homogeneous.to_string(), "homogeneous");
+        assert_eq!(OffloadingModel::Neutral.to_string(), "neutral");
+    }
+}

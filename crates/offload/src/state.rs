@@ -1,0 +1,183 @@
+//! Application-state encapsulation for the homogeneous offloading model.
+//!
+//! Under the homogeneous model (§II-A) the mobile encapsulates the
+//! application state `AS` required by the offloaded method, transfers it over
+//! the network, and the cloud surrogate reconstructs it before executing the
+//! task. This module provides that encapsulation: a compact, versioned binary
+//! envelope around the task specification and the method's captured state.
+
+use crate::error::OffloadError;
+use crate::task::TaskSpec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes identifying a serialized application state envelope.
+const MAGIC: &[u8; 4] = b"MCAS";
+/// Current envelope format version.
+const VERSION: u8 = 1;
+
+/// The application state transferred when a method is offloaded.
+///
+/// Contains the task specification, the captured method state (opaque bytes
+/// whose size follows [`TaskSpec::state_bytes`]), and the id of the APK the
+/// surrogate must load to execute the method.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplicationState {
+    /// The task (method) to execute remotely.
+    pub task: TaskSpec,
+    /// Identifier of the application package providing the method.
+    pub apk_id: u32,
+    /// Captured heap/stack state needed to reconstruct the method invocation.
+    pub captured: Bytes,
+}
+
+impl ApplicationState {
+    /// Captures the application state for a task, synthesizing the captured
+    /// byte payload deterministically from the task specification.
+    pub fn capture(task: TaskSpec, apk_id: u32) -> Self {
+        let len = task.state_bytes();
+        let mut captured = BytesMut::with_capacity(len);
+        let mut seed = (u64::from(apk_id) << 32) ^ u64::from(task.input_size);
+        for _ in 0..len {
+            // cheap deterministic filler representing serialized heap state
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            captured.put_u8((seed >> 56) as u8);
+        }
+        Self { task, apk_id, captured: captured.freeze() }
+    }
+
+    /// Total size of the envelope on the wire, in bytes.
+    pub fn wire_size(&self) -> usize {
+        // magic + version + apk + kind byte + input size + captured length + captured
+        4 + 1 + 4 + 1 + 4 + 4 + self.captured.len()
+    }
+
+    /// Serializes the state into the binary envelope sent over the network.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.apk_id);
+        buf.put_u8(task_kind_code(self.task));
+        buf.put_u32(self.task.input_size);
+        buf.put_u32(self.captured.len() as u32);
+        buf.put_slice(&self.captured);
+        buf.freeze()
+    }
+
+    /// Reconstructs the application state from a binary envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffloadError::CorruptState`] if the envelope is truncated,
+    /// has the wrong magic/version, or declares an inconsistent length.
+    pub fn decode(mut data: Bytes) -> Result<Self, OffloadError> {
+        if data.len() < 18 {
+            return Err(OffloadError::CorruptState { reason: "envelope too short".into() });
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(OffloadError::CorruptState { reason: "bad magic".into() });
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(OffloadError::CorruptState {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let apk_id = data.get_u32();
+        let kind = task_kind_from_code(data.get_u8())?;
+        let input_size = data.get_u32();
+        let len = data.get_u32() as usize;
+        if data.remaining() != len {
+            return Err(OffloadError::CorruptState {
+                reason: format!("captured length mismatch: declared {len}, got {}", data.remaining()),
+            });
+        }
+        Ok(Self { task: TaskSpec::new(kind, input_size), apk_id, captured: data })
+    }
+}
+
+fn task_kind_code(task: TaskSpec) -> u8 {
+    crate::task::TaskKind::ALL
+        .iter()
+        .position(|&k| k == task.kind)
+        .expect("every kind is in ALL") as u8
+}
+
+fn task_kind_from_code(code: u8) -> Result<crate::task::TaskKind, OffloadError> {
+    crate::task::TaskKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| OffloadError::CorruptState { reason: format!("unknown task code {code}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    #[test]
+    fn round_trip() {
+        let state = ApplicationState::capture(TaskSpec::new(TaskKind::Minimax, 9), 42);
+        let encoded = state.encode();
+        assert_eq!(encoded.len(), state.wire_size());
+        let decoded = ApplicationState::decode(encoded).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn captured_size_follows_task_model() {
+        let t = TaskSpec::new(TaskKind::QuickSort, 1000);
+        let state = ApplicationState::capture(t, 1);
+        assert_eq!(state.captured.len(), t.state_bytes());
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = ApplicationState::capture(TaskSpec::new(TaskKind::NQueens, 8), 7);
+        let b = ApplicationState::capture(TaskSpec::new(TaskKind::NQueens, 8), 7);
+        assert_eq!(a, b);
+        let c = ApplicationState::capture(TaskSpec::new(TaskKind::NQueens, 8), 8);
+        assert_ne!(a.captured, c.captured, "different apk ids capture different state");
+    }
+
+    #[test]
+    fn truncated_envelope_rejected() {
+        let state = ApplicationState::capture(TaskSpec::new(TaskKind::Hanoi, 10), 3);
+        let encoded = state.encode();
+        let truncated = encoded.slice(0..encoded.len() - 5);
+        assert!(matches!(
+            ApplicationState::decode(truncated),
+            Err(OffloadError::CorruptState { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let state = ApplicationState::capture(TaskSpec::new(TaskKind::Hanoi, 10), 3);
+        let mut raw = state.encode().to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            ApplicationState::decode(Bytes::from(raw)),
+            Err(OffloadError::CorruptState { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_task_code_rejected() {
+        let state = ApplicationState::capture(TaskSpec::new(TaskKind::Hanoi, 10), 3);
+        let mut raw = state.encode().to_vec();
+        raw[9] = 250; // task kind byte
+        assert!(matches!(
+            ApplicationState::decode(Bytes::from(raw)),
+            Err(OffloadError::CorruptState { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_envelope_rejected() {
+        assert!(ApplicationState::decode(Bytes::from_static(b"MCAS")).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mca-workload — workload generation
+//!
+//! The paper's evaluation drives the system with a simulator that "creates
+//! workload in two different operational modes, 1) concurrent and 2)
+//! inter-arrival rate" (§V):
+//!
+//! * the **concurrent** mode spawns `n` simultaneous emulated devices and is
+//!   used to benchmark the cloud instances (Fig. 4–7),
+//! * the **inter-arrival** mode takes a number of devices, the inter-arrival
+//!   time between offloading requests and an active duration, and is used to
+//!   produce the realistic time-varying workload of the 8-hour and 16-hour
+//!   experiments (Fig. 9–10) — with inter-arrival times derived from the
+//!   3-month smartphone usage study (100–5000 ms, `mca-mobile`).
+//!
+//! This crate turns those modes into explicit arrival traces:
+//!
+//! * [`generator`] — the two generation modes, producing [`trace::ArrivalTrace`]s,
+//! * [`scenario`] — parameterized experiment schedules such as the
+//!   arrival-rate-doubling scenario of Fig. 8b (1 Hz → 1024 Hz, doubling every
+//!   five minutes) and ramp scenarios used to evaluate the predictor,
+//! * [`trace`] — the arrival trace container with per-slot aggregation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod scenario;
+pub mod trace;
+
+pub use generator::{GenerationMode, WorkloadGenerator};
+pub use scenario::{DoublingRateScenario, RampScenario, RateStep};
+pub use trace::{Arrival, ArrivalTrace};

@@ -1,0 +1,207 @@
+//! Arrival traces: the output of the workload generator.
+
+use mca_offload::{TaskSpec, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One offloading request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival time at the SDN-accelerator, simulation milliseconds.
+    pub time_ms: f64,
+    /// The device issuing the request.
+    pub user: UserId,
+    /// The task the device wants to offload.
+    pub task: TaskSpec,
+}
+
+/// A chronologically ordered sequence of arrivals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// Creates a trace from arrivals, sorting them by time.
+    pub fn new(mut arrivals: Vec<Arrival>) -> Self {
+        arrivals.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("times are finite"));
+        Self { arrivals }
+    }
+
+    /// The arrivals in chronological order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Returns `true` when the trace holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Iterates over the arrivals.
+    pub fn iter(&self) -> impl Iterator<Item = &Arrival> {
+        self.arrivals.iter()
+    }
+
+    /// Duration spanned by the trace (first to last arrival), ms.
+    pub fn span_ms(&self) -> f64 {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(first), Some(last)) => last.time_ms - first.time_ms,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of distinct users appearing in the trace.
+    pub fn distinct_users(&self) -> usize {
+        let mut users: Vec<u32> = self.arrivals.iter().map(|a| a.user.0).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Mean offered arrival rate over the trace's span, in requests per
+    /// second (0 for traces spanning no time).
+    pub fn mean_rate_hz(&self) -> f64 {
+        let span = self.span_ms();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (self.arrivals.len() as f64 - 1.0).max(0.0) / span * 1_000.0
+        }
+    }
+
+    /// Counts arrivals per consecutive time slot of `slot_ms` starting at 0.
+    /// The returned vector covers every slot up to the last arrival.
+    pub fn arrivals_per_slot(&self, slot_ms: f64) -> Vec<usize> {
+        assert!(slot_ms > 0.0, "slot length must be positive");
+        let Some(last) = self.arrivals.last() else { return Vec::new() };
+        let slots = (last.time_ms / slot_ms).floor() as usize + 1;
+        let mut counts = vec![0usize; slots];
+        for a in &self.arrivals {
+            let idx = (a.time_ms / slot_ms).floor() as usize;
+            counts[idx.min(slots - 1)] += 1;
+        }
+        counts
+    }
+
+    /// Counts the distinct users that appear in each consecutive time slot.
+    pub fn users_per_slot(&self, slot_ms: f64) -> Vec<usize> {
+        assert!(slot_ms > 0.0, "slot length must be positive");
+        let Some(last) = self.arrivals.last() else { return Vec::new() };
+        let slots = (last.time_ms / slot_ms).floor() as usize + 1;
+        let mut per_slot: Vec<Vec<u32>> = vec![Vec::new(); slots];
+        for a in &self.arrivals {
+            let idx = ((a.time_ms / slot_ms).floor() as usize).min(slots - 1);
+            per_slot[idx].push(a.user.0);
+        }
+        per_slot
+            .into_iter()
+            .map(|mut users| {
+                users.sort_unstable();
+                users.dedup();
+                users.len()
+            })
+            .collect()
+    }
+
+    /// Merges another trace into this one, keeping chronological order.
+    pub fn merge(&mut self, other: ArrivalTrace) {
+        self.arrivals.extend(other.arrivals);
+        self.arrivals
+            .sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("times are finite"));
+    }
+}
+
+impl FromIterator<Arrival> for ArrivalTrace {
+    fn from_iter<I: IntoIterator<Item = Arrival>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Arrival> for ArrivalTrace {
+    fn extend<I: IntoIterator<Item = Arrival>>(&mut self, iter: I) {
+        self.arrivals.extend(iter);
+        self.arrivals
+            .sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("times are finite"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_offload::TaskKind;
+
+    fn arrival(t: f64, user: u32) -> Arrival {
+        Arrival { time_ms: t, user: UserId(user), task: TaskSpec::new(TaskKind::Minimax, 7) }
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let trace = ArrivalTrace::new(vec![arrival(30.0, 1), arrival(10.0, 2), arrival(20.0, 1)]);
+        let times: Vec<f64> = trace.iter().map(|a| a.time_ms).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.distinct_users(), 2);
+        assert_eq!(trace.span_ms(), 20.0);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = ArrivalTrace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.span_ms(), 0.0);
+        assert_eq!(trace.mean_rate_hz(), 0.0);
+        assert!(trace.arrivals_per_slot(1000.0).is_empty());
+    }
+
+    #[test]
+    fn mean_rate_is_requests_per_second() {
+        // 11 arrivals over 10 seconds -> 1 Hz
+        let trace: ArrivalTrace = (0..11).map(|i| arrival(i as f64 * 1_000.0, i)).collect();
+        assert!((trace.mean_rate_hz() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_per_slot_counts_each_request_once() {
+        let trace = ArrivalTrace::new(vec![
+            arrival(100.0, 1),
+            arrival(900.0, 2),
+            arrival(1_500.0, 1),
+            arrival(2_999.0, 3),
+        ]);
+        let counts = trace.arrivals_per_slot(1_000.0);
+        assert_eq!(counts, vec![2, 1, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), trace.len());
+    }
+
+    #[test]
+    fn users_per_slot_deduplicates_users() {
+        let trace = ArrivalTrace::new(vec![
+            arrival(100.0, 1),
+            arrival(200.0, 1),
+            arrival(300.0, 2),
+            arrival(1_100.0, 1),
+        ]);
+        assert_eq!(trace.users_per_slot(1_000.0), vec![2, 1]);
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut a = ArrivalTrace::new(vec![arrival(10.0, 1), arrival(30.0, 1)]);
+        let b = ArrivalTrace::new(vec![arrival(20.0, 2)]);
+        a.merge(b);
+        let times: Vec<f64> = a.iter().map(|x| x.time_ms).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn zero_slot_panics() {
+        let trace = ArrivalTrace::new(vec![arrival(1.0, 1)]);
+        let _ = trace.arrivals_per_slot(0.0);
+    }
+}

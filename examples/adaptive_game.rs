@@ -1,0 +1,77 @@
+//! The paper's motivating scenario (§I): a decision-making routine (minimax)
+//! that a flagship phone computes easily but a legacy phone or wearable
+//! cannot. The example walks through the offload-or-local decision on each
+//! device class, then shows the client-side moderator promoting a legacy
+//! device through the acceleration groups until the game becomes responsive.
+//!
+//! ```bash
+//! cargo run --example adaptive_game
+//! ```
+
+use mobile_code_acceleration::offload::{DecisionEngine, DecisionInput};
+use mobile_code_acceleration::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let task = TaskSpec::paper_static_minimax();
+    let network = CellularNetwork::paper_default_lte();
+    println!("game AI task: {task} ({:.0} work units)\n", task.work_units());
+
+    // 1. Should each device offload at all?
+    println!("offloading decision per device class (LTE, level-1 cloud):");
+    for class in DeviceClass::ALL {
+        let device = DeviceProfile::for_class(class);
+        let input = DecisionInput {
+            work_units: task.work_units(),
+            device_speed_factor: device.speed_factor,
+            cloud_speed_factor: 1.0,
+            network_rtt_ms: network.mean_rtt_ms(),
+            payload_bytes: task.state_bytes(),
+            uplink_bytes_per_ms: 2_500.0,
+            routing_overhead_ms: 150.0,
+            device_active_power_mw: device.active_power_mw,
+            device_radio_power_mw: device.radio_power_mw,
+        };
+        let decision = DecisionEngine::default().decide(&input);
+        println!(
+            "  {class:<10} local {:>6.0} ms, offloaded {:>5.0} ms -> {}",
+            input.local_time_ms(),
+            input.remote_time_ms(),
+            if decision.is_offload() {
+                format!("OFFLOAD ({:.1}x faster)", decision.predicted_speedup())
+            } else {
+                "stay local".to_string()
+            }
+        );
+    }
+
+    // 2. Run the legacy phone through the closed-loop system with a
+    //    latency-threshold moderator: whenever a move takes longer than one
+    //    second, the device asks for the next acceleration level.
+    println!("\nadaptive acceleration for the legacy phone (threshold 1000 ms):");
+    let config = SystemConfig::paper_three_groups()
+        .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 1_000.0 })
+        .with_slot_length_ms(5.0 * 60_000.0);
+    let mut system = System::new(config);
+    let workload =
+        WorkloadGenerator::inter_arrival(1, TaskPool::static_load(task)).generate(20.0 * 60_000.0, &mut rng);
+    let report = system.run(&workload, &mut rng);
+    let player = report.perception_of(UserId(0)).expect("the player issued requests");
+    let mut last_group = None;
+    for (i, (response, group)) in player.responses.iter().enumerate() {
+        if last_group != Some(*group) {
+            println!("  -- now served by acceleration group {group} --");
+            last_group = Some(*group);
+        }
+        if i < 6 || last_group == Some(*group) && i % 10 == 0 {
+            println!("  move {i:>3}: {response:>6.0} ms");
+        }
+    }
+    println!(
+        "\nplayer promoted {} times; mean move latency {:.0} ms; total cloud bill ${:.2}",
+        player.promotions,
+        player.mean_response_ms(),
+        report.total_cost
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run the SDN code-acceleration system end-to-end on a small
+//! workload and print what happened.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use mobile_code_acceleration::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // The paper's 8-hour experiment setup: three acceleration groups
+    // (t2.nano / t2.large / m4.4xlarge), LTE access, 1/50 promotion
+    // probability, 50 concurrent background users per server.
+    let config = SystemConfig::paper_three_groups().with_slot_length_ms(5.0 * 60_000.0);
+    let mut system = System::new(config);
+
+    // 25 devices repeatedly offloading the static minimax task for 30 minutes.
+    let workload = WorkloadGenerator::inter_arrival(
+        25,
+        TaskPool::static_load(TaskSpec::paper_static_minimax()),
+    )
+    .generate(30.0 * 60_000.0, &mut rng);
+    println!("generated {} offloading requests from {} devices", workload.len(), workload.distinct_users());
+
+    let report = system.run(&workload, &mut rng);
+
+    println!("mean end-to-end response time: {:.0} ms", report.mean_response_ms);
+    println!("promotions performed by device moderators: {}", report.promotions.len());
+    println!(
+        "users that ended above the entry acceleration group: {:.0}%",
+        report.promoted_user_fraction(AccelerationGroupId(1)) * 100.0
+    );
+    if let Some(accuracy) = report.mean_prediction_accuracy() {
+        println!("workload prediction accuracy across slots: {:.1}%", accuracy * 100.0);
+    }
+    println!("total cloud bill for the run: ${:.2}", report.total_cost);
+
+    println!("\nper-slot view (actual users per group -> allocated instances):");
+    for slot in &report.slots {
+        let actual: Vec<String> =
+            slot.actual.iter().map(|(g, n)| format!("{g}={n}")).collect();
+        println!(
+            "  slot {:>2}: {:<30} instances={} cost/h=${:.3}",
+            slot.index,
+            actual.join(" "),
+            slot.allocated_instances,
+            slot.allocation_cost
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! # mobile-code-acceleration
+//!
+//! Umbrella crate for the reproduction of *Modeling Mobile Code Acceleration
+//! in the Cloud* (Flores et al., ICDCS 2017). It re-exports the workspace
+//! crates under stable module names so that examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] (`mca-core`) — acceleration groups, edit-distance workload
+//!   prediction, ILP resource allocation, the SDN-accelerator and the
+//!   closed-loop [`core::System`].
+//! * [`cloudsim`] (`mca-cloudsim`) — the EC2-like cloud substrate simulator.
+//! * [`offload`] (`mca-offload`) — the computational task pool and offloading
+//!   runtime.
+//! * [`mobile`] (`mca-mobile`) — device profiles, batteries, the client-side
+//!   moderator and usage-session traces.
+//! * [`network`] (`mca-network`) — 3G/LTE latency models and NetRadar-style
+//!   campaigns.
+//! * [`workload`] (`mca-workload`) — concurrent and inter-arrival workload
+//!   generation.
+//! * [`lp`] (`mca-lp`) — the simplex + branch-and-bound ILP solver.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mobile_code_acceleration::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut system = System::new(SystemConfig::paper_three_groups());
+//! let workload = WorkloadGenerator::inter_arrival(
+//!     10,
+//!     TaskPool::static_load(TaskSpec::paper_static_minimax()),
+//! )
+//! .generate(5.0 * 60_000.0, &mut rng);
+//! let report = system.run(&workload, &mut rng);
+//! assert!(report.mean_response_ms > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mca_cloudsim as cloudsim;
+pub use mca_core as core;
+pub use mca_lp as lp;
+pub use mca_mobile as mobile;
+pub use mca_network as network;
+pub use mca_offload as offload;
+pub use mca_workload as workload;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use mca_cloudsim::{InstanceBenchmark, InstancePool, InstanceType, LevelClassification, Server};
+    pub use mca_core::{
+        accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, DistanceKind,
+        PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory, System, SystemConfig,
+        SystemReport, TimeSlot, WorkloadPredictor,
+    };
+    pub use mca_mobile::{DeviceClass, DeviceProfile, Moderator, PromotionPolicy, UsageStudy};
+    pub use mca_network::{CellularNetwork, NetRadarCampaign, Operator, Technology};
+    pub use mca_offload::{
+        AccelerationGroupId, OffloadRequest, TaskKind, TaskPool, TaskSpec, UserId,
+    };
+    pub use mca_workload::{ArrivalTrace, DoublingRateScenario, WorkloadGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        let config = SystemConfig::paper_three_groups();
+        assert_eq!(config.groups.len(), 3);
+        let pool = TaskPool::paper_default();
+        assert_eq!(pool.len(), 10);
+        assert_eq!(InstanceType::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based tests over the core data structures and invariants of the
+//! reproduction: the ILP solver, the edit-distance metric, the application
+//! state codec, the task work model, the battery, the server model and the
+//! resource allocator.
+
+use mobile_code_acceleration::core::{
+    distance::{group_distance, levenshtein, normalized_levenshtein, slot_distance},
+    TimeSlot, WorkloadForecast,
+};
+use mobile_code_acceleration::lp::{LpError, Problem, Sense, VarKind};
+use mobile_code_acceleration::offload::{ApplicationState, TaskKind, TaskSpec};
+use mobile_code_acceleration::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// ILP solver
+// ---------------------------------------------------------------------------
+
+/// Brute-force reference for small covering problems:
+/// minimize sum(cost_i * x_i) s.t. sum(cap_i * x_i) >= demand, sum(x_i) <= cap.
+fn brute_force_cover(costs: &[f64], caps: &[f64], demand: f64, total_cap: usize) -> Option<f64> {
+    let n = costs.len();
+    let mut best: Option<f64> = None;
+    let mut counts = vec![0usize; n];
+    loop {
+        let total: usize = counts.iter().sum();
+        if total <= total_cap {
+            let capacity: f64 = counts.iter().zip(caps).map(|(&x, &c)| x as f64 * c).sum();
+            if capacity >= demand {
+                let cost: f64 = counts.iter().zip(costs).map(|(&x, &c)| x as f64 * c).sum();
+                best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+            }
+        }
+        // increment mixed radix counter bounded by total_cap per variable
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            counts[i] += 1;
+            if counts[i] > total_cap {
+                counts[i] = 0;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The branch-and-bound ILP finds the same optimal cost as exhaustive
+    /// enumeration on random covering problems (the shape of the paper's
+    /// allocation model).
+    #[test]
+    fn ilp_matches_brute_force_on_covering_problems(
+        costs in proptest::collection::vec(0.01f64..2.0, 2..4),
+        caps in proptest::collection::vec(1.0f64..40.0, 2..4),
+        demand in 1.0f64..120.0,
+        total_cap in 3usize..6,
+    ) {
+        let n = costs.len().min(caps.len());
+        let costs = &costs[..n];
+        let caps = &caps[..n];
+        let mut problem = Problem::minimize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| problem.add_var(format!("x{i}"), VarKind::Integer, 0.0, Some(total_cap as f64), costs[i]))
+            .collect();
+        let cap_terms: Vec<_> = vars.iter().zip(caps).map(|(&v, &c)| (v, c)).collect();
+        problem.add_constraint("cover", &cap_terms, Sense::Ge, demand);
+        let count_terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        problem.add_constraint("cc", &count_terms, Sense::Le, total_cap as f64);
+
+        let reference = brute_force_cover(costs, caps, demand, total_cap);
+        match (problem.solve(), reference) {
+            (Ok(solution), Some(best)) => {
+                prop_assert!((solution.objective - best).abs() < 1e-6,
+                    "solver {} vs brute force {best}", solution.objective);
+                prop_assert!(problem.is_feasible(&solution.values, 1e-6));
+            }
+            (Err(LpError::Infeasible), None) => {}
+            (solved, reference) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver and brute force disagree: {solved:?} vs {reference:?}"
+                )));
+            }
+        }
+    }
+
+    /// LP relaxations never cost more than the integer optimum (weak duality
+    /// of the relaxation).
+    #[test]
+    fn relaxation_bounds_integer_optimum(
+        costs in proptest::collection::vec(0.05f64..3.0, 2..5),
+        demand in 5.0f64..60.0,
+    ) {
+        let mut problem = Problem::minimize();
+        let vars: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| problem.add_var(format!("x{i}"), VarKind::Integer, 0.0, Some(30.0), c))
+            .collect();
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + i as f64)).collect();
+        problem.add_constraint("cover", &terms, Sense::Ge, demand);
+        let relaxed = problem.solve_relaxation().expect("relaxation feasible");
+        let integer = problem.solve().expect("ilp feasible");
+        prop_assert!(relaxed.objective <= integer.objective + 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distance metric
+// ---------------------------------------------------------------------------
+
+fn user_set(ids: Vec<u16>) -> BTreeSet<UserId> {
+    ids.into_iter().map(|i| UserId(u32::from(i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The per-group edit distance is a metric: identity, symmetry, triangle
+    /// inequality.
+    #[test]
+    fn group_distance_is_a_metric(
+        a in proptest::collection::vec(0u16..200, 0..20),
+        b in proptest::collection::vec(0u16..200, 0..20),
+        c in proptest::collection::vec(0u16..200, 0..20),
+    ) {
+        let (a, b, c) = (user_set(a), user_set(b), user_set(c));
+        prop_assert_eq!(group_distance(&a, &a), 0);
+        prop_assert_eq!(group_distance(&a, &b), group_distance(&b, &a));
+        prop_assert!(group_distance(&a, &c) <= group_distance(&a, &b) + group_distance(&b, &c));
+        // zero distance implies equality
+        if group_distance(&a, &b) == 0 {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+    }
+
+    /// Levenshtein distance respects the length-difference lower bound and the
+    /// max-length upper bound; normalization stays in [0, 1].
+    #[test]
+    fn levenshtein_bounds(
+        a in proptest::collection::vec(0u8..5, 0..24),
+        b in proptest::collection::vec(0u8..5, 0..24),
+    ) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+        let norm = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&norm));
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    /// The slot distance is zero exactly for identical per-group assignments
+    /// and symmetric otherwise.
+    #[test]
+    fn slot_distance_properties(
+        assignments_a in proptest::collection::vec((0u8..3, 0u16..60), 0..40),
+        assignments_b in proptest::collection::vec((0u8..3, 0u16..60), 0..40),
+    ) {
+        let groups = [AccelerationGroupId(0), AccelerationGroupId(1), AccelerationGroupId(2)];
+        let slot_a = TimeSlot::from_assignments(
+            0,
+            assignments_a.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u32::from(u)))),
+        );
+        let slot_b = TimeSlot::from_assignments(
+            1,
+            assignments_b.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u32::from(u)))),
+        );
+        prop_assert_eq!(slot_distance(&slot_a, &slot_a, &groups), 0);
+        prop_assert_eq!(
+            slot_distance(&slot_a, &slot_b, &groups),
+            slot_distance(&slot_b, &slot_a, &groups)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offloading runtime
+// ---------------------------------------------------------------------------
+
+fn task_kind_strategy() -> impl Strategy<Value = TaskKind> {
+    proptest::sample::select(TaskKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Application state survives an encode/decode round trip for every task
+    /// kind and input size.
+    #[test]
+    fn application_state_round_trips(kind in task_kind_strategy(), size in 1u32..2_000, apk in 0u32..1_000) {
+        let task = TaskSpec::new(kind, size);
+        let state = ApplicationState::capture(task, apk);
+        let decoded = ApplicationState::decode(state.encode()).expect("round trip");
+        prop_assert_eq!(decoded, state);
+    }
+
+    /// The work model is monotone in the input size and always positive.
+    #[test]
+    fn work_model_is_monotone(kind in task_kind_strategy(), size in 2u32..1_000) {
+        let smaller = TaskSpec::new(kind, size - 1).work_units();
+        let larger = TaskSpec::new(kind, size).work_units();
+        prop_assert!(smaller > 0.0);
+        prop_assert!(larger >= smaller);
+    }
+
+    /// Battery energy is conserved: consumed energy never exceeds the charge
+    /// that was available, and the level never goes negative.
+    #[test]
+    fn battery_conservation(
+        capacity in 100.0f64..20_000.0,
+        drains in proptest::collection::vec((0.0f64..5_000.0, 0.0f64..600_000.0), 0..30),
+    ) {
+        let mut battery = mobile_code_acceleration::mobile::Battery::new(capacity);
+        let mut consumed = 0.0;
+        for (power, duration) in drains {
+            consumed += battery.drain(power, duration);
+        }
+        prop_assert!(consumed <= capacity + 1e-9);
+        prop_assert!((battery.remaining_mwh() + consumed - capacity).abs() < 1e-6);
+        prop_assert!(battery.level_percent() >= 0.0 && battery.level_percent() <= 100.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cloud substrate and allocator
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Server response times grow monotonically with concurrency and shrink
+    /// with per-core speed, for every instance type.
+    #[test]
+    fn server_contention_is_monotone(
+        users_low in 1usize..40,
+        extra in 1usize..60,
+        work in 5.0f64..500.0,
+    ) {
+        for ty in InstanceType::ALL {
+            let server = Server::new(ty);
+            let low = server.expected_execution_ms(work, users_low);
+            let high = server.expected_execution_ms(work, users_low + extra);
+            prop_assert!(high >= low, "{ty}: {high} < {low}");
+        }
+    }
+
+    /// Whatever the forecast, the ILP allocation covers it, respects the
+    /// account cap and never costs more than the over-provisioning baseline.
+    #[test]
+    fn allocation_covers_forecast_within_cap(
+        w1 in 0usize..400,
+        w2 in 0usize..400,
+        w3 in 0usize..400,
+    ) {
+        let groups = AccelerationGroups::paper_three_groups();
+        let forecast = WorkloadForecast {
+            per_group: vec![
+                (AccelerationGroupId(1), w1),
+                (AccelerationGroupId(2), w2),
+                (AccelerationGroupId(3), w3),
+            ],
+            matched_slot: None,
+        };
+        let ilp = ResourceAllocator::with_policy(groups.clone(), AllocationPolicy::IlpExact)
+            .allocate(&forecast);
+        let over = ResourceAllocator::with_policy(groups, AllocationPolicy::OverProvision)
+            .allocate(&forecast);
+        if let Ok(allocation) = &ilp {
+            prop_assert!(allocation.covers(&forecast));
+            prop_assert!(allocation.total_instances() <= 20);
+            if let Ok(over) = &over {
+                prop_assert!(allocation.hourly_cost <= over.hourly_cost + 1e-9);
+            }
+        }
+    }
+}
