@@ -31,25 +31,40 @@ fn synthetic_history(hours: usize) -> SlotHistory {
 
 fn ablation_prediction_strategy(c: &mut Criterion) {
     let history = synthetic_history(24);
-    let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    let groups = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
     let mut group = c.benchmark_group("ablation_prediction_strategy");
     group.sample_size(20);
     for (name, strategy) in [
         ("nearest_slot", PredictionStrategy::NearestSlot),
-        ("successor_of_nearest", PredictionStrategy::SuccessorOfNearest),
+        (
+            "successor_of_nearest",
+            PredictionStrategy::SuccessorOfNearest,
+        ),
         ("last_value", PredictionStrategy::LastValue),
         ("mean_of_history", PredictionStrategy::MeanOfHistory),
     ] {
-        group.bench_with_input(BenchmarkId::new("cross_validate", name), &strategy, |b, &strategy| {
-            b.iter(|| cross_validate(&history, &groups, strategy, DistanceKind::SetEdit, 8))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cross_validate", name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| cross_validate(&history, &groups, strategy, DistanceKind::SetEdit, 8))
+            },
+        );
     }
     group.finish();
 }
 
 fn ablation_distance_metric(c: &mut Criterion) {
     let history = synthetic_history(24);
-    let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    let groups = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
     let mut group = c.benchmark_group("ablation_distance_metric");
     group.sample_size(20);
     for (name, distance) in [
@@ -57,9 +72,21 @@ fn ablation_distance_metric(c: &mut Criterion) {
         ("levenshtein", DistanceKind::Levenshtein),
         ("count_difference", DistanceKind::CountDifference),
     ] {
-        group.bench_with_input(BenchmarkId::new("cross_validate", name), &distance, |b, &distance| {
-            b.iter(|| cross_validate(&history, &groups, PredictionStrategy::NearestSlot, distance, 8))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cross_validate", name),
+            &distance,
+            |b, &distance| {
+                b.iter(|| {
+                    cross_validate(
+                        &history,
+                        &groups,
+                        PredictionStrategy::NearestSlot,
+                        distance,
+                        8,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -82,9 +109,11 @@ fn ablation_allocation_policy(c: &mut Criterion) {
     ] {
         let allocator =
             ResourceAllocator::with_policy(AccelerationGroups::paper_three_groups(), policy);
-        group.bench_with_input(BenchmarkId::new("allocate", name), &allocator, |b, allocator| {
-            b.iter(|| allocator.allocate(&forecast).expect("feasible"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("allocate", name),
+            &allocator,
+            |b, allocator| b.iter(|| allocator.allocate(&forecast).expect("feasible")),
+        );
     }
     group.finish();
 }
@@ -93,28 +122,35 @@ fn ablation_ilp_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_ilp_solver");
     group.sample_size(30);
     for n_types in [3usize, 6, 12] {
-        group.bench_with_input(BenchmarkId::new("covering_ilp", n_types), &n_types, |b, &n| {
-            b.iter(|| {
-                let mut p = Problem::minimize();
-                let vars: Vec<_> = (0..n)
-                    .map(|i| {
-                        p.add_var(
-                            format!("x{i}"),
-                            VarKind::Integer,
-                            0.0,
-                            Some(20.0),
-                            0.01 * (i + 1) as f64,
-                        )
-                    })
-                    .collect();
-                let caps: Vec<(mca_lp::VarId, f64)> =
-                    vars.iter().enumerate().map(|(i, v)| (*v, 20.0 * (i + 1) as f64)).collect();
-                p.add_constraint("cover", &caps, Sense::Ge, 700.0);
-                let all: Vec<(mca_lp::VarId, f64)> = vars.iter().map(|v| (*v, 1.0)).collect();
-                p.add_constraint("cap", &all, Sense::Le, 20.0);
-                p.solve().expect("feasible")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("covering_ilp", n_types),
+            &n_types,
+            |b, &n| {
+                b.iter(|| {
+                    let mut p = Problem::minimize();
+                    let vars: Vec<_> = (0..n)
+                        .map(|i| {
+                            p.add_var(
+                                format!("x{i}"),
+                                VarKind::Integer,
+                                0.0,
+                                Some(20.0),
+                                0.01 * (i + 1) as f64,
+                            )
+                        })
+                        .collect();
+                    let caps: Vec<(mca_lp::VarId, f64)> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (*v, 20.0 * (i + 1) as f64))
+                        .collect();
+                    p.add_constraint("cover", &caps, Sense::Ge, 700.0);
+                    let all: Vec<(mca_lp::VarId, f64)> = vars.iter().map(|v| (*v, 1.0)).collect();
+                    p.add_constraint("cap", &all, Sense::Le, 20.0);
+                    p.solve().expect("feasible")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -26,14 +26,18 @@ fn fig5_levels(c: &mut Criterion) {
 fn fig6_anomaly(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_anomaly");
     group.sample_size(10);
-    group.bench_function("nano_vs_micro", |b| b.iter(|| mca_bench::fig6::run(5_000.0, DEFAULT_SEED)));
+    group.bench_function("nano_vs_micro", |b| {
+        b.iter(|| mca_bench::fig6::run(5_000.0, DEFAULT_SEED))
+    });
     group.finish();
 }
 
 fn fig7_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_components");
     group.sample_size(10);
-    group.bench_function("timing_decomposition", |b| b.iter(|| mca_bench::fig7::run(30, DEFAULT_SEED)));
+    group.bench_function("timing_decomposition", |b| {
+        b.iter(|| mca_bench::fig7::run(30, DEFAULT_SEED))
+    });
     group.finish();
 }
 
@@ -68,9 +72,11 @@ fn fig11_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_latency");
     group.sample_size(10);
     for scale in [2_000usize, 500] {
-        group.bench_with_input(BenchmarkId::new("netradar_campaign", scale), &scale, |b, &scale| {
-            b.iter(|| mca_bench::fig11::run(scale, DEFAULT_SEED))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("netradar_campaign", scale),
+            &scale,
+            |b, &scale| b.iter(|| mca_bench::fig11::run(scale, DEFAULT_SEED)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,36 @@
+//! Criterion benchmark for the nearest-slot workload predictor: the pruned,
+//! allocation-free search versus the retained naive baseline (full scan with
+//! per-candidate set construction). The `bench_prediction` binary runs the
+//! full 5,000-slot acceptance configuration and emits
+//! `BENCH_prediction.json`; this bench covers smaller sizes for quick
+//! regression checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mca_bench::prediction::{current_probe_slot, synthetic_history, PredictionWorkload};
+use mca_core::WorkloadPredictor;
+
+fn bench_nearest_slot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction_nearest_slot");
+    group.sample_size(10);
+    for &slots in &[500usize, 2_000] {
+        let workload = PredictionWorkload {
+            slots,
+            groups: 3,
+            users_per_group: 200,
+        };
+        let history = synthetic_history(&workload);
+        let probe = current_probe_slot(&workload);
+        let mut predictor = WorkloadPredictor::new(workload.group_ids(), history.slot_length_ms);
+        predictor.set_history(history);
+        group.bench_with_input(BenchmarkId::new("pruned", slots), &predictor, |b, p| {
+            b.iter(|| p.predict(&probe).expect("non-empty history"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", slots), &predictor, |b, p| {
+            b.iter(|| p.predict_naive(&probe).expect("non-empty history"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(prediction, bench_nearest_slot);
+criterion_main!(prediction);

@@ -1,0 +1,46 @@
+//! Regenerates `BENCH_prediction.json`: pruned versus naive nearest-slot
+//! prediction over the acceptance-bar workload (5,000 slots × 3 groups ×
+//! 200 users per group).
+//!
+//! Run with `cargo run --release -p mca-bench --bin bench_prediction`.
+//! Optional arguments: `bench_prediction [slots] [users_per_group] [rounds]`.
+
+use mca_bench::prediction::{self, PredictionWorkload};
+
+fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(parsed) if parsed > 0 => parsed,
+            _ => {
+                eprintln!("error: {name} must be a positive integer, got '{raw}'");
+                eprintln!("usage: bench_prediction [slots] [users_per_group] [rounds]");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut workload = PredictionWorkload::headline();
+    workload.slots = parse_arg(args.next(), "slots", workload.slots);
+    workload.users_per_group = parse_arg(args.next(), "users_per_group", workload.users_per_group);
+    let rounds = parse_arg(args.next(), "rounds", 10);
+
+    let report = prediction::run(&workload, rounds);
+    prediction::print(&report);
+
+    let json = report.to_json();
+    let path = "BENCH_prediction.json";
+    std::fs::write(path, &json).expect("write BENCH_prediction.json");
+    println!("wrote {path}");
+
+    if report.speedup() < 5.0 {
+        eprintln!(
+            "WARNING: speedup {:.1}x is below the 5x acceptance bar",
+            report.speedup()
+        );
+        std::process::exit(1);
+    }
+}

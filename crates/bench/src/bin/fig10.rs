@@ -1,7 +1,6 @@
 //! Regenerates Fig. 10: prediction accuracy, workload response times and
 //! promotion rate (16-hour study).
 fn main() {
-    let output =
-        mca_bench::fig10::run(100, 16.0 * 3_600_000.0, 8_000, 16, mca_bench::DEFAULT_SEED);
+    let output = mca_bench::fig10::run(100, 16.0 * 3_600_000.0, 8_000, 16, mca_bench::DEFAULT_SEED);
     mca_bench::fig10::print(&output);
 }

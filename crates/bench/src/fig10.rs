@@ -30,7 +30,13 @@ pub struct Fig10Output {
 ///
 /// `slots` controls how many prediction slots the 16-hour history is divided
 /// into (the paper's Fig. 10a x-axis spans up to 20 history entries).
-pub fn run(users: usize, duration_ms: f64, total_requests: usize, slots: usize, seed: u64) -> Fig10Output {
+pub fn run(
+    users: usize,
+    duration_ms: f64,
+    total_requests: usize,
+    slots: usize,
+    seed: u64,
+) -> Fig10Output {
     let fig9 = fig9::run(users, duration_ms, total_requests, seed);
     let report: &SystemReport = &fig9.report;
 
@@ -38,8 +44,11 @@ pub fn run(users: usize, duration_ms: f64, total_requests: usize, slots: usize, 
     let log: TraceLog = report.records.iter().cloned().collect();
     let slot_length = duration_ms / slots.max(2) as f64;
     let history = SlotHistory::from_log(&log, slot_length);
-    let groups =
-        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    let groups = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
 
     let curve = learning_curve(
         &history,
@@ -65,7 +74,13 @@ pub fn run(users: usize, duration_ms: f64, total_requests: usize, slots: usize, 
     let promotions: Vec<(u32, u8, u32)> = report
         .perceptions
         .iter()
-        .map(|p| (p.user.0, p.final_group().map(|g| g.0).unwrap_or(1), p.promotions))
+        .map(|p| {
+            (
+                p.user.0,
+                p.final_group().map(|g| g.0).unwrap_or(1),
+                p.promotions,
+            )
+        })
         .collect();
 
     Fig10Output {
@@ -79,7 +94,10 @@ pub fn run(users: usize, duration_ms: f64, total_requests: usize, slots: usize, 
 
 /// Prints the three panels.
 pub fn print(output: &Fig10Output) {
-    util::header("Fig 10a: prediction accuracy vs size of the data", &["history_size", "accuracy_%"]);
+    util::header(
+        "Fig 10a: prediction accuracy vs size of the data",
+        &["history_size", "accuracy_%"],
+    );
     for (size, acc) in &output.learning_curve {
         util::row(&[size.to_string(), util::f1(acc * 100.0)]);
     }
@@ -87,13 +105,27 @@ pub fn print(output: &Fig10Output) {
         "10-fold cross-validated accuracy: {:.1}% (paper: 87.5%)",
         output.cross_validated_accuracy * 100.0
     );
-    util::header("Fig 10b: response time of the workload (sampled)", &["request", "response_ms", "group"]);
-    for (i, response, group) in output.responses.iter().step_by((output.responses.len() / 60).max(1)) {
+    util::header(
+        "Fig 10b: response time of the workload (sampled)",
+        &["request", "response_ms", "group"],
+    );
+    for (i, response, group) in output
+        .responses
+        .iter()
+        .step_by((output.responses.len() / 60).max(1))
+    {
         util::row(&[i.to_string(), util::f1(*response), format!("a{group}")]);
     }
-    util::header("Fig 10c: promotion rate of the workload", &["user", "final_group", "promotions"]);
+    util::header(
+        "Fig 10c: promotion rate of the workload",
+        &["user", "final_group", "promotions"],
+    );
     for (user, group, promotions) in &output.promotions {
-        util::row(&[user.to_string(), format!("a{group}"), promotions.to_string()]);
+        util::row(&[
+            user.to_string(),
+            format!("a{group}"),
+            promotions.to_string(),
+        ]);
     }
     println!("promoted users: {:.1}%", output.promoted_fraction * 100.0);
 }

@@ -37,8 +37,16 @@ pub fn run(scale: usize, seed: u64) -> Vec<OperatorSeries> {
                 operator,
                 threeg: threeg.overall_stats(),
                 lte: lte.overall_stats(),
-                threeg_hourly: threeg.hourly_aggregate().iter().map(|h| h.stats.mean_ms).collect(),
-                lte_hourly: lte.hourly_aggregate().iter().map(|h| h.stats.mean_ms).collect(),
+                threeg_hourly: threeg
+                    .hourly_aggregate()
+                    .iter()
+                    .map(|h| h.stats.mean_ms)
+                    .collect(),
+                lte_hourly: lte
+                    .hourly_aggregate()
+                    .iter()
+                    .map(|h| h.stats.mean_ms)
+                    .collect(),
             }
         })
         .collect()
@@ -46,9 +54,17 @@ pub fn run(scale: usize, seed: u64) -> Vec<OperatorSeries> {
 
 /// Prints the overall statistics and the diurnal series.
 pub fn print(series: &[OperatorSeries]) {
-    util::header("Fig 11: overall RTT per operator", &[
-        "operator", "tech", "mean_ms", "sd_ms", "median_ms", "samples",
-    ]);
+    util::header(
+        "Fig 11: overall RTT per operator",
+        &[
+            "operator",
+            "tech",
+            "mean_ms",
+            "sd_ms",
+            "median_ms",
+            "samples",
+        ],
+    );
     for s in series {
         util::row(&[
             s.operator.to_string(),
@@ -68,7 +84,10 @@ pub fn print(series: &[OperatorSeries]) {
         ]);
     }
     for s in series {
-        util::header(&format!("Fig 11: hourly mean RTT, operator {}", s.operator), &["hour", "3G_ms", "LTE_ms"]);
+        util::header(
+            &format!("Fig 11: hourly mean RTT, operator {}", s.operator),
+            &["hour", "3G_ms", "LTE_ms"],
+        );
         for hour in 0..24 {
             util::row(&[
                 hour.to_string(),
@@ -94,8 +113,16 @@ mod tests {
         ];
         for (operator, threeg_mean, lte_mean) in expectations {
             let s = series.iter().find(|s| s.operator == operator).unwrap();
-            assert!((s.threeg.mean_ms - threeg_mean).abs() / threeg_mean < 0.15, "{operator} 3G {}", s.threeg.mean_ms);
-            assert!((s.lte.mean_ms - lte_mean).abs() / lte_mean < 0.15, "{operator} LTE {}", s.lte.mean_ms);
+            assert!(
+                (s.threeg.mean_ms - threeg_mean).abs() / threeg_mean < 0.15,
+                "{operator} 3G {}",
+                s.threeg.mean_ms
+            );
+            assert!(
+                (s.lte.mean_ms - lte_mean).abs() / lte_mean < 0.15,
+                "{operator} LTE {}",
+                s.lte.mean_ms
+            );
             assert!(s.lte.mean_ms < s.threeg.mean_ms, "LTE beats 3G");
             assert_eq!(s.threeg_hourly.len(), 24);
         }

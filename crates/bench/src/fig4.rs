@@ -37,7 +37,10 @@ pub fn run(duration_per_level_ms: f64, seed: u64) -> Fig4Output {
         })
         .collect();
     let classification = LevelClassification::classify(&benchmarks, 1.5);
-    Fig4Output { benchmarks, classification }
+    Fig4Output {
+        benchmarks,
+        classification,
+    }
 }
 
 /// Prints the figure as text tables.
@@ -47,7 +50,10 @@ pub fn print(output: &Fig4Output) {
             &format!(
                 "Fig 4: {} (acceleration level {})",
                 b.instance_type,
-                output.classification.level_of(b.instance_type).unwrap_or(255)
+                output
+                    .classification
+                    .level_of(b.instance_type)
+                    .unwrap_or(255)
             ),
             &["users", "mean_ms", "sd_ms", "p5_ms", "p95_ms"],
         );
@@ -61,10 +67,17 @@ pub fn print(output: &Fig4Output) {
             ]);
         }
     }
-    util::header("Fig 4: acceleration level classification", &["level", "instances", "capacity"]);
+    util::header(
+        "Fig 4: acceleration level classification",
+        &["level", "instances", "capacity"],
+    );
     for level in &output.classification.levels {
         let members: Vec<String> = level.members.iter().map(|m| m.to_string()).collect();
-        util::row(&[level.level.to_string(), members.join(","), level.capacity.to_string()]);
+        util::row(&[
+            level.level.to_string(),
+            members.join(","),
+            level.capacity.to_string(),
+        ]);
     }
 }
 
@@ -82,7 +95,10 @@ mod tests {
         let nano = out.classification.level_of(InstanceType::T2Nano).unwrap();
         assert!(micro <= nano);
         // the m4 is the top level
-        let m4 = out.classification.level_of(InstanceType::M4_10XLarge).unwrap();
+        let m4 = out
+            .classification
+            .level_of(InstanceType::M4_10XLarge)
+            .unwrap();
         assert_eq!(m4 as usize, out.classification.num_levels() - 1);
     }
 }

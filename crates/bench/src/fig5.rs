@@ -39,17 +39,27 @@ pub struct Fig5Output {
 pub fn run(duration_per_level_ms: f64, seed: u64) -> Fig5Output {
     let mut rng = StdRng::seed_from_u64(seed);
     let pool = TaskPool::static_load(TaskSpec::paper_static_minimax());
-    let levels =
-        [InstanceType::T2Small, InstanceType::T2Large, InstanceType::M4_10XLarge];
+    let levels = [
+        InstanceType::T2Small,
+        InstanceType::T2Large,
+        InstanceType::M4_10XLarge,
+    ];
     let loads = [1usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
     let mut rows = Vec::new();
     for users in loads {
         let mut means = [0.0f64; 3];
         for (i, ty) in levels.iter().enumerate() {
             let mut server = Server::new(*ty);
-            means[i] = server.run_closed_loop(&pool, users, duration_per_level_ms, &mut rng).mean_ms;
+            means[i] = server
+                .run_closed_loop(&pool, users, duration_per_level_ms, &mut rng)
+                .mean_ms;
         }
-        rows.push(Fig5Row { users, level1_ms: means[0], level2_ms: means[1], level3_ms: means[2] });
+        rows.push(Fig5Row {
+            users,
+            level1_ms: means[0],
+            level2_ms: means[1],
+            level3_ms: means[2],
+        });
     }
     // single-task ratios, excluding the per-request surrogate overhead
     let work = TaskSpec::paper_static_minimax().work_units();
@@ -65,12 +75,10 @@ pub fn run(duration_per_level_ms: f64, seed: u64) -> Fig5Output {
 
 /// Prints the figure as a text table.
 pub fn print(output: &Fig5Output) {
-    util::header("Fig 5: acceleration level differences (static minimax)", &[
-        "users",
-        "accel1_ms",
-        "accel2_ms",
-        "accel3_ms",
-    ]);
+    util::header(
+        "Fig 5: acceleration level differences (static minimax)",
+        &["users", "accel1_ms", "accel2_ms", "accel3_ms"],
+    );
     for r in &output.rows {
         util::row(&[
             r.users.to_string(),
@@ -92,9 +100,21 @@ mod tests {
     #[test]
     fn speedups_match_the_paper_ratios() {
         let out = run(20_000.0, 3);
-        assert!((out.speedup_2_over_1 - 1.25).abs() < 0.05, "{}", out.speedup_2_over_1);
-        assert!((out.speedup_3_over_1 - 1.73).abs() < 0.05, "{}", out.speedup_3_over_1);
-        assert!((out.speedup_3_over_2 - 1.38).abs() < 0.06, "{}", out.speedup_3_over_2);
+        assert!(
+            (out.speedup_2_over_1 - 1.25).abs() < 0.05,
+            "{}",
+            out.speedup_2_over_1
+        );
+        assert!(
+            (out.speedup_3_over_1 - 1.73).abs() < 0.05,
+            "{}",
+            out.speedup_3_over_1
+        );
+        assert!(
+            (out.speedup_3_over_2 - 1.38).abs() < 0.06,
+            "{}",
+            out.speedup_3_over_2
+        );
         // higher levels are faster at every load level
         for r in &out.rows {
             assert!(r.level1_ms > r.level2_ms);

@@ -48,13 +48,16 @@ pub fn run(duration_per_level_ms: f64, seed: u64) -> Vec<Fig6Row> {
 
 /// Prints the figure as a text table.
 pub fn print(rows: &[Fig6Row]) {
-    util::header("Fig 6: t2.nano vs t2.micro anomaly", &[
-        "users",
-        "nano_mean_ms",
-        "nano_sd_ms",
-        "micro_mean_ms",
-        "micro_sd_ms",
-    ]);
+    util::header(
+        "Fig 6: t2.nano vs t2.micro anomaly",
+        &[
+            "users",
+            "nano_mean_ms",
+            "nano_sd_ms",
+            "micro_mean_ms",
+            "micro_sd_ms",
+        ],
+    );
     for r in rows {
         util::row(&[
             r.users.to_string(),

@@ -5,8 +5,8 @@
 //! (Fig. 7c).
 
 use crate::util;
-use mca_core::{SdnAccelerator, SystemConfig};
 use mca_cloudsim::{InstanceType, Server};
+use mca_core::{SdnAccelerator, SystemConfig};
 use mca_offload::{AccelerationGroupId, OffloadRequest, RequestId, TaskPool, TaskSpec, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,8 +71,10 @@ pub fn run(requests_per_level: u32, seed: u64) -> Fig7Output {
                 90.0,
                 f64::from(i) * 30_000.0,
             );
-            let record =
-                sdn.handle(&request, f64::from(i) * 30_000.0, &mut rng).expect("route").record;
+            let record = sdn
+                .handle(&request, f64::from(i) * 30_000.0, &mut rng)
+                .expect("route")
+                .record;
             sums[0] += record.round_trip_ms;
             sums[1] += record.t1_ms;
             sums[2] += record.t2_ms;
@@ -95,22 +97,24 @@ pub fn run(requests_per_level: u32, seed: u64) -> Fig7Output {
         let mut sd = [0.0f64; 4];
         for (i, ty) in LEVEL_INSTANCES.iter().enumerate() {
             let mut server = Server::new(*ty);
-            sd[i] = server.run_closed_loop(&pool, users, 15_000.0, &mut rng).std_dev_ms;
+            sd[i] = server
+                .run_closed_loop(&pool, users, 15_000.0, &mut rng)
+                .std_dev_ms;
         }
         stability.push(StabilityRow { users, sd_ms: sd });
     }
-    Fig7Output { components, stability }
+    Fig7Output {
+        components,
+        stability,
+    }
 }
 
 /// Prints both panels of the figure.
 pub fn print(output: &Fig7Output) {
-    util::header("Fig 7b: per-component times (30 concurrent users)", &[
-        "level",
-        "Tresponse_ms",
-        "T1_ms",
-        "T2_ms",
-        "Tcloud_ms",
-    ]);
+    util::header(
+        "Fig 7b: per-component times (30 concurrent users)",
+        &["level", "Tresponse_ms", "T1_ms", "T2_ms", "Tcloud_ms"],
+    );
     for r in &output.components {
         util::row(&[
             r.level.to_string(),
@@ -120,9 +124,10 @@ pub fn print(output: &Fig7Output) {
             util::f1(r.t_cloud_ms),
         ]);
     }
-    util::header("Fig 7c: response-time standard deviation per level", &[
-        "users", "accel1_sd", "accel2_sd", "accel3_sd", "accel4_sd",
-    ]);
+    util::header(
+        "Fig 7c: response-time standard deviation per level",
+        &["users", "accel1_sd", "accel2_sd", "accel3_sd", "accel4_sd"],
+    );
     for r in &output.stability {
         util::row(&[
             r.users.to_string(),

@@ -4,8 +4,8 @@
 //! 1024 Hz, and (c) the fraction of requests served vs dropped at each rate.
 
 use crate::util;
-use mca_core::{SdnAccelerator, SystemConfig};
 use mca_cloudsim::{InstanceType, OpenLoopResult, Server};
+use mca_core::{SdnAccelerator, SystemConfig};
 use mca_offload::{AccelerationGroupId, OffloadRequest, RequestId, TaskPool, TaskSpec, UserId};
 use mca_workload::DoublingRateScenario;
 use rand::rngs::StdRng;
@@ -62,15 +62,21 @@ pub fn run(requests_per_group: u32, step_duration_ms: f64, seed: u64) -> Fig8Out
                 90.0,
                 f64::from(i) * 10_000.0,
             );
-            let record =
-                sdn.handle(&request, f64::from(i) * 10_000.0, &mut rng).expect("route").record;
+            let record = sdn
+                .handle(&request, f64::from(i) * 10_000.0, &mut rng)
+                .expect("route")
+                .record;
             samples.push(record.t2_ms);
         }
         routing.push(RoutingSeries { group, samples });
     }
 
     // Fig. 8b/8c: the t2.large saturation sweep with doubling arrival rates.
-    let scenario = DoublingRateScenario { start_hz: 1.0, end_hz: 1024.0, step_duration_ms };
+    let scenario = DoublingRateScenario {
+        start_hz: 1.0,
+        end_hz: 1024.0,
+        step_duration_ms,
+    };
     let pool = TaskPool::paper_default();
     let saturation = scenario
         .steps()
@@ -88,24 +94,33 @@ pub fn run(requests_per_group: u32, step_duration_ms: f64, seed: u64) -> Fig8Out
         })
         .collect();
 
-    Fig8Output { routing, saturation }
+    Fig8Output {
+        routing,
+        saturation,
+    }
 }
 
 /// Prints all three panels.
 pub fn print(output: &Fig8Output) {
-    util::header("Fig 8a: SDN routing time by acceleration group", &["group", "mean_T2_ms", "min_ms", "max_ms"]);
+    util::header(
+        "Fig 8a: SDN routing time by acceleration group",
+        &["group", "mean_T2_ms", "min_ms", "max_ms"],
+    );
     for series in &output.routing {
         let mean = series.samples.iter().sum::<f64>() / series.samples.len().max(1) as f64;
         let min = series.samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = series.samples.iter().copied().fold(0.0, f64::max);
-        util::row(&[format!("A{}", series.group), util::f1(mean), util::f1(min), util::f1(max)]);
+        util::row(&[
+            format!("A{}", series.group),
+            util::f1(mean),
+            util::f1(min),
+            util::f1(max),
+        ]);
     }
-    util::header("Fig 8b/8c: t2.large under doubling arrival rate", &[
-        "arrival_hz",
-        "mean_response_ms",
-        "success_%",
-        "fail_%",
-    ]);
+    util::header(
+        "Fig 8b/8c: t2.large under doubling arrival rate",
+        &["arrival_hz", "mean_response_ms", "success_%", "fail_%"],
+    );
     for r in &output.saturation {
         util::row(&[
             format!("{}", r.arrival_hz),
@@ -125,14 +140,24 @@ mod tests {
         let out = run(30, 10_000.0, 1);
         for series in &out.routing {
             let mean = series.samples.iter().sum::<f64>() / series.samples.len() as f64;
-            assert!((mean - 150.0).abs() < 25.0, "group {} mean {mean}", series.group);
+            assert!(
+                (mean - 150.0).abs() < 25.0,
+                "group {} mean {mean}",
+                series.group
+            );
         }
     }
 
     #[test]
     fn saturation_knee_sits_between_32_and_128_hz() {
         let out = run(5, 20_000.0, 2);
-        let at = |hz: f64| out.saturation.iter().find(|r| r.arrival_hz == hz).copied().unwrap();
+        let at = |hz: f64| {
+            out.saturation
+                .iter()
+                .find(|r| r.arrival_hz == hz)
+                .copied()
+                .unwrap()
+        };
         assert!(at(16.0).success_ratio > 0.95);
         assert!(at(128.0).success_ratio < 0.7);
         assert!(at(1024.0).fail_ratio > 0.9);

@@ -70,7 +70,11 @@ pub fn run(users: usize, duration_ms: f64, total_requests: usize, seed: u64) -> 
         .filter(|p| p.final_group() == Some(top))
         .max_by_key(|p| p.responses.len())
         .cloned();
-    Fig9Output { report, stable_user, promoted_user }
+    Fig9Output {
+        report,
+        stable_user,
+        promoted_user,
+    }
 }
 
 /// Prints both user-perception panels.
@@ -91,7 +95,10 @@ pub fn print(output: &Fig9Output) {
 }
 
 fn print_user(title: &str, user: &UserPerception) {
-    util::header(&format!("{title} ({})", UserId(user.user.0)), &["request", "response_ms", "group"]);
+    util::header(
+        &format!("{title} ({})", UserId(user.user.0)),
+        &["request", "response_ms", "group"],
+    );
     for (i, (response, group)) in user.responses.iter().enumerate() {
         util::row(&[i.to_string(), util::f1(*response), group.to_string()]);
     }
@@ -106,7 +113,10 @@ mod tests {
         // scaled-down run: 40 users, 2 simulated hours, ~1500 requests
         let out = run(40, 2.0 * 3_600_000.0, 1_500, 42);
         assert!(out.report.records.len() > 800);
-        let stable = out.stable_user.as_ref().expect("some user is never promoted");
+        let stable = out
+            .stable_user
+            .as_ref()
+            .expect("some user is never promoted");
         assert!(stable.promotions == 0);
         // ≈2.5 s perceived on acceleration 1 under the 50-user background load
         assert!(
@@ -114,7 +124,10 @@ mod tests {
             "stable user mean {}",
             stable.mean_response_ms()
         );
-        let promoted = out.promoted_user.as_ref().expect("some user reaches the top group");
+        let promoted = out
+            .promoted_user
+            .as_ref()
+            .expect("some user reaches the top group");
         assert!(promoted.promotions >= 2);
         // responses served by group 3 are faster than those served by group 1
         let mean_in = |p: &UserPerception, g: u8| {
@@ -139,7 +152,11 @@ mod tests {
     fn sporadic_workload_matches_requested_volume() {
         let trace = sporadic_workload(50, 3_600_000.0, 2_000, 7);
         let ratio = trace.len() as f64 / 2_000.0;
-        assert!(ratio > 0.6 && ratio < 1.6, "generated {} requests", trace.len());
+        assert!(
+            ratio > 0.6 && ratio < 1.6,
+            "generated {} requests",
+            trace.len()
+        );
         assert_eq!(trace.distinct_users(), 50);
     }
 }

@@ -22,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod prediction;
 pub mod util;
 
 /// Default RNG seed used by every figure harness so that regenerated figures

@@ -1,0 +1,222 @@
+//! Performance harness for the nearest-slot workload predictor: the pruned,
+//! allocation-free search of `mca-core` versus the retained naive baseline
+//! (full scan, per-candidate set construction — the seed's cost model).
+//!
+//! The headline configuration follows the acceptance bar of the time-slot
+//! engine rework: a 5,000-slot × 3-group × 200-users-per-group synthetic
+//! history, on which the pruned search must be at least 5× faster than the
+//! naive scan. `cargo run --release -p mca-bench --bin bench_prediction`
+//! regenerates `BENCH_prediction.json` at the repository root.
+
+use mca_core::{SlotHistory, TimeSlot, WorkloadPredictor};
+use mca_offload::{AccelerationGroupId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Shape of the synthetic prediction workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictionWorkload {
+    /// Number of historical slots (`H`).
+    pub slots: usize,
+    /// Number of acceleration groups.
+    pub groups: usize,
+    /// Nominal users per group per slot.
+    pub users_per_group: usize,
+}
+
+impl PredictionWorkload {
+    /// The acceptance-bar configuration: 5,000 slots × 3 groups × 200 users.
+    pub fn headline() -> Self {
+        Self {
+            slots: 5_000,
+            groups: 3,
+            users_per_group: 200,
+        }
+    }
+
+    /// The acceleration-group universe of this workload.
+    pub fn group_ids(&self) -> Vec<AccelerationGroupId> {
+        (1..=self.groups as u8).map(AccelerationGroupId).collect()
+    }
+}
+
+/// Builds a drifting synthetic history: each group's user population is a
+/// contiguous id window that slides slowly over time while the load ramps
+/// diurnally, so consecutive slots share most users (as the paper's traces
+/// do) and distances between far-apart slots are large — the regime the
+/// signature pruning exploits.
+pub fn synthetic_history(workload: &PredictionWorkload) -> SlotHistory {
+    let mut rng = StdRng::seed_from_u64(crate::DEFAULT_SEED);
+    let mut history = SlotHistory::hourly();
+    for hour in 0..workload.slots {
+        history.push(synthetic_slot(workload, hour, &mut rng));
+    }
+    history
+}
+
+/// The probe used as the "current" slot: a fresh slot resembling (but not
+/// equal to) the most recent history entries.
+pub fn current_probe_slot(workload: &PredictionWorkload) -> TimeSlot {
+    let mut rng = StdRng::seed_from_u64(crate::DEFAULT_SEED ^ 0x5bd1e995);
+    synthetic_slot(workload, workload.slots, &mut rng)
+}
+
+fn synthetic_slot(workload: &PredictionWorkload, hour: usize, rng: &mut StdRng) -> TimeSlot {
+    let mut slot = TimeSlot::new(hour);
+    for (g, group) in workload.group_ids().into_iter().enumerate() {
+        // diurnal ramp: load swings ±25% around nominal with period 24
+        let phase = (hour % 24) as f64 / 24.0 * std::f64::consts::TAU;
+        let ramp = 1.0 + 0.25 * phase.sin();
+        let load = ((workload.users_per_group as f64 * ramp).round() as usize).max(1);
+        // the user-id window drifts by ~2% of the population per slot
+        let drift = hour * (workload.users_per_group / 50).max(1);
+        let base = (g * 1_000_000 + drift) as u32;
+        for u in 0..load as u32 {
+            // small churn: a few ids are replaced by out-of-window users
+            let id = if rng.gen_bool(0.02) {
+                base + u + rng.gen_range(1u32..50)
+            } else {
+                base + u
+            };
+            slot.assign(group, UserId(id));
+        }
+    }
+    slot
+}
+
+/// Measurements of one pruned-versus-naive comparison.
+#[derive(Debug, Clone)]
+pub struct PredictionBenchReport {
+    /// The workload shape measured.
+    pub workload: PredictionWorkload,
+    /// Number of predictions timed per implementation.
+    pub rounds: usize,
+    /// Mean wall-clock time of one naive prediction, milliseconds.
+    pub naive_ms: f64,
+    /// Mean wall-clock time of one pruned prediction, milliseconds.
+    pub pruned_ms: f64,
+}
+
+impl PredictionBenchReport {
+    /// Naive time over pruned time.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.pruned_ms
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"nearest_slot_prediction\",\n  \"history_slots\": {},\n  \
+             \"groups\": {},\n  \"users_per_group\": {},\n  \"rounds\": {},\n  \
+             \"naive_ms_per_prediction\": {:.4},\n  \"pruned_ms_per_prediction\": {:.4},\n  \
+             \"speedup\": {:.2}\n}}\n",
+            self.workload.slots,
+            self.workload.groups,
+            self.workload.users_per_group,
+            self.rounds,
+            self.naive_ms,
+            self.pruned_ms,
+            self.speedup(),
+        )
+    }
+}
+
+/// Times `rounds` naive and pruned `NearestSlot` predictions over the same
+/// predictor state and probe, and checks both return identical forecasts.
+pub fn run(workload: &PredictionWorkload, rounds: usize) -> PredictionBenchReport {
+    assert!(rounds > 0, "at least one timed round");
+    let history = synthetic_history(workload);
+    let probe = current_probe_slot(workload);
+    let mut predictor = WorkloadPredictor::new(workload.group_ids(), history.slot_length_ms);
+    predictor.set_history(history);
+
+    // correctness first: the pruned search must reproduce the naive forecast
+    let fast = predictor.predict(&probe).expect("non-empty history");
+    let naive = predictor.predict_naive(&probe).expect("non-empty history");
+    assert_eq!(
+        fast, naive,
+        "pruned search diverged from the naive reference"
+    );
+
+    let naive_ms = time_ms(rounds, || {
+        std::hint::black_box(predictor.predict_naive(&probe).expect("non-empty history"));
+    });
+    let pruned_ms = time_ms(rounds, || {
+        std::hint::black_box(predictor.predict(&probe).expect("non-empty history"));
+    });
+    PredictionBenchReport {
+        workload: *workload,
+        rounds,
+        naive_ms,
+        pruned_ms,
+    }
+}
+
+fn time_ms(rounds: usize, mut body: impl FnMut()) -> f64 {
+    body(); // warm-up
+    let start = Instant::now();
+    for _ in 0..rounds {
+        body();
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / rounds as f64
+}
+
+/// Prints the report as an aligned table.
+pub fn print(report: &PredictionBenchReport) {
+    println!(
+        "nearest-slot prediction over {} slots x {} groups x {} users/group ({} rounds)",
+        report.workload.slots,
+        report.workload.groups,
+        report.workload.users_per_group,
+        report.rounds,
+    );
+    println!("  {:<28} {:>12}", "implementation", "ms/predict");
+    println!("  {:<28} {:>12.3}", "naive full scan", report.naive_ms);
+    println!(
+        "  {:<28} {:>12.3}",
+        "pruned nearest-neighbour", report.pruned_ms
+    );
+    println!("  speedup: {:.1}x", report.speedup());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_and_naive_agree_on_a_small_workload() {
+        let workload = PredictionWorkload {
+            slots: 60,
+            groups: 3,
+            users_per_group: 12,
+        };
+        let report = run(&workload, 2);
+        assert!(report.naive_ms > 0.0 && report.pruned_ms > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"history_slots\": 60"));
+        assert!(json.contains("speedup"));
+    }
+
+    #[test]
+    fn synthetic_history_is_deterministic_and_diurnal() {
+        let workload = PredictionWorkload {
+            slots: 48,
+            groups: 2,
+            users_per_group: 20,
+        };
+        let a = synthetic_history(&workload);
+        let b = synthetic_history(&workload);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 48);
+        let loads: Vec<usize> = a
+            .slots()
+            .iter()
+            .map(|s| s.load_of(AccelerationGroupId(1)))
+            .collect();
+        let max = loads.iter().max().unwrap();
+        let min = loads.iter().min().unwrap();
+        assert!(max > min, "load should ramp over the day");
+    }
+}

@@ -27,7 +27,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f1(4.6789), "4.7");
         assert_eq!(f3(2.0), "2.000");
     }
 }

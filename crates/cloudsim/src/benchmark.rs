@@ -82,7 +82,12 @@ impl InstanceBenchmark {
             });
         }
         let capacity = estimate_capacity(&points, response_target_ms);
-        Self { instance_type, response_target_ms, points, capacity }
+        Self {
+            instance_type,
+            response_target_ms,
+            points,
+            capacity,
+        }
     }
 
     /// Ratio between the mean response time at the highest and lowest load
@@ -131,7 +136,10 @@ pub(crate) fn estimate_capacity(points: &[CharacterizationPoint], target_ms: f64
     let fit_points = if fit_points.len() >= 2 {
         fit_points
     } else {
-        points.iter().map(|p| ((p.users.max(1) as f64).ln(), p.mean_ms.max(1e-9).ln())).collect()
+        points
+            .iter()
+            .map(|p| ((p.users.max(1) as f64).ln(), p.mean_ms.max(1e-9).ln()))
+            .collect()
     };
     let m = fit_points.len() as f64;
     let sx: f64 = fit_points.iter().map(|(x, _)| x).sum();
@@ -186,7 +194,10 @@ impl LevelClassification {
     /// Panics if `ratio_threshold <= 1.0` or `benchmarks` is empty.
     pub fn classify(benchmarks: &[InstanceBenchmark], ratio_threshold: f64) -> Self {
         assert!(ratio_threshold > 1.0, "ratio threshold must exceed 1.0");
-        assert!(!benchmarks.is_empty(), "classification requires at least one benchmark");
+        assert!(
+            !benchmarks.is_empty(),
+            "classification requires at least one benchmark"
+        );
         let target = benchmarks[0].response_target_ms;
         let mut sorted: Vec<&InstanceBenchmark> = benchmarks.iter().collect();
         sorted.sort_by_key(|b| b.capacity);
@@ -195,8 +206,7 @@ impl LevelClassification {
         for b in sorted {
             match levels.last_mut() {
                 Some(level)
-                    if (b.capacity as f64)
-                        <= (level.capacity.max(1) as f64) * ratio_threshold =>
+                    if (b.capacity as f64) <= (level.capacity.max(1) as f64) * ratio_threshold =>
                 {
                     level.members.push(b.instance_type);
                     level.capacity = level.capacity.max(b.capacity);
@@ -210,7 +220,10 @@ impl LevelClassification {
                 }
             }
         }
-        Self { response_target_ms: target, levels }
+        Self {
+            response_target_ms: target,
+            levels,
+        }
     }
 
     /// Number of distinct acceleration levels.
@@ -249,23 +262,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let b = bench(InstanceType::T2Nano, &mut rng);
         assert_eq!(b.points.len(), 5);
-        assert!(b.points.windows(2).all(|w| w[1].mean_ms > w[0].mean_ms * 0.9));
-        assert!(b.degradation_ratio() > 3.0, "ratio {}", b.degradation_ratio());
+        assert!(b
+            .points
+            .windows(2)
+            .all(|w| w[1].mean_ms > w[0].mean_ms * 0.9));
+        assert!(
+            b.degradation_ratio() > 3.0,
+            "ratio {}",
+            b.degradation_ratio()
+        );
     }
 
     #[test]
     fn big_instances_have_flat_curves() {
         let mut rng = StdRng::seed_from_u64(2);
         let b = bench(InstanceType::M4_10XLarge, &mut rng);
-        assert!(b.degradation_ratio() < 2.0, "ratio {}", b.degradation_ratio());
+        assert!(
+            b.degradation_ratio() < 2.0,
+            "ratio {}",
+            b.degradation_ratio()
+        );
         assert!(b.capacity > 1_000);
     }
 
     #[test]
     fn fig4_set_classifies_into_four_levels_with_micro_at_the_bottom() {
         let mut rng = StdRng::seed_from_u64(3);
-        let benchmarks: Vec<InstanceBenchmark> =
-            InstanceType::FIG4_SET.iter().map(|&t| bench(t, &mut rng)).collect();
+        let benchmarks: Vec<InstanceBenchmark> = InstanceType::FIG4_SET
+            .iter()
+            .map(|&t| bench(t, &mut rng))
+            .collect();
         let classes = LevelClassification::classify(&benchmarks, 1.5);
         assert_eq!(classes.num_levels(), 4, "{classes:?}");
         // Level 0 is t2.micro alone (the anomaly demotes it).
@@ -302,9 +328,30 @@ mod tests {
     #[test]
     fn capacity_estimation_interpolates() {
         let points = vec![
-            CharacterizationPoint { users: 1, mean_ms: 100.0, std_dev_ms: 0.0, p5_ms: 0.0, p95_ms: 0.0, throttled_fraction: 0.0 },
-            CharacterizationPoint { users: 10, mean_ms: 300.0, std_dev_ms: 0.0, p5_ms: 0.0, p95_ms: 0.0, throttled_fraction: 0.0 },
-            CharacterizationPoint { users: 100, mean_ms: 900.0, std_dev_ms: 0.0, p5_ms: 0.0, p95_ms: 0.0, throttled_fraction: 0.0 },
+            CharacterizationPoint {
+                users: 1,
+                mean_ms: 100.0,
+                std_dev_ms: 0.0,
+                p5_ms: 0.0,
+                p95_ms: 0.0,
+                throttled_fraction: 0.0,
+            },
+            CharacterizationPoint {
+                users: 10,
+                mean_ms: 300.0,
+                std_dev_ms: 0.0,
+                p5_ms: 0.0,
+                p95_ms: 0.0,
+                throttled_fraction: 0.0,
+            },
+            CharacterizationPoint {
+                users: 100,
+                mean_ms: 900.0,
+                std_dev_ms: 0.0,
+                p5_ms: 0.0,
+                p95_ms: 0.0,
+                throttled_fraction: 0.0,
+            },
         ];
         let cap = estimate_capacity(&points, 500.0);
         assert!(cap > 10 && cap < 100, "cap {cap}");
@@ -326,8 +373,22 @@ mod tests {
     #[test]
     fn capacity_extrapolates_beyond_measured_range() {
         let points = vec![
-            CharacterizationPoint { users: 50, mean_ms: 60.0, std_dev_ms: 0.0, p5_ms: 0.0, p95_ms: 0.0, throttled_fraction: 0.0 },
-            CharacterizationPoint { users: 100, mean_ms: 80.0, std_dev_ms: 0.0, p5_ms: 0.0, p95_ms: 0.0, throttled_fraction: 0.0 },
+            CharacterizationPoint {
+                users: 50,
+                mean_ms: 60.0,
+                std_dev_ms: 0.0,
+                p5_ms: 0.0,
+                p95_ms: 0.0,
+                throttled_fraction: 0.0,
+            },
+            CharacterizationPoint {
+                users: 100,
+                mean_ms: 80.0,
+                std_dev_ms: 0.0,
+                p5_ms: 0.0,
+                p95_ms: 0.0,
+                throttled_fraction: 0.0,
+            },
         ];
         let cap = estimate_capacity(&points, 500.0);
         assert!(cap > 100, "cap {cap}");

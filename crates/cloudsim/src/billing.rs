@@ -26,7 +26,10 @@ impl BillingMeter {
     /// Partial hours are rounded **up** per instance-allocation, as cloud
     /// vendors do.
     pub fn bill(&mut self, instance_type: InstanceType, count: usize, hours: f64) {
-        let billed = hours.max(0.0).ceil().max(if count > 0 && hours > 0.0 { 1.0 } else { 0.0 });
+        let billed = hours
+            .max(0.0)
+            .ceil()
+            .max(if count > 0 && hours > 0.0 { 1.0 } else { 0.0 });
         if count == 0 || billed == 0.0 {
             return;
         }
@@ -45,7 +48,10 @@ impl BillingMeter {
 
     /// Total cost in USD.
     pub fn total_cost(&self) -> f64 {
-        self.hours.iter().map(|(t, h)| t.spec().cost_per_hour * h).sum()
+        self.hours
+            .iter()
+            .map(|(t, h)| t.spec().cost_per_hour * h)
+            .sum()
     }
 
     /// Cost attributable to one instance type, USD.

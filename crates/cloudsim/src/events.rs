@@ -59,7 +59,10 @@ pub struct EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `time`.
@@ -103,7 +106,9 @@ impl<T> Default for EventQueue<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue").field("pending", &self.heap.len()).finish()
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .finish()
     }
 }
 

@@ -38,7 +38,9 @@ pub mod pool;
 pub mod server;
 pub mod surrogate;
 
-pub use benchmark::{AccelerationLevel, CharacterizationPoint, InstanceBenchmark, LevelClassification};
+pub use benchmark::{
+    AccelerationLevel, CharacterizationPoint, InstanceBenchmark, LevelClassification,
+};
 pub use billing::BillingMeter;
 pub use credits::CpuCreditModel;
 pub use events::{EventQueue, SimTime};

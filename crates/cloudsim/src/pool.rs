@@ -72,7 +72,12 @@ impl InstancePool {
 
     /// Creates an empty pool with an explicit account cap.
     pub fn with_cap(account_cap: usize) -> Self {
-        Self { instances: Vec::new(), next_id: 1, account_cap, billing: BillingMeter::new() }
+        Self {
+            instances: Vec::new(),
+            next_id: 1,
+            account_cap,
+            billing: BillingMeter::new(),
+        }
     }
 
     /// The account cap (`CC`).
@@ -97,7 +102,10 @@ impl InstancePool {
 
     /// Mutable access to a running instance's server.
     pub fn server_mut(&mut self, id: u64) -> Option<&mut Server> {
-        self.instances.iter_mut().find(|i| i.id == id).map(|i| &mut i.server)
+        self.instances
+            .iter_mut()
+            .find(|i| i.id == id)
+            .map(|i| &mut i.server)
     }
 
     /// Billing accumulated so far.
@@ -113,7 +121,9 @@ impl InstancePool {
     /// exceeded.
     pub fn launch(&mut self, instance_type: InstanceType, now_ms: f64) -> Result<u64, PoolError> {
         if self.instances.len() >= self.account_cap {
-            return Err(PoolError::AccountCapReached { cap: self.account_cap });
+            return Err(PoolError::AccountCapReached {
+                cap: self.account_cap,
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -161,7 +171,9 @@ impl InstancePool {
     ) -> Result<Vec<u64>, PoolError> {
         let total: usize = allocation.iter().map(|(_, n)| *n).sum();
         if total > self.account_cap {
-            return Err(PoolError::AccountCapReached { cap: self.account_cap });
+            return Err(PoolError::AccountCapReached {
+                cap: self.account_cap,
+            });
         }
         // Terminate surplus instances per type.
         for &(ty, wanted) in allocation {
@@ -190,7 +202,11 @@ impl InstancePool {
         // Launch what is missing.
         let mut launched = Vec::new();
         for &(ty, wanted) in allocation {
-            let have = self.instances.iter().filter(|i| i.instance_type == ty).count();
+            let have = self
+                .instances
+                .iter()
+                .filter(|i| i.instance_type == ty)
+                .count();
             for _ in have..wanted {
                 launched.push(self.launch(ty, now_ms)?);
             }
@@ -255,21 +271,33 @@ mod tests {
         pool.terminate(id, 90.0 * 60_000.0).unwrap(); // 1.5 h -> billed 2 h
         assert_eq!(pool.billing().hours_for(InstanceType::T2Medium), 2.0);
         assert!(pool.is_empty());
-        assert_eq!(pool.terminate(id, 0.0), Err(PoolError::UnknownInstance { id }));
+        assert_eq!(
+            pool.terminate(id, 0.0),
+            Err(PoolError::UnknownInstance { id })
+        );
     }
 
     #[test]
     fn apply_allocation_converges_to_target() {
         let mut pool = InstancePool::new();
-        pool.apply_allocation(&[(InstanceType::T2Nano, 3), (InstanceType::T2Large, 1)], 0.0)
-            .unwrap();
+        pool.apply_allocation(
+            &[(InstanceType::T2Nano, 3), (InstanceType::T2Large, 1)],
+            0.0,
+        )
+        .unwrap();
         assert_eq!(pool.len(), 4);
         // shrink nano, grow large, drop nothing else
-        pool.apply_allocation(&[(InstanceType::T2Nano, 1), (InstanceType::T2Large, 2)], 3_600_000.0)
-            .unwrap();
+        pool.apply_allocation(
+            &[(InstanceType::T2Nano, 1), (InstanceType::T2Large, 2)],
+            3_600_000.0,
+        )
+        .unwrap();
         let mut counts = pool.count_by_type();
         counts.sort_by_key(|(t, _)| *t);
-        assert_eq!(counts, vec![(InstanceType::T2Nano, 1), (InstanceType::T2Large, 2)]);
+        assert_eq!(
+            counts,
+            vec![(InstanceType::T2Nano, 1), (InstanceType::T2Large, 2)]
+        );
         // the two terminated nanos were billed one hour each
         assert_eq!(pool.billing().hours_for(InstanceType::T2Nano), 2.0);
     }
@@ -277,17 +305,23 @@ mod tests {
     #[test]
     fn apply_allocation_removes_types_not_listed() {
         let mut pool = InstancePool::new();
-        pool.apply_allocation(&[(InstanceType::T2Small, 2)], 0.0).unwrap();
-        pool.apply_allocation(&[(InstanceType::M4_4XLarge, 1)], 1_000.0).unwrap();
+        pool.apply_allocation(&[(InstanceType::T2Small, 2)], 0.0)
+            .unwrap();
+        pool.apply_allocation(&[(InstanceType::M4_4XLarge, 1)], 1_000.0)
+            .unwrap();
         assert_eq!(pool.count_by_type(), vec![(InstanceType::M4_4XLarge, 1)]);
     }
 
     #[test]
     fn apply_allocation_respects_cap_atomically() {
         let mut pool = InstancePool::with_cap(3);
-        pool.apply_allocation(&[(InstanceType::T2Nano, 2)], 0.0).unwrap();
+        pool.apply_allocation(&[(InstanceType::T2Nano, 2)], 0.0)
+            .unwrap();
         let err = pool
-            .apply_allocation(&[(InstanceType::T2Nano, 2), (InstanceType::T2Large, 2)], 1.0)
+            .apply_allocation(
+                &[(InstanceType::T2Nano, 2), (InstanceType::T2Large, 2)],
+                1.0,
+            )
             .unwrap_err();
         assert_eq!(err, PoolError::AccountCapReached { cap: 3 });
         // nothing changed

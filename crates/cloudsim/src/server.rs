@@ -145,7 +145,7 @@ impl Server {
         // search over a generous range.
         let (mut lo, mut hi) = (1usize, 100_000usize);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if self.expected_execution_ms(work_units, mid) <= target_ms {
                 lo = mid;
             } else {
@@ -223,7 +223,11 @@ impl Server {
         let mut response_times = Vec::new();
 
         loop {
-            let share = if active.is_empty() { 1.0 } else { (cores / active.len() as f64).min(1.0) };
+            let share = if active.is_empty() {
+                1.0
+            } else {
+                (cores / active.len() as f64).min(1.0)
+            };
             let next_completion = active
                 .iter()
                 .enumerate()
@@ -236,7 +240,15 @@ impl Server {
                 (true, None) => {
                     now = next_arrival;
                     offered += 1;
-                    admit(&mut active, pool, speed, &self.config, now, &mut dropped, rng);
+                    admit(
+                        &mut active,
+                        pool,
+                        speed,
+                        &self.config,
+                        now,
+                        &mut dropped,
+                        rng,
+                    );
                     next_arrival = now + sample_exponential(mean_arrival_ms, rng);
                 }
                 (arrival_possible, Some((idx, completion_at))) => {
@@ -245,7 +257,15 @@ impl Server {
                         progress(&mut active, dt * share);
                         now = next_arrival;
                         offered += 1;
-                        admit(&mut active, pool, speed, &self.config, now, &mut dropped, rng);
+                        admit(
+                            &mut active,
+                            pool,
+                            speed,
+                            &self.config,
+                            now,
+                            &mut dropped,
+                            rng,
+                        );
                         next_arrival = now + sample_exponential(mean_arrival_ms, rng);
                     } else {
                         let dt = completion_at - now;
@@ -258,8 +278,7 @@ impl Server {
             }
         }
 
-        let utilization =
-            (arrival_hz / self.sustainable_rate_hz(pool.mean_work_units())).min(1.0);
+        let utilization = (arrival_hz / self.sustainable_rate_hz(pool.mean_work_units())).min(1.0);
         if let Some(credits) = self.credits.as_mut() {
             credits.advance(duration_ms, utilization, self.spec.vcpus);
         }
@@ -288,7 +307,10 @@ fn admit<R: Rng + ?Sized>(
     } else {
         let work = pool.draw(rng).work_units();
         let service_ms = config.per_request_overhead_ms + work / speed;
-        active.push(ActiveRequest { remaining_ms: service_ms, started_at: now });
+        active.push(ActiveRequest {
+            remaining_ms: service_ms,
+            started_at: now,
+        });
     }
 }
 
@@ -332,8 +354,11 @@ impl ClosedLoopResult {
     fn from_samples(users: usize, samples: Vec<f64>, throttled_fraction: f64) -> Self {
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-        let mean =
-            if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
         let std_dev = if sorted.len() > 1 {
             (sorted.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (sorted.len() - 1) as f64)
                 .sqrt()
@@ -396,7 +421,11 @@ impl OpenLoopResult {
             dropped,
             mean_response_ms: mean,
             p95_response_ms: p95,
-            success_ratio: if offered == 0 { 1.0 } else { completed as f64 / offered as f64 },
+            success_ratio: if offered == 0 {
+                1.0
+            } else {
+                completed as f64 / offered as f64
+            },
         }
     }
 }
@@ -444,9 +473,13 @@ mod tests {
             (big.expected_execution_ms(work, 30) - big.expected_execution_ms(work, 1)).abs() < 1.0
         );
         // relative degradation at 100 users is much larger on the small box
-        let nano_ratio = nano.expected_execution_ms(work, 100) / nano.expected_execution_ms(work, 1);
+        let nano_ratio =
+            nano.expected_execution_ms(work, 100) / nano.expected_execution_ms(work, 1);
         let big_ratio = big.expected_execution_ms(work, 100) / big.expected_execution_ms(work, 1);
-        assert!(nano_ratio > 3.0 * big_ratio, "nano {nano_ratio} big {big_ratio}");
+        assert!(
+            nano_ratio > 3.0 * big_ratio,
+            "nano {nano_ratio} big {big_ratio}"
+        );
     }
 
     #[test]
@@ -456,7 +489,10 @@ mod tests {
         let server = Server::new(InstanceType::T2Nano);
         let work = TaskSpec::paper_static_minimax().work_units();
         let t = server.expected_execution_ms(work, 50);
-        assert!(t > 1_800.0 && t < 3_200.0, "level-1 response under load: {t} ms");
+        assert!(
+            t > 1_800.0 && t < 3_200.0,
+            "level-1 response under load: {t} ms"
+        );
     }
 
     #[test]
@@ -519,7 +555,11 @@ mod tests {
         assert!(result.offered > 150);
         assert_eq!(result.dropped, 0, "4 Hz is far below the ~38 Hz capacity");
         assert!(result.success_ratio > 0.999);
-        assert!(result.mean_response_ms < 200.0, "mean {}", result.mean_response_ms);
+        assert!(
+            result.mean_response_ms < 200.0,
+            "mean {}",
+            result.mean_response_ms
+        );
     }
 
     #[test]
@@ -534,8 +574,16 @@ mod tests {
         };
         let low = at(16.0);
         let high = at(128.0);
-        assert!(low.success_ratio > 0.95, "16 Hz success {}", low.success_ratio);
-        assert!(high.success_ratio < 0.6, "128 Hz success {}", high.success_ratio);
+        assert!(
+            low.success_ratio > 0.95,
+            "16 Hz success {}",
+            low.success_ratio
+        );
+        assert!(
+            high.success_ratio < 0.6,
+            "128 Hz success {}",
+            high.success_ratio
+        );
         assert!(high.mean_response_ms > 5.0 * low.mean_response_ms);
         assert!(high.dropped > 0);
     }
@@ -550,7 +598,11 @@ mod tests {
         let bound = server.config().max_outstanding as f64
             * (pool.mean_work_units() / server.spec().sustained_core_speed() + 40.0)
             * 1.6;
-        assert!(result.mean_response_ms < bound, "mean {} bound {bound}", result.mean_response_ms);
+        assert!(
+            result.mean_response_ms < bound,
+            "mean {} bound {bound}",
+            result.mean_response_ms
+        );
         assert!(result.p95_response_ms >= result.mean_response_ms);
     }
 
@@ -563,7 +615,10 @@ mod tests {
         assert!(large > 2.0 * small, "two faster cores");
         assert!(m4 > 20.0 * small);
         // t2.large knee lands in the 32–64 Hz band of Fig. 8b
-        assert!(large > 30.0 && large < 64.0, "t2.large saturation {large} Hz");
+        assert!(
+            large > 30.0 && large < 64.0,
+            "t2.large saturation {large} Hz"
+        );
     }
 
     #[test]

@@ -126,8 +126,7 @@ impl DalvikSurrogate {
             return Err(SurrogateError::NoFreePort);
         }
         // find the lowest free port offset
-        let used: std::collections::HashSet<u16> =
-            self.workers.values().map(|w| w.port).collect();
+        let used: std::collections::HashSet<u16> = self.workers.values().map(|w| w.port).collect();
         let port = (0..self.max_workers as u16)
             .map(|off| self.base_port + off)
             .find(|p| !used.contains(p))
@@ -149,7 +148,10 @@ impl DalvikSurrogate {
     /// Time to push all registered APKs into the VM at boot, ms (about 1 ms
     /// per 100 KiB).
     pub fn boot_push_time_ms(&self) -> f64 {
-        self.apks.values().map(|a| f64::from(a.size_kib) / 100.0).sum()
+        self.apks
+            .values()
+            .map(|a| f64::from(a.size_kib) / 100.0)
+            .sum()
     }
 }
 
@@ -158,7 +160,11 @@ mod tests {
     use super::*;
 
     fn apk(id: u32) -> ApkPackage {
-        ApkPackage { apk_id: id, name: format!("app{id}"), size_kib: 2_000 }
+        ApkPackage {
+            apk_id: id,
+            name: format!("app{id}"),
+            size_kib: 2_000,
+        }
     }
 
     #[test]
@@ -169,7 +175,10 @@ mod tests {
     #[test]
     fn spawn_requires_registered_apk() {
         let mut s = DalvikSurrogate::boot(4);
-        assert_eq!(s.spawn_worker(7), Err(SurrogateError::UnknownApk { apk_id: 7 }));
+        assert_eq!(
+            s.spawn_worker(7),
+            Err(SurrogateError::UnknownApk { apk_id: 7 })
+        );
         s.push_apk(apk(7));
         let w = s.spawn_worker(7).unwrap();
         assert_eq!(w.apk_id, 7);

@@ -29,15 +29,12 @@ impl AccelerationGroup {
     /// The cheapest instance type in the group (the allocator's preferred
     /// choice when several types provide the same acceleration).
     pub fn cheapest_instance(&self) -> Option<InstanceType> {
-        self.instance_types
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.spec()
-                    .cost_per_hour
-                    .partial_cmp(&b.spec().cost_per_hour)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.instance_types.iter().copied().min_by(|a, b| {
+            a.spec()
+                .cost_per_hour
+                .partial_cmp(&b.spec().cost_per_hour)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Single-task speed factor of the group (per-core speed of its fastest
@@ -67,13 +64,17 @@ impl AccelerationGroups {
     /// group without instance types, or has duplicate group ids.
     pub fn new(groups: Vec<AccelerationGroup>, response_target_ms: f64) -> Result<Self, CoreError> {
         if groups.is_empty() {
-            return Err(CoreError::InvalidConfig { reason: "no acceleration groups".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "no acceleration groups".into(),
+            });
         }
         let mut ids: Vec<u8> = groups.iter().map(|g| g.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
         if ids.len() != groups.len() {
-            return Err(CoreError::InvalidConfig { reason: "duplicate acceleration group ids".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "duplicate acceleration group ids".into(),
+            });
         }
         if groups.iter().any(|g| g.instance_types.is_empty()) {
             return Err(CoreError::InvalidConfig {
@@ -82,7 +83,10 @@ impl AccelerationGroups {
         }
         let mut groups = groups;
         groups.sort_by_key(|g| g.id);
-        Ok(Self { groups, response_target_ms })
+        Ok(Self {
+            groups,
+            response_target_ms,
+        })
     }
 
     /// The three manually pinned groups of the paper's 8-hour experiment
@@ -107,9 +111,18 @@ impl AccelerationGroups {
         Self::from_assignments(
             &[
                 (AccelerationGroupId(0), vec![InstanceType::T2Micro]),
-                (AccelerationGroupId(1), vec![InstanceType::T2Nano, InstanceType::T2Small]),
-                (AccelerationGroupId(2), vec![InstanceType::T2Medium, InstanceType::T2Large]),
-                (AccelerationGroupId(3), vec![InstanceType::M4_4XLarge, InstanceType::M4_10XLarge]),
+                (
+                    AccelerationGroupId(1),
+                    vec![InstanceType::T2Nano, InstanceType::T2Small],
+                ),
+                (
+                    AccelerationGroupId(2),
+                    vec![InstanceType::T2Medium, InstanceType::T2Large],
+                ),
+                (
+                    AccelerationGroupId(3),
+                    vec![InstanceType::M4_4XLarge, InstanceType::M4_10XLarge],
+                ),
                 (AccelerationGroupId(4), vec![InstanceType::C4_8XLarge]),
             ],
             500.0,
@@ -135,7 +148,11 @@ impl AccelerationGroups {
                     .min()
                     .unwrap_or(0)
                     .max(1);
-                AccelerationGroup { id: *id, instance_types: types.clone(), capacity_per_instance: capacity }
+                AccelerationGroup {
+                    id: *id,
+                    instance_types: types.clone(),
+                    capacity_per_instance: capacity,
+                }
             })
             .collect();
         Self::new(groups, response_target_ms).expect("assignments are statically well formed")
@@ -225,7 +242,11 @@ mod tests {
         assert_eq!(groups.lowest().id, AccelerationGroupId(1));
         assert_eq!(groups.highest().id, AccelerationGroupId(3));
         // capacity grows with the acceleration level
-        let caps: Vec<usize> = groups.groups().iter().map(|g| g.capacity_per_instance).collect();
+        let caps: Vec<usize> = groups
+            .groups()
+            .iter()
+            .map(|g| g.capacity_per_instance)
+            .collect();
         assert!(caps.windows(2).all(|w| w[1] > w[0]), "{caps:?}");
         // speed factors reproduce the Fig. 5 ordering
         let speeds: Vec<f64> = groups.groups().iter().map(|g| g.speed_factor()).collect();
@@ -237,8 +258,14 @@ mod tests {
         let groups = AccelerationGroups::paper_five_groups();
         assert_eq!(groups.len(), 5);
         assert_eq!(groups.lowest().id, AccelerationGroupId(0));
-        assert_eq!(groups.get(AccelerationGroupId(0)).unwrap().instance_types, vec![InstanceType::T2Micro]);
-        assert_eq!(groups.highest().instance_types, vec![InstanceType::C4_8XLarge]);
+        assert_eq!(
+            groups.get(AccelerationGroupId(0)).unwrap().instance_types,
+            vec![InstanceType::T2Micro]
+        );
+        assert_eq!(
+            groups.highest().instance_types,
+            vec![InstanceType::C4_8XLarge]
+        );
     }
 
     #[test]
@@ -254,7 +281,10 @@ mod tests {
     fn clamp_maps_out_of_range_requests() {
         let groups = AccelerationGroups::paper_three_groups();
         assert_eq!(groups.clamp(AccelerationGroupId(2)), AccelerationGroupId(2));
-        assert_eq!(groups.clamp(AccelerationGroupId(200)), AccelerationGroupId(3));
+        assert_eq!(
+            groups.clamp(AccelerationGroupId(200)),
+            AccelerationGroupId(3)
+        );
         assert_eq!(groups.clamp(AccelerationGroupId(0)), AccelerationGroupId(1));
     }
 
@@ -276,7 +306,10 @@ mod tests {
                 capacity_per_instance: 10,
             },
         ];
-        assert!(matches!(AccelerationGroups::new(dup, 500.0), Err(CoreError::InvalidConfig { .. })));
+        assert!(matches!(
+            AccelerationGroups::new(dup, 500.0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
         let empty_members = vec![AccelerationGroup {
             id: AccelerationGroupId(1),
             instance_types: vec![],
@@ -294,7 +327,11 @@ mod tests {
         let classification = LevelClassification {
             response_target_ms: 500.0,
             levels: vec![
-                AccelerationLevel { level: 0, members: vec![InstanceType::T2Micro], capacity: 25 },
+                AccelerationLevel {
+                    level: 0,
+                    members: vec![InstanceType::T2Micro],
+                    capacity: 25,
+                },
                 AccelerationLevel {
                     level: 1,
                     members: vec![InstanceType::T2Nano, InstanceType::T2Small],
@@ -309,7 +346,13 @@ mod tests {
         };
         let groups = AccelerationGroups::from_classification(&classification);
         assert_eq!(groups.len(), 3);
-        assert_eq!(groups.get(AccelerationGroupId(1)).unwrap().capacity_per_instance, 80);
+        assert_eq!(
+            groups
+                .get(AccelerationGroupId(1))
+                .unwrap()
+                .capacity_per_instance,
+            80
+        );
         assert_eq!(
             groups.get(AccelerationGroupId(1)).unwrap().instance_types,
             vec![InstanceType::T2Nano, InstanceType::T2Small]
@@ -335,6 +378,9 @@ mod tests {
             500.0,
         )
         .unwrap();
-        assert_eq!(groups.ids(), vec![AccelerationGroupId(1), AccelerationGroupId(3)]);
+        assert_eq!(
+            groups.ids(),
+            vec![AccelerationGroupId(1), AccelerationGroupId(3)]
+        );
     }
 }

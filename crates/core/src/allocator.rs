@@ -56,18 +56,29 @@ impl Allocation {
 
     /// Number of instances of one type.
     pub fn count_of(&self, instance_type: InstanceType) -> usize {
-        self.counts.iter().find(|(t, _)| *t == instance_type).map(|(_, n)| *n).unwrap_or(0)
+        self.counts
+            .iter()
+            .find(|(t, _)| *t == instance_type)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 
     /// Capacity provided for one group, in concurrent users.
     pub fn capacity_of(&self, group: AccelerationGroupId) -> usize {
-        self.capacity_per_group.iter().find(|(g, _)| *g == group).map(|(_, c)| *c).unwrap_or(0)
+        self.capacity_per_group
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     /// Returns `true` when the allocation provides at least the forecast
     /// workload in every group.
     pub fn covers(&self, forecast: &WorkloadForecast) -> bool {
-        forecast.per_group.iter().all(|(g, w)| self.capacity_of(*g) >= *w)
+        forecast
+            .per_group
+            .iter()
+            .all(|(g, w)| self.capacity_of(*g) >= *w)
     }
 
     /// The instance counts per group for the instance pool
@@ -158,8 +169,9 @@ impl ResourceAllocator {
             .iter()
             .flat_map(|g| {
                 g.instance_types.iter().map(move |&t| {
-                    let capacity =
-                        Server::new(t).capacity_under(typical_work_units, target).max(1);
+                    let capacity = Server::new(t)
+                        .capacity_under(typical_work_units, target)
+                        .max(1);
                     (g.id, t, capacity)
                 })
             })
@@ -225,11 +237,18 @@ impl ResourceAllocator {
         }
         // account cap
         let all_terms: Vec<(mca_lp::VarId, f64)> = vars.iter().map(|(_, _, v)| (*v, 1.0)).collect();
-        problem.add_constraint("account-cap", &all_terms, Sense::Le, self.account_cap as f64);
+        problem.add_constraint(
+            "account-cap",
+            &all_terms,
+            Sense::Le,
+            self.account_cap as f64,
+        );
 
-        let solution = problem.solve().map_err(|e| CoreError::AllocationInfeasible {
-            reason: e.to_string(),
-        })?;
+        let solution = problem
+            .solve()
+            .map_err(|e| CoreError::AllocationInfeasible {
+                reason: e.to_string(),
+            })?;
 
         let mut per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)> = Vec::new();
         for group in self.groups.groups() {
@@ -271,7 +290,9 @@ impl ResourceAllocator {
                 reason: format!("group {} has no instance types", group.id),
             })?;
             let capacity = self.capacity_of(group.id, chosen).max(1);
-            let mut count = workload.div_ceil(capacity).max(self.min_instances_per_group);
+            let mut count = workload
+                .div_ceil(capacity)
+                .max(self.min_instances_per_group);
             if over_provision {
                 count += 1;
             }
@@ -307,9 +328,16 @@ impl ResourceAllocator {
             }
             capacity_per_group.push((*group, cap));
         }
-        let hourly_cost =
-            counts.iter().map(|(t, n)| t.spec().cost_per_hour * *n as f64).sum::<f64>();
-        Allocation { counts, per_group, hourly_cost, capacity_per_group }
+        let hourly_cost = counts
+            .iter()
+            .map(|(t, n)| t.spec().cost_per_hour * *n as f64)
+            .sum::<f64>();
+        Allocation {
+            counts,
+            per_group,
+            hourly_cost,
+            capacity_per_group,
+        }
     }
 }
 
@@ -320,7 +348,10 @@ mod tests {
 
     fn forecast(loads: &[(u8, usize)]) -> WorkloadForecast {
         WorkloadForecast {
-            per_group: loads.iter().map(|&(g, n)| (AccelerationGroupId(g), n)).collect(),
+            per_group: loads
+                .iter()
+                .map(|&(g, n)| (AccelerationGroupId(g), n))
+                .collect(),
             matched_slot: None,
         }
     }
@@ -342,7 +373,9 @@ mod tests {
     #[test]
     fn zero_workload_keeps_the_minimum_fleet() {
         let alloc = allocator(AllocationPolicy::IlpExact);
-        let a = alloc.allocate(&forecast(&[(1, 0), (2, 0), (3, 0)])).unwrap();
+        let a = alloc
+            .allocate(&forecast(&[(1, 0), (2, 0), (3, 0)]))
+            .unwrap();
         assert_eq!(a.total_instances(), 3, "one instance per group");
         for group in [1u8, 2, 3] {
             assert!(a.capacity_of(AccelerationGroupId(group)) >= 1);
@@ -353,10 +386,24 @@ mod tests {
     fn ilp_never_costs_more_than_greedy_or_overprovisioning() {
         let f = forecast(&[(1, 150), (2, 300), (3, 100)]);
         let ilp = allocator(AllocationPolicy::IlpExact).allocate(&f).unwrap();
-        let greedy = allocator(AllocationPolicy::GreedyCheapest).allocate(&f).unwrap();
-        let over = allocator(AllocationPolicy::OverProvision).allocate(&f).unwrap();
-        assert!(ilp.hourly_cost <= greedy.hourly_cost + 1e-9, "ilp {} greedy {}", ilp.hourly_cost, greedy.hourly_cost);
-        assert!(ilp.hourly_cost <= over.hourly_cost + 1e-9, "ilp {} over {}", ilp.hourly_cost, over.hourly_cost);
+        let greedy = allocator(AllocationPolicy::GreedyCheapest)
+            .allocate(&f)
+            .unwrap();
+        let over = allocator(AllocationPolicy::OverProvision)
+            .allocate(&f)
+            .unwrap();
+        assert!(
+            ilp.hourly_cost <= greedy.hourly_cost + 1e-9,
+            "ilp {} greedy {}",
+            ilp.hourly_cost,
+            greedy.hourly_cost
+        );
+        assert!(
+            ilp.hourly_cost <= over.hourly_cost + 1e-9,
+            "ilp {} over {}",
+            ilp.hourly_cost,
+            over.hourly_cost
+        );
         assert!(greedy.covers(&f));
         assert!(over.covers(&f));
     }
@@ -366,8 +413,13 @@ mod tests {
         let alloc = allocator(AllocationPolicy::IlpExact);
         let mut last_cost = 0.0;
         for load in [10usize, 100, 400, 800] {
-            let a = alloc.allocate(&forecast(&[(1, load), (2, load), (3, load / 2)])).unwrap();
-            assert!(a.hourly_cost >= last_cost - 1e-9, "cost must not shrink as load grows");
+            let a = alloc
+                .allocate(&forecast(&[(1, load), (2, load), (3, load / 2)]))
+                .unwrap();
+            assert!(
+                a.hourly_cost >= last_cost - 1e-9,
+                "cost must not shrink as load grows"
+            );
             last_cost = a.hourly_cost;
         }
     }
@@ -376,21 +428,27 @@ mod tests {
     fn infeasible_when_workload_exceeds_account_cap() {
         let alloc = allocator(AllocationPolicy::IlpExact).with_account_cap(2);
         // three groups with a minimum of one instance each cannot fit in 2
-        let err = alloc.allocate(&forecast(&[(1, 1), (2, 1), (3, 1)])).unwrap_err();
+        let err = alloc
+            .allocate(&forecast(&[(1, 1), (2, 1), (3, 1)]))
+            .unwrap_err();
         assert!(matches!(err, CoreError::AllocationInfeasible { .. }));
     }
 
     #[test]
     fn greedy_reports_infeasible_over_cap() {
         let alloc = allocator(AllocationPolicy::GreedyCheapest).with_account_cap(3);
-        let err = alloc.allocate(&forecast(&[(1, 100_000), (2, 0), (3, 0)])).unwrap_err();
+        let err = alloc
+            .allocate(&forecast(&[(1, 100_000), (2, 0), (3, 0)]))
+            .unwrap_err();
         assert!(matches!(err, CoreError::AllocationInfeasible { .. }));
     }
 
     #[test]
     fn overprovision_allocates_spares() {
         let f = forecast(&[(1, 10), (2, 10), (3, 10)]);
-        let over = allocator(AllocationPolicy::OverProvision).allocate(&f).unwrap();
+        let over = allocator(AllocationPolicy::OverProvision)
+            .allocate(&f)
+            .unwrap();
         let exact = allocator(AllocationPolicy::IlpExact).allocate(&f).unwrap();
         assert!(over.total_instances() > exact.total_instances());
         assert!(over.hourly_cost >= exact.hourly_cost);
@@ -401,9 +459,15 @@ mod tests {
         let alloc = allocator(AllocationPolicy::IlpExact);
         let c1 = alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Nano);
         let c2 = alloc.capacity_of(AccelerationGroupId(2), mca_cloudsim::InstanceType::T2Large);
-        let c3 = alloc.capacity_of(AccelerationGroupId(3), mca_cloudsim::InstanceType::M4_4XLarge);
+        let c3 = alloc.capacity_of(
+            AccelerationGroupId(3),
+            mca_cloudsim::InstanceType::M4_4XLarge,
+        );
         assert!(c1 < c2 && c2 < c3, "{c1} {c2} {c3}");
-        assert_eq!(alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Large), 0);
+        assert_eq!(
+            alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Large),
+            0
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct SystemConfig {
     pub prediction_strategy: PredictionStrategy,
     /// Distance function used by the predictor.
     pub distance_kind: DistanceKind,
+    /// Maximum number of slots the predictor's knowledge base retains
+    /// (`None` = unbounded). Bounding the window keeps the per-interval
+    /// nearest-neighbour scan and the history's memory footprint constant
+    /// for long-running deployments.
+    pub history_window: Option<usize>,
     /// Size of the downlink result payload, bytes.
     pub result_bytes: usize,
     /// Hour of day at which the experiment starts (affects network latency).
@@ -58,6 +63,7 @@ impl SystemConfig {
             allocation_policy: AllocationPolicy::IlpExact,
             prediction_strategy: PredictionStrategy::NearestSlot,
             distance_kind: DistanceKind::SetEdit,
+            history_window: None,
             result_bytes: 256,
             start_hour_of_day: 9.0,
         }
@@ -65,12 +71,22 @@ impl SystemConfig {
 
     /// The five-group catalogue (levels 0–4) with otherwise paper defaults.
     pub fn paper_five_groups() -> Self {
-        Self { groups: AccelerationGroups::paper_five_groups(), ..Self::paper_three_groups() }
+        Self {
+            groups: AccelerationGroups::paper_five_groups(),
+            ..Self::paper_three_groups()
+        }
     }
 
     /// Overrides the provisioning slot length.
     pub fn with_slot_length_ms(mut self, slot_length_ms: f64) -> Self {
         self.slot_length_ms = slot_length_ms;
+        self
+    }
+
+    /// Caps the predictor's knowledge base at the `window` most recent
+    /// slots.
+    pub fn with_history_window(mut self, window: usize) -> Self {
+        self.history_window = Some(window);
         self
     }
 
@@ -111,7 +127,10 @@ mod tests {
         assert_eq!(c.account_cap, 20);
         assert_eq!(c.routing_overhead_ms, 150.0);
         assert_eq!(c.slot_length_ms, 3_600_000.0);
-        assert_eq!(c.promotion_policy, PromotionPolicy::Probabilistic { probability: 0.02 });
+        assert_eq!(
+            c.promotion_policy,
+            PromotionPolicy::Probabilistic { probability: 0.02 }
+        );
     }
 
     #[test]

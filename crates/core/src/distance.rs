@@ -9,6 +9,19 @@
 //! into the other, i.e. the size of the symmetric difference. Both are
 //! provided, together with the Marzal–Vidal normalized edit distance used as
 //! an ablation.
+//!
+//! # Performance
+//!
+//! This module sits in the hottest loop of the closed-loop system: the
+//! predictor evaluates a slot distance against every historical slot, every
+//! provisioning interval. [`TimeSlot::users_in`] returns a borrowed sorted
+//! slice, so [`group_distance`] and [`slot_distance`] run as linear merges
+//! with **zero heap allocations**. Every distance also has a `*_bounded`
+//! variant that abandons the computation as soon as the accumulating
+//! distance exceeds a caller-provided cap — the nearest-neighbour search
+//! passes its best-so-far so hopeless candidates exit early — and a
+//! `*_naive` reference that keeps the original set/full-matrix formulation
+//! for property testing and benchmarking.
 
 use crate::timeslot::TimeSlot;
 use mca_offload::{AccelerationGroupId, UserId};
@@ -19,18 +32,113 @@ use std::collections::BTreeSet;
 /// turn one set into the other (`|A \ B| + |B \ A|`, the symmetric
 /// difference). Returns 0 exactly when the sets are equal, matching the
 /// paper's definition of `δ`.
-pub fn group_distance(a: &BTreeSet<UserId>, b: &BTreeSet<UserId>) -> usize {
-    a.symmetric_difference(b).count()
+///
+/// Both inputs must be sorted and deduplicated, which
+/// [`TimeSlot::users_in`] guarantees; the distance is then a single linear
+/// merge with no allocation.
+pub fn group_distance(a: &[UserId], b: &[UserId]) -> usize {
+    let (mut i, mut j) = (0, 0);
+    let mut distance = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                distance += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                distance += 1;
+                j += 1;
+            }
+        }
+    }
+    distance + (a.len() - i) + (b.len() - j)
+}
+
+/// [`group_distance`] with an early exit: returns `None` as soon as the
+/// distance is known to exceed `cap`.
+pub fn group_distance_bounded(a: &[UserId], b: &[UserId], cap: usize) -> Option<usize> {
+    // each side's surplus length is an unavoidable contribution
+    if a.len().abs_diff(b.len()) > cap {
+        return None;
+    }
+    let (mut i, mut j) = (0, 0);
+    let mut distance = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                distance += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                distance += 1;
+                j += 1;
+            }
+        }
+        if distance > cap {
+            return None;
+        }
+    }
+    distance += (a.len() - i) + (b.len() - j);
+    (distance <= cap).then_some(distance)
+}
+
+/// Reference implementation of [`group_distance`] through
+/// `BTreeSet::symmetric_difference`, as the seed implementation computed it
+/// (including its per-call set construction). Kept for property tests and
+/// as the benchmark baseline.
+pub fn group_distance_naive(a: &[UserId], b: &[UserId]) -> usize {
+    let a: BTreeSet<UserId> = a.iter().copied().collect();
+    let b: BTreeSet<UserId> = b.iter().copied().collect();
+    a.symmetric_difference(&b).count()
 }
 
 /// The slot distance `Δ(t_x, t_z)`: the sum of per-group distances `δ` over
-/// the acceleration groups in `groups`.
+/// the acceleration groups in `groups`. Allocation-free.
 pub fn slot_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]) -> usize {
-    groups.iter().map(|g| group_distance(&a.users_in(*g), &b.users_in(*g))).sum()
+    groups
+        .iter()
+        .map(|g| group_distance(a.users_in(*g), b.users_in(*g)))
+        .sum()
+}
+
+/// [`slot_distance`] with an early exit once the accumulated distance
+/// exceeds `cap`.
+pub fn slot_distance_bounded(
+    a: &TimeSlot,
+    b: &TimeSlot,
+    groups: &[AccelerationGroupId],
+    cap: usize,
+) -> Option<usize> {
+    let mut total = 0;
+    for g in groups {
+        total += group_distance_bounded(a.users_in(*g), b.users_in(*g), cap - total)?;
+    }
+    Some(total)
+}
+
+/// Reference implementation of [`slot_distance`] over [`group_distance_naive`].
+pub fn slot_distance_naive(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]) -> usize {
+    groups
+        .iter()
+        .map(|g| group_distance_naive(a.users_in(*g), b.users_in(*g)))
+        .sum()
 }
 
 /// A coarser distance that only compares per-group user *counts* (ignoring
 /// identities). Used as an ablation of the distance metric.
+///
+/// Because every per-group edit distance — set edit or Levenshtein — is at
+/// least the difference of the two user counts, this is also a lower bound
+/// on [`slot_distance`] and [`slot_levenshtein_distance`]; the predictor's
+/// pruned nearest-neighbour search exploits exactly that.
 pub fn count_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]) -> usize {
     groups
         .iter()
@@ -38,9 +146,26 @@ pub fn count_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]
         .sum()
 }
 
+/// Reusable row buffers for the banded Levenshtein computation, so the
+/// nearest-neighbour search allocates once per query instead of once per
+/// candidate.
+#[derive(Debug, Default, Clone)]
+pub struct DistanceScratch {
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl DistanceScratch {
+    /// Fresh, empty buffers (they grow to the longest sequence compared).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Classic Levenshtein edit distance between two sequences (the paper's
 /// `RecordLinkage` primitive operates on strings; user-id sequences sorted by
-/// id are the equivalent here).
+/// id are the equivalent here). This is the full-matrix reference; the
+/// nearest-neighbour search uses [`levenshtein_bounded`] instead.
 pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
@@ -59,6 +184,77 @@ pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
         std::mem::swap(&mut prev, &mut current);
     }
     prev[b.len()]
+}
+
+/// Banded Levenshtein with early exit: returns `Some(d)` when the edit
+/// distance `d` is at most `cap`, `None` otherwise.
+///
+/// Only the diagonal band of width `2·cap + 1` is evaluated (cells outside
+/// it are provably further than `cap`), and the computation abandons a
+/// candidate as soon as a whole row exceeds the cap — the "best-so-far"
+/// early exit of the pruned nearest-neighbour search.
+pub fn levenshtein_bounded<T: PartialEq>(a: &[T], b: &[T], cap: usize) -> Option<usize> {
+    levenshtein_bounded_with(a, b, cap, &mut DistanceScratch::new())
+}
+
+/// [`levenshtein_bounded`] against caller-owned scratch buffers (no
+/// allocation once the scratch has grown to the sequence length).
+pub fn levenshtein_bounded_with<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    cap: usize,
+    scratch: &mut DistanceScratch,
+) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > cap {
+        return None;
+    }
+    if n == 0 || m == 0 {
+        // covered by the length bound above: the distance is max(n, m) <= cap
+        return Some(n.max(m));
+    }
+    // the distance never exceeds the longer length, so a larger cap adds
+    // nothing (and would overflow the band arithmetic)
+    let cap = cap.min(n.max(m));
+    const UNREACHED: usize = usize::MAX / 2;
+    let prev = &mut scratch.prev;
+    let cur = &mut scratch.cur;
+    prev.clear();
+    prev.resize(m + 1, UNREACHED);
+    cur.clear();
+    cur.resize(m + 1, UNREACHED);
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..=m.min(cap) {
+        prev[j] = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(cap);
+        let hi = (i + cap).min(m);
+        let mut row_min = UNREACHED;
+        for j in lo..=hi {
+            let value = if j == 0 {
+                i // reachable only while i <= cap, which lo == 0 implies
+            } else {
+                let delete = prev[j].saturating_add(1);
+                let insert = if j > lo { cur[j - 1] + 1 } else { UNREACHED };
+                let substitute = prev[j - 1].saturating_add(usize::from(a[i - 1] != b[j - 1]));
+                delete.min(insert).min(substitute)
+            };
+            cur[j] = value;
+            row_min = row_min.min(value);
+        }
+        if row_min > cap {
+            return None;
+        }
+        // the next row's band extends one cell right; that cell still holds
+        // a value from two rows ago and must read as unreached
+        if hi < m {
+            cur[hi + 1] = UNREACHED;
+        }
+        std::mem::swap(prev, cur);
+    }
+    let distance = prev[m];
+    (distance <= cap).then_some(distance)
 }
 
 /// Marzal–Vidal normalized edit distance between two sequences: the edit
@@ -85,49 +281,71 @@ pub fn slot_levenshtein_distance(
 ) -> usize {
     groups
         .iter()
-        .map(|g| {
-            let ua: Vec<UserId> = a.users_in(*g).into_iter().collect();
-            let ub: Vec<UserId> = b.users_in(*g).into_iter().collect();
-            levenshtein(&ua, &ub)
-        })
+        .map(|g| levenshtein(a.users_in(*g), b.users_in(*g)))
         .sum()
+}
+
+/// [`slot_levenshtein_distance`] with banded early exit against a cap.
+pub fn slot_levenshtein_distance_bounded(
+    a: &TimeSlot,
+    b: &TimeSlot,
+    groups: &[AccelerationGroupId],
+    cap: usize,
+    scratch: &mut DistanceScratch,
+) -> Option<usize> {
+    let mut total = 0;
+    for g in groups {
+        total += levenshtein_bounded_with(a.users_in(*g), b.users_in(*g), cap - total, scratch)?;
+    }
+    Some(total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn set(ids: &[u32]) -> BTreeSet<UserId> {
-        ids.iter().map(|&i| UserId(i)).collect()
+    fn users(ids: &[u32]) -> Vec<UserId> {
+        let set: BTreeSet<UserId> = ids.iter().map(|&i| UserId(i)).collect();
+        set.into_iter().collect()
     }
 
     fn slot(index: usize, pairs: &[(u8, u32)]) -> TimeSlot {
         TimeSlot::from_assignments(
             index,
-            pairs.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u))),
+            pairs
+                .iter()
+                .map(|&(g, u)| (AccelerationGroupId(g), UserId(u))),
         )
     }
 
-    const GROUPS: [AccelerationGroupId; 3] =
-        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    const GROUPS: [AccelerationGroupId; 3] = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
 
     #[test]
     fn group_distance_is_zero_iff_equal() {
-        assert_eq!(group_distance(&set(&[1, 2, 3]), &set(&[1, 2, 3])), 0);
-        assert_eq!(group_distance(&set(&[]), &set(&[])), 0);
-        assert!(group_distance(&set(&[1, 2]), &set(&[1, 2, 3])) > 0);
+        assert_eq!(group_distance(&users(&[1, 2, 3]), &users(&[1, 2, 3])), 0);
+        assert_eq!(group_distance(&users(&[]), &users(&[])), 0);
+        assert!(group_distance(&users(&[1, 2]), &users(&[1, 2, 3])) > 0);
     }
 
     #[test]
     fn group_distance_counts_insertions_and_deletions() {
-        assert_eq!(group_distance(&set(&[1, 2, 3]), &set(&[2, 3, 4])), 2);
-        assert_eq!(group_distance(&set(&[1, 2]), &set(&[3, 4])), 4);
-        assert_eq!(group_distance(&set(&[]), &set(&[7, 8, 9])), 3);
+        assert_eq!(group_distance(&users(&[1, 2, 3]), &users(&[2, 3, 4])), 2);
+        assert_eq!(group_distance(&users(&[1, 2]), &users(&[3, 4])), 4);
+        assert_eq!(group_distance(&users(&[]), &users(&[7, 8, 9])), 3);
     }
 
     #[test]
     fn group_distance_is_a_metric() {
-        let sets = [set(&[1, 2]), set(&[2, 3]), set(&[1, 2, 3, 4]), set(&[])];
+        let sets = [
+            users(&[1, 2]),
+            users(&[2, 3]),
+            users(&[1, 2, 3, 4]),
+            users(&[]),
+        ];
         for a in &sets {
             assert_eq!(group_distance(a, a), 0);
             for b in &sets {
@@ -143,13 +361,38 @@ mod tests {
     }
 
     #[test]
+    fn merge_distance_agrees_with_naive_reference() {
+        let cases = [
+            (users(&[]), users(&[])),
+            (users(&[1]), users(&[])),
+            (users(&[1, 5, 9]), users(&[2, 5, 8])),
+            (users(&[1, 2, 3, 4]), users(&[3, 4, 5, 6])),
+            (users(&[10, 20, 30]), users(&[10, 20, 30])),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(group_distance(a, b), group_distance_naive(a, b));
+            let d = group_distance(a, b);
+            assert_eq!(group_distance_bounded(a, b, d), Some(d));
+            if d > 0 {
+                assert_eq!(group_distance_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
     fn slot_distance_sums_over_groups() {
         let a = slot(0, &[(1, 1), (1, 2), (2, 5)]);
         let b = slot(1, &[(1, 1), (2, 5), (2, 6), (3, 9)]);
         // group 1: {1,2} vs {1} -> 1; group 2: {5} vs {5,6} -> 1; group 3: {} vs {9} -> 1
         assert_eq!(slot_distance(&a, &b, &GROUPS), 3);
         assert_eq!(slot_distance(&a, &a, &GROUPS), 0);
-        assert_eq!(slot_distance(&a, &b, &GROUPS), slot_distance(&b, &a, &GROUPS));
+        assert_eq!(
+            slot_distance(&a, &b, &GROUPS),
+            slot_distance(&b, &a, &GROUPS)
+        );
+        assert_eq!(slot_distance_naive(&a, &b, &GROUPS), 3);
+        assert_eq!(slot_distance_bounded(&a, &b, &GROUPS, 3), Some(3));
+        assert_eq!(slot_distance_bounded(&a, &b, &GROUPS, 2), None);
     }
 
     #[test]
@@ -161,12 +404,61 @@ mod tests {
     }
 
     #[test]
+    fn count_distance_lower_bounds_both_edit_distances() {
+        let a = slot(0, &[(1, 1), (1, 2), (1, 3), (2, 9), (3, 4)]);
+        let b = slot(1, &[(1, 2), (1, 7), (2, 9), (2, 10), (3, 5)]);
+        let lower = count_distance(&a, &b, &GROUPS);
+        assert!(lower <= slot_distance(&a, &b, &GROUPS));
+        assert!(lower <= slot_levenshtein_distance(&a, &b, &GROUPS));
+    }
+
+    #[test]
     fn levenshtein_known_values() {
         assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
         assert_eq!(levenshtein(b"", b"abc"), 3);
         assert_eq!(levenshtein(b"abc", b""), 3);
         assert_eq!(levenshtein(b"abc", b"abc"), 0);
         assert_eq!(levenshtein(&[1, 2, 3], &[2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees_within_cap_and_prunes_beyond() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"kitten", b"sitting"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"abc", b"abc"),
+            (b"abcdefgh", b"ABCDEFGH"),
+            (b"ab", b"ba"),
+        ];
+        for (a, b) in cases {
+            let exact = levenshtein(a, b);
+            for cap in 0..=(a.len().max(b.len()) + 2) {
+                let bounded = levenshtein_bounded(a, b, cap);
+                if cap >= exact {
+                    assert_eq!(bounded, Some(exact), "{a:?} vs {b:?} cap {cap}");
+                } else {
+                    assert_eq!(bounded, None, "{a:?} vs {b:?} cap {cap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_levenshtein_reuses_scratch() {
+        let mut scratch = DistanceScratch::new();
+        assert_eq!(
+            levenshtein_bounded_with(b"kitten", b"sitting", 10, &mut scratch),
+            Some(3)
+        );
+        assert_eq!(
+            levenshtein_bounded_with(b"ab", b"cd", 1, &mut scratch),
+            None
+        );
+        assert_eq!(
+            levenshtein_bounded_with(b"xy", b"xy", 0, &mut scratch),
+            Some(0)
+        );
     }
 
     #[test]
@@ -186,5 +478,14 @@ mod tests {
         assert_eq!(slot_levenshtein_distance(&a, &b, &GROUPS), 1);
         // the set distance counts the same change as one deletion + one insertion
         assert_eq!(slot_distance(&a, &b, &GROUPS), 2);
+        let mut scratch = DistanceScratch::new();
+        assert_eq!(
+            slot_levenshtein_distance_bounded(&a, &b, &GROUPS, 1, &mut scratch),
+            Some(1)
+        );
+        assert_eq!(
+            slot_levenshtein_distance_bounded(&a, &b, &GROUPS, 0, &mut scratch),
+            None
+        );
     }
 }

@@ -39,11 +39,15 @@ impl fmt::Display for CoreError {
             CoreError::NoInstanceAvailable { group } => {
                 write!(f, "no running instance serves acceleration group {group}")
             }
-            CoreError::EmptyHistory => write!(f, "prediction requires at least one historical time slot"),
+            CoreError::EmptyHistory => {
+                write!(f, "prediction requires at least one historical time slot")
+            }
             CoreError::AllocationInfeasible { reason } => {
                 write!(f, "resource allocation infeasible: {reason}")
             }
-            CoreError::InvalidConfig { reason } => write!(f, "invalid system configuration: {reason}"),
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid system configuration: {reason}")
+            }
         }
     }
 }
@@ -56,10 +60,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::UnknownGroup { group: AccelerationGroupId(9) };
+        let e = CoreError::UnknownGroup {
+            group: AccelerationGroupId(9),
+        };
         assert!(e.to_string().contains("a9"));
         assert!(CoreError::EmptyHistory.to_string().contains("historical"));
-        assert!(CoreError::AllocationInfeasible { reason: "cap".into() }.to_string().contains("cap"));
+        assert!(CoreError::AllocationInfeasible {
+            reason: "cap".into()
+        }
+        .to_string()
+        .contains("cap"));
     }
 
     #[test]

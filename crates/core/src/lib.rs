@@ -14,11 +14,19 @@
 //!   provide which level of acceleration, with what capacity.
 //! * [`logs`] — the request log (the paper's MySQL trace store).
 //! * [`timeslot`] — time slots `T = {t_i}`: per-slot assignment of users to
-//!   acceleration groups, built from the log.
+//!   acceleration groups, built from the log. Each slot stores one sorted,
+//!   deduplicated `Vec<UserId>` run per group, so
+//!   [`TimeSlot::users_in`](timeslot::TimeSlot::users_in) hands out a
+//!   borrowed `&[UserId]` (zero-copy); [`SlotHistory`](timeslot::SlotHistory)
+//!   optionally retains only a sliding window of recent slots.
 //! * [`distance`] — the distance metric of §IV-B-1: per-group edit distance
-//!   `δ` and slot distance `Δ`, plus Levenshtein and normalized variants.
-//! * [`predictor`] — workload prediction (§IV-B): nearest-neighbour search
-//!   over the slot history, with alternative strategies for ablation.
+//!   `δ` and slot distance `Δ` as allocation-free linear merges over the
+//!   sorted runs, plus banded early-exit Levenshtein / normalized variants
+//!   and the retained `*_naive` references.
+//! * [`predictor`] — workload prediction (§IV-B): pruned nearest-neighbour
+//!   search over the slot history (cached per-slot count signatures give an
+//!   `O(groups)` lower bound that skips most candidates), with alternative
+//!   strategies for ablation and the naive full scan as baseline.
 //! * [`metrics`] — prediction accuracy (the paper's 87.5 % headline metric)
 //!   and k-fold cross-validation.
 //! * [`allocator`] — dynamic resource allocation (§IV-C): the ILP and two

@@ -62,8 +62,12 @@ impl TraceLog {
 
     /// Mean round-trip time of successful requests, ms (0 when none).
     pub fn mean_response_ms(&self) -> f64 {
-        let ok: Vec<f64> =
-            self.records.iter().filter(|r| r.success).map(|r| r.round_trip_ms).collect();
+        let ok: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.success)
+            .map(|r| r.round_trip_ms)
+            .collect();
         if ok.is_empty() {
             0.0
         } else {
@@ -97,7 +101,9 @@ impl Extend<TraceRecord> for TraceLog {
 
 impl FromIterator<TraceRecord> for TraceLog {
     fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
-        Self { records: iter.into_iter().collect() }
+        Self {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -157,7 +163,10 @@ mod tests {
     #[test]
     fn extend_appends() {
         let mut log = TraceLog::new();
-        log.extend(vec![record(1.0, 1, 1, 100.0, true), record(2.0, 2, 1, 100.0, true)]);
+        log.extend(vec![
+            record(1.0, 1, 1, 100.0, true),
+            record(2.0, 2, 1, 100.0, true),
+        ]);
         assert_eq!(log.len(), 2);
     }
 }

@@ -46,7 +46,11 @@ pub fn accuracy(
     };
     PredictionQuality {
         overall,
-        mean_absolute_error: if groups.is_empty() { 0.0 } else { abs_err / groups.len() as f64 },
+        mean_absolute_error: if groups.is_empty() {
+            0.0
+        } else {
+            abs_err / groups.len() as f64
+        },
         per_group,
     }
 }
@@ -80,7 +84,10 @@ pub fn cross_validate(
 ) -> CrossValidationReport {
     assert!(k >= 2, "cross-validation requires at least two folds");
     let transitions = history.len().saturating_sub(1);
-    assert!(transitions >= k, "history too short for {k}-fold cross-validation");
+    assert!(
+        transitions >= k,
+        "history too short for {k}-fold cross-validation"
+    );
 
     let mut fold_accuracies = Vec::with_capacity(k);
     let mut evaluated = 0usize;
@@ -108,12 +115,19 @@ pub fn cross_validate(
                 evaluated += 1;
             }
         }
-        let fold_acc =
-            if scores.is_empty() { 0.0 } else { scores.iter().sum::<f64>() / scores.len() as f64 };
+        let fold_acc = if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        };
         fold_accuracies.push(fold_acc);
     }
     let mean_accuracy = fold_accuracies.iter().sum::<f64>() / fold_accuracies.len() as f64;
-    CrossValidationReport { fold_accuracies, mean_accuracy, evaluated_predictions: evaluated }
+    CrossValidationReport {
+        fold_accuracies,
+        mean_accuracy,
+        evaluated_predictions: evaluated,
+    }
 }
 
 /// Learning curve (Fig. 10a): accuracy as a function of the amount of history
@@ -156,8 +170,11 @@ mod tests {
     use super::*;
     use mca_offload::UserId;
 
-    const GROUPS: [AccelerationGroupId; 3] =
-        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    const GROUPS: [AccelerationGroupId; 3] = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
 
     fn slot(n1: u32, n2: u32, n3: u32) -> TimeSlot {
         let mut pairs = Vec::new();
@@ -195,7 +212,12 @@ mod tests {
     #[test]
     fn missing_a_busy_group_scores_zero_for_that_group() {
         let q = accuracy(&forecast(0, 5, 2), &slot(10, 5, 2), &GROUPS);
-        let g1 = q.per_group.iter().find(|(g, _)| *g == AccelerationGroupId(1)).unwrap().1;
+        let g1 = q
+            .per_group
+            .iter()
+            .find(|(g, _)| *g == AccelerationGroupId(1))
+            .unwrap()
+            .1;
         assert_eq!(g1, 0.0);
         assert!(q.overall < 1.0 && q.overall > 0.5);
     }
@@ -241,7 +263,11 @@ mod tests {
         assert!(report.evaluated_predictions >= 10);
         // The nearest-slot strategy matches the current slot's shape; on a
         // slowly varying trace this lands near the paper's ≈87.5 % headline.
-        assert!(report.mean_accuracy > 0.75, "accuracy {}", report.mean_accuracy);
+        assert!(
+            report.mean_accuracy > 0.75,
+            "accuracy {}",
+            report.mean_accuracy
+        );
         assert!(report.mean_accuracy <= 1.0);
     }
 
@@ -265,7 +291,11 @@ mod tests {
         // On a smooth ramp both strategies land in the same high-accuracy
         // band (the ramp is symmetric, so "the slot after the nearest match"
         // is ambiguous and does not strictly dominate plain matching).
-        assert!(nearest.mean_accuracy > 0.7, "nearest {}", nearest.mean_accuracy);
+        assert!(
+            nearest.mean_accuracy > 0.7,
+            "nearest {}",
+            nearest.mean_accuracy
+        );
         assert!(
             successor.mean_accuracy > nearest.mean_accuracy - 0.15,
             "successor {} vs nearest {}",
@@ -287,7 +317,10 @@ mod tests {
         assert!(curve.windows(2).all(|w| w[1].0 > w[0].0), "sizes increase");
         let last = curve.last().unwrap().1;
         let first = curve.first().unwrap().1;
-        assert!(last >= first - 0.1, "accuracy should not collapse with more data");
+        assert!(
+            last >= first - 0.1,
+            "accuracy should not collapse with more data"
+        );
         assert!(last > 0.6, "final accuracy {last}");
     }
 

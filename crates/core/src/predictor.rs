@@ -11,8 +11,27 @@
 //! Besides the paper's strategy, three ablation strategies are provided:
 //! predicting the *successor* of the nearest slot, repeating the last
 //! observed slot, and using the per-group mean of the history.
+//!
+//! # Pruned nearest-neighbour search
+//!
+//! The nearest-slot scan is the hottest loop of the closed-loop system, so
+//! [`WorkloadPredictor::predict`] does not evaluate the full distance for
+//! every candidate. The predictor caches a *count signature* (the per-group
+//! user count) for every historical slot; because every per-group edit
+//! distance — set edit or Levenshtein — is at least the difference of the
+//! two user counts, the signature gives an `O(groups)` lower bound on the
+//! slot distance. Candidates whose bound cannot beat the best distance found
+//! so far are skipped without touching their user lists, and the remaining
+//! candidates are evaluated with the `*_bounded` early-exit distances of
+//! [`crate::distance`] capped at best-so-far. The result is exactly the
+//! slot the naive linear scan would pick (first minimum in chronological
+//! order); [`WorkloadPredictor::predict_naive`] retains that scan as the
+//! reference and benchmark baseline.
 
-use crate::distance::{count_distance, slot_distance, slot_levenshtein_distance};
+use crate::distance::{
+    count_distance, slot_distance, slot_distance_bounded, slot_distance_naive,
+    slot_levenshtein_distance, slot_levenshtein_distance_bounded, DistanceScratch,
+};
 use crate::error::CoreError;
 use crate::timeslot::{SlotHistory, TimeSlot};
 use mca_offload::AccelerationGroupId;
@@ -53,15 +72,19 @@ pub enum DistanceKind {
 pub struct WorkloadForecast {
     /// Predicted number of users per acceleration group (`W_{a_n}`).
     pub per_group: Vec<(AccelerationGroupId, usize)>,
-    /// Index of the historical slot the forecast was taken from, when the
-    /// strategy is history-based.
+    /// Global index of the historical slot the forecast was taken from, when
+    /// the strategy is history-based.
     pub matched_slot: Option<usize>,
 }
 
 impl WorkloadForecast {
     /// Predicted workload for one group (0 when the group is absent).
     pub fn load_of(&self, group: AccelerationGroupId) -> usize {
-        self.per_group.iter().find(|(g, _)| *g == group).map(|(_, n)| *n).unwrap_or(0)
+        self.per_group
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 
     /// Total predicted number of users across groups.
@@ -78,17 +101,25 @@ pub struct WorkloadPredictor {
     strategy: PredictionStrategy,
     distance: DistanceKind,
     groups: Vec<AccelerationGroupId>,
+    /// Flat per-slot count signatures, `groups.len()` entries per retained
+    /// slot, aligned with `history.slots()`.
+    signatures: Vec<usize>,
+    /// Global index of the slot `signatures[0..groups.len()]` belongs to.
+    signature_first_index: usize,
 }
 
 impl WorkloadPredictor {
     /// Creates a predictor over the given acceleration groups with the
-    /// paper's configuration (nearest slot, set edit distance).
+    /// paper's configuration (nearest slot, set edit distance, unbounded
+    /// history).
     pub fn new(groups: Vec<AccelerationGroupId>, slot_length_ms: f64) -> Self {
         Self {
             history: SlotHistory::new(slot_length_ms),
             strategy: PredictionStrategy::NearestSlot,
             distance: DistanceKind::SetEdit,
             groups,
+            signatures: Vec::new(),
+            signature_first_index: 0,
         }
     }
 
@@ -102,6 +133,27 @@ impl WorkloadPredictor {
     pub fn with_distance(mut self, distance: DistanceKind) -> Self {
         self.distance = distance;
         self
+    }
+
+    /// Caps the knowledge base at the `window` most recent slots, bounding
+    /// both memory and the nearest-neighbour scan for long traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.set_window(Some(window));
+        self
+    }
+
+    /// Changes the knowledge-base retention window (`None` = unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is `Some(0)`.
+    pub fn set_window(&mut self, window: Option<usize>) {
+        self.history.set_window(window);
+        self.sync_signatures();
     }
 
     /// The prediction strategy in force.
@@ -122,11 +174,37 @@ impl WorkloadPredictor {
     /// Appends an observed slot to the knowledge base.
     pub fn observe_slot(&mut self, slot: TimeSlot) {
         self.history.push(slot);
+        self.sync_signatures();
     }
 
-    /// Replaces the whole history (used by cross-validation).
+    /// Replaces the whole history (used by cross-validation), keeping the
+    /// window configured on the new history.
     pub fn set_history(&mut self, history: SlotHistory) {
         self.history = history;
+        self.signatures.clear();
+        self.signature_first_index = self.history.first_index();
+        self.sync_signatures();
+    }
+
+    /// Brings the cached count signatures back in line with the retained
+    /// slots after the history grew or evicted from the front.
+    fn sync_signatures(&mut self) {
+        let group_count = self.groups.len();
+        if group_count == 0 {
+            return;
+        }
+        let first = self.history.first_index();
+        if first > self.signature_first_index {
+            let drop = (first - self.signature_first_index) * group_count;
+            self.signatures.drain(0..drop.min(self.signatures.len()));
+            self.signature_first_index = first;
+        }
+        let covered = self.signatures.len() / group_count;
+        for slot in &self.history.slots()[covered..] {
+            self.signatures
+                .extend(self.groups.iter().map(|g| slot.load_of(*g)));
+        }
+        debug_assert_eq!(self.signatures.len(), self.history.len() * group_count);
     }
 
     /// Distance between two slots under the configured distance function.
@@ -138,10 +216,77 @@ impl WorkloadPredictor {
         }
     }
 
+    /// Distance between two slots computed with the retained naive
+    /// reference implementations (per-call set construction, full-matrix
+    /// Levenshtein) — the seed's cost model, kept as a baseline.
+    pub fn distance_between_naive(&self, a: &TimeSlot, b: &TimeSlot) -> usize {
+        match self.distance {
+            DistanceKind::SetEdit => slot_distance_naive(a, b, &self.groups),
+            DistanceKind::Levenshtein => slot_levenshtein_distance(a, b, &self.groups),
+            DistanceKind::CountDifference => count_distance(a, b, &self.groups),
+        }
+    }
+
     /// The knowledge base `P`: the distance from `current` to every
-    /// historical slot, in chronological order.
+    /// retained historical slot, in chronological order.
     pub fn knowledge_base(&self, current: &TimeSlot) -> Vec<usize> {
-        self.history.slots().iter().map(|s| self.distance_between(current, s)).collect()
+        self.history
+            .slots()
+            .iter()
+            .map(|s| self.distance_between(current, s))
+            .collect()
+    }
+
+    /// Position (within the retained slots) of the nearest historical slot,
+    /// using the signature lower bound to skip candidates and the bounded
+    /// distances to abandon the rest early. Ties resolve to the earliest
+    /// slot, exactly like the naive linear scan.
+    fn nearest_position(&self, current: &TimeSlot) -> Option<usize> {
+        let slots = self.history.slots();
+        if slots.is_empty() {
+            return None;
+        }
+        let group_count = self.groups.len();
+        let current_signature: Vec<usize> =
+            self.groups.iter().map(|g| current.load_of(*g)).collect();
+        let mut scratch = DistanceScratch::new();
+        let mut best = usize::MAX;
+        let mut best_position = 0;
+        for (position, slot) in slots.iter().enumerate() {
+            let signature = &self.signatures[position * group_count..(position + 1) * group_count];
+            let lower_bound: usize = current_signature
+                .iter()
+                .zip(signature)
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            if lower_bound >= best {
+                continue;
+            }
+            let candidate = match self.distance {
+                // the signature bound is exactly the count distance
+                DistanceKind::CountDifference => Some(lower_bound),
+                DistanceKind::SetEdit => {
+                    slot_distance_bounded(current, slot, &self.groups, best - 1)
+                }
+                DistanceKind::Levenshtein => slot_levenshtein_distance_bounded(
+                    current,
+                    slot,
+                    &self.groups,
+                    best - 1,
+                    &mut scratch,
+                ),
+            };
+            if let Some(distance) = candidate {
+                if distance < best {
+                    best = distance;
+                    best_position = position;
+                    if best == 0 {
+                        break; // nothing can strictly beat a perfect match
+                    }
+                }
+            }
+        }
+        Some(best_position)
     }
 
     /// Predicts the workload of the next slot given the current slot.
@@ -152,48 +297,88 @@ impl WorkloadPredictor {
     /// available for a history-based strategy.
     pub fn predict(&self, current: &TimeSlot) -> Result<WorkloadForecast, CoreError> {
         match self.strategy {
-            PredictionStrategy::LastValue => Ok(WorkloadForecast {
-                per_group: self.groups.iter().map(|g| (*g, current.load_of(*g))).collect(),
-                matched_slot: None,
-            }),
-            PredictionStrategy::MeanOfHistory => {
-                if self.history.is_empty() {
-                    return Err(CoreError::EmptyHistory);
-                }
-                let n = self.history.len() as f64;
-                let per_group = self
-                    .groups
-                    .iter()
-                    .map(|g| {
-                        let total: usize =
-                            self.history.slots().iter().map(|s| s.load_of(*g)).sum();
-                        (*g, (total as f64 / n).round() as usize)
-                    })
-                    .collect();
-                Ok(WorkloadForecast { per_group, matched_slot: None })
+            PredictionStrategy::LastValue => Ok(self.forecast_from_current(current)),
+            PredictionStrategy::MeanOfHistory => self.forecast_from_mean(),
+            PredictionStrategy::NearestSlot | PredictionStrategy::SuccessorOfNearest => {
+                let nearest = self
+                    .nearest_position(current)
+                    .ok_or(CoreError::EmptyHistory)?;
+                Ok(self.forecast_from_position(nearest))
             }
+        }
+    }
+
+    /// The naive reference prediction: a full linear scan of the knowledge
+    /// base with the `*_naive` distance implementations, as the seed
+    /// computed it. Produces the same forecast as [`WorkloadPredictor::predict`];
+    /// kept for property testing and as the benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistory`] when no historical slot is
+    /// available for a history-based strategy.
+    pub fn predict_naive(&self, current: &TimeSlot) -> Result<WorkloadForecast, CoreError> {
+        match self.strategy {
+            PredictionStrategy::LastValue => Ok(self.forecast_from_current(current)),
+            PredictionStrategy::MeanOfHistory => self.forecast_from_mean(),
             PredictionStrategy::NearestSlot | PredictionStrategy::SuccessorOfNearest => {
                 if self.history.is_empty() {
                     return Err(CoreError::EmptyHistory);
                 }
-                let distances = self.knowledge_base(current);
-                let (best_idx, _) = distances
+                let (nearest, _) = self
+                    .history
+                    .slots()
                     .iter()
+                    .map(|s| self.distance_between_naive(current, s))
                     .enumerate()
-                    .min_by_key(|(_, d)| **d)
+                    .min_by_key(|(_, d)| *d)
                     .expect("history is non-empty");
-                let source_idx = match self.strategy {
-                    PredictionStrategy::SuccessorOfNearest => {
-                        (best_idx + 1).min(self.history.len() - 1)
-                    }
-                    _ => best_idx,
-                };
-                let slot = &self.history.slots()[source_idx];
-                Ok(WorkloadForecast {
-                    per_group: self.groups.iter().map(|g| (*g, slot.load_of(*g))).collect(),
-                    matched_slot: Some(source_idx),
-                })
+                Ok(self.forecast_from_position(nearest))
             }
+        }
+    }
+
+    fn forecast_from_current(&self, current: &TimeSlot) -> WorkloadForecast {
+        WorkloadForecast {
+            per_group: self
+                .groups
+                .iter()
+                .map(|g| (*g, current.load_of(*g)))
+                .collect(),
+            matched_slot: None,
+        }
+    }
+
+    fn forecast_from_mean(&self) -> Result<WorkloadForecast, CoreError> {
+        if self.history.is_empty() {
+            return Err(CoreError::EmptyHistory);
+        }
+        let n = self.history.len() as f64;
+        let per_group = self
+            .groups
+            .iter()
+            .map(|g| {
+                let total: usize = self.history.slots().iter().map(|s| s.load_of(*g)).sum();
+                (*g, (total as f64 / n).round() as usize)
+            })
+            .collect();
+        Ok(WorkloadForecast {
+            per_group,
+            matched_slot: None,
+        })
+    }
+
+    /// Builds the forecast from the retained slot at `position`, applying
+    /// the successor shift when the strategy asks for it.
+    fn forecast_from_position(&self, position: usize) -> WorkloadForecast {
+        let source = match self.strategy {
+            PredictionStrategy::SuccessorOfNearest => (position + 1).min(self.history.len() - 1),
+            _ => position,
+        };
+        let slot = &self.history.slots()[source];
+        WorkloadForecast {
+            per_group: self.groups.iter().map(|g| (*g, slot.load_of(*g))).collect(),
+            matched_slot: Some(self.history.first_index() + source),
         }
     }
 }
@@ -203,8 +388,11 @@ mod tests {
     use super::*;
     use mca_offload::UserId;
 
-    const GROUPS: [AccelerationGroupId; 3] =
-        [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+    const GROUPS: [AccelerationGroupId; 3] = [
+        AccelerationGroupId(1),
+        AccelerationGroupId(2),
+        AccelerationGroupId(3),
+    ];
 
     /// A synthetic slot with `n1`/`n2`/`n3` users in groups 1/2/3, using user
     /// ids offset so that similar loads share most user identities.
@@ -233,7 +421,14 @@ mod tests {
     #[test]
     fn empty_history_is_an_error() {
         let p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
-        assert_eq!(p.predict(&slot(3, 0, 0)).unwrap_err(), CoreError::EmptyHistory);
+        assert_eq!(
+            p.predict(&slot(3, 0, 0)).unwrap_err(),
+            CoreError::EmptyHistory
+        );
+        assert_eq!(
+            p.predict_naive(&slot(3, 0, 0)).unwrap_err(),
+            CoreError::EmptyHistory
+        );
     }
 
     #[test]
@@ -305,10 +500,80 @@ mod tests {
 
     #[test]
     fn distance_kinds_agree_on_identical_slots() {
-        for kind in [DistanceKind::SetEdit, DistanceKind::Levenshtein, DistanceKind::CountDifference] {
+        for kind in [
+            DistanceKind::SetEdit,
+            DistanceKind::Levenshtein,
+            DistanceKind::CountDifference,
+        ] {
             let p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0).with_distance(kind);
             assert_eq!(p.distance_between(&slot(5, 3, 1), &slot(5, 3, 1)), 0);
             assert!(p.distance_between(&slot(5, 3, 1), &slot(9, 0, 0)) > 0);
         }
+    }
+
+    #[test]
+    fn pruned_search_agrees_with_naive_reference_for_every_distance_kind() {
+        let history: Vec<TimeSlot> = (0..40u32)
+            .map(|i| slot(5 + (i * 7) % 23, (i * 3) % 11, (i * 5) % 7))
+            .collect();
+        let probes = [
+            slot(9, 2, 1),
+            slot(0, 0, 0),
+            slot(30, 10, 6),
+            slot(5, 0, 0),
+            slot(17, 8, 3),
+        ];
+        for kind in [
+            DistanceKind::SetEdit,
+            DistanceKind::Levenshtein,
+            DistanceKind::CountDifference,
+        ] {
+            for strategy in [
+                PredictionStrategy::NearestSlot,
+                PredictionStrategy::SuccessorOfNearest,
+            ] {
+                let p = predictor_with_history(history.clone())
+                    .with_distance(kind)
+                    .with_strategy(strategy);
+                for probe in &probes {
+                    let fast = p.predict(probe).unwrap();
+                    let naive = p.predict_naive(probe).unwrap();
+                    assert_eq!(fast, naive, "{kind:?}/{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_caps_the_knowledge_base_and_keeps_global_indices() {
+        let mut p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0).with_window(3);
+        for i in 0..6u32 {
+            p.observe_slot(slot(10 * (i + 1), 0, 0));
+        }
+        assert_eq!(p.history().len(), 3);
+        assert_eq!(p.history().first_index(), 3);
+        // slots retained: loads 40, 50, 60 at global indices 3, 4, 5
+        let forecast = p.predict(&slot(41, 0, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(3));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 40);
+        // the evicted load-10 slot is no longer matchable
+        let forecast = p.predict(&slot(10, 0, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(3));
+        assert_eq!(p.predict_naive(&slot(10, 0, 0)).unwrap(), forecast);
+    }
+
+    #[test]
+    fn window_keeps_signatures_aligned_after_set_history() {
+        let mut donor = SlotHistory::new(3_600_000.0);
+        for i in 0..5u32 {
+            donor.push(slot(i + 1, 0, 0));
+        }
+        let mut p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
+        p.set_history(donor);
+        p.set_window(Some(2));
+        assert_eq!(p.history().len(), 2);
+        let forecast = p.predict(&slot(4, 0, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(3));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 4);
     }
 }

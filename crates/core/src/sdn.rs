@@ -61,7 +61,9 @@ impl SdnAccelerator {
         let mut instances = HashMap::new();
         let mut outstanding = HashMap::new();
         for g in groups.groups() {
-            let ty = g.cheapest_instance().expect("validated groups have instance types");
+            let ty = g
+                .cheapest_instance()
+                .expect("validated groups have instance types");
             servers.insert(g.id.0, Server::new(ty));
             instances.insert(g.id.0, 1);
             outstanding.insert(g.id.0, Vec::new());
@@ -139,10 +141,13 @@ impl SdnAccelerator {
         let group = self
             .groups
             .get(group_id)
-            .ok_or(CoreError::UnknownGroup { group: request.group })?
+            .ok_or(CoreError::UnknownGroup {
+                group: request.group,
+            })?
             .clone();
-        let instance_type =
-            group.cheapest_instance().ok_or(CoreError::NoInstanceAvailable { group: group_id })?;
+        let instance_type = group
+            .cheapest_instance()
+            .ok_or(CoreError::NoInstanceAvailable { group: group_id })?;
 
         // T1: cellular RTT plus payload transfer both ways.
         let hour = self.config.start_hour_of_day + now_ms / 3_600_000.0;
@@ -167,7 +172,10 @@ impl SdnAccelerator {
         let t_cloud = server.sample_execution_ms(work, concurrency, rng);
 
         let response = t1 + t2 + t_cloud;
-        self.outstanding.entry(group_id.0).or_default().push(now_ms + response);
+        self.outstanding
+            .entry(group_id.0)
+            .or_default()
+            .push(now_ms + response);
 
         let record = TraceRecord {
             timestamp_ms: now_ms + response,
@@ -182,7 +190,12 @@ impl SdnAccelerator {
         };
         self.log.append(record.clone());
         self.requests_handled += 1;
-        Ok(RoutedRequest { record, group: group_id, instance_type, concurrency })
+        Ok(RoutedRequest {
+            record,
+            group: group_id,
+            instance_type,
+            concurrency,
+        })
     }
 }
 
@@ -228,7 +241,11 @@ mod tests {
         let mut total = 0.0;
         let n = 200;
         for i in 0..n {
-            total += sdn.handle(&request(1, i), i as f64 * 10_000.0, &mut rng).unwrap().record.t2_ms;
+            total += sdn
+                .handle(&request(1, i), i as f64 * 10_000.0, &mut rng)
+                .unwrap()
+                .record
+                .t2_ms;
         }
         let mean = total / f64::from(n);
         assert!((mean - 150.0).abs() < 15.0, "mean routing {mean} ms");
@@ -239,7 +256,10 @@ mod tests {
         let mut sdn = accelerator();
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..100 {
-            let r = sdn.handle(&request(2, i), i as f64 * 5_000.0, &mut rng).unwrap().record;
+            let r = sdn
+                .handle(&request(2, i), i as f64 * 5_000.0, &mut rng)
+                .unwrap()
+                .record;
             assert!(r.t1_ms < 1_000.0, "T1 {}", r.t1_ms);
         }
     }
@@ -262,10 +282,16 @@ mod tests {
             }
             mean_cloud[usize::from(level) - 1] = total / f64::from(samples);
         }
-        assert!(mean_cloud[0] > mean_cloud[1] && mean_cloud[1] > mean_cloud[2], "{mean_cloud:?}");
+        assert!(
+            mean_cloud[0] > mean_cloud[1] && mean_cloud[1] > mean_cloud[2],
+            "{mean_cloud:?}"
+        );
         // Acceleration 1 under a 50-user background load sits in the ≈2–2.5 s
         // band the paper reports (Fig. 7b / Fig. 9b).
-        assert!(mean_cloud[0] > 1_500.0 && mean_cloud[0] < 3_200.0, "{mean_cloud:?}");
+        assert!(
+            mean_cloud[0] > 1_500.0 && mean_cloud[0] < 3_200.0,
+            "{mean_cloud:?}"
+        );
     }
 
     #[test]
@@ -280,20 +306,23 @@ mod tests {
 
     #[test]
     fn more_instances_reduce_effective_concurrency() {
-        let mut sdn = SdnAccelerator::new(
-            SystemConfig::paper_three_groups().with_background_load(0),
-        );
+        let mut sdn =
+            SdnAccelerator::new(SystemConfig::paper_three_groups().with_background_load(0));
         let mut rng = StdRng::seed_from_u64(6);
         // pile up 40 simultaneous requests on group 1 with a single instance
         for i in 0..40 {
             sdn.handle(&request(1, i), 0.0, &mut rng).unwrap();
         }
-        let single_concurrency =
-            sdn.handle(&request(1, 99), 1.0, &mut rng).unwrap().concurrency;
+        let single_concurrency = sdn
+            .handle(&request(1, 99), 1.0, &mut rng)
+            .unwrap()
+            .concurrency;
         // now give the group 8 instances and admit another request
         sdn.apply_allocation(&[(AccelerationGroupId(1), 8)]);
-        let spread_concurrency =
-            sdn.handle(&request(1, 100), 2.0, &mut rng).unwrap().concurrency;
+        let spread_concurrency = sdn
+            .handle(&request(1, 100), 2.0, &mut rng)
+            .unwrap()
+            .concurrency;
         assert!(
             spread_concurrency < single_concurrency,
             "allocation must spread the load: {spread_concurrency} vs {single_concurrency}"

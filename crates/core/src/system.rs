@@ -100,8 +100,11 @@ impl SystemReport {
     /// Mean accuracy of the workload forecasts over the run (ignoring slots
     /// without a prior forecast).
     pub fn mean_prediction_accuracy(&self) -> Option<f64> {
-        let scores: Vec<f64> =
-            self.slots.iter().filter_map(|s| s.previous_forecast_accuracy).collect();
+        let scores: Vec<f64> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.previous_forecast_accuracy)
+            .collect();
         if scores.is_empty() {
             None
         } else {
@@ -147,9 +150,10 @@ impl System {
         let groups: AccelerationGroups = config.groups.clone();
         let allocator = ResourceAllocator::with_policy(groups.clone(), config.allocation_policy)
             .with_account_cap(config.account_cap);
-        let predictor = WorkloadPredictor::new(groups.ids(), config.slot_length_ms)
+        let mut predictor = WorkloadPredictor::new(groups.ids(), config.slot_length_ms)
             .with_strategy(config.prediction_strategy)
             .with_distance(config.distance_kind);
+        predictor.set_window(config.history_window);
         let pool = InstancePool::with_cap(config.account_cap);
         let sdn = SdnAccelerator::new(config.clone());
         Self {
@@ -243,7 +247,9 @@ impl System {
             // Device-side bookkeeping: battery drain while the radio waits for
             // the result, then the moderator's promotion decision.
             let radio_power = state.moderator.device().radio_power_mw;
-            state.battery.drain(radio_power, routed.record.round_trip_ms);
+            state
+                .battery
+                .drain(radio_power, routed.record.round_trip_ms);
             let event = state.moderator.observe(
                 arrival.task.kind.name(),
                 routed.record.round_trip_ms,
@@ -251,7 +257,11 @@ impl System {
                 rng,
             );
             if let mca_mobile::ModeratorEvent::Promote(to_group) = event {
-                promotions.push(PromotionEvent { user, time_ms: arrival.time_ms, to_group });
+                promotions.push(PromotionEvent {
+                    user,
+                    time_ms: arrival.time_ms,
+                    to_group,
+                });
             }
         }
 
@@ -288,8 +298,9 @@ impl System {
             groups.iter().map(|g| (*g, slot.load_of(*g))).collect();
 
         // Score the forecast that was made for this slot.
-        let previous_forecast_accuracy =
-            pending_forecast.as_ref().map(|f| accuracy(f, slot, &groups).overall);
+        let previous_forecast_accuracy = pending_forecast
+            .as_ref()
+            .map(|f| accuracy(f, slot, &groups).overall);
 
         // Learn from this slot and forecast the next one.
         self.predictor.observe_slot(slot.clone());
@@ -319,7 +330,11 @@ impl System {
     }
 
     fn apply_allocation(&mut self, allocation: &Allocation, now_ms: f64) {
-        if self.pool.apply_allocation(&allocation.pool_allocation(), now_ms).is_ok() {
+        if self
+            .pool
+            .apply_allocation(&allocation.pool_allocation(), now_ms)
+            .is_ok()
+        {
             let per_group: Vec<(AccelerationGroupId, usize)> = allocation
                 .per_group
                 .iter()
@@ -332,9 +347,11 @@ impl System {
     fn build_perceptions(&self, records: &[TraceRecord]) -> Vec<UserPerception> {
         let mut map: HashMap<UserId, UserPerception> = HashMap::new();
         for r in records {
-            let entry = map
-                .entry(r.user)
-                .or_insert_with(|| UserPerception { user: r.user, responses: Vec::new(), promotions: 0 });
+            let entry = map.entry(r.user).or_insert_with(|| UserPerception {
+                user: r.user,
+                responses: Vec::new(),
+                promotions: 0,
+            });
             entry.responses.push((r.round_trip_ms, r.group));
         }
         for (user, perception) in &mut map {
@@ -404,7 +421,10 @@ mod tests {
         );
         let report = system.run(&workload, &mut rng);
         assert!(report.promotions.is_empty());
-        assert!(report.records.iter().all(|r| r.group == AccelerationGroupId(1)));
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.group == AccelerationGroupId(1)));
         assert_eq!(report.promoted_user_fraction(AccelerationGroupId(1)), 0.0);
     }
 
@@ -414,7 +434,9 @@ mod tests {
         let workload = minimax_workload(6, 8.0 * 60_000.0, 13);
         let mut system = System::new(
             SystemConfig::paper_three_groups()
-                .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 100.0 })
+                .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold {
+                    threshold_ms: 100.0,
+                })
                 .with_slot_length_ms(2.0 * 60_000.0),
         );
         let report = system.run(&workload, &mut rng);
@@ -458,9 +480,38 @@ mod tests {
         assert!(report.slots.iter().all(|s| s.forecast.is_some()));
         assert!(report.slots.iter().all(|s| s.allocated_instances >= 3));
         // forecasts are scored from the second slot onwards
-        assert!(report.slots.iter().skip(1).all(|s| s.previous_forecast_accuracy.is_some()));
+        assert!(report
+            .slots
+            .iter()
+            .skip(1)
+            .all(|s| s.previous_forecast_accuracy.is_some()));
         let acc = report.mean_prediction_accuracy().unwrap();
         assert!(acc > 0.3 && acc <= 1.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn bounded_history_window_keeps_the_system_running() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let workload = minimax_workload(8, 10.0 * 60_000.0, 17);
+        let mut system = System::new(
+            SystemConfig::paper_three_groups()
+                .with_slot_length_ms(60_000.0)
+                .with_history_window(3),
+        );
+        let report = system.run(&workload, &mut rng);
+        assert_eq!(report.records.len(), workload.len());
+        assert!(report.slots.len() >= 9);
+        // forecasts keep flowing after eviction starts, and every match
+        // references a retained (global) slot index
+        assert!(report.slots.iter().all(|s| s.forecast.is_some()));
+        for observation in &report.slots {
+            let matched = observation.forecast.as_ref().unwrap().matched_slot.unwrap();
+            assert!(matched <= observation.index);
+            assert!(
+                matched + 3 > observation.index,
+                "match fell out of the window"
+            );
+        }
     }
 
     #[test]
@@ -469,7 +520,9 @@ mod tests {
         let workload = minimax_workload(3, 6.0 * 60_000.0, 15);
         let mut system = System::new(
             SystemConfig::paper_three_groups()
-                .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 50.0 })
+                .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold {
+                    threshold_ms: 50.0,
+                })
                 .with_slot_length_ms(60_000.0),
         );
         let report = system.run(&workload, &mut rng);
@@ -487,11 +540,15 @@ mod tests {
         let mut rng_a = StdRng::seed_from_u64(6);
         let mut rng_b = StdRng::seed_from_u64(6);
         let light = System::new(
-            SystemConfig::paper_three_groups().with_background_load(0).with_slot_length_ms(60_000.0),
+            SystemConfig::paper_three_groups()
+                .with_background_load(0)
+                .with_slot_length_ms(60_000.0),
         )
         .run(&workload, &mut rng_a);
         let heavy = System::new(
-            SystemConfig::paper_three_groups().with_background_load(80).with_slot_length_ms(60_000.0),
+            SystemConfig::paper_three_groups()
+                .with_background_load(80)
+                .with_slot_length_ms(60_000.0),
         )
         .run(&workload, &mut rng_b);
         assert!(heavy.mean_response_ms > light.mean_response_ms * 1.5);

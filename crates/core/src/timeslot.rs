@@ -6,25 +6,48 @@
 //! acceleration group at a time period `t` contains a certain number of users
 //! or an empty set." The model supports any slot length, defined in
 //! (fractions of) hours.
+//!
+//! # Representation
+//!
+//! A slot stores one *run* per non-empty acceleration group: a sorted,
+//! deduplicated `Vec<UserId>`. Runs are kept sorted by group id. This flat
+//! layout exists for the workload predictor's sake — it compares the current
+//! slot against every historical slot each interval, and sorted runs let
+//! [`crate::distance`] compute edit distances as allocation-free linear
+//! merges while [`TimeSlot::users_in`] hands out a borrowed `&[UserId]`
+//! instead of cloning a set. Semantics are unchanged from the earlier
+//! `BTreeMap<_, BTreeSet<_>>` representation: the same `(group, user)` pairs
+//! produce an equal slot regardless of insertion order, and a user assigned
+//! twice is stored once.
 
 use crate::logs::TraceLog;
 use mca_offload::{AccelerationGroupId, TraceRecord, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+
+/// The users of one acceleration group within a slot, sorted by id and
+/// deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct GroupRun {
+    group: AccelerationGroupId,
+    users: Vec<UserId>,
+}
 
 /// One time slot `t_i`: which users were active in which acceleration group.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeSlot {
     /// Slot index within the history (chronological).
     pub index: usize,
-    /// Users active per acceleration group during the slot.
-    assignments: BTreeMap<AccelerationGroupId, BTreeSet<UserId>>,
+    /// One run per non-empty group, sorted by group id.
+    runs: Vec<GroupRun>,
 }
 
 impl TimeSlot {
     /// Creates an empty slot with the given index.
     pub fn new(index: usize) -> Self {
-        Self { index, assignments: BTreeMap::new() }
+        Self {
+            index,
+            runs: Vec::new(),
+        }
     }
 
     /// Records that `user` was active in `group` during this slot. A user
@@ -32,31 +55,86 @@ impl TimeSlot {
     /// mid-slot) is counted in each group it touched, matching the paper's
     /// per-group workload definition `W_an`.
     pub fn assign(&mut self, group: AccelerationGroupId, user: UserId) {
-        self.assignments.entry(group).or_default().insert(user);
+        let run = match self.runs.binary_search_by_key(&group, |r| r.group) {
+            Ok(at) => &mut self.runs[at],
+            Err(at) => {
+                self.runs.insert(
+                    at,
+                    GroupRun {
+                        group,
+                        users: Vec::new(),
+                    },
+                );
+                &mut self.runs[at]
+            }
+        };
+        // the common case is appending in increasing user order
+        match run.users.last() {
+            Some(&last) if last < user => run.users.push(user),
+            Some(&last) if last == user => {}
+            _ => {
+                if let Err(at) = run.users.binary_search(&user) {
+                    run.users.insert(at, user);
+                }
+            }
+        }
     }
 
-    /// The set of users active in `group` (empty set when none).
-    pub fn users_in(&self, group: AccelerationGroupId) -> BTreeSet<UserId> {
-        self.assignments.get(&group).cloned().unwrap_or_default()
+    /// The users active in `group`, sorted by id (empty slice when none).
+    ///
+    /// This is a borrow into the slot — the predictor's distance loops call
+    /// it for every (slot, group) pair and must not allocate.
+    pub fn users_in(&self, group: AccelerationGroupId) -> &[UserId] {
+        match self.runs.binary_search_by_key(&group, |r| r.group) {
+            Ok(at) => &self.runs[at].users,
+            Err(_) => &[],
+        }
     }
 
     /// Number of users active in `group` — the workload `W_an`.
     pub fn load_of(&self, group: AccelerationGroupId) -> usize {
-        self.assignments.get(&group).map(BTreeSet::len).unwrap_or(0)
+        self.users_in(group).len()
     }
 
-    /// The acceleration groups that have at least one user in this slot.
-    pub fn groups(&self) -> Vec<AccelerationGroupId> {
-        self.assignments.keys().copied().collect()
+    /// The acceleration groups that have at least one user in this slot, in
+    /// increasing id order.
+    pub fn groups(&self) -> impl Iterator<Item = AccelerationGroupId> + '_ {
+        self.runs.iter().map(|r| r.group)
+    }
+
+    /// `(group, user count)` per non-empty group, in increasing group order —
+    /// the slot's count signature, used by the predictor's pruning bound.
+    pub fn group_loads(&self) -> impl Iterator<Item = (AccelerationGroupId, usize)> + '_ {
+        self.runs.iter().map(|r| (r.group, r.users.len()))
     }
 
     /// Total number of distinct users active in the slot.
     pub fn total_users(&self) -> usize {
-        let mut all: BTreeSet<UserId> = BTreeSet::new();
-        for users in self.assignments.values() {
-            all.extend(users.iter().copied());
+        match self.runs.len() {
+            0 => 0,
+            1 => self.runs[0].users.len(),
+            _ => {
+                // count the union of the sorted runs with a k-way merge
+                let mut cursors = vec![0usize; self.runs.len()];
+                let mut distinct = 0usize;
+                loop {
+                    let mut lowest: Option<UserId> = None;
+                    for (run, &cursor) in self.runs.iter().zip(&cursors) {
+                        if let Some(&user) = run.users.get(cursor) {
+                            lowest = Some(lowest.map_or(user, |low: UserId| low.min(user)));
+                        }
+                    }
+                    let Some(lowest) = lowest else { break };
+                    distinct += 1;
+                    for (run, cursor) in self.runs.iter().zip(&mut cursors) {
+                        if run.users.get(*cursor) == Some(&lowest) {
+                            *cursor += 1;
+                        }
+                    }
+                }
+                distinct
+            }
         }
-        all.len()
     }
 
     /// The per-group workload vector over `groups` (0 for missing groups).
@@ -66,7 +144,8 @@ impl TimeSlot {
 
     /// Returns `true` when no user is assigned to any group.
     pub fn is_empty(&self) -> bool {
-        self.assignments.values().all(BTreeSet::is_empty)
+        // runs are only materialized by `assign`, so none is ever empty
+        self.runs.is_empty()
     }
 
     /// Builds a slot directly from `(group, user)` pairs (mainly for tests
@@ -84,28 +163,90 @@ impl TimeSlot {
 }
 
 /// The chronological history of time slots `T` extracted from the log.
+///
+/// A history may be given a *window*: an upper bound on the number of most
+/// recent slots it retains. Older slots are evicted from the front, which
+/// bounds both the memory held by a long-running system and the cost of the
+/// predictor's nearest-neighbour scan. [`TimeSlot::index`] values stay
+/// global (chronological since the beginning of the trace), so an evicted
+/// history still reports meaningful slot indices; [`SlotHistory::first_index`]
+/// gives the global index of the oldest retained slot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlotHistory {
     slots: Vec<TimeSlot>,
     /// Slot length in milliseconds.
     pub slot_length_ms: f64,
+    /// Maximum number of retained slots (`None` = unbounded).
+    window: Option<usize>,
+    /// Number of slots evicted from the front so far.
+    evicted: usize,
 }
 
 impl SlotHistory {
-    /// Creates an empty history with the given slot length.
+    /// Creates an empty, unbounded history with the given slot length.
     ///
     /// # Panics
     ///
     /// Panics if the slot length is not strictly positive.
     pub fn new(slot_length_ms: f64) -> Self {
         assert!(slot_length_ms > 0.0, "slot length must be positive");
-        Self { slots: Vec::new(), slot_length_ms }
+        Self {
+            slots: Vec::new(),
+            slot_length_ms,
+            window: None,
+            evicted: 0,
+        }
     }
 
     /// A one-hour slot length — the granularity at which cloud instances are
     /// billed and (re-)allocated.
     pub fn hourly() -> Self {
         Self::new(3_600_000.0)
+    }
+
+    /// Caps the history at the `window` most recent slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.set_window(Some(window));
+        self
+    }
+
+    /// Changes the retention window (`None` = unbounded), evicting
+    /// immediately if the history already exceeds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is `Some(0)`.
+    pub fn set_window(&mut self, window: Option<usize>) {
+        assert!(
+            window != Some(0),
+            "history window must hold at least one slot"
+        );
+        self.window = window;
+        self.trim();
+    }
+
+    /// The retention window, when one is set.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Global index of the oldest retained slot (0 until eviction starts).
+    pub fn first_index(&self) -> usize {
+        self.evicted
+    }
+
+    fn trim(&mut self) {
+        if let Some(window) = self.window {
+            if self.slots.len() > window {
+                let excess = self.slots.len() - window;
+                self.slots.drain(0..excess);
+                self.evicted += excess;
+            }
+        }
     }
 
     /// Builds the history from a trace log, assigning each record to the slot
@@ -119,29 +260,36 @@ impl SlotHistory {
     }
 
     /// Incorporates one processed request into the history, creating slots as
-    /// needed.
+    /// needed. Records older than the oldest retained slot (possible only
+    /// after window eviction) are dropped.
     pub fn observe(&mut self, record: &TraceRecord) {
         let idx = (record.timestamp_ms / self.slot_length_ms).floor().max(0.0) as usize;
-        while self.slots.len() <= idx {
-            let next = self.slots.len();
-            self.slots.push(TimeSlot::new(next));
+        if idx < self.evicted {
+            return;
         }
-        self.slots[idx].assign(record.group, record.user);
+        while self.evicted + self.slots.len() <= idx {
+            let next = self.evicted + self.slots.len();
+            self.slots.push(TimeSlot::new(next));
+            self.trim();
+        }
+        self.slots[idx - self.evicted].assign(record.group, record.user);
     }
 
     /// Appends an already-built slot (its index is rewritten to stay
-    /// chronological).
+    /// chronological), evicting the oldest slot when a window is set and
+    /// full.
     pub fn push(&mut self, mut slot: TimeSlot) {
-        slot.index = self.slots.len();
+        slot.index = self.evicted + self.slots.len();
         self.slots.push(slot);
+        self.trim();
     }
 
-    /// The slots in chronological order.
+    /// The retained slots in chronological order.
     pub fn slots(&self) -> &[TimeSlot] {
         &self.slots
     }
 
-    /// Number of slots (`H`, the amount of stored history available).
+    /// Number of retained slots (`H`, the amount of history available).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
@@ -186,8 +334,39 @@ mod tests {
         assert_eq!(slot.load_of(AccelerationGroupId(2)), 1);
         assert_eq!(slot.load_of(AccelerationGroupId(3)), 0);
         assert_eq!(slot.total_users(), 3);
-        assert_eq!(slot.groups(), vec![AccelerationGroupId(1), AccelerationGroupId(2)]);
+        assert_eq!(
+            slot.groups().collect::<Vec<_>>(),
+            vec![AccelerationGroupId(1), AccelerationGroupId(2)]
+        );
         assert!(!slot.is_empty());
+    }
+
+    #[test]
+    fn users_are_sorted_and_deduplicated_regardless_of_insertion_order() {
+        let slot = TimeSlot::from_assignments(
+            0,
+            [9, 3, 7, 3, 1, 9, 2]
+                .into_iter()
+                .map(|u| (AccelerationGroupId(1), UserId(u))),
+        );
+        assert_eq!(
+            slot.users_in(AccelerationGroupId(1)),
+            &[UserId(1), UserId(2), UserId(3), UserId(7), UserId(9)]
+        );
+        // insertion order does not matter for equality
+        let sorted = TimeSlot::from_assignments(
+            0,
+            [1, 2, 3, 7, 9]
+                .into_iter()
+                .map(|u| (AccelerationGroupId(1), UserId(u))),
+        );
+        assert_eq!(slot, sorted);
+    }
+
+    #[test]
+    fn users_in_missing_group_is_the_empty_slice() {
+        let slot = TimeSlot::new(0);
+        assert_eq!(slot.users_in(AccelerationGroupId(9)), &[] as &[UserId]);
     }
 
     #[test]
@@ -205,6 +384,22 @@ mod tests {
     }
 
     #[test]
+    fn total_users_merges_across_groups() {
+        let slot = TimeSlot::from_assignments(
+            0,
+            [
+                (AccelerationGroupId(1), UserId(1)),
+                (AccelerationGroupId(1), UserId(2)),
+                (AccelerationGroupId(2), UserId(2)),
+                (AccelerationGroupId(2), UserId(3)),
+                (AccelerationGroupId(3), UserId(3)),
+                (AccelerationGroupId(3), UserId(4)),
+            ],
+        );
+        assert_eq!(slot.total_users(), 4);
+    }
+
+    #[test]
     fn workload_vector_follows_group_order() {
         let slot = TimeSlot::from_assignments(
             0,
@@ -214,8 +409,16 @@ mod tests {
                 (AccelerationGroupId(3), UserId(3)),
             ],
         );
-        let groups = [AccelerationGroupId(1), AccelerationGroupId(2), AccelerationGroupId(3)];
+        let groups = [
+            AccelerationGroupId(1),
+            AccelerationGroupId(2),
+            AccelerationGroupId(3),
+        ];
         assert_eq!(slot.workload_vector(&groups), vec![1, 0, 2]);
+        assert_eq!(
+            slot.group_loads().collect::<Vec<_>>(),
+            vec![(AccelerationGroupId(1), 1), (AccelerationGroupId(3), 2)]
+        );
     }
 
     #[test]
@@ -238,8 +441,9 @@ mod tests {
 
     #[test]
     fn intermediate_empty_slots_are_materialized() {
-        let log: TraceLog =
-            vec![record(100.0, 1, 1), record(10.0 * 3_600_000.0 + 1.0, 2, 1)].into_iter().collect();
+        let log: TraceLog = vec![record(100.0, 1, 1), record(10.0 * 3_600_000.0 + 1.0, 2, 1)]
+            .into_iter()
+            .collect();
         let history = SlotHistory::from_log(&log, 3_600_000.0);
         assert_eq!(history.len(), 11);
         assert!(history.slots()[5].is_empty());
@@ -248,16 +452,87 @@ mod tests {
     #[test]
     fn push_rewrites_index() {
         let mut history = SlotHistory::hourly();
-        history.push(TimeSlot::from_assignments(99, [(AccelerationGroupId(1), UserId(1))]));
-        history.push(TimeSlot::from_assignments(42, [(AccelerationGroupId(1), UserId(2))]));
+        history.push(TimeSlot::from_assignments(
+            99,
+            [(AccelerationGroupId(1), UserId(1))],
+        ));
+        history.push(TimeSlot::from_assignments(
+            42,
+            [(AccelerationGroupId(1), UserId(2))],
+        ));
         assert_eq!(history.slots()[0].index, 0);
         assert_eq!(history.slots()[1].index, 1);
         assert_eq!(history.slot_length_ms, 3_600_000.0);
     }
 
     #[test]
+    fn window_evicts_oldest_slots_and_keeps_global_indices() {
+        let mut history = SlotHistory::hourly().with_window(3);
+        for u in 0..5u32 {
+            history.push(TimeSlot::from_assignments(
+                0,
+                [(AccelerationGroupId(1), UserId(u))],
+            ));
+        }
+        assert_eq!(history.len(), 3);
+        assert_eq!(history.first_index(), 2);
+        assert_eq!(history.window(), Some(3));
+        let indices: Vec<usize> = history.slots().iter().map(|s| s.index).collect();
+        assert_eq!(indices, vec![2, 3, 4]);
+        assert_eq!(
+            history.slots()[0].users_in(AccelerationGroupId(1)),
+            &[UserId(2)]
+        );
+        assert_eq!(history.last().unwrap().index, 4);
+    }
+
+    #[test]
+    fn shrinking_the_window_trims_immediately() {
+        let mut history = SlotHistory::hourly();
+        for u in 0..6u32 {
+            history.push(TimeSlot::from_assignments(
+                0,
+                [(AccelerationGroupId(1), UserId(u))],
+            ));
+        }
+        history.set_window(Some(2));
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.first_index(), 4);
+        history.set_window(None);
+        for u in 6..9u32 {
+            history.push(TimeSlot::from_assignments(
+                0,
+                [(AccelerationGroupId(1), UserId(u))],
+            ));
+        }
+        assert_eq!(history.len(), 5);
+    }
+
+    #[test]
+    fn windowed_observe_ignores_records_older_than_retention() {
+        let mut history = SlotHistory::new(1_000.0).with_window(2);
+        history.observe(&record(100.0, 1, 1)); // slot 0
+        history.observe(&record(3_500.0, 2, 1)); // slots 1..=3, evicts 0..=1
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.first_index(), 2);
+        history.observe(&record(500.0, 3, 1)); // slot 0: already evicted, dropped
+        assert_eq!(history.slots()[0].load_of(AccelerationGroupId(1)), 0);
+        history.observe(&record(2_500.0, 4, 1)); // slot 2: retained
+        assert_eq!(
+            history.slots()[0].users_in(AccelerationGroupId(1)),
+            &[UserId(4)]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "slot length must be positive")]
     fn zero_slot_length_panics() {
         let _ = SlotHistory::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_window_panics() {
+        let _ = SlotHistory::hourly().with_window(0);
     }
 }

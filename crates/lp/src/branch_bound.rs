@@ -20,7 +20,11 @@ pub struct BranchBoundOptions {
 
 impl Default for BranchBoundOptions {
     fn default() -> Self {
-        Self { max_nodes: 100_000, integrality_tolerance: 1e-6, absolute_gap: 1e-9 }
+        Self {
+            max_nodes: 100_000,
+            integrality_tolerance: 1e-6,
+            absolute_gap: 1e-9,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
 
         let solver = SimplexSolver::from_problem(problem, &node.bounds);
         let (objective, values, node_pivots) = match solver.solve()? {
-            SimplexOutcome::Optimal { objective, values, pivots } => (objective, values, pivots),
+            SimplexOutcome::Optimal {
+                objective,
+                values,
+                pivots,
+            } => (objective, values, pivots),
             SimplexOutcome::Infeasible => continue,
             SimplexOutcome::Unbounded => {
                 if node.bounds.is_empty() {
@@ -208,10 +216,20 @@ mod tests {
             Sense::Ge,
             200.0,
         );
-        p.add_constraint("cc", &[(small, 1.0), (medium, 1.0), (large, 1.0)], Sense::Le, 8.0);
+        p.add_constraint(
+            "cc",
+            &[(small, 1.0), (medium, 1.0), (large, 1.0)],
+            Sense::Le,
+            8.0,
+        );
         let sol = p.solve().unwrap();
         let (bf_obj, _) = brute_force_min(&p, 8).unwrap();
-        assert!((sol.objective - bf_obj).abs() < 1e-9, "bb={} bf={}", sol.objective, bf_obj);
+        assert!(
+            (sol.objective - bf_obj).abs() < 1e-9,
+            "bb={} bf={}",
+            sol.objective,
+            bf_obj
+        );
         assert!(p.is_feasible(&sol.values, 1e-6));
     }
 
@@ -219,11 +237,22 @@ mod tests {
     fn respects_node_limit() {
         let mut p = Problem::minimize();
         let vars: Vec<_> = (0..6)
-            .map(|i| p.add_var(format!("x{i}"), VarKind::Integer, 0.0, Some(50.0), 1.0 + i as f64))
+            .map(|i| {
+                p.add_var(
+                    format!("x{i}"),
+                    VarKind::Integer,
+                    0.0,
+                    Some(50.0),
+                    1.0 + i as f64,
+                )
+            })
             .collect();
         let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 7.0)).collect();
         p.add_constraint("c", &terms, Sense::Ge, 100.0);
-        let options = BranchBoundOptions { max_nodes: 1, ..Default::default() };
+        let options = BranchBoundOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
         // Either an incumbent was found within one node or we get NodeLimit;
         // with one node no incumbent can exist unless the relaxation is integral.
         match p.solve_with(&options) {

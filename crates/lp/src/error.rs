@@ -47,11 +47,17 @@ impl fmt::Display for LpError {
                 write!(f, "variable id {index} does not belong to this problem")
             }
             LpError::NodeLimit { explored } => {
-                write!(f, "branch-and-bound node limit reached after {explored} nodes")
+                write!(
+                    f,
+                    "branch-and-bound node limit reached after {explored} nodes"
+                )
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::InvalidBounds { name } => {
-                write!(f, "variable `{name}` has lower bound greater than upper bound")
+                write!(
+                    f,
+                    "variable `{name}` has lower bound greater than upper bound"
+                )
             }
         }
     }
@@ -68,7 +74,9 @@ mod tests {
         let errors = [
             LpError::Infeasible,
             LpError::Unbounded,
-            LpError::NonFiniteInput { what: "objective".into() },
+            LpError::NonFiniteInput {
+                what: "objective".into(),
+            },
             LpError::UnknownVariable { index: 3 },
             LpError::NodeLimit { explored: 10 },
             LpError::IterationLimit,

@@ -39,9 +39,8 @@ pub enum SimplexOutcome {
     Unbounded,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Row {
-    coeffs: Vec<f64>,
     sense: Sense,
     rhs: f64,
 }
@@ -57,6 +56,9 @@ pub struct SimplexSolver {
     objective: Vec<f64>,
     maximize: bool,
     rows: Vec<Row>,
+    /// Row-major `rows.len() × n_struct` constraint coefficients, one flat
+    /// allocation for all rows.
+    coeffs: Vec<f64>,
     lowers: Vec<f64>,
     n_struct: usize,
     max_iterations: usize,
@@ -72,36 +74,58 @@ impl SimplexSolver {
         let objective: Vec<f64> = problem.variables().iter().map(|v| v.objective).collect();
         let maximize = problem.objective_sense() == Objective::Maximize;
 
-        let mut rows = Vec::new();
+        // one allocation for all rows and one for all coefficients, instead
+        // of a fresh `vec![0.0; n]` per row
+        let upper_bound_count = problem
+            .variables()
+            .iter()
+            .filter(|v| v.upper.is_some())
+            .count();
+        let row_count = problem.constraints().len() + upper_bound_count + extra_bounds.len();
+        let mut rows = Vec::with_capacity(row_count);
+        let mut coeffs = vec![0.0; row_count * n];
+        fn coeff_row(coeffs: &mut [f64], n: usize, row: usize) -> &mut [f64] {
+            &mut coeffs[row * n..(row + 1) * n]
+        }
+
         // user constraints, shifted by lower bounds
         for c in problem.constraints() {
-            let mut coeffs = vec![0.0; n];
+            let row = coeff_row(&mut coeffs, n, rows.len());
             let mut shift = 0.0;
             for (v, a) in c.expr.iter() {
-                coeffs[v.index()] = a;
+                row[v.index()] = a;
                 shift += a * lowers[v.index()];
             }
-            rows.push(Row { coeffs, sense: c.sense, rhs: c.rhs - shift });
+            rows.push(Row {
+                sense: c.sense,
+                rhs: c.rhs - shift,
+            });
         }
         // upper bounds as rows
         for (j, v) in problem.variables().iter().enumerate() {
             if let Some(up) = v.upper {
-                let mut coeffs = vec![0.0; n];
-                coeffs[j] = 1.0;
-                rows.push(Row { coeffs, sense: Sense::Le, rhs: up - lowers[j] });
+                coeff_row(&mut coeffs, n, rows.len())[j] = 1.0;
+                rows.push(Row {
+                    sense: Sense::Le,
+                    rhs: up - lowers[j],
+                });
             }
         }
         // branch-and-bound bounds as rows
         for &(var, sense, rhs) in extra_bounds {
-            let mut coeffs = vec![0.0; n];
-            coeffs[var.index()] = 1.0;
-            rows.push(Row { coeffs, sense, rhs: rhs - lowers[var.index()] });
+            coeff_row(&mut coeffs, n, rows.len())[var.index()] = 1.0;
+            rows.push(Row {
+                sense,
+                rhs: rhs - lowers[var.index()],
+            });
         }
+        debug_assert_eq!(rows.len(), row_count);
 
         Self {
             objective,
             maximize,
             rows,
+            coeffs,
             lowers,
             n_struct: n,
             max_iterations: 20_000,
@@ -136,7 +160,11 @@ impl SimplexSolver {
             }
             let values = self.lowers.clone();
             let objective = dot(&self.objective, &values);
-            return Ok(SimplexOutcome::Optimal { objective, values, pivots: 0 });
+            return Ok(SimplexOutcome::Optimal {
+                objective,
+                values,
+                pivots: 0,
+            });
         }
 
         // Column layout: [structural | slack/surplus | artificial]
@@ -164,8 +192,9 @@ impl SimplexSolver {
         for (i, r) in self.rows.iter().enumerate() {
             let flip = r.rhs < 0.0;
             let sign = if flip { -1.0 } else { 1.0 };
-            for j in 0..n {
-                tableau[i][j] = sign * r.coeffs[j];
+            let coeffs = &self.coeffs[i * n..(i + 1) * n];
+            for (cell, &coeff) in tableau[i].iter_mut().zip(coeffs) {
+                *cell = sign * coeff;
             }
             tableau[i][ncols] = sign * r.rhs;
             let sense = effective_sense(r.sense, !flip);
@@ -264,7 +293,11 @@ impl SimplexSolver {
             }
         }
         let objective = dot(&self.objective, &values);
-        Ok(SimplexOutcome::Optimal { objective, values, pivots })
+        Ok(SimplexOutcome::Optimal {
+            objective,
+            values,
+            pivots,
+        })
     }
 
     fn iterate(
@@ -293,8 +326,7 @@ impl SimplexSolver {
         allowed: impl Fn(usize) -> bool,
     ) -> Result<usize, IterateError> {
         let m = tableau.len();
-        let mut pivots = 0usize;
-        for _ in 0..self.max_iterations {
+        for pivots in 0..self.max_iterations {
             // Bland's rule: smallest index with negative reduced cost.
             let entering = (0..ncols).find(|&j| allowed(j) && obj_row[j] < -TOL);
             let Some(col) = entering else {
@@ -322,7 +354,6 @@ impl SimplexSolver {
                 return Err(IterateError::Unbounded);
             };
             pivot_with_obj(tableau, obj_row, basis, row, col, ncols);
-            pivots += 1;
         }
         Err(IterateError::IterationLimit)
     }
@@ -346,18 +377,17 @@ fn effective_sense(sense: Sense, rhs_nonneg: bool) -> Sense {
 }
 
 fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, ncols: usize) {
-    let m = tableau.len();
     let p = tableau[row][col];
-    for j in 0..=ncols {
-        tableau[row][j] /= p;
+    for cell in tableau[row].iter_mut().take(ncols + 1) {
+        *cell /= p;
     }
-    for i in 0..m {
-        if i != row {
-            let factor = tableau[i][col];
-            if factor.abs() > 0.0 {
-                for j in 0..=ncols {
-                    tableau[i][j] -= factor * tableau[row][j];
-                }
+    let (above, rest) = tableau.split_at_mut(row);
+    let (pivot_row, below) = rest.split_first_mut().expect("pivot row exists");
+    for other in above.iter_mut().chain(below.iter_mut()) {
+        let factor = other[col];
+        if factor.abs() > 0.0 {
+            for (cell, &pivot_cell) in other.iter_mut().zip(pivot_row.iter()).take(ncols + 1) {
+                *cell -= factor * pivot_cell;
             }
         }
     }
@@ -375,8 +405,8 @@ fn pivot_with_obj(
     pivot(tableau, basis, row, col, ncols);
     let factor = obj_row[col];
     if factor.abs() > 0.0 {
-        for j in 0..=ncols {
-            obj_row[j] -= factor * tableau[row][j];
+        for (cell, &pivot_cell) in obj_row.iter_mut().zip(tableau[row].iter()).take(ncols + 1) {
+            *cell -= factor * pivot_cell;
         }
     }
 }
@@ -392,7 +422,9 @@ mod tests {
 
     fn optimal(outcome: SimplexOutcome) -> (f64, Vec<f64>) {
         match outcome {
-            SimplexOutcome::Optimal { objective, values, .. } => (objective, values),
+            SimplexOutcome::Optimal {
+                objective, values, ..
+            } => (objective, values),
             other => panic!("expected optimal, got {other:?}"),
         }
     }
@@ -432,7 +464,10 @@ mod tests {
         let x = p.add_var("x", VarKind::Continuous, 0.0, None, 1.0);
         p.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 5.0);
         p.add_constraint("hi", &[(x, 1.0)], Sense::Le, 2.0);
-        assert_eq!(SimplexSolver::from_problem(&p, &[]).solve().unwrap(), SimplexOutcome::Infeasible);
+        assert_eq!(
+            SimplexSolver::from_problem(&p, &[]).solve().unwrap(),
+            SimplexOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -442,7 +477,10 @@ mod tests {
         let y = p.add_var("y", VarKind::Continuous, 0.0, None, 0.0);
         p.add_constraint("c", &[(y, 1.0)], Sense::Le, 4.0);
         // x does not appear in any constraint -> unbounded above
-        assert_eq!(SimplexSolver::from_problem(&p, &[]).solve().unwrap(), SimplexOutcome::Unbounded);
+        assert_eq!(
+            SimplexSolver::from_problem(&p, &[]).solve().unwrap(),
+            SimplexOutcome::Unbounded
+        );
     }
 
     #[test]
@@ -458,7 +496,10 @@ mod tests {
     fn no_constraints_unbounded_min() {
         let mut p = Problem::minimize();
         let _x = p.add_var("x", VarKind::Continuous, 0.0, None, -1.0);
-        assert_eq!(SimplexSolver::from_problem(&p, &[]).solve().unwrap(), SimplexOutcome::Unbounded);
+        assert_eq!(
+            SimplexSolver::from_problem(&p, &[]).solve().unwrap(),
+            SimplexOutcome::Unbounded
+        );
     }
 
     #[test]
@@ -492,8 +533,18 @@ mod tests {
         let x2 = p.add_var("x2", VarKind::Continuous, 0.0, None, -57.0);
         let x3 = p.add_var("x3", VarKind::Continuous, 0.0, None, -9.0);
         let x4 = p.add_var("x4", VarKind::Continuous, 0.0, None, -24.0);
-        p.add_constraint("c1", &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Sense::Le, 0.0);
-        p.add_constraint("c2", &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Sense::Le, 0.0);
+        p.add_constraint(
+            "c1",
+            &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "c2",
+            &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Sense::Le,
+            0.0,
+        );
         p.add_constraint("c3", &[(x1, 1.0)], Sense::Le, 1.0);
         let (obj, _) = optimal(SimplexSolver::from_problem(&p, &[]).solve().unwrap());
         assert!((obj - 1.0).abs() < 1e-6);

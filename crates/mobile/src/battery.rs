@@ -23,7 +23,10 @@ impl Battery {
     /// Panics if the capacity is not strictly positive.
     pub fn new(capacity_mwh: f64) -> Self {
         assert!(capacity_mwh > 0.0, "battery capacity must be positive");
-        Self { capacity_mwh, remaining_mwh: capacity_mwh }
+        Self {
+            capacity_mwh,
+            remaining_mwh: capacity_mwh,
+        }
     }
 
     /// Creates a battery at a given charge percentage.
@@ -33,7 +36,10 @@ impl Battery {
     /// Panics if the capacity is not positive or the percentage is outside
     /// `[0, 100]`.
     pub fn at_level(capacity_mwh: f64, percent: f64) -> Self {
-        assert!((0.0..=100.0).contains(&percent), "percentage must be within [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percentage must be within [0, 100]"
+        );
         let mut b = Self::new(capacity_mwh);
         b.remaining_mwh = capacity_mwh * percent / 100.0;
         b
@@ -90,7 +96,7 @@ mod tests {
     #[test]
     fn drain_accounts_energy() {
         let mut b = Battery::new(3_600.0); // 3600 mWh
-        // 1000 mW for one hour = 1000 mWh
+                                           // 1000 mW for one hour = 1000 mWh
         let consumed = b.drain(1_000.0, 3_600_000.0);
         assert!((consumed - 1_000.0).abs() < 1e-9);
         assert!((b.remaining_mwh() - 2_600.0).abs() < 1e-9);

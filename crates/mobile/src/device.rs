@@ -23,8 +23,12 @@ pub enum DeviceClass {
 
 impl DeviceClass {
     /// All device classes, strongest first.
-    pub const ALL: [DeviceClass; 4] =
-        [DeviceClass::Flagship, DeviceClass::MidRange, DeviceClass::Legacy, DeviceClass::Wearable];
+    pub const ALL: [DeviceClass; 4] = [
+        DeviceClass::Flagship,
+        DeviceClass::MidRange,
+        DeviceClass::Legacy,
+        DeviceClass::Wearable,
+    ];
 }
 
 impl fmt::Display for DeviceClass {
@@ -134,7 +138,10 @@ mod tests {
         // the same order of magnitude.
         let task = TaskSpec::paper_static_minimax();
         let legacy = DeviceProfile::for_class(DeviceClass::Legacy).local_execution_ms(&task);
-        assert!(legacy > 1_000.0 && legacy < 10_000.0, "legacy minimax {legacy} ms");
+        assert!(
+            legacy > 1_000.0 && legacy < 10_000.0,
+            "legacy minimax {legacy} ms"
+        );
         let wearable = DeviceProfile::for_class(DeviceClass::Wearable).local_execution_ms(&task);
         assert!(wearable > legacy);
     }

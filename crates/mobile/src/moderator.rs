@@ -52,7 +52,9 @@ pub enum PromotionPolicy {
 impl PromotionPolicy {
     /// The paper's static 1/50 promotion probability.
     pub fn paper_default() -> Self {
-        PromotionPolicy::Probabilistic { probability: 1.0 / 50.0 }
+        PromotionPolicy::Probabilistic {
+            probability: 1.0 / 50.0,
+        }
     }
 }
 
@@ -155,9 +157,10 @@ impl Moderator {
                 .profile(method)
                 .map(|p| p.degradation_ratio() > ratio)
                 .unwrap_or(false),
-            PromotionPolicy::BatteryAware { battery_threshold_percent, latency_threshold_ms } => {
-                battery_percent < battery_threshold_percent || response_ms > latency_threshold_ms
-            }
+            PromotionPolicy::BatteryAware {
+                battery_threshold_percent,
+                latency_threshold_ms,
+            } => battery_percent < battery_threshold_percent || response_ms > latency_threshold_ms,
             PromotionPolicy::Never => false,
         };
         if should_promote {
@@ -191,7 +194,10 @@ mod tests {
         let mut m = moderator(PromotionPolicy::Never);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..500 {
-            assert_eq!(m.observe("minimax", 4000.0, 80.0, &mut rng), ModeratorEvent::Stay);
+            assert_eq!(
+                m.observe("minimax", 4000.0, 80.0, &mut rng),
+                ModeratorEvent::Stay
+            );
         }
         assert_eq!(m.current_group(), AccelerationGroupId(1));
         assert_eq!(m.promotions(), 0);
@@ -240,7 +246,9 @@ mod tests {
 
     #[test]
     fn threshold_policy_promotes_on_slow_response() {
-        let mut m = moderator(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 500.0 });
+        let mut m = moderator(PromotionPolicy::ResponseTimeThreshold {
+            threshold_ms: 500.0,
+        });
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(m.observe("m", 300.0, 80.0, &mut rng), ModeratorEvent::Stay);
         assert_eq!(
@@ -273,7 +281,10 @@ mod tests {
         for _ in 0..10 {
             promoted |= m.observe("m", 900.0, 80.0, &mut rng).is_promotion();
         }
-        assert!(promoted, "sustained 4.5x slowdown must trigger a degradation promotion");
+        assert!(
+            promoted,
+            "sustained 4.5x slowdown must trigger a degradation promotion"
+        );
     }
 
     #[test]

@@ -97,7 +97,12 @@ impl UsageStudy {
                         let duration_s: f64 = rng.gen_range(20.0..600.0);
                         // roughly one offloadable request every few seconds of use
                         let requests = (duration_s / rng.gen_range(2.0..8.0)).ceil() as u32;
-                        sessions.push(SessionRecord { day, start_hour, duration_s, requests });
+                        sessions.push(SessionRecord {
+                            day,
+                            start_hour,
+                            duration_s,
+                            requests,
+                        });
                     }
                 }
                 sessions.sort_by(|a, b| {
@@ -105,15 +110,24 @@ impl UsageStudy {
                         .partial_cmp(&(b.day, b.start_hour))
                         .expect("session times are finite")
                 });
-                ParticipantTrace { participant, sessions }
+                ParticipantTrace {
+                    participant,
+                    sessions,
+                }
             })
             .collect();
-        Self { participants: traces, days }
+        Self {
+            participants: traces,
+            days,
+        }
     }
 
     /// Total sessions across all participants.
     pub fn total_sessions(&self) -> usize {
-        self.participants.iter().map(ParticipantTrace::session_count).sum()
+        self.participants
+            .iter()
+            .map(ParticipantTrace::session_count)
+            .sum()
     }
 
     /// Extracts the combined inter-arrival sampler the paper derives from the
@@ -143,7 +157,11 @@ pub struct InterArrivalSampler {
 impl InterArrivalSampler {
     /// The sampler calibrated to the paper's study (100–5000 ms, mean ≈ 1.2 s).
     pub fn paper_calibrated() -> Self {
-        Self { min_ms: PAPER_INTER_ARRIVAL_MIN_MS, max_ms: PAPER_INTER_ARRIVAL_MAX_MS, mean_ms: 1_200.0 }
+        Self {
+            min_ms: PAPER_INTER_ARRIVAL_MIN_MS,
+            max_ms: PAPER_INTER_ARRIVAL_MAX_MS,
+            mean_ms: 1_200.0,
+        }
     }
 
     /// Creates a sampler with explicit bounds.
@@ -152,9 +170,16 @@ impl InterArrivalSampler {
     ///
     /// Panics if the bounds are not ordered or non-positive.
     pub fn new(min_ms: f64, max_ms: f64, mean_ms: f64) -> Self {
-        assert!(min_ms > 0.0 && max_ms > min_ms, "bounds must satisfy 0 < min < max");
+        assert!(
+            min_ms > 0.0 && max_ms > min_ms,
+            "bounds must satisfy 0 < min < max"
+        );
         assert!(mean_ms > 0.0, "mean must be positive");
-        Self { min_ms, max_ms, mean_ms }
+        Self {
+            min_ms,
+            max_ms,
+            mean_ms,
+        }
     }
 
     /// Samples one inter-arrival time in milliseconds.
@@ -225,7 +250,10 @@ mod tests {
         let study = UsageStudy::paper_sized(&mut rng);
         assert_eq!(study.participants.len(), 6);
         assert_eq!(study.days, 90);
-        assert!(study.total_sessions() > 6 * 90 * 5, "participants use their phones daily");
+        assert!(
+            study.total_sessions() > 6 * 90 * 5,
+            "participants use their phones daily"
+        );
     }
 
     #[test]
@@ -266,8 +294,10 @@ mod tests {
         let sampler = InterArrivalSampler::paper_calibrated();
         let samples: Vec<f64> = (0..50_000).map(|_| sampler.sample_ms(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let below_1s = samples.iter().filter(|&&s| s < 1_000.0).count() as f64 / samples.len() as f64;
-        let at_cap = samples.iter().filter(|&&s| s >= 4_999.0).count() as f64 / samples.len() as f64;
+        let below_1s =
+            samples.iter().filter(|&&s| s < 1_000.0).count() as f64 / samples.len() as f64;
+        let at_cap =
+            samples.iter().filter(|&&s| s >= 4_999.0).count() as f64 / samples.len() as f64;
         assert!(mean > 800.0 && mean < 1_600.0, "mean {mean}");
         assert!(below_1s > 0.4, "short gaps dominate: {below_1s}");
         assert!(at_cap > 0.005 && at_cap < 0.15, "cap mass {at_cap}");
@@ -289,7 +319,10 @@ mod tests {
     #[test]
     fn poisson_mean_is_respected() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mean: f64 = (0..5_000).map(|_| f64::from(sample_poisson(20.0, &mut rng))).sum::<f64>() / 5_000.0;
+        let mean: f64 = (0..5_000)
+            .map(|_| f64::from(sample_poisson(20.0, &mut rng)))
+            .sum::<f64>()
+            / 5_000.0;
         assert!((mean - 20.0).abs() < 1.0, "poisson mean {mean}");
     }
 

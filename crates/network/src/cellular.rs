@@ -80,12 +80,54 @@ impl OperatorProfile {
         use Operator::*;
         use Technology::*;
         vec![
-            OperatorProfile { operator: Alpha, technology: ThreeG, mean_ms: 128.0, std_dev_ms: 362.0, median_ms: 51.0, sample_count: 205_762 },
-            OperatorProfile { operator: Alpha, technology: Lte, mean_ms: 41.0, std_dev_ms: 56.0, median_ms: 34.0, sample_count: 182_549 },
-            OperatorProfile { operator: Beta, technology: ThreeG, mean_ms: 141.0, std_dev_ms: 376.0, median_ms: 60.0, sample_count: 448_942 },
-            OperatorProfile { operator: Beta, technology: Lte, mean_ms: 36.0, std_dev_ms: 70.0, median_ms: 25.0, sample_count: 493_956 },
-            OperatorProfile { operator: Gamma, technology: ThreeG, mean_ms: 137.0, std_dev_ms: 379.0, median_ms: 56.0, sample_count: 191_973 },
-            OperatorProfile { operator: Gamma, technology: Lte, mean_ms: 42.0, std_dev_ms: 84.0, median_ms: 27.0, sample_count: 152_605 },
+            OperatorProfile {
+                operator: Alpha,
+                technology: ThreeG,
+                mean_ms: 128.0,
+                std_dev_ms: 362.0,
+                median_ms: 51.0,
+                sample_count: 205_762,
+            },
+            OperatorProfile {
+                operator: Alpha,
+                technology: Lte,
+                mean_ms: 41.0,
+                std_dev_ms: 56.0,
+                median_ms: 34.0,
+                sample_count: 182_549,
+            },
+            OperatorProfile {
+                operator: Beta,
+                technology: ThreeG,
+                mean_ms: 141.0,
+                std_dev_ms: 376.0,
+                median_ms: 60.0,
+                sample_count: 448_942,
+            },
+            OperatorProfile {
+                operator: Beta,
+                technology: Lte,
+                mean_ms: 36.0,
+                std_dev_ms: 70.0,
+                median_ms: 25.0,
+                sample_count: 493_956,
+            },
+            OperatorProfile {
+                operator: Gamma,
+                technology: ThreeG,
+                mean_ms: 137.0,
+                std_dev_ms: 379.0,
+                median_ms: 56.0,
+                sample_count: 191_973,
+            },
+            OperatorProfile {
+                operator: Gamma,
+                technology: Lte,
+                mean_ms: 42.0,
+                std_dev_ms: 84.0,
+                median_ms: 27.0,
+                sample_count: 152_605,
+            },
         ]
     }
 
@@ -99,7 +141,10 @@ impl OperatorProfile {
 
     /// The latency distribution implied by this profile.
     pub fn distribution(&self) -> LatencyDistribution {
-        LatencyDistribution::LogNormal { median_ms: self.median_ms, mean_ms: self.mean_ms }
+        LatencyDistribution::LogNormal {
+            median_ms: self.median_ms,
+            mean_ms: self.mean_ms,
+        }
     }
 }
 
@@ -123,7 +168,11 @@ impl CellularNetwork {
     /// Creates a network model for the given operator and technology using
     /// the paper's calibration and a 15 % diurnal amplitude.
     pub fn new(operator: Operator, technology: Technology) -> Self {
-        Self { profile: OperatorProfile::lookup(operator, technology), diurnal_amplitude: 0.15, jitter: 0.05 }
+        Self {
+            profile: OperatorProfile::lookup(operator, technology),
+            diurnal_amplitude: 0.15,
+            jitter: 0.05,
+        }
     }
 
     /// The LTE network of operator β — the configuration with the lowest mean
@@ -186,7 +235,10 @@ mod tests {
             for tech in [Technology::ThreeG, Technology::Lte] {
                 let p = OperatorProfile::lookup(op, tech);
                 assert!(p.mean_ms > 0.0 && p.median_ms > 0.0);
-                assert!(p.mean_ms >= p.median_ms, "log-normal requires mean >= median");
+                assert!(
+                    p.mean_ms >= p.median_ms,
+                    "log-normal requires mean >= median"
+                );
             }
         }
     }
@@ -204,17 +256,31 @@ mod tests {
     #[test]
     fn sampled_mean_matches_paper_value() {
         let mut rng = StdRng::seed_from_u64(11);
-        let net = CellularNetwork::new(Operator::Alpha, Technology::Lte).with_diurnal_amplitude(0.0);
-        let samples: Vec<f64> = (0..100_000).map(|_| net.sample_rtt_ms(12.0, &mut rng)).collect();
+        let net =
+            CellularNetwork::new(Operator::Alpha, Technology::Lte).with_diurnal_amplitude(0.0);
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| net.sample_rtt_ms(12.0, &mut rng))
+            .collect();
         let stats = LatencyStats::from_samples(&samples);
-        assert!((stats.mean_ms - 41.0).abs() / 41.0 < 0.06, "mean {}", stats.mean_ms);
-        assert!((stats.median_ms - 34.0).abs() / 34.0 < 0.08, "median {}", stats.median_ms);
+        assert!(
+            (stats.mean_ms - 41.0).abs() / 41.0 < 0.06,
+            "mean {}",
+            stats.mean_ms
+        );
+        assert!(
+            (stats.median_ms - 34.0).abs() / 34.0 < 0.08,
+            "median {}",
+            stats.median_ms
+        );
     }
 
     #[test]
     fn diurnal_factor_averages_to_one() {
         let net = CellularNetwork::new(Operator::Beta, Technology::Lte);
-        let mean: f64 = (0..240).map(|i| net.diurnal_factor(i as f64 / 10.0)).sum::<f64>() / 240.0;
+        let mean: f64 = (0..240)
+            .map(|i| net.diurnal_factor(i as f64 / 10.0))
+            .sum::<f64>()
+            / 240.0;
         assert!((mean - 1.0).abs() < 1e-6);
         assert!(net.diurnal_factor(16.0) > net.diurnal_factor(4.0));
     }
@@ -230,9 +296,14 @@ mod tests {
     fn one_way_is_half_rtt_on_average() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = CellularNetwork::paper_default_lte().with_diurnal_amplitude(0.0);
-        let rtts: f64 = (0..20_000).map(|_| net.sample_rtt_ms(12.0, &mut rng)).sum::<f64>() / 20_000.0;
-        let one_way: f64 =
-            (0..20_000).map(|_| net.sample_one_way_ms(12.0, &mut rng)).sum::<f64>() / 20_000.0;
+        let rtts: f64 = (0..20_000)
+            .map(|_| net.sample_rtt_ms(12.0, &mut rng))
+            .sum::<f64>()
+            / 20_000.0;
+        let one_way: f64 = (0..20_000)
+            .map(|_| net.sample_one_way_ms(12.0, &mut rng))
+            .sum::<f64>()
+            / 20_000.0;
         assert!((one_way * 2.0 - rtts).abs() / rtts < 0.05);
     }
 

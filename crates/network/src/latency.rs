@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn uniform_within_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = LatencyDistribution::Uniform { low_ms: 100.0, high_ms: 5000.0 };
+        let d = LatencyDistribution::Uniform {
+            low_ms: 100.0,
+            high_ms: 5000.0,
+        };
         for _ in 0..1000 {
             let s = d.sample(&mut rng);
             assert!((100.0..5000.0).contains(&s));
@@ -177,18 +180,32 @@ mod tests {
     #[test]
     fn lognormal_matches_target_moments() {
         let mut rng = StdRng::seed_from_u64(3);
-        let d = LatencyDistribution::LogNormal { median_ms: 25.0, mean_ms: 36.0 };
+        let d = LatencyDistribution::LogNormal {
+            median_ms: 25.0,
+            mean_ms: 36.0,
+        };
         let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
         let stats = LatencyStats::from_samples(&samples);
-        assert!((stats.mean_ms - 36.0).abs() / 36.0 < 0.05, "mean {}", stats.mean_ms);
-        assert!((stats.median_ms - 25.0).abs() / 25.0 < 0.05, "median {}", stats.median_ms);
+        assert!(
+            (stats.mean_ms - 36.0).abs() / 36.0 < 0.05,
+            "mean {}",
+            stats.mean_ms
+        );
+        assert!(
+            (stats.median_ms - 25.0).abs() / 25.0 < 0.05,
+            "median {}",
+            stats.median_ms
+        );
         assert!(stats.min_ms > 0.0);
     }
 
     #[test]
     fn lognormal_has_heavy_right_tail() {
         let mut rng = StdRng::seed_from_u64(4);
-        let d = LatencyDistribution::LogNormal { median_ms: 51.0, mean_ms: 128.0 };
+        let d = LatencyDistribution::LogNormal {
+            median_ms: 51.0,
+            mean_ms: 128.0,
+        };
         let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
         let stats = LatencyStats::from_samples(&samples);
         // mean well above median and SD comparable to the paper's (~360 for 3G)

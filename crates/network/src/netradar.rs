@@ -58,9 +58,18 @@ impl NetRadarCampaign {
         for _ in 0..sample_count {
             let hour = sample_measurement_hour(rng);
             let rtt = network.sample_rtt_ms(hour, rng);
-            samples.push(NetRadarSample { operator, technology, hour_of_day: hour, rtt_ms: rtt });
+            samples.push(NetRadarSample {
+                operator,
+                technology,
+                hour_of_day: hour,
+                rtt_ms: rtt,
+            });
         }
-        Self { operator, technology, samples }
+        Self {
+            operator,
+            technology,
+            samples,
+        }
     }
 
     /// Runs a campaign with the same number of samples as the paper's dataset
@@ -136,7 +145,10 @@ mod tests {
         assert_eq!(c.len(), 5_000);
         assert!(!c.is_empty());
         assert!(c.samples.iter().all(|s| s.rtt_ms > 0.0));
-        assert!(c.samples.iter().all(|s| (0.0..24.0).contains(&s.hour_of_day)));
+        assert!(c
+            .samples
+            .iter()
+            .all(|s| (0.0..24.0).contains(&s.hour_of_day)));
     }
 
     #[test]
@@ -145,8 +157,16 @@ mod tests {
         let c = NetRadarCampaign::run(Operator::Beta, Technology::ThreeG, 60_000, &mut rng);
         let stats = c.overall_stats();
         // Paper: beta 3G mean ~141 ms, median ~60 ms.
-        assert!((stats.mean_ms - 141.0).abs() / 141.0 < 0.10, "mean {}", stats.mean_ms);
-        assert!((stats.median_ms - 60.0).abs() / 60.0 < 0.12, "median {}", stats.median_ms);
+        assert!(
+            (stats.mean_ms - 141.0).abs() / 141.0 < 0.10,
+            "mean {}",
+            stats.mean_ms
+        );
+        assert!(
+            (stats.median_ms - 60.0).abs() / 60.0 < 0.12,
+            "median {}",
+            stats.median_ms
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl TransferModel {
     /// Returns `true` when transferring `bytes` up and a result of
     /// `result_bytes` down stays below `budget_ms` — the formal version of the
     /// paper's "transfer adds no overhead" assumption.
-    pub fn transfer_is_negligible(&self, bytes: usize, result_bytes: usize, budget_ms: f64) -> bool {
+    pub fn transfer_is_negligible(
+        &self,
+        bytes: usize,
+        result_bytes: usize,
+        budget_ms: f64,
+    ) -> bool {
         self.uplink_time_ms(bytes) + self.downlink_time_ms(result_bytes) <= budget_ms
     }
 }

@@ -109,14 +109,20 @@ pub struct DecisionEngine {
 
 impl Default for DecisionEngine {
     fn default() -> Self {
-        Self { time_weight: 1.0, benefit_threshold: 1.0 }
+        Self {
+            time_weight: 1.0,
+            benefit_threshold: 1.0,
+        }
     }
 }
 
 impl DecisionEngine {
     /// Creates an engine that weighs time and energy equally.
     pub fn balanced() -> Self {
-        Self { time_weight: 0.5, benefit_threshold: 1.0 }
+        Self {
+            time_weight: 0.5,
+            benefit_threshold: 1.0,
+        }
     }
 
     /// Applies the offloading rule to a candidate task.
@@ -126,9 +132,13 @@ impl DecisionEngine {
         let w = self.time_weight.clamp(0.0, 1.0);
         let combined = w * time_ratio + (1.0 - w) * energy_ratio;
         if combined > self.benefit_threshold {
-            OffloadDecision::Offload { predicted_speedup: time_ratio }
+            OffloadDecision::Offload {
+                predicted_speedup: time_ratio,
+            }
         } else {
-            OffloadDecision::ExecuteLocally { predicted_speedup: time_ratio }
+            OffloadDecision::ExecuteLocally {
+                predicted_speedup: time_ratio,
+            }
         }
     }
 }
@@ -162,7 +172,10 @@ mod tests {
 
     #[test]
     fn light_task_stays_local() {
-        let input = DecisionInput { work_units: 20.0, ..base_input() };
+        let input = DecisionInput {
+            work_units: 20.0,
+            ..base_input()
+        };
         // local: 100 ms; remote: 40 + 2 + 150 + 20 = 212 ms
         let decision = DecisionEngine::default().decide(&input);
         assert!(!decision.is_offload());
@@ -171,21 +184,34 @@ mod tests {
 
     #[test]
     fn fast_device_prefers_local() {
-        let input = DecisionInput { device_speed_factor: 1.5, ..base_input() };
+        let input = DecisionInput {
+            device_speed_factor: 1.5,
+            ..base_input()
+        };
         // local: 267 ms; remote: 592 ms
         assert!(!DecisionEngine::default().decide(&input).is_offload());
     }
 
     #[test]
     fn higher_acceleration_makes_offloading_attractive_again() {
-        let borderline = DecisionInput { work_units: 60.0, ..base_input() };
+        let borderline = DecisionInput {
+            work_units: 60.0,
+            ..base_input()
+        };
         // local 300 ms; remote at level 1: 40 + 2 + 150 + 60 = 252 -> offload already.
         // Make routing expensive so the level-1 offload is rejected:
-        let expensive = DecisionInput { routing_overhead_ms: 400.0, ..borderline };
+        let expensive = DecisionInput {
+            routing_overhead_ms: 400.0,
+            ..borderline
+        };
         assert!(!DecisionEngine::default().decide(&expensive).is_offload());
         // A level-3 group (1.73× acceleration) doesn't change verdict much here,
         // but a big cloud speed-up together with lower routing does:
-        let faster = DecisionInput { cloud_speed_factor: 1.73, routing_overhead_ms: 150.0, ..borderline };
+        let faster = DecisionInput {
+            cloud_speed_factor: 1.73,
+            routing_overhead_ms: 150.0,
+            ..borderline
+        };
         assert!(DecisionEngine::default().decide(&faster).is_offload());
     }
 
@@ -203,16 +229,25 @@ mod tests {
         // local: 100 ms, remote: 40 + 2 + 150 + 50 = 242 ms -> time says local
         assert!(!DecisionEngine::default().decide(&input).is_offload());
         // energy: local = 4000*0.1 = 400 mJ, remote = 100*0.242 = 24 mJ -> offload
-        let energy_only = DecisionEngine { time_weight: 0.0, benefit_threshold: 1.0 };
+        let energy_only = DecisionEngine {
+            time_weight: 0.0,
+            benefit_threshold: 1.0,
+        };
         assert!(energy_only.decide(&input).is_offload());
     }
 
     #[test]
     fn threshold_makes_engine_conservative() {
-        let input = DecisionInput { work_units: 150.0, ..base_input() };
+        let input = DecisionInput {
+            work_units: 150.0,
+            ..base_input()
+        };
         // local 750, remote 342 -> ratio ~2.2
         assert!(DecisionEngine::default().decide(&input).is_offload());
-        let conservative = DecisionEngine { time_weight: 1.0, benefit_threshold: 3.0 };
+        let conservative = DecisionEngine {
+            time_weight: 1.0,
+            benefit_threshold: 3.0,
+        };
         assert!(!conservative.decide(&input).is_offload());
     }
 

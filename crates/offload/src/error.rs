@@ -48,12 +48,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(OffloadError::CorruptState { reason: "bad length".into() }
-            .to_string()
-            .contains("bad length"));
-        assert!(OffloadError::UnknownTask { index: 12, pool_size: 10 }
-            .to_string()
-            .contains("12"));
+        assert!(OffloadError::CorruptState {
+            reason: "bad length".into()
+        }
+        .to_string()
+        .contains("bad length"));
+        assert!(OffloadError::UnknownTask {
+            index: 12,
+            pool_size: 10
+        }
+        .to_string()
+        .contains("12"));
     }
 
     #[test]

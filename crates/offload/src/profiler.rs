@@ -26,7 +26,12 @@ pub struct MethodProfile {
 
 impl MethodProfile {
     fn new(method: String, window: usize) -> Self {
-        Self { method, samples: Vec::new(), total_samples: 0, window }
+        Self {
+            method,
+            samples: Vec::new(),
+            total_samples: 0,
+            window,
+        }
     }
 
     fn record(&mut self, sample_ms: f64) {
@@ -102,7 +107,10 @@ impl Profiler {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "profiler window must be positive");
-        Self { window, profiles: HashMap::new() }
+        Self {
+            window,
+            profiles: HashMap::new(),
+        }
     }
 
     /// Records one response-time observation for `method`.

@@ -155,7 +155,10 @@ mod tests {
         assert_eq!(g.promoted(), AccelerationGroupId(2));
         assert_eq!(g.demoted(), AccelerationGroupId(0));
         assert_eq!(AccelerationGroupId(0).demoted(), AccelerationGroupId(0));
-        assert_eq!(AccelerationGroupId(255).promoted(), AccelerationGroupId(255));
+        assert_eq!(
+            AccelerationGroupId(255).promoted(),
+            AccelerationGroupId(255)
+        );
     }
 
     #[test]
@@ -194,27 +197,16 @@ mod tests {
         };
         assert!(rec.is_consistent(1e-6));
         assert_eq!(rec.decomposed_response_ms(), 700.0);
-        let bad = TraceRecord { round_trip_ms: 900.0, ..rec.clone() };
-        assert!(!bad.is_consistent(1.0));
-        let dropped = TraceRecord { success: false, round_trip_ms: 123.0, ..rec };
-        assert!(dropped.is_consistent(1e-6));
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let rec = TraceRecord {
-            timestamp_ms: 1.0,
-            user: UserId(2),
-            group: AccelerationGroupId(1),
-            battery_level: 50.0,
-            round_trip_ms: 10.0,
-            t1_ms: 2.0,
-            t2_ms: 3.0,
-            t_cloud_ms: 5.0,
-            success: true,
+        let bad = TraceRecord {
+            round_trip_ms: 900.0,
+            ..rec.clone()
         };
-        let json = serde_json::to_string(&rec).unwrap();
-        let back: TraceRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, rec);
+        assert!(!bad.is_consistent(1.0));
+        let dropped = TraceRecord {
+            success: false,
+            round_trip_ms: 123.0,
+            ..rec
+        };
+        assert!(dropped.is_consistent(1e-6));
     }
 }

@@ -40,10 +40,16 @@ impl ApplicationState {
         let mut seed = (u64::from(apk_id) << 32) ^ u64::from(task.input_size);
         for _ in 0..len {
             // cheap deterministic filler representing serialized heap state
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             captured.put_u8((seed >> 56) as u8);
         }
-        Self { task, apk_id, captured: captured.freeze() }
+        Self {
+            task,
+            apk_id,
+            captured: captured.freeze(),
+        }
     }
 
     /// Total size of the envelope on the wire, in bytes.
@@ -73,12 +79,16 @@ impl ApplicationState {
     /// has the wrong magic/version, or declares an inconsistent length.
     pub fn decode(mut data: Bytes) -> Result<Self, OffloadError> {
         if data.len() < 18 {
-            return Err(OffloadError::CorruptState { reason: "envelope too short".into() });
+            return Err(OffloadError::CorruptState {
+                reason: "envelope too short".into(),
+            });
         }
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(OffloadError::CorruptState { reason: "bad magic".into() });
+            return Err(OffloadError::CorruptState {
+                reason: "bad magic".into(),
+            });
         }
         let version = data.get_u8();
         if version != VERSION {
@@ -92,10 +102,17 @@ impl ApplicationState {
         let len = data.get_u32() as usize;
         if data.remaining() != len {
             return Err(OffloadError::CorruptState {
-                reason: format!("captured length mismatch: declared {len}, got {}", data.remaining()),
+                reason: format!(
+                    "captured length mismatch: declared {len}, got {}",
+                    data.remaining()
+                ),
             });
         }
-        Ok(Self { task: TaskSpec::new(kind, input_size), apk_id, captured: data })
+        Ok(Self {
+            task: TaskSpec::new(kind, input_size),
+            apk_id,
+            captured: data,
+        })
     }
 }
 
@@ -110,7 +127,9 @@ fn task_kind_from_code(code: u8) -> Result<crate::task::TaskKind, OffloadError> 
     crate::task::TaskKind::ALL
         .get(code as usize)
         .copied()
-        .ok_or_else(|| OffloadError::CorruptState { reason: format!("unknown task code {code}") })
+        .ok_or_else(|| OffloadError::CorruptState {
+            reason: format!("unknown task code {code}"),
+        })
 }
 
 #[cfg(test)]
@@ -140,7 +159,10 @@ mod tests {
         let b = ApplicationState::capture(TaskSpec::new(TaskKind::NQueens, 8), 7);
         assert_eq!(a, b);
         let c = ApplicationState::capture(TaskSpec::new(TaskKind::NQueens, 8), 8);
-        assert_ne!(a.captured, c.captured, "different apk ids capture different state");
+        assert_ne!(
+            a.captured, c.captured,
+            "different apk ids capture different state"
+        );
     }
 
     #[test]

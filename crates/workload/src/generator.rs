@@ -42,20 +42,33 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Creates a generator over the given task pool.
     pub fn new(mode: GenerationMode, pool: TaskPool) -> Self {
-        Self { mode, pool, user_id_offset: 0 }
+        Self {
+            mode,
+            pool,
+            user_id_offset: 0,
+        }
     }
 
     /// Convenience constructor for the paper's concurrent benchmarking mode
     /// (1-minute burst interval).
     pub fn concurrent(users: usize, pool: TaskPool) -> Self {
-        Self::new(GenerationMode::Concurrent { users, burst_interval_ms: 60_000.0 }, pool)
+        Self::new(
+            GenerationMode::Concurrent {
+                users,
+                burst_interval_ms: 60_000.0,
+            },
+            pool,
+        )
     }
 
     /// Convenience constructor for the paper's inter-arrival mode with the
     /// usage-study calibration (100–5000 ms).
     pub fn inter_arrival(users: usize, pool: TaskPool) -> Self {
         Self::new(
-            GenerationMode::InterArrival { users, sampler: InterArrivalSampler::paper_calibrated() },
+            GenerationMode::InterArrival {
+                users,
+                sampler: InterArrivalSampler::paper_calibrated(),
+            },
             pool,
         )
     }
@@ -86,7 +99,10 @@ impl WorkloadGenerator {
     pub fn generate<R: Rng + ?Sized>(&self, duration_ms: f64, rng: &mut R) -> ArrivalTrace {
         assert!(duration_ms > 0.0, "duration must be positive");
         match self.mode {
-            GenerationMode::Concurrent { users, burst_interval_ms } => {
+            GenerationMode::Concurrent {
+                users,
+                burst_interval_ms,
+            } => {
                 assert!(users > 0, "concurrent mode needs at least one user");
                 assert!(burst_interval_ms > 0.0, "burst interval must be positive");
                 let mut arrivals = Vec::new();
@@ -155,7 +171,11 @@ mod tests {
         // each user issues a request roughly every min+mean = 1.3 s
         let expected = users as f64 * duration / 1_300.0;
         let ratio = trace.len() as f64 / expected;
-        assert!(ratio > 0.8 && ratio < 1.2, "ratio {ratio} ({} arrivals)", trace.len());
+        assert!(
+            ratio > 0.8 && ratio < 1.2,
+            "ratio {ratio} ({} arrivals)",
+            trace.len()
+        );
         assert_eq!(trace.distinct_users(), users);
     }
 
@@ -172,7 +192,11 @@ mod tests {
         // one aggregate stream at ~1.3 s inter-arrival -> ≈22 000 requests;
         // scaled to the paper's 4 000 by the duty cycle of real users. Here we
         // only check the magnitude is stable and positive.
-        assert!(trace.len() > 10_000 && trace.len() < 40_000, "{}", trace.len());
+        assert!(
+            trace.len() > 10_000 && trace.len() < 40_000,
+            "{}",
+            trace.len()
+        );
     }
 
     #[test]
@@ -183,7 +207,9 @@ mod tests {
             TaskPool::static_load(TaskSpec::paper_static_minimax()),
         );
         let trace = gen.generate(60_000.0, &mut rng);
-        assert!(trace.iter().all(|a| a.task == TaskSpec::paper_static_minimax()));
+        assert!(trace
+            .iter()
+            .all(|a| a.task == TaskSpec::paper_static_minimax()));
     }
 
     #[test]
@@ -204,7 +230,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let gen = WorkloadGenerator::inter_arrival(20, TaskPool::paper_default());
         let trace = gen.generate(120_000.0, &mut rng);
-        assert!(trace.iter().all(|a| a.time_ms >= 0.0 && a.time_ms < 120_000.0));
+        assert!(trace
+            .iter()
+            .all(|a| a.time_ms >= 0.0 && a.time_ms < 120_000.0));
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct DoublingRateScenario {
 impl DoublingRateScenario {
     /// The paper's configuration: 1 Hz → 1024 Hz, doubling every 5 minutes.
     pub fn paper_default() -> Self {
-        Self { start_hz: 1.0, end_hz: 1024.0, step_duration_ms: 5.0 * 60_000.0 }
+        Self {
+            start_hz: 1.0,
+            end_hz: 1024.0,
+            step_duration_ms: 5.0 * 60_000.0,
+        }
     }
 
     /// The schedule as explicit steps.
@@ -46,7 +50,11 @@ impl DoublingRateScenario {
         let mut hz = self.start_hz;
         let mut start = 0.0;
         while hz <= self.end_hz * (1.0 + 1e-9) {
-            steps.push(RateStep { arrival_hz: hz, start_ms: start, duration_ms: self.step_duration_ms });
+            steps.push(RateStep {
+                arrival_hz: hz,
+                start_ms: start,
+                duration_ms: self.step_duration_ms,
+            });
             start += self.step_duration_ms;
             hz *= 2.0;
         }
@@ -85,8 +93,7 @@ impl RampScenario {
             return self.end_users;
         }
         let t = index as f64 / (self.slots - 1) as f64;
-        let users =
-            self.start_users as f64 + t * (self.end_users as f64 - self.start_users as f64);
+        let users = self.start_users as f64 + t * (self.end_users as f64 - self.start_users as f64);
         users.round() as usize
     }
 
@@ -121,14 +128,22 @@ mod tests {
 
     #[test]
     fn custom_schedule_respects_bounds() {
-        let s = DoublingRateScenario { start_hz: 2.0, end_hz: 16.0, step_duration_ms: 1_000.0 };
+        let s = DoublingRateScenario {
+            start_hz: 2.0,
+            end_hz: 16.0,
+            step_duration_ms: 1_000.0,
+        };
         let rates: Vec<f64> = s.steps().iter().map(|x| x.arrival_hz).collect();
         assert_eq!(rates, vec![2.0, 4.0, 8.0, 16.0]);
     }
 
     #[test]
     fn ramp_interpolates_linearly() {
-        let ramp = RampScenario { start_users: 10, end_users: 100, slots: 10 };
+        let ramp = RampScenario {
+            start_users: 10,
+            end_users: 100,
+            slots: 10,
+        };
         let users = ramp.per_slot();
         assert_eq!(users.len(), 10);
         assert_eq!(users[0], 10);
@@ -138,9 +153,17 @@ mod tests {
 
     #[test]
     fn ramp_handles_decreasing_and_degenerate_cases() {
-        let down = RampScenario { start_users: 50, end_users: 20, slots: 4 };
+        let down = RampScenario {
+            start_users: 50,
+            end_users: 20,
+            slots: 4,
+        };
         assert_eq!(down.per_slot(), vec![50, 40, 30, 20]);
-        let single = RampScenario { start_users: 5, end_users: 9, slots: 1 };
+        let single = RampScenario {
+            start_users: 5,
+            end_users: 9,
+            slots: 1,
+        };
         assert_eq!(single.per_slot(), vec![9]);
         // beyond the ramp the last value holds
         assert_eq!(down.users_in_slot(100), 20);
@@ -149,7 +172,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slot")]
     fn zero_slot_ramp_panics() {
-        let ramp = RampScenario { start_users: 1, end_users: 2, slots: 0 };
+        let ramp = RampScenario {
+            start_users: 1,
+            end_users: 2,
+            slots: 0,
+        };
         let _ = ramp.users_in_slot(0);
     }
 }

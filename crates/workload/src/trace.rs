@@ -78,7 +78,9 @@ impl ArrivalTrace {
     /// The returned vector covers every slot up to the last arrival.
     pub fn arrivals_per_slot(&self, slot_ms: f64) -> Vec<usize> {
         assert!(slot_ms > 0.0, "slot length must be positive");
-        let Some(last) = self.arrivals.last() else { return Vec::new() };
+        let Some(last) = self.arrivals.last() else {
+            return Vec::new();
+        };
         let slots = (last.time_ms / slot_ms).floor() as usize + 1;
         let mut counts = vec![0usize; slots];
         for a in &self.arrivals {
@@ -91,7 +93,9 @@ impl ArrivalTrace {
     /// Counts the distinct users that appear in each consecutive time slot.
     pub fn users_per_slot(&self, slot_ms: f64) -> Vec<usize> {
         assert!(slot_ms > 0.0, "slot length must be positive");
-        let Some(last) = self.arrivals.last() else { return Vec::new() };
+        let Some(last) = self.arrivals.last() else {
+            return Vec::new();
+        };
         let slots = (last.time_ms / slot_ms).floor() as usize + 1;
         let mut per_slot: Vec<Vec<u32>> = vec![Vec::new(); slots];
         for a in &self.arrivals {
@@ -136,7 +140,11 @@ mod tests {
     use mca_offload::TaskKind;
 
     fn arrival(t: f64, user: u32) -> Arrival {
-        Arrival { time_ms: t, user: UserId(user), task: TaskSpec::new(TaskKind::Minimax, 7) }
+        Arrival {
+            time_ms: t,
+            user: UserId(user),
+            task: TaskSpec::new(TaskKind::Minimax, 7),
+        }
     }
 
     #[test]

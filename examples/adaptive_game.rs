@@ -16,7 +16,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let task = TaskSpec::paper_static_minimax();
     let network = CellularNetwork::paper_default_lte();
-    println!("game AI task: {task} ({:.0} work units)\n", task.work_units());
+    println!(
+        "game AI task: {task} ({:.0} work units)\n",
+        task.work_units()
+    );
 
     // 1. Should each device offload at all?
     println!("offloading decision per device class (LTE, level-1 cloud):");
@@ -51,13 +54,17 @@ fn main() {
     //    second, the device asks for the next acceleration level.
     println!("\nadaptive acceleration for the legacy phone (threshold 1000 ms):");
     let config = SystemConfig::paper_three_groups()
-        .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 1_000.0 })
+        .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold {
+            threshold_ms: 1_000.0,
+        })
         .with_slot_length_ms(5.0 * 60_000.0);
     let mut system = System::new(config);
-    let workload =
-        WorkloadGenerator::inter_arrival(1, TaskPool::static_load(task)).generate(20.0 * 60_000.0, &mut rng);
+    let workload = WorkloadGenerator::inter_arrival(1, TaskPool::static_load(task))
+        .generate(20.0 * 60_000.0, &mut rng);
     let report = system.run(&workload, &mut rng);
-    let player = report.perception_of(UserId(0)).expect("the player issued requests");
+    let player = report
+        .perception_of(UserId(0))
+        .expect("the player issued requests");
     let mut last_group = None;
     for (i, (response, group)) in player.responses.iter().enumerate() {
         if last_group != Some(*group) {

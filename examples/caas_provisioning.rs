@@ -6,9 +6,9 @@
 //! cargo run --example caas_provisioning
 //! ```
 
+use mca_offload::AccelerationGroupId as Gid;
 use mobile_code_acceleration::core::{TimeSlot, WorkloadForecast};
 use mobile_code_acceleration::prelude::*;
-use mca_offload::AccelerationGroupId as Gid;
 
 /// A synthetic diurnal demand curve: users per acceleration group per hour.
 fn hourly_demand() -> Vec<(u8, [usize; 3])> {
@@ -41,13 +41,19 @@ fn main() {
     let mut totals = [0.0f64; 3];
     for (hour, demand) in hourly_demand() {
         let forecast = WorkloadForecast {
-            per_group: vec![(Gid(1), demand[0]), (Gid(2), demand[1]), (Gid(3), demand[2])],
+            per_group: vec![
+                (Gid(1), demand[0]),
+                (Gid(2), demand[1]),
+                (Gid(3), demand[2]),
+            ],
             matched_slot: None,
         };
         let mut costs = [0.0f64; 3];
         for (i, (_, policy)) in policies.iter().enumerate() {
             let allocator = ResourceAllocator::with_policy(groups.clone(), *policy);
-            let allocation = allocator.allocate(&forecast).expect("demand fits the account cap");
+            let allocation = allocator
+                .allocate(&forecast)
+                .expect("demand fits the account cap");
             assert!(allocation.covers(&forecast));
             costs[i] = allocation.hourly_cost;
             totals[i] += allocation.hourly_cost;

@@ -15,7 +15,10 @@ fn main() {
     let pool = TaskPool::paper_default();
     let load_levels = [1usize, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
 
-    println!("benchmarking {} instance types with loads 1..100...\n", InstanceType::ALL.len());
+    println!(
+        "benchmarking {} instance types with loads 1..100...\n",
+        InstanceType::ALL.len()
+    );
     let benchmarks: Vec<InstanceBenchmark> = InstanceType::ALL
         .iter()
         .map(|&ty| {
@@ -36,7 +39,11 @@ fn main() {
     println!("\nacceleration levels under a 500 ms target:");
     for level in &classification.levels {
         let members: Vec<String> = level.members.iter().map(|m| m.to_string()).collect();
-        let cost: f64 = level.members.iter().map(|m| m.spec().cost_per_hour).sum::<f64>()
+        let cost: f64 = level
+            .members
+            .iter()
+            .map(|m| m.spec().cost_per_hour)
+            .sum::<f64>()
             / level.members.len() as f64;
         println!(
             "  level {}: {:<28} capacity ≈ {:>6} users/instance, mean price ${:.3}/h",

@@ -23,25 +23,41 @@ fn main() {
         TaskPool::static_load(TaskSpec::paper_static_minimax()),
     )
     .generate(30.0 * 60_000.0, &mut rng);
-    println!("generated {} offloading requests from {} devices", workload.len(), workload.distinct_users());
+    println!(
+        "generated {} offloading requests from {} devices",
+        workload.len(),
+        workload.distinct_users()
+    );
 
     let report = system.run(&workload, &mut rng);
 
-    println!("mean end-to-end response time: {:.0} ms", report.mean_response_ms);
-    println!("promotions performed by device moderators: {}", report.promotions.len());
+    println!(
+        "mean end-to-end response time: {:.0} ms",
+        report.mean_response_ms
+    );
+    println!(
+        "promotions performed by device moderators: {}",
+        report.promotions.len()
+    );
     println!(
         "users that ended above the entry acceleration group: {:.0}%",
         report.promoted_user_fraction(AccelerationGroupId(1)) * 100.0
     );
     if let Some(accuracy) = report.mean_prediction_accuracy() {
-        println!("workload prediction accuracy across slots: {:.1}%", accuracy * 100.0);
+        println!(
+            "workload prediction accuracy across slots: {:.1}%",
+            accuracy * 100.0
+        );
     }
     println!("total cloud bill for the run: ${:.2}", report.total_cost);
 
     println!("\nper-slot view (actual users per group -> allocated instances):");
     for slot in &report.slots {
-        let actual: Vec<String> =
-            slot.actual.iter().map(|(g, n)| format!("{g}={n}")).collect();
+        let actual: Vec<String> = slot
+            .actual
+            .iter()
+            .map(|(g, n)| format!("{g}={n}"))
+            .collect();
         println!(
             "  slot {:>2}: {:<30} instances={} cost/h=${:.3}",
             slot.index,

@@ -49,7 +49,9 @@ pub use mca_workload as workload;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use mca_cloudsim::{InstanceBenchmark, InstancePool, InstanceType, LevelClassification, Server};
+    pub use mca_cloudsim::{
+        InstanceBenchmark, InstancePool, InstanceType, LevelClassification, Server,
+    };
     pub use mca_core::{
         accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, DistanceKind,
         PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory, System, SystemConfig,

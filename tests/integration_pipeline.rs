@@ -18,7 +18,14 @@ fn benchmark_to_groups_to_allocation_to_pool() {
     let benchmarks: Vec<InstanceBenchmark> = InstanceType::FIG4_SET
         .iter()
         .map(|&ty| {
-            InstanceBenchmark::run(ty, &pool_tasks, &[1, 20, 50, 100], 20_000.0, 500.0, &mut rng)
+            InstanceBenchmark::run(
+                ty,
+                &pool_tasks,
+                &[1, 20, 50, 100],
+                20_000.0,
+                500.0,
+                &mut rng,
+            )
         })
         .collect();
     let classification = LevelClassification::classify(&benchmarks, 1.5);
@@ -49,10 +56,13 @@ fn benchmark_to_groups_to_allocation_to_pool() {
 
     // 4. Allocate for the forecast and apply it to an instance pool.
     let allocator = ResourceAllocator::new(groups.clone());
-    let allocation = allocator.allocate(&forecast).expect("forecast fits the cap");
+    let allocation = allocator
+        .allocate(&forecast)
+        .expect("forecast fits the cap");
     assert!(allocation.covers(&forecast));
     let mut pool = InstancePool::new();
-    pool.apply_allocation(&allocation.pool_allocation(), 0.0).expect("within account cap");
+    pool.apply_allocation(&allocation.pool_allocation(), 0.0)
+        .expect("within account cap");
     assert_eq!(pool.len(), allocation.total_instances());
 
     // 5. Route a burst of requests through the SDN front-end backed by the
@@ -71,7 +81,9 @@ fn benchmark_to_groups_to_allocation_to_pool() {
             80.0,
             f64::from(i) * 500.0,
         );
-        let routed = sdn.handle(&request, f64::from(i) * 500.0, &mut rng).expect("route");
+        let routed = sdn
+            .handle(&request, f64::from(i) * 500.0, &mut rng)
+            .expect("route");
         assert!(routed.record.is_consistent(1e-6));
         assert!(routed.record.round_trip_ms > 0.0);
     }
@@ -107,7 +119,8 @@ fn usage_study_drives_workload_generation() {
 fn network_assumption_holds_for_offload_payloads() {
     // §IV assumption (c): over LTE, payload transfer adds no meaningful
     // overhead for homogeneous-model application states.
-    let transfer = mobile_code_acceleration::network::TransferModel::for_technology(Technology::Lte);
+    let transfer =
+        mobile_code_acceleration::network::TransferModel::for_technology(Technology::Lte);
     for task in TaskPool::paper_default().tasks() {
         assert!(
             transfer.transfer_is_negligible(task.state_bytes(), 256, 100.0),
@@ -116,6 +129,7 @@ fn network_assumption_holds_for_offload_payloads() {
         );
     }
     // ... but a heavyweight payload over 3G would violate the assumption.
-    let threeg = mobile_code_acceleration::network::TransferModel::for_technology(Technology::ThreeG);
+    let threeg =
+        mobile_code_acceleration::network::TransferModel::for_technology(Technology::ThreeG);
     assert!(!threeg.transfer_is_negligible(2_000_000, 1_000, 50.0));
 }

@@ -7,8 +7,11 @@ use rand::SeedableRng;
 
 fn static_minimax_workload(users: usize, duration_ms: f64, seed: u64) -> ArrivalTrace {
     let mut rng = StdRng::seed_from_u64(seed);
-    WorkloadGenerator::inter_arrival(users, TaskPool::static_load(TaskSpec::paper_static_minimax()))
-        .generate(duration_ms, &mut rng)
+    WorkloadGenerator::inter_arrival(
+        users,
+        TaskPool::static_load(TaskSpec::paper_static_minimax()),
+    )
+    .generate(duration_ms, &mut rng)
 }
 
 #[test]
@@ -21,7 +24,10 @@ fn sdn_routing_overhead_is_about_150_ms_of_the_total() {
     let report = system.run(&workload, &mut rng);
     let mean_t2: f64 =
         report.records.iter().map(|r| r.t2_ms).sum::<f64>() / report.records.len() as f64;
-    assert!((mean_t2 - 150.0).abs() < 20.0, "mean routing overhead {mean_t2} ms");
+    assert!(
+        (mean_t2 - 150.0).abs() < 20.0,
+        "mean routing overhead {mean_t2} ms"
+    );
     // routing is a small fraction of the level-1 response time under load
     assert!(mean_t2 < report.mean_response_ms * 0.2);
 }
@@ -35,7 +41,9 @@ fn promotions_lower_the_response_time_users_perceive() {
     let mut promoted_system = System::new(
         SystemConfig::paper_three_groups()
             .with_slot_length_ms(2.0 * 60_000.0)
-            .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold { threshold_ms: 800.0 }),
+            .with_promotion_policy(PromotionPolicy::ResponseTimeThreshold {
+                threshold_ms: 800.0,
+            }),
     );
     let promoted = promoted_system.run(&workload, &mut rng);
 
@@ -70,8 +78,13 @@ fn prediction_accuracy_is_high_on_a_steady_workload() {
             .with_promotion_policy(PromotionPolicy::Never),
     );
     let report = system.run(&workload, &mut rng);
-    let accuracy = report.mean_prediction_accuracy().expect("several slots closed");
-    assert!(accuracy > 0.8, "steady workload should be predicted well, got {accuracy}");
+    let accuracy = report
+        .mean_prediction_accuracy()
+        .expect("several slots closed");
+    assert!(
+        accuracy > 0.8,
+        "steady workload should be predicted well, got {accuracy}"
+    );
     assert!(accuracy <= 1.0);
 }
 
@@ -126,7 +139,10 @@ fn trace_records_always_decompose_into_t1_t2_tcloud() {
             .filter(|r| r.user == perception.user)
             .map(|r| r.battery_level)
             .collect();
-        assert!(levels.windows(2).all(|w| w[1] <= w[0] + 1e-9), "battery must not recharge");
+        assert!(
+            levels.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "battery must not recharge"
+        );
     }
 }
 

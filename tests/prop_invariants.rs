@@ -4,8 +4,12 @@
 //! resource allocator.
 
 use mobile_code_acceleration::core::{
-    distance::{group_distance, levenshtein, normalized_levenshtein, slot_distance},
-    TimeSlot, WorkloadForecast,
+    distance::{
+        group_distance, group_distance_bounded, group_distance_naive, levenshtein,
+        levenshtein_bounded, normalized_levenshtein, slot_distance, slot_distance_bounded,
+        slot_distance_naive,
+    },
+    SlotHistory, TimeSlot, WorkloadForecast, WorkloadPredictor,
 };
 use mobile_code_acceleration::lp::{LpError, Problem, Sense, VarKind};
 use mobile_code_acceleration::offload::{ApplicationState, TaskKind, TaskSpec};
@@ -115,9 +119,26 @@ proptest! {
 // Distance metric
 // ---------------------------------------------------------------------------
 
-fn user_set(ids: Vec<u16>) -> BTreeSet<UserId> {
-    ids.into_iter().map(|i| UserId(u32::from(i))).collect()
+/// Sorted, deduplicated user run — the representation `TimeSlot` guarantees.
+fn user_run(ids: Vec<u16>) -> Vec<UserId> {
+    let set: BTreeSet<UserId> = ids.into_iter().map(|i| UserId(u32::from(i))).collect();
+    set.into_iter().collect()
 }
+
+fn slot_of(index: usize, assignments: &[(u8, u16)]) -> TimeSlot {
+    TimeSlot::from_assignments(
+        index,
+        assignments
+            .iter()
+            .map(|&(g, u)| (AccelerationGroupId(g), UserId(u32::from(u)))),
+    )
+}
+
+const SLOT_GROUPS: [AccelerationGroupId; 3] = [
+    AccelerationGroupId(0),
+    AccelerationGroupId(1),
+    AccelerationGroupId(2),
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -130,13 +151,33 @@ proptest! {
         b in proptest::collection::vec(0u16..200, 0..20),
         c in proptest::collection::vec(0u16..200, 0..20),
     ) {
-        let (a, b, c) = (user_set(a), user_set(b), user_set(c));
+        let (a, b, c) = (user_run(a), user_run(b), user_run(c));
         prop_assert_eq!(group_distance(&a, &a), 0);
         prop_assert_eq!(group_distance(&a, &b), group_distance(&b, &a));
         prop_assert!(group_distance(&a, &c) <= group_distance(&a, &b) + group_distance(&b, &c));
         // zero distance implies equality
         if group_distance(&a, &b) == 0 {
             prop_assert_eq!(a.clone(), b.clone());
+        }
+    }
+
+    /// The allocation-free merge distance agrees exactly with the retained
+    /// set-based reference, and its bounded variant prunes exactly beyond
+    /// the true distance.
+    #[test]
+    fn merge_distance_matches_naive_reference(
+        a in proptest::collection::vec(0u16..200, 0..30),
+        b in proptest::collection::vec(0u16..200, 0..30),
+        cap in 0usize..70,
+    ) {
+        let (a, b) = (user_run(a), user_run(b));
+        let exact = group_distance_naive(&a, &b);
+        prop_assert_eq!(group_distance(&a, &b), exact);
+        let bounded = group_distance_bounded(&a, &b, cap);
+        if cap >= exact {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
         }
     }
 
@@ -155,27 +196,88 @@ proptest! {
         prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
     }
 
+    /// The banded early-exit Levenshtein agrees exactly with the full-matrix
+    /// reference whenever the cap admits the true distance, and prunes
+    /// (returns `None`) exactly when it does not.
+    #[test]
+    fn banded_levenshtein_matches_classic_reference(
+        a in proptest::collection::vec(0u8..5, 0..24),
+        b in proptest::collection::vec(0u8..5, 0..24),
+        cap in 0usize..26,
+    ) {
+        let exact = levenshtein(&a, &b);
+        let bounded = levenshtein_bounded(&a, &b, cap);
+        if cap >= exact {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
+        }
+    }
+
     /// The slot distance is zero exactly for identical per-group assignments
-    /// and symmetric otherwise.
+    /// and symmetric otherwise; the merge implementation and its bounded
+    /// variant agree with the set-based reference.
     #[test]
     fn slot_distance_properties(
         assignments_a in proptest::collection::vec((0u8..3, 0u16..60), 0..40),
         assignments_b in proptest::collection::vec((0u8..3, 0u16..60), 0..40),
     ) {
-        let groups = [AccelerationGroupId(0), AccelerationGroupId(1), AccelerationGroupId(2)];
-        let slot_a = TimeSlot::from_assignments(
-            0,
-            assignments_a.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u32::from(u)))),
-        );
-        let slot_b = TimeSlot::from_assignments(
-            1,
-            assignments_b.iter().map(|&(g, u)| (AccelerationGroupId(g), UserId(u32::from(u)))),
-        );
-        prop_assert_eq!(slot_distance(&slot_a, &slot_a, &groups), 0);
+        let slot_a = slot_of(0, &assignments_a);
+        let slot_b = slot_of(1, &assignments_b);
+        prop_assert_eq!(slot_distance(&slot_a, &slot_a, &SLOT_GROUPS), 0);
         prop_assert_eq!(
-            slot_distance(&slot_a, &slot_b, &groups),
-            slot_distance(&slot_b, &slot_a, &groups)
+            slot_distance(&slot_a, &slot_b, &SLOT_GROUPS),
+            slot_distance(&slot_b, &slot_a, &SLOT_GROUPS)
         );
+        let exact = slot_distance_naive(&slot_a, &slot_b, &SLOT_GROUPS);
+        prop_assert_eq!(slot_distance(&slot_a, &slot_b, &SLOT_GROUPS), exact);
+        prop_assert_eq!(slot_distance_bounded(&slot_a, &slot_b, &SLOT_GROUPS, exact), Some(exact));
+        if exact > 0 {
+            prop_assert_eq!(
+                slot_distance_bounded(&slot_a, &slot_b, &SLOT_GROUPS, exact - 1),
+                None
+            );
+        }
+    }
+
+    /// The pruned nearest-neighbour prediction returns exactly the forecast
+    /// of the retained naive full scan, on arbitrary histories and probes.
+    #[test]
+    fn pruned_prediction_matches_naive_scan(
+        history in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u16..40), 0..12),
+            1..14,
+        ),
+        probe in proptest::collection::vec((0u8..3, 0u16..40), 0..12),
+    ) {
+        let probe = slot_of(0, &probe);
+        let mut predictor = WorkloadPredictor::new(SLOT_GROUPS.to_vec(), 3_600_000.0);
+        for assignments in &history {
+            predictor.observe_slot(slot_of(0, assignments));
+        }
+        let fast = predictor.predict(&probe);
+        let naive = predictor.predict_naive(&probe);
+        prop_assert_eq!(fast.unwrap(), naive.unwrap());
+    }
+
+    /// A windowed history never retains more than its cap, keeps global
+    /// indices, and predicts from retained slots only.
+    #[test]
+    fn windowed_history_bounds_retention(
+        loads in proptest::collection::vec(1u16..50, 1..30),
+        window in 1usize..8,
+    ) {
+        let mut history = SlotHistory::hourly().with_window(window);
+        for (i, &load) in loads.iter().enumerate() {
+            let assignments: Vec<(u8, u16)> = (0..load).map(|u| (0u8, u)).collect();
+            history.push(slot_of(i, &assignments));
+        }
+        prop_assert!(history.len() <= window);
+        prop_assert_eq!(history.first_index(), loads.len().saturating_sub(window));
+        let indices: Vec<usize> = history.slots().iter().map(|s| s.index).collect();
+        let expected: Vec<usize> =
+            (loads.len().saturating_sub(window)..loads.len()).collect();
+        prop_assert_eq!(indices, expected);
     }
 }
 

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as marker traits together with the
+//! matching derives so the workspace compiles without registry access. None
+//! of the workspace code performs actual serde serialization today (wire
+//! formats are hand-rolled binary codecs), so marker impls are sufficient.
+//! Replace the `vendor/serde*` path dependencies with the real crates.io
+//! packages to restore full functionality — no source change is needed.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: the stub
+/// never borrows from an input buffer).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
