@@ -1,0 +1,70 @@
+//! Regenerates `BENCH_fleet.json`: the sharded fleet engine's parallel tick
+//! versus the sequential single-shard loop, with per-tenant forecasts
+//! verified bit-identical to running each tenant alone.
+//!
+//! Run with `cargo run --release -p mca-bench --bin bench_fleet`.
+//!
+//! * default: the acceptance-bar workload (64 tenants × 2,000 slots); exits
+//!   non-zero below a 4× speedup or on any forecast divergence.
+//! * `--smoke`: a small CI gate (16 tenants × 200 slots); exits non-zero if
+//!   the fleet is slower than the single-shard baseline or forecasts
+//!   diverge.
+//! * `bench_fleet [tenants] [slots] [users_per_tenant]`: custom shape, no
+//!   speedup gate (forecast divergence still fails).
+
+use mca_bench::fleet::{self, FleetWorkload};
+
+fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(parsed) if parsed > 0 => parsed,
+            _ => {
+                eprintln!("error: {name} must be a positive integer, got '{raw}'");
+                eprintln!("usage: bench_fleet [--smoke | tenants slots users_per_tenant]");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    let custom = !smoke && !args.is_empty();
+    let (workload, speedup_gate) = if smoke {
+        (FleetWorkload::smoke(), Some(1.0))
+    } else if custom {
+        let mut args = args.into_iter();
+        let mut workload = FleetWorkload::headline();
+        workload.tenants = parse_arg(args.next(), "tenants", workload.tenants);
+        workload.slots = parse_arg(args.next(), "slots", workload.slots);
+        workload.users_per_tenant =
+            parse_arg(args.next(), "users_per_tenant", workload.users_per_tenant);
+        (workload, None)
+    } else {
+        (FleetWorkload::headline(), Some(4.0))
+    };
+
+    let report = fleet::run(&workload, mca_bench::DEFAULT_SEED);
+    fleet::print(&report);
+
+    let json = report.to_json();
+    let path = "BENCH_fleet.json";
+    std::fs::write(path, &json).expect("write BENCH_fleet.json");
+    println!("wrote {path}");
+
+    if !report.forecasts_identical {
+        eprintln!("ERROR: fleet forecasts diverged from the tenant-alone replay");
+        std::process::exit(1);
+    }
+    if let Some(gate) = speedup_gate {
+        if report.speedup() < gate {
+            eprintln!(
+                "WARNING: speedup {:.1}x is below the {gate}x acceptance bar",
+                report.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
+}

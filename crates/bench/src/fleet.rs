@@ -1,0 +1,283 @@
+//! Performance harness for the multi-tenant fleet engine: the sharded,
+//! batch-ingesting parallel tick of `mca-fleet` versus the sequential
+//! single-shard loop the pre-fleet architecture would run.
+//!
+//! Both paths consume the **identical** interleaved arrival batch every
+//! slot and run the identical score→learn→predict→allocate→bill cycle
+//! ([`mca_fleet::TenantShard::tick`]); they differ exactly where the
+//! architectures differ:
+//!
+//! * the **single-shard baseline** merges every tenant into one slot
+//!   history, ingesting the batch through [`TimeSlot::assign`]'s per-record
+//!   ordered insert (`O(n)` per out-of-order user — and a multi-tenant
+//!   arrival stream is almost entirely out of order), then runs one
+//!   predict→allocate cycle over the merged knowledge base;
+//! * the **fleet** buckets the batch by shard in one pass, builds each
+//!   tenant's slot with one sort + dedup ([`mca_core::TimeSlotBuilder`])
+//!   and ticks every tenant's own predictor/allocator in parallel.
+//!
+//! Alongside the timing comparison the harness replays every tenant
+//! **alone** (a bare [`TenantShard`], no engine) on the same records and
+//! asserts the fleet's per-tenant forecasts are bit-identical, slot by
+//! slot. The headline configuration is 64 tenants × 2,000 slots; `cargo
+//! run --release -p mca-bench --bin bench_fleet` regenerates
+//! `BENCH_fleet.json` at the repository root.
+
+use mca_core::{AllocationPolicy, SystemConfig, TimeSlot, TimeSlotBuilder};
+use mca_fleet::{FleetEngine, SlotRecord, TenantShard};
+use mca_offload::{AccelerationGroupId, TenantId, UserId};
+use mca_workload::TenantMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Knowledge-base window of the benchmark configuration: a week of hourly
+/// slots, the regime a long-running deployment operates in.
+pub const HISTORY_WINDOW: usize = 168;
+
+/// Shape of the synthetic fleet workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetWorkload {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Number of provisioning slots.
+    pub slots: usize,
+    /// Nominal users per tenant per slot (the mix varies per tenant and
+    /// slot: steady / ramp / doubling shapes).
+    pub users_per_tenant: usize,
+}
+
+impl FleetWorkload {
+    /// The acceptance-bar configuration: 64 tenants × 2,000 slots.
+    pub fn headline() -> Self {
+        Self {
+            tenants: 64,
+            slots: 2_000,
+            users_per_tenant: 800,
+        }
+    }
+
+    /// A small configuration for the CI smoke gate.
+    pub fn smoke() -> Self {
+        Self {
+            tenants: 16,
+            slots: 200,
+            users_per_tenant: 800,
+        }
+    }
+}
+
+/// The shared system configuration of both paths. Allocation uses the
+/// greedy policy on both sides so the comparison isolates the ingest and
+/// prediction engine rather than ILP solve time.
+pub fn bench_config() -> SystemConfig {
+    SystemConfig::paper_three_groups()
+        .with_history_window(HISTORY_WINDOW)
+        .with_allocation_policy(AllocationPolicy::GreedyCheapest)
+}
+
+/// Measurements of one fleet-versus-single-shard comparison.
+#[derive(Debug, Clone)]
+pub struct FleetBenchReport {
+    /// The workload shape measured.
+    pub workload: FleetWorkload,
+    /// Shards the fleet engine ran with.
+    pub shards: usize,
+    /// Threads the fleet tick ran with.
+    pub threads: usize,
+    /// Mean wall-clock time of one single-shard slot (ingest + tick), ms.
+    pub single_ms_per_slot: f64,
+    /// Mean wall-clock time of one fleet slot (ingest + parallel tick), ms.
+    pub fleet_ms_per_slot: f64,
+    /// Whether every per-tenant fleet forecast matched the tenant-alone
+    /// replay bit for bit, every slot.
+    pub forecasts_identical: bool,
+}
+
+impl FleetBenchReport {
+    /// Single-shard time over fleet time.
+    pub fn speedup(&self) -> f64 {
+        self.single_ms_per_slot / self.fleet_ms_per_slot
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"fleet_tick\",\n  \"tenants\": {},\n  \"slots\": {},\n  \
+             \"users_per_tenant\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \
+             \"history_window\": {},\n  \"single_shard_ms_per_slot\": {:.4},\n  \
+             \"fleet_ms_per_slot\": {:.4},\n  \"speedup\": {:.2},\n  \
+             \"forecasts_bit_identical\": {}\n}}\n",
+            self.workload.tenants,
+            self.workload.slots,
+            self.workload.users_per_tenant,
+            self.shards,
+            self.threads,
+            HISTORY_WINDOW,
+            self.single_ms_per_slot,
+            self.fleet_ms_per_slot,
+            self.speedup(),
+            self.forecasts_identical,
+        )
+    }
+}
+
+/// Interleaves the per-tenant records in a seeded random arrival order, the
+/// way concurrent arrivals from many tenants reach a front-end: consecutive
+/// records almost never belong to the same tenant or follow user-id order,
+/// so an ordered-insert ingest pays its `O(n)` insert on nearly every
+/// record.
+fn interleave<R: Rng>(
+    per_tenant: &[Vec<(AccelerationGroupId, UserId)>],
+    rng: &mut R,
+) -> Vec<SlotRecord> {
+    let total: usize = per_tenant.iter().map(Vec::len).sum();
+    let mut batch = Vec::with_capacity(total);
+    for (t, records) in per_tenant.iter().enumerate() {
+        for &(group, user) in records {
+            batch.push(SlotRecord::new(TenantId(t as u32), group, user));
+        }
+    }
+    // Fisher–Yates with the bench's deterministic rng
+    for i in (1..batch.len()).rev() {
+        batch.swap(i, rng.gen_range(0..i + 1));
+    }
+    batch
+}
+
+/// Times `slots` slots of the single-shard loop and the sharded fleet on
+/// identical batches, verifying fleet forecasts against tenant-alone
+/// replays throughout.
+pub fn run(workload: &FleetWorkload, seed: u64) -> FleetBenchReport {
+    let config = bench_config();
+    let mix = TenantMix::heterogeneous(
+        workload.tenants,
+        workload.users_per_tenant,
+        config.groups.ids(),
+        seed,
+    );
+
+    // the single merged shard of the pre-fleet architecture
+    let mut single = TenantShard::new(TenantId(u32::MAX), &config, seed);
+    // the sharded fleet
+    let mut engine = FleetEngine::new(config.clone(), workload.tenants, seed);
+    engine.add_tenants(mix.tenant_ids());
+    let shards = engine.shard_count();
+    let threads = engine.threads();
+    // each tenant alone: the bit-identity reference
+    let mut alone: Vec<TenantShard> = mix
+        .tenant_ids()
+        .map(|t| TenantShard::new(t, &config, seed))
+        .collect();
+
+    let mut streams: Vec<StdRng> = mix.tenant_ids().map(|t| mix.stream_for(t)).collect();
+    let mut arrival_rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    let mut single_ms = 0.0f64;
+    let mut fleet_ms = 0.0f64;
+    let mut forecasts_identical = true;
+
+    for slot in 0..workload.slots {
+        // generation is shared by every path and excluded from the timings
+        let per_tenant: Vec<Vec<(AccelerationGroupId, UserId)>> = mix
+            .tenant_ids()
+            .map(|t| mix.slot_records(t, slot, &mut streams[t.0 as usize]))
+            .collect();
+        let batch = interleave(&per_tenant, &mut arrival_rng);
+        let now_ms = (slot + 1) as f64 * config.slot_length_ms;
+
+        // single-shard loop: per-record ordered-insert ingest, one merged tick
+        let start = Instant::now();
+        let mut merged = TimeSlot::new(slot);
+        for record in &batch {
+            merged.assign(record.group, record.user);
+        }
+        single.tick(merged, now_ms);
+        single_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        // fleet: bucketed batch ingest + parallel per-shard tick
+        let start = Instant::now();
+        engine.tick_slot(&batch);
+        fleet_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        // bit-identity: every tenant alone, same records (untimed)
+        for (tenant, records) in alone.iter_mut().zip(&per_tenant) {
+            let mut builder = TimeSlotBuilder::with_capacity(slot, records.len());
+            builder.extend(records.iter().copied());
+            tenant.tick(builder.build(), now_ms);
+        }
+        for ((_, fleet_forecast), tenant) in engine.forecasts().iter().zip(&alone) {
+            if fleet_forecast.as_ref() != tenant.forecast() {
+                forecasts_identical = false;
+            }
+        }
+    }
+
+    FleetBenchReport {
+        workload: *workload,
+        shards,
+        threads,
+        single_ms_per_slot: single_ms / workload.slots as f64,
+        fleet_ms_per_slot: fleet_ms / workload.slots as f64,
+        forecasts_identical,
+    }
+}
+
+/// Prints the report as an aligned table.
+pub fn print(report: &FleetBenchReport) {
+    println!(
+        "fleet tick over {} tenants x {} slots (~{} users/tenant), {} shards, {} thread(s)",
+        report.workload.tenants,
+        report.workload.slots,
+        report.workload.users_per_tenant,
+        report.shards,
+        report.threads,
+    );
+    println!("  {:<32} {:>12}", "architecture", "ms/slot");
+    println!(
+        "  {:<32} {:>12.3}",
+        "single shard, per-record ingest", report.single_ms_per_slot
+    );
+    println!(
+        "  {:<32} {:>12.3}",
+        "sharded fleet, batched ingest", report.fleet_ms_per_slot
+    );
+    println!("  speedup: {:.1}x", report.speedup());
+    println!(
+        "  per-tenant forecasts bit-identical to tenant-alone replay: {}",
+        report.forecasts_identical
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_bench_verifies_bit_identity() {
+        let workload = FleetWorkload {
+            tenants: 6,
+            slots: 12,
+            users_per_tenant: 20,
+        };
+        let report = run(&workload, crate::DEFAULT_SEED);
+        assert!(report.forecasts_identical);
+        assert!(report.single_ms_per_slot > 0.0 && report.fleet_ms_per_slot > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"tenants\": 6"));
+        assert!(json.contains("\"forecasts_bit_identical\": true"));
+    }
+
+    #[test]
+    fn interleaving_preserves_every_record() {
+        let per_tenant = vec![
+            vec![(AccelerationGroupId(1), UserId(1)); 3],
+            vec![(AccelerationGroupId(1), UserId(1_000_001)); 5],
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = interleave(&per_tenant, &mut rng);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(batch.iter().filter(|r| r.tenant == TenantId(0)).count(), 3);
+        assert_eq!(batch.iter().filter(|r| r.tenant == TenantId(1)).count(), 5);
+    }
+}

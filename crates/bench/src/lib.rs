@@ -11,6 +11,11 @@
 //! back-end is the `mca-cloudsim` simulator rather than EC2 hardware. See
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison of every figure.
+//!
+//! Two performance harnesses ride alongside the figures: [`prediction`]
+//! (pruned versus naive nearest-slot search, `bench_prediction` →
+//! `BENCH_prediction.json`) and [`fleet`] (sharded multi-tenant engine
+//! versus the single-shard loop, `bench_fleet` → `BENCH_fleet.json`).
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod prediction;
 pub mod util;
 

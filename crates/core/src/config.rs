@@ -1,8 +1,8 @@
 //! System configuration.
 
 use crate::accel::AccelerationGroups;
-use crate::allocator::AllocationPolicy;
-use crate::predictor::{DistanceKind, PredictionStrategy};
+use crate::allocator::{AllocationPolicy, ResourceAllocator};
+use crate::predictor::{DistanceKind, PredictionStrategy, WorkloadPredictor};
 use mca_mobile::{DeviceClass, PromotionPolicy};
 use mca_network::{CellularNetwork, Operator, Technology};
 use serde::{Deserialize, Serialize};
@@ -113,6 +113,30 @@ impl SystemConfig {
         self.prediction_strategy = strategy;
         self
     }
+
+    /// Builds a workload predictor configured exactly as [`crate::System`]
+    /// would build its own: same groups, strategy, distance and history
+    /// window. A multi-tenant deployment (`mca-fleet`) constructs one per
+    /// tenant shard from a shared configuration.
+    pub fn build_predictor(&self) -> WorkloadPredictor {
+        let mut predictor = WorkloadPredictor::new(self.groups.ids(), self.slot_length_ms)
+            .with_strategy(self.prediction_strategy)
+            .with_distance(self.distance_kind);
+        predictor.set_window(self.history_window);
+        predictor
+    }
+
+    /// Builds a resource allocator configured exactly as [`crate::System`]
+    /// would build its own: same groups, policy and account cap.
+    pub fn build_allocator(&self) -> ResourceAllocator {
+        ResourceAllocator::with_policy(self.groups.clone(), self.allocation_policy)
+            .with_account_cap(self.account_cap)
+    }
+
+    /// Builds an instance pool capped at this configuration's account cap.
+    pub fn build_pool(&self) -> mca_cloudsim::InstancePool {
+        mca_cloudsim::InstancePool::with_cap(self.account_cap)
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +170,22 @@ mod tests {
         assert_eq!(c.promotion_policy, PromotionPolicy::Never);
         assert_eq!(c.allocation_policy, AllocationPolicy::GreedyCheapest);
         assert_eq!(c.prediction_strategy, PredictionStrategy::LastValue);
+    }
+
+    #[test]
+    fn built_components_mirror_the_configuration() {
+        let c = SystemConfig::paper_three_groups()
+            .with_history_window(5)
+            .with_allocation_policy(AllocationPolicy::GreedyCheapest)
+            .with_prediction_strategy(PredictionStrategy::SuccessorOfNearest);
+        let predictor = c.build_predictor();
+        assert_eq!(predictor.strategy(), PredictionStrategy::SuccessorOfNearest);
+        assert_eq!(predictor.groups(), c.groups.ids());
+        assert_eq!(predictor.history().window(), Some(5));
+        let allocator = c.build_allocator();
+        assert_eq!(allocator.policy(), AllocationPolicy::GreedyCheapest);
+        assert_eq!(allocator.account_cap, c.account_cap);
+        assert_eq!(c.build_pool().account_cap(), c.account_cap);
     }
 
     #[test]

@@ -84,4 +84,4 @@ pub use metrics::{
 pub use predictor::{DistanceKind, PredictionStrategy, WorkloadForecast, WorkloadPredictor};
 pub use sdn::{RoutedRequest, SdnAccelerator};
 pub use system::{PromotionEvent, SlotObservation, System, SystemReport, UserPerception};
-pub use timeslot::{SlotHistory, TimeSlot};
+pub use timeslot::{SlotHistory, TimeSlot, TimeSlotBuilder};

@@ -186,6 +186,21 @@ impl WorkloadPredictor {
         self.sync_signatures();
     }
 
+    /// Moves the accumulated knowledge base out of the predictor without
+    /// copying, leaving an empty history with the same slot length and
+    /// retention window. This is the shard hand-off path: when a tenant is
+    /// migrated between shards (or offboarded), its slot history travels
+    /// with it and can seed the receiving predictor via
+    /// [`WorkloadPredictor::set_history`].
+    pub fn take_history(&mut self) -> SlotHistory {
+        let mut empty = SlotHistory::new(self.history.slot_length_ms);
+        empty.set_window(self.history.window());
+        let history = std::mem::replace(&mut self.history, empty);
+        self.signatures.clear();
+        self.signature_first_index = 0;
+        history
+    }
+
     /// Brings the cached count signatures back in line with the retained
     /// slots after the history grew or evicted from the front.
     fn sync_signatures(&mut self) {
@@ -237,56 +252,185 @@ impl WorkloadPredictor {
             .collect()
     }
 
-    /// Position (within the retained slots) of the nearest historical slot,
-    /// using the signature lower bound to skip candidates and the bounded
-    /// distances to abandon the rest early. Ties resolve to the earliest
-    /// slot, exactly like the naive linear scan.
+    /// Position (within the retained slots) of the nearest historical slot.
+    /// Ties resolve to the earliest slot, exactly like the naive linear scan.
+    ///
+    /// Candidates are visited **best-first**: the signature lower bound of
+    /// every slot is computed up front (`O(groups)` each) and candidates are
+    /// evaluated by ascending bound — with the chronological position as the
+    /// secondary key, so among equally-bounded candidates the earliest slot
+    /// is still tried first. Visiting the most promising candidates early
+    /// tightens the best-so-far cap sooner, and because bounds ascend the
+    /// scan stops outright at the first bound that exceeds the best distance
+    /// found — the chronological scan could only *skip* such candidates one
+    /// by one. The full distance is evaluated with the `*_bounded` early-exit
+    /// implementations of [`crate::distance`], capped at the best distance
+    /// (for candidates earlier than the incumbent, where an equal distance
+    /// wins the tie) or one below it (for later candidates, where only a
+    /// strictly smaller distance helps).
     fn nearest_position(&self, current: &TimeSlot) -> Option<usize> {
         let slots = self.history.slots();
         if slots.is_empty() {
             return None;
         }
         let group_count = self.groups.len();
+        if group_count == 0 {
+            // every distance is zero over an empty group universe; the
+            // earliest slot wins the tie
+            return Some(0);
+        }
         let current_signature: Vec<usize> =
             self.groups.iter().map(|g| current.load_of(*g)).collect();
-        let mut scratch = DistanceScratch::new();
-        let mut best = usize::MAX;
-        let mut best_position = 0;
-        for (position, slot) in slots.iter().enumerate() {
-            let signature = &self.signatures[position * group_count..(position + 1) * group_count];
-            let lower_bound: usize = current_signature
-                .iter()
-                .zip(signature)
-                .map(|(a, b)| a.abs_diff(*b))
-                .sum();
-            if lower_bound >= best {
-                continue;
-            }
-            let candidate = match self.distance {
-                // the signature bound is exactly the count distance
-                DistanceKind::CountDifference => Some(lower_bound),
-                DistanceKind::SetEdit => {
-                    slot_distance_bounded(current, slot, &self.groups, best - 1)
-                }
-                DistanceKind::Levenshtein => slot_levenshtein_distance_bounded(
-                    current,
-                    slot,
-                    &self.groups,
-                    best - 1,
-                    &mut scratch,
-                ),
-            };
-            if let Some(distance) = candidate {
+        if self.distance == DistanceKind::CountDifference {
+            // the signature lower bound IS the count distance: one
+            // allocation-free scan, first minimum wins
+            let mut best = usize::MAX;
+            let mut best_position = 0;
+            for (position, signature) in self.signatures.chunks_exact(group_count).enumerate() {
+                let distance: usize = current_signature
+                    .iter()
+                    .zip(signature)
+                    .map(|(a, b)| a.abs_diff(*b))
+                    .sum();
                 if distance < best {
                     best = distance;
                     best_position = position;
                     if best == 0 {
-                        break; // nothing can strictly beat a perfect match
+                        break;
+                    }
+                }
+            }
+            return Some(best_position);
+        }
+        // `(signature lower bound, position)`, sorted ascending: best-first
+        // with the earliest-slot preference as secondary order.
+        let mut order: Vec<(usize, usize)> = (0..slots.len())
+            .map(|position| {
+                let signature =
+                    &self.signatures[position * group_count..(position + 1) * group_count];
+                let lower_bound: usize = current_signature
+                    .iter()
+                    .zip(signature)
+                    .map(|(a, b)| a.abs_diff(*b))
+                    .sum();
+                (lower_bound, position)
+            })
+            .collect();
+        order.sort_unstable();
+        let mut scratch = DistanceScratch::new();
+        let mut best = usize::MAX;
+        let mut best_position = usize::MAX;
+        for &(lower_bound, position) in &order {
+            if lower_bound > best {
+                break; // bounds ascend: no remaining candidate can win
+            }
+            if lower_bound == best && position > best_position {
+                continue; // can at best tie, and would lose the tie-break
+            }
+            // an equal distance only helps for slots earlier than the
+            // incumbent match
+            let cap = if position < best_position {
+                best
+            } else {
+                best - 1 // position > best_position implies best > lower_bound >= 0
+            };
+            let candidate = match self.distance {
+                DistanceKind::CountDifference => {
+                    unreachable!("the count distance takes the linear scan above")
+                }
+                DistanceKind::SetEdit => {
+                    slot_distance_bounded(current, &slots[position], &self.groups, cap)
+                }
+                DistanceKind::Levenshtein => slot_levenshtein_distance_bounded(
+                    current,
+                    &slots[position],
+                    &self.groups,
+                    cap,
+                    &mut scratch,
+                ),
+            };
+            if let Some(distance) = candidate {
+                if distance < best || (distance == best && position < best_position) {
+                    best = distance;
+                    best_position = position;
+                    if best == 0 {
+                        // a perfect match: every earlier slot that could tie
+                        // had bound zero and was already visited
+                        break;
                     }
                 }
             }
         }
         Some(best_position)
+    }
+
+    /// Observes `slot` and immediately forecasts the next slot — the closed
+    /// loop's per-interval step, equivalent to
+    /// [`WorkloadPredictor::observe_slot`] followed by
+    /// [`WorkloadPredictor::predict`] on the same slot but substantially
+    /// cheaper. Because the probe is part of the knowledge base by the time
+    /// the prediction runs, the minimum distance is exactly zero, and the
+    /// nearest slot is the **earliest retained slot equal to the probe**:
+    /// equal per-group user runs for the edit distances (slice equality
+    /// exits on the first differing user), equal count signature for the
+    /// count distance. No distance is ever evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistory`] when the history-based strategy
+    /// has no slot to forecast from, which after observing cannot happen —
+    /// the error case exists only for [`PredictionStrategy::MeanOfHistory`]
+    /// symmetry with [`WorkloadPredictor::predict`].
+    pub fn observe_and_predict(&mut self, slot: TimeSlot) -> Result<WorkloadForecast, CoreError> {
+        match self.strategy {
+            PredictionStrategy::LastValue => {
+                let forecast = self.forecast_from_current(&slot);
+                self.observe_slot(slot);
+                Ok(forecast)
+            }
+            PredictionStrategy::MeanOfHistory => {
+                self.observe_slot(slot);
+                self.forecast_from_mean()
+            }
+            PredictionStrategy::NearestSlot | PredictionStrategy::SuccessorOfNearest => {
+                self.observe_slot(slot);
+                let slots = self.history.slots();
+                let last = slots.len() - 1;
+                let group_count = self.groups.len();
+                let mut position = last;
+                if group_count > 0 {
+                    let current = &slots[last];
+                    let current_signature =
+                        &self.signatures[last * group_count..(last + 1) * group_count];
+                    for (earlier, signature) in self
+                        .signatures
+                        .chunks_exact(group_count)
+                        .enumerate()
+                        .take(last)
+                    {
+                        if signature != current_signature {
+                            continue;
+                        }
+                        let equal = match self.distance {
+                            // equal counts are all the count distance sees
+                            DistanceKind::CountDifference => true,
+                            DistanceKind::SetEdit | DistanceKind::Levenshtein => self
+                                .groups
+                                .iter()
+                                .all(|g| slots[earlier].users_in(*g) == current.users_in(*g)),
+                        };
+                        if equal {
+                            position = earlier;
+                            break;
+                        }
+                    }
+                } else {
+                    // no groups: every distance is zero, the earliest slot wins
+                    position = 0;
+                }
+                Ok(self.forecast_from_position(position))
+            }
+        }
     }
 
     /// Predicts the workload of the next slot given the current slot.
@@ -560,6 +704,88 @@ mod tests {
         let forecast = p.predict(&slot(10, 0, 0)).unwrap();
         assert_eq!(forecast.matched_slot, Some(3));
         assert_eq!(p.predict_naive(&slot(10, 0, 0)).unwrap(), forecast);
+    }
+
+    #[test]
+    fn observe_and_predict_equals_observe_then_predict() {
+        let history: Vec<TimeSlot> = (0..30u32)
+            .map(|i| slot(3 + (i * 5) % 17, (i * 3) % 7, i % 4))
+            .collect();
+        let probes: Vec<TimeSlot> = (0..12u32)
+            .map(|i| slot(3 + (i * 5) % 17, (i * 7) % 7, i % 3))
+            .collect();
+        for kind in [
+            DistanceKind::SetEdit,
+            DistanceKind::Levenshtein,
+            DistanceKind::CountDifference,
+        ] {
+            for strategy in [
+                PredictionStrategy::NearestSlot,
+                PredictionStrategy::SuccessorOfNearest,
+                PredictionStrategy::LastValue,
+                PredictionStrategy::MeanOfHistory,
+            ] {
+                let mut fast = predictor_with_history(history.clone())
+                    .with_distance(kind)
+                    .with_strategy(strategy);
+                let mut slow = fast.clone();
+                for probe in &probes {
+                    let combined = fast.observe_and_predict(probe.clone());
+                    slow.observe_slot(probe.clone());
+                    let separate = slow.predict(probe);
+                    assert_eq!(combined, separate, "{kind:?}/{strategy:?}");
+                    assert_eq!(fast, slow, "{kind:?}/{strategy:?} predictor state");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_first_ordering_keeps_the_earliest_slot_on_ties() {
+        // many identical slots: the naive scan returns the first minimum in
+        // chronological order, and the best-first ordering must agree even
+        // though every candidate has the same signature lower bound
+        let duplicates = vec![slot(5, 2, 1); 7];
+        for kind in [
+            DistanceKind::SetEdit,
+            DistanceKind::Levenshtein,
+            DistanceKind::CountDifference,
+        ] {
+            let p = predictor_with_history(duplicates.clone()).with_distance(kind);
+            for probe in [slot(5, 2, 1), slot(6, 2, 1), slot(0, 0, 0)] {
+                let fast = p.predict(&probe).unwrap();
+                let naive = p.predict_naive(&probe).unwrap();
+                assert_eq!(fast, naive, "{kind:?}");
+                assert_eq!(fast.matched_slot, Some(0), "{kind:?}");
+            }
+        }
+        // an exact match later in the history still loses to an equal-distance
+        // earlier slot, but wins over strictly-worse earlier slots
+        let p = predictor_with_history(vec![slot(9, 9, 9), slot(5, 2, 1), slot(5, 2, 1)]);
+        let forecast = p.predict(&slot(5, 2, 1)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(1));
+        assert_eq!(forecast, p.predict_naive(&slot(5, 2, 1)).unwrap());
+    }
+
+    #[test]
+    fn take_history_hands_off_the_knowledge_base() {
+        let mut donor = predictor_with_history(vec![slot(3, 0, 0), slot(7, 1, 0)]).with_window(8);
+        let history = donor.take_history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.window(), Some(8));
+        // the donor keeps its configuration but forgets its knowledge base
+        assert!(donor.history().is_empty());
+        assert_eq!(donor.history().window(), Some(8));
+        assert_eq!(
+            donor.predict(&slot(3, 0, 0)).unwrap_err(),
+            CoreError::EmptyHistory
+        );
+        // the receiving predictor picks up exactly where the donor stopped
+        let mut receiver = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
+        receiver.set_history(history);
+        let forecast = receiver.predict(&slot(3, 0, 0)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(0));
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 3);
     }
 
     #[test]

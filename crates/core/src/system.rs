@@ -1,7 +1,6 @@
 //! The closed-loop system of Fig. 2: workload → SDN-accelerator → back-end
 //! pool, with per-interval prediction, allocation and client-side promotion.
 
-use crate::accel::AccelerationGroups;
 use crate::allocator::{Allocation, ResourceAllocator};
 use crate::config::SystemConfig;
 use crate::metrics::accuracy;
@@ -147,14 +146,9 @@ pub struct System {
 impl System {
     /// Builds a system from a configuration.
     pub fn new(config: SystemConfig) -> Self {
-        let groups: AccelerationGroups = config.groups.clone();
-        let allocator = ResourceAllocator::with_policy(groups.clone(), config.allocation_policy)
-            .with_account_cap(config.account_cap);
-        let mut predictor = WorkloadPredictor::new(groups.ids(), config.slot_length_ms)
-            .with_strategy(config.prediction_strategy)
-            .with_distance(config.distance_kind);
-        predictor.set_window(config.history_window);
-        let pool = InstancePool::with_cap(config.account_cap);
+        let allocator = config.build_allocator();
+        let predictor = config.build_predictor();
+        let pool = config.build_pool();
         let sdn = SdnAccelerator::new(config.clone());
         Self {
             config,
@@ -302,9 +296,9 @@ impl System {
             .as_ref()
             .map(|f| accuracy(f, slot, &groups).overall);
 
-        // Learn from this slot and forecast the next one.
-        self.predictor.observe_slot(slot.clone());
-        let forecast = self.predictor.predict(slot).ok();
+        // Learn from this slot and forecast the next one (the fast path is
+        // exactly observe_slot + predict on the same slot).
+        let forecast = self.predictor.observe_and_predict(slot.clone()).ok();
 
         let (allocation_cost, allocated_instances) = if let Some(f) = &forecast {
             match self.allocator.allocate(f) {

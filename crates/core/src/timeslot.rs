@@ -154,11 +154,87 @@ impl TimeSlot {
         index: usize,
         pairs: impl IntoIterator<Item = (AccelerationGroupId, UserId)>,
     ) -> Self {
-        let mut slot = Self::new(index);
-        for (g, u) in pairs {
-            slot.assign(g, u);
+        let mut builder = TimeSlotBuilder::new(index);
+        builder.extend(pairs);
+        builder.build()
+    }
+}
+
+/// Batch constructor for [`TimeSlot`].
+///
+/// [`TimeSlot::assign`] keeps the slot's runs sorted after every insertion,
+/// which costs `O(n)` per *out-of-order* user — fine for a trickle of
+/// mostly-ordered arrivals, quadratic for a bulk feed of interleaved users
+/// (many tenants, shuffled ingest). The builder instead collects raw
+/// `(group, user)` assignments unordered and produces the slot with **one**
+/// sort + dedup pass in [`TimeSlotBuilder::build`], yielding exactly the slot
+/// the per-record path would have built. The fleet ingest and the
+/// trace-replay path ([`SlotHistory::from_log`]) go through the builder.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSlotBuilder {
+    index: usize,
+    pairs: Vec<(AccelerationGroupId, UserId)>,
+}
+
+impl TimeSlotBuilder {
+    /// Creates an empty builder for the slot at `index`.
+    pub fn new(index: usize) -> Self {
+        Self {
+            index,
+            pairs: Vec::new(),
         }
-        slot
+    }
+
+    /// Creates a builder with room for `capacity` assignments.
+    pub fn with_capacity(index: usize, capacity: usize) -> Self {
+        Self {
+            index,
+            pairs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records that `user` was active in `group` (duplicates are cheap and
+    /// collapse in [`TimeSlotBuilder::build`]).
+    pub fn assign(&mut self, group: AccelerationGroupId, user: UserId) {
+        self.pairs.push((group, user));
+    }
+
+    /// Records a batch of `(group, user)` assignments.
+    pub fn extend(&mut self, pairs: impl IntoIterator<Item = (AccelerationGroupId, UserId)>) {
+        self.pairs.extend(pairs);
+    }
+
+    /// Number of recorded assignments (before deduplication).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` when no assignment has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Sorts and deduplicates the collected assignments once and builds the
+    /// slot. Equal to feeding every pair through [`TimeSlot::assign`] in any
+    /// order.
+    pub fn build(self) -> TimeSlot {
+        let mut pairs = self.pairs;
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut runs: Vec<GroupRun> = Vec::new();
+        for (group, user) in pairs {
+            match runs.last_mut() {
+                Some(run) if run.group == group => run.users.push(user),
+                _ => runs.push(GroupRun {
+                    group,
+                    users: vec![user],
+                }),
+            }
+        }
+        TimeSlot {
+            index: self.index,
+            runs,
+        }
     }
 }
 
@@ -251,10 +327,24 @@ impl SlotHistory {
 
     /// Builds the history from a trace log, assigning each record to the slot
     /// containing its timestamp.
+    ///
+    /// This is the batch-replay path: records are bucketed into one
+    /// [`TimeSlotBuilder`] per slot and each slot is materialized with a
+    /// single sort + dedup pass, instead of paying [`TimeSlot::assign`]'s
+    /// ordered insert per record. The result is identical to replaying the
+    /// log through [`SlotHistory::observe`].
     pub fn from_log(log: &TraceLog, slot_length_ms: f64) -> Self {
         let mut history = Self::new(slot_length_ms);
+        let mut builders: Vec<TimeSlotBuilder> = Vec::new();
         for record in log.records() {
-            history.observe(record);
+            let idx = (record.timestamp_ms / slot_length_ms).floor().max(0.0) as usize;
+            while builders.len() <= idx {
+                builders.push(TimeSlotBuilder::new(builders.len()));
+            }
+            builders[idx].assign(record.group, record.user);
+        }
+        for builder in builders {
+            history.push(builder.build());
         }
         history
     }
@@ -522,6 +612,60 @@ mod tests {
             history.slots()[0].users_in(AccelerationGroupId(1)),
             &[UserId(4)]
         );
+    }
+
+    #[test]
+    fn builder_matches_per_record_assign_on_shuffled_input() {
+        // worst case for `assign`: users arrive interleaved across groups in
+        // decreasing id order, with duplicates
+        let pairs: Vec<(AccelerationGroupId, UserId)> = (0..120u32)
+            .rev()
+            .flat_map(|u| {
+                [
+                    (AccelerationGroupId((u % 3 + 1) as u8), UserId(u)),
+                    (AccelerationGroupId((u % 3 + 1) as u8), UserId(u)), // duplicate
+                    (AccelerationGroupId(1), UserId(u / 2)),
+                ]
+            })
+            .collect();
+        let mut reference = TimeSlot::new(7);
+        for &(g, u) in &pairs {
+            reference.assign(g, u);
+        }
+        let mut builder = TimeSlotBuilder::with_capacity(7, pairs.len());
+        for &(g, u) in &pairs {
+            builder.assign(g, u);
+        }
+        assert_eq!(builder.len(), pairs.len());
+        assert!(!builder.is_empty());
+        let built = builder.build();
+        assert_eq!(built, reference);
+        assert_eq!(built.index, 7);
+    }
+
+    #[test]
+    fn empty_builder_builds_an_empty_slot() {
+        let built = TimeSlotBuilder::new(3).build();
+        assert!(built.is_empty());
+        assert_eq!(built, TimeSlot::new(3));
+    }
+
+    #[test]
+    fn from_log_batch_replay_matches_incremental_observe() {
+        let records: Vec<TraceRecord> = (0..200)
+            .map(|i| {
+                // timestamps deliberately out of chronological order
+                let t = ((i * 37) % 200) as f64 * 90_000.0;
+                record(t, (200 - i) as u32 % 23, (i % 3 + 1) as u8)
+            })
+            .collect();
+        let log: TraceLog = records.iter().cloned().collect();
+        let batched = SlotHistory::from_log(&log, 3_600_000.0);
+        let mut incremental = SlotHistory::new(3_600_000.0);
+        for r in &records {
+            incremental.observe(r);
+        }
+        assert_eq!(batched, incremental);
     }
 
     #[test]

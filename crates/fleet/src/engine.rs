@@ -1,0 +1,372 @@
+//! The sharded fleet engine: many tenants, one provisioning clock.
+//!
+//! [`FleetEngine`] owns `N` shards, each holding the [`TenantShard`]s the
+//! [`ShardRouter`] hashes onto it. Every provisioning slot the engine
+//! ingests one batch of arrival records, buckets it by shard, and runs every
+//! shard's predict→allocate→bill cycle **in parallel** over a rayon thread
+//! pool. Three properties make the parallel tick safe and reproducible:
+//!
+//! * shards share no state — each tenant's knowledge base, allocator, pool
+//!   and RNG stream live in exactly one shard,
+//! * per-tenant RNG streams are seeded from `(fleet seed, tenant id)` alone,
+//!   so thread scheduling cannot perturb any tenant's draws, and
+//! * the nearest-neighbour tie-break (first minimum in chronological order)
+//!   is deterministic inside each predictor, so per-tenant forecasts are
+//!   bit-identical to running that tenant alone, whatever the shard layout
+//!   or thread count.
+
+use crate::ingest::{bucket_by_shard, SlotRecord};
+use crate::metrics::FleetMetrics;
+use crate::router::ShardRouter;
+use crate::shard::TenantShard;
+use mca_core::{SlotHistory, SystemConfig, TimeSlotBuilder, WorkloadForecast};
+use mca_offload::TenantId;
+use mca_workload::TenantMix;
+use rayon::prelude::*;
+
+/// One worker partition: the tenants a shard index owns, plus the staging
+/// buffer the engine fills before a parallel tick.
+#[derive(Debug)]
+struct Shard {
+    /// The shard's tenants, sorted by tenant id.
+    tenants: Vec<TenantShard>,
+    /// Records staged for the next tick.
+    inbox: Vec<SlotRecord>,
+}
+
+impl Shard {
+    /// Consumes the inbox: builds each tenant's slot with one sort + dedup
+    /// pass and runs the tenant's provisioning tick. Returns the number of
+    /// records that named a tenant this shard does not host.
+    fn tick_inbox(&mut self, slot_index: usize, now_ms: f64) -> usize {
+        let mut builders: Vec<TimeSlotBuilder> = self
+            .tenants
+            .iter()
+            .map(|_| TimeSlotBuilder::new(slot_index))
+            .collect();
+        let mut unknown = 0usize;
+        for record in self.inbox.drain(..) {
+            match self
+                .tenants
+                .binary_search_by_key(&record.tenant, TenantShard::id)
+            {
+                Ok(at) => builders[at].assign(record.group, record.user),
+                Err(_) => unknown += 1,
+            }
+        }
+        for (tenant, builder) in self.tenants.iter_mut().zip(builders) {
+            tenant.tick(builder.build(), now_ms);
+        }
+        unknown
+    }
+
+    /// Generates each tenant's slot from the mix — drawing churn from the
+    /// tenant's own RNG stream — and runs the provisioning tick.
+    fn tick_mix(&mut self, mix: &TenantMix, slot_index: usize, now_ms: f64) {
+        for tenant in &mut self.tenants {
+            let id = tenant.id();
+            let records = mix.slot_records(id, slot_index, tenant.rng_mut());
+            let mut builder = TimeSlotBuilder::with_capacity(slot_index, records.len());
+            builder.extend(records);
+            tenant.tick(builder.build(), now_ms);
+        }
+    }
+}
+
+/// The multi-tenant sharded prediction/allocation engine.
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: SystemConfig,
+    seed: u64,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    pool: rayon::ThreadPool,
+    threads: usize,
+    slot_index: usize,
+    dropped_records: usize,
+}
+
+impl FleetEngine {
+    /// Creates an engine with `shards` empty shards over the shared system
+    /// configuration. The thread pool defaults to the machine's available
+    /// parallelism; see [`FleetEngine::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: SystemConfig, shards: usize, seed: u64) -> Self {
+        let router = ShardRouter::new(shards);
+        let shards = (0..shards)
+            .map(|_| Shard {
+                tenants: Vec::new(),
+                inbox: Vec::new(),
+            })
+            .collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .build()
+            .expect("thread pool construction cannot fail");
+        let threads = pool.current_num_threads();
+        Self {
+            config,
+            seed,
+            router,
+            shards,
+            pool,
+            threads,
+            slot_index: 0,
+            dropped_records: 0,
+        }
+    }
+
+    /// Overrides the tick's thread count (1 = fully sequential). Forecasts
+    /// and metrics are independent of this setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail");
+        self.threads = self.pool.current_num_threads();
+        self
+    }
+
+    /// The shared system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tick's thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of onboarded tenants.
+    pub fn tenants(&self) -> usize {
+        self.shards.iter().map(|s| s.tenants.len()).sum()
+    }
+
+    /// Index of the next slot to tick.
+    pub fn slot_index(&self) -> usize {
+        self.slot_index
+    }
+
+    /// Records dropped so far because they named an unknown tenant.
+    pub fn dropped_records(&self) -> usize {
+        self.dropped_records
+    }
+
+    /// The shard index hosting `tenant`.
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        self.router.shard_of_tenant(tenant)
+    }
+
+    /// Onboards a tenant: a fresh [`TenantShard`] is placed on the shard the
+    /// router assigns. Onboarding mid-run is allowed — the tenant simply has
+    /// no history yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is already onboarded.
+    pub fn add_tenant(&mut self, tenant: TenantId) {
+        let shard = &mut self.shards[self.router.shard_of_tenant(tenant)];
+        match shard.tenants.binary_search_by_key(&tenant, TenantShard::id) {
+            Ok(_) => panic!("tenant {tenant} is already onboarded"),
+            Err(at) => shard
+                .tenants
+                .insert(at, TenantShard::new(tenant, &self.config, self.seed)),
+        }
+    }
+
+    /// Onboards every tenant of the iterator.
+    pub fn add_tenants(&mut self, tenants: impl IntoIterator<Item = TenantId>) {
+        for tenant in tenants {
+            self.add_tenant(tenant);
+        }
+    }
+
+    /// Offboards `tenant`, handing its slot history out (shard hand-off: the
+    /// knowledge base moves without copying and can seed another engine or
+    /// shard). Returns `None` when the tenant is unknown.
+    pub fn extract_tenant(&mut self, tenant: TenantId) -> Option<SlotHistory> {
+        let now_ms = self.slot_index as f64 * self.config.slot_length_ms;
+        let shard = &mut self.shards[self.router.shard_of_tenant(tenant)];
+        let at = shard
+            .tenants
+            .binary_search_by_key(&tenant, TenantShard::id)
+            .ok()?;
+        let mut state = shard.tenants.remove(at);
+        Some(state.decommission(now_ms))
+    }
+
+    /// Ticks one provisioning slot on a batch of arrival records: buckets
+    /// the batch by shard (one router pass), then runs every shard's
+    /// predict→allocate→bill cycle in parallel. Records naming unknown
+    /// tenants are counted in [`FleetEngine::dropped_records`].
+    pub fn tick_slot(&mut self, records: &[SlotRecord]) {
+        let slot_index = self.slot_index;
+        let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
+        let buckets = bucket_by_shard(records, &self.router);
+        for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
+            shard.inbox = bucket;
+        }
+        let shards = &mut self.shards;
+        let dropped: usize = self
+            .pool
+            .install(|| {
+                shards
+                    .par_iter_mut()
+                    .map(|shard| shard.tick_inbox(slot_index, now_ms))
+                    .collect::<Vec<usize>>()
+            })
+            .into_iter()
+            .sum();
+        self.dropped_records += dropped;
+        self.slot_index += 1;
+    }
+
+    /// Ticks one provisioning slot generated from a [`TenantMix`]: each
+    /// shard draws its tenants' records from their private RNG streams and
+    /// ticks, all in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hosted tenant is not part of the mix.
+    pub fn tick_mix(&mut self, mix: &TenantMix) {
+        let slot_index = self.slot_index;
+        let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
+        let shards = &mut self.shards;
+        self.pool.install(|| {
+            shards
+                .par_iter_mut()
+                .for_each(|shard| shard.tick_mix(mix, slot_index, now_ms));
+        });
+        self.slot_index += 1;
+    }
+
+    /// Every tenant's standing forecast for the next slot, sorted by tenant
+    /// id.
+    pub fn forecasts(&self) -> Vec<(TenantId, Option<WorkloadForecast>)> {
+        let mut forecasts: Vec<(TenantId, Option<WorkloadForecast>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.tenants.iter())
+            .map(|t| (t.id(), t.forecast().cloned()))
+            .collect();
+        forecasts.sort_by_key(|(id, _)| *id);
+        forecasts
+    }
+
+    /// Read access to one tenant's provisioning state.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantShard> {
+        let shard = &self.shards[self.router.shard_of_tenant(tenant)];
+        shard
+            .tenants
+            .binary_search_by_key(&tenant, TenantShard::id)
+            .ok()
+            .map(|at| &shard.tenants[at])
+    }
+
+    /// Aggregates every tenant's accounting into the fleet rollup.
+    pub fn metrics(&self) -> FleetMetrics {
+        FleetMetrics::aggregate(
+            self.shards
+                .iter()
+                .flat_map(|s| s.tenants.iter())
+                .map(|t| t.metrics().clone())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_offload::{AccelerationGroupId, UserId};
+
+    fn config() -> SystemConfig {
+        SystemConfig::paper_three_groups().with_history_window(32)
+    }
+
+    fn records(tenants: u32, users: u32) -> Vec<SlotRecord> {
+        // interleave tenants, the way concurrent arrivals reach a front-end
+        (0..users)
+            .flat_map(|u| {
+                (0..tenants).map(move |t| {
+                    SlotRecord::new(
+                        TenantId(t),
+                        AccelerationGroupId((u % 3 + 1) as u8),
+                        UserId(t * 1000 + u),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tick_slot_serves_every_tenant_and_advances_the_clock() {
+        let mut engine = FleetEngine::new(config(), 4, 1);
+        engine.add_tenants((0..6).map(TenantId));
+        assert_eq!(engine.tenants(), 6);
+        assert_eq!(engine.shard_count(), 4);
+
+        engine.tick_slot(&records(6, 8));
+        engine.tick_slot(&records(6, 8));
+        assert_eq!(engine.slot_index(), 2);
+        assert_eq!(engine.dropped_records(), 0);
+
+        let metrics = engine.metrics();
+        assert_eq!(metrics.tenants, 6);
+        assert_eq!(metrics.slots, 2);
+        assert_eq!(metrics.total_allocations, 12, "one per tenant per slot");
+        assert!(metrics.total_cost > 0.0);
+        // identical consecutive slots score perfect accuracy
+        assert!((metrics.mean_accuracy.unwrap() - 1.0).abs() < 1e-12);
+        let forecasts = engine.forecasts();
+        assert_eq!(forecasts.len(), 6);
+        assert!(forecasts.iter().all(|(_, f)| f.is_some()));
+    }
+
+    #[test]
+    fn unknown_tenant_records_are_counted_not_served() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_tenant(TenantId(0));
+        let mut batch = records(1, 4);
+        batch.push(SlotRecord::new(
+            TenantId(99),
+            AccelerationGroupId(1),
+            UserId(1),
+        ));
+        engine.tick_slot(&batch);
+        assert_eq!(engine.dropped_records(), 1);
+        assert_eq!(engine.metrics().tenants, 1);
+    }
+
+    #[test]
+    fn extract_tenant_hands_off_its_history() {
+        let mut engine = FleetEngine::new(config(), 3, 9);
+        engine.add_tenants((0..4).map(TenantId));
+        for _ in 0..3 {
+            engine.tick_slot(&records(4, 5));
+        }
+        let history = engine.extract_tenant(TenantId(2)).expect("tenant exists");
+        assert_eq!(history.len(), 3);
+        assert_eq!(engine.tenants(), 3);
+        assert!(engine.tenant(TenantId(2)).is_none());
+        assert!(engine.extract_tenant(TenantId(2)).is_none());
+        // the remaining tenants keep ticking
+        engine.tick_slot(&records(4, 5));
+        assert_eq!(engine.dropped_records(), 5, "tenant 2's records now drop");
+    }
+
+    #[test]
+    #[should_panic(expected = "already onboarded")]
+    fn double_onboarding_panics() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_tenant(TenantId(1));
+        engine.add_tenant(TenantId(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-tenant accounting and fleet-wide rollups.
+//!
+//! Every [`crate::TenantShard`] accumulates its own [`TenantMetrics`] as its
+//! predict→allocate→bill cycle runs; [`FleetMetrics::aggregate`] folds the
+//! per-tenant records (in tenant-id order, so the fold is bitwise
+//! reproducible across shard layouts and thread counts) into the fleet-wide
+//! view an operator dashboard would show.
+
+use mca_offload::TenantId;
+use serde::{Deserialize, Serialize};
+
+/// Accounting for one tenant: forecast quality, spend and allocation volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TenantMetrics {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Slots ticked.
+    pub slots: usize,
+    /// Slots whose incoming forecast was scored against the actual workload
+    /// (every slot after the first).
+    pub scored_slots: usize,
+    /// Sum of per-slot forecast accuracies over the scored slots.
+    pub accuracy_sum: f64,
+    /// Accumulated cloud spend, USD (hourly allocation cost × slot length).
+    pub total_cost: f64,
+    /// Successful allocations applied.
+    pub allocations: usize,
+    /// Allocations that were infeasible under the account cap.
+    pub infeasible_allocations: usize,
+    /// Sum of allocated instances over slots (instance-slots).
+    pub allocated_instance_slots: usize,
+    /// Largest observed per-slot user count.
+    pub peak_users: usize,
+    /// Sum of observed users over slots (user-slots).
+    pub total_user_slots: usize,
+}
+
+impl TenantMetrics {
+    /// Creates empty accounting for `tenant`.
+    pub fn new(tenant: TenantId) -> Self {
+        Self {
+            tenant,
+            ..Self::default()
+        }
+    }
+
+    /// Mean forecast accuracy over the scored slots, when any were scored.
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        (self.scored_slots > 0).then(|| self.accuracy_sum / self.scored_slots as f64)
+    }
+
+    /// Mean allocated instances per slot.
+    pub fn mean_instances(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.allocated_instance_slots as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean observed users per slot.
+    pub fn mean_users(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.total_user_slots as f64 / self.slots as f64
+        }
+    }
+}
+
+/// The fleet-wide rollup over every tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Per-tenant accounting, sorted by tenant id.
+    pub per_tenant: Vec<TenantMetrics>,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Slots ticked (the maximum over tenants; tenants added late have
+    /// fewer).
+    pub slots: usize,
+    /// Total cloud spend across tenants, USD.
+    pub total_cost: f64,
+    /// Total successful allocations across tenants.
+    pub total_allocations: usize,
+    /// Total infeasible allocations across tenants.
+    pub total_infeasible: usize,
+    /// Mean of the tenants' mean forecast accuracies (tenants with no scored
+    /// slot are excluded).
+    pub mean_accuracy: Option<f64>,
+    /// Sum of the tenants' peak per-slot user counts — the fleet's
+    /// provisioning head-room requirement if every tenant peaked at once.
+    pub peak_user_sum: usize,
+}
+
+impl FleetMetrics {
+    /// Folds per-tenant metrics into the fleet rollup. The input is sorted
+    /// by tenant id first so every aggregation order produces the same
+    /// floating-point sums.
+    pub fn aggregate(mut per_tenant: Vec<TenantMetrics>) -> Self {
+        per_tenant.sort_by_key(|m| m.tenant);
+        let tenants = per_tenant.len();
+        let slots = per_tenant.iter().map(|m| m.slots).max().unwrap_or(0);
+        let total_cost = per_tenant.iter().map(|m| m.total_cost).sum();
+        let total_allocations = per_tenant.iter().map(|m| m.allocations).sum();
+        let total_infeasible = per_tenant.iter().map(|m| m.infeasible_allocations).sum();
+        let peak_user_sum = per_tenant.iter().map(|m| m.peak_users).sum();
+        let accuracies: Vec<f64> = per_tenant
+            .iter()
+            .filter_map(|m| m.mean_accuracy())
+            .collect();
+        let mean_accuracy = (!accuracies.is_empty())
+            .then(|| accuracies.iter().sum::<f64>() / accuracies.len() as f64);
+        Self {
+            per_tenant,
+            tenants,
+            slots,
+            total_cost,
+            total_allocations,
+            total_infeasible,
+            mean_accuracy,
+            peak_user_sum,
+        }
+    }
+
+    /// The accounting of one tenant, if it is part of the fleet.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantMetrics> {
+        self.per_tenant
+            .binary_search_by_key(&tenant, |m| m.tenant)
+            .ok()
+            .map(|at| &self.per_tenant[at])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tenant: u32, scored: usize, accuracy_sum: f64, cost: f64) -> TenantMetrics {
+        TenantMetrics {
+            tenant: TenantId(tenant),
+            slots: 10,
+            scored_slots: scored,
+            accuracy_sum,
+            total_cost: cost,
+            allocations: 10,
+            infeasible_allocations: 1,
+            allocated_instance_slots: 30,
+            peak_users: 8,
+            total_user_slots: 50,
+        }
+    }
+
+    #[test]
+    fn aggregation_sorts_and_sums() {
+        let rollup = FleetMetrics::aggregate(vec![
+            metrics(2, 9, 7.2, 1.0),
+            metrics(0, 9, 8.1, 2.0),
+            metrics(1, 0, 0.0, 0.5),
+        ]);
+        assert_eq!(rollup.tenants, 3);
+        assert_eq!(rollup.slots, 10);
+        assert_eq!(rollup.total_allocations, 30);
+        assert_eq!(rollup.total_infeasible, 3);
+        assert_eq!(rollup.peak_user_sum, 24);
+        assert!((rollup.total_cost - 3.5).abs() < 1e-12);
+        let ids: Vec<u32> = rollup.per_tenant.iter().map(|m| m.tenant.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // tenant 1 never scored a forecast and is excluded from the mean
+        let expected = (7.2 / 9.0 + 8.1 / 9.0) / 2.0;
+        assert!((rollup.mean_accuracy.unwrap() - expected).abs() < 1e-12);
+        assert_eq!(rollup.tenant(TenantId(2)).unwrap().tenant, TenantId(2));
+        assert!(rollup.tenant(TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn per_tenant_means() {
+        let m = metrics(0, 4, 3.0, 0.0);
+        assert!((m.mean_accuracy().unwrap() - 0.75).abs() < 1e-12);
+        assert!((m.mean_instances() - 3.0).abs() < 1e-12);
+        assert!((m.mean_users() - 5.0).abs() < 1e-12);
+        assert_eq!(TenantMetrics::new(TenantId(1)).mean_accuracy(), None);
+        assert_eq!(TenantMetrics::new(TenantId(1)).mean_instances(), 0.0);
+    }
+
+    #[test]
+    fn empty_fleet_aggregates_to_zero() {
+        let rollup = FleetMetrics::aggregate(Vec::new());
+        assert_eq!(rollup.tenants, 0);
+        assert_eq!(rollup.slots, 0);
+        assert_eq!(rollup.mean_accuracy, None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Shard routing: which shard owns which tenant (or user).
+//!
+//! Routing must be a pure function of the id — any front-end instance, any
+//! ingest thread and any replay must agree on the owning shard without
+//! coordination. Ids are mixed through SplitMix64 before the modulo so that
+//! sequentially assigned tenant ids (0, 1, 2, …) spread over shards instead
+//! of landing on consecutive ones.
+
+use mca_offload::{TenantId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes tenant and user ids onto a fixed number of shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        Self { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `tenant`.
+    pub fn shard_of_tenant(&self, tenant: TenantId) -> usize {
+        (splitmix64(u64::from(tenant.0)) % self.shards as u64) as usize
+    }
+
+    /// The shard a bare user id hashes to — the per-user sharding mode for
+    /// scaling a *single* huge tenant, where each shard predicts over its
+    /// own slice of the user population.
+    pub fn shard_of_user(&self, user: UserId) -> usize {
+        (splitmix64(u64::from(user.0) ^ 0xA076_1D64_78BD_642F) % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let router = ShardRouter::new(7);
+        for t in 0..200u32 {
+            let shard = router.shard_of_tenant(TenantId(t));
+            assert!(shard < 7);
+            assert_eq!(shard, router.shard_of_tenant(TenantId(t)), "stable");
+        }
+        for u in 0..200u32 {
+            assert!(router.shard_of_user(UserId(u)) < 7);
+        }
+    }
+
+    #[test]
+    fn sequential_tenants_spread_over_shards() {
+        let router = ShardRouter::new(8);
+        let mut counts = [0usize; 8];
+        for t in 0..64u32 {
+            counts[router.shard_of_tenant(TenantId(t))] += 1;
+        }
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        assert!(occupied >= 6, "64 tenants should occupy most of 8 shards");
+        assert!(counts.iter().all(|&c| c <= 16), "no pathological pile-up");
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let router = ShardRouter::new(1);
+        assert_eq!(router.shard_of_tenant(TenantId(42)), 0);
+        assert_eq!(router.shard_of_user(UserId(42)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardRouter::new(0);
+    }
+}

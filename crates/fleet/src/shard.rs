@@ -1,0 +1,233 @@
+//! The per-tenant provisioning state: one closed loop per tenant.
+//!
+//! A [`TenantShard`] is the multi-tenant unit of the paper's Fig. 2 loop: it
+//! owns one tenant's [`WorkloadPredictor`] (the tenant's private knowledge
+//! base), [`ResourceAllocator`] and [`InstancePool`], plus the tenant's own
+//! deterministic RNG stream. Every provisioning tick replays the cycle the
+//! single-operator [`mca_core::System`] runs at each slot boundary — score
+//! the previous forecast, learn the observed slot, forecast the next one,
+//! allocate and bill — so a fleet of shards is semantically *exactly* a set
+//! of independent single-tenant systems, just executed batched and in
+//! parallel.
+
+use crate::metrics::TenantMetrics;
+use mca_cloudsim::InstancePool;
+use mca_core::{
+    accuracy, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
+    WorkloadPredictor,
+};
+use mca_offload::TenantId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One tenant's predictor + allocator + instance pool + RNG stream.
+#[derive(Debug, Clone)]
+pub struct TenantShard {
+    id: TenantId,
+    predictor: WorkloadPredictor,
+    allocator: ResourceAllocator,
+    pool: InstancePool,
+    rng: StdRng,
+    metrics: TenantMetrics,
+    /// Forecast produced at the end of the previous slot, scored against the
+    /// next observed slot.
+    pending_forecast: Option<WorkloadForecast>,
+    slot_length_ms: f64,
+}
+
+impl TenantShard {
+    /// Derives the tenant's RNG stream seed from the fleet seed. The
+    /// derivation matches `TenantMix::stream_for`, so a mix-driven fleet run
+    /// (same fleet and mix seed) is replayable either through a standalone
+    /// `TenantShard` or through the mix's own stream API — `tick_mix`
+    /// generates exactly the records `TenantMix::stream_for` would.
+    pub fn stream_seed(fleet_seed: u64, tenant: TenantId) -> u64 {
+        fleet_seed ^ u64::from(tenant.0).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+    }
+
+    /// Creates the tenant's provisioning state from the shared system
+    /// configuration (groups, strategies, caps and history window all come
+    /// from [`SystemConfig`], exactly as [`mca_core::System::new`] builds
+    /// its single-operator equivalents).
+    pub fn new(id: TenantId, config: &SystemConfig, fleet_seed: u64) -> Self {
+        Self {
+            id,
+            predictor: config.build_predictor(),
+            allocator: config.build_allocator(),
+            pool: config.build_pool(),
+            rng: StdRng::seed_from_u64(Self::stream_seed(fleet_seed, id)),
+            metrics: TenantMetrics::new(id),
+            pending_forecast: None,
+            slot_length_ms: config.slot_length_ms,
+        }
+    }
+
+    /// The tenant this shard serves.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's accumulated accounting.
+    pub fn metrics(&self) -> &TenantMetrics {
+        &self.metrics
+    }
+
+    /// The forecast standing for the *next* slot, if one was produced.
+    pub fn forecast(&self) -> Option<&WorkloadForecast> {
+        self.pending_forecast.as_ref()
+    }
+
+    /// The tenant's knowledge base.
+    pub fn predictor(&self) -> &WorkloadPredictor {
+        &self.predictor
+    }
+
+    /// The tenant's instance pool.
+    pub fn pool(&self) -> &InstancePool {
+        &self.pool
+    }
+
+    /// The tenant's private RNG stream (used by synthetic workload
+    /// generation; batched external ingest never touches it).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs one provisioning tick on the observed `slot`: scores the
+    /// standing forecast against it, folds it into the knowledge base,
+    /// forecasts the next slot, allocates for that forecast and bills the
+    /// allocation for one slot length. `now_ms` is the closing slot
+    /// boundary.
+    pub fn tick(&mut self, slot: TimeSlot, now_ms: f64) {
+        let groups = self.predictor.groups();
+        self.metrics.slots += 1;
+        let observed_users = slot.total_users();
+        self.metrics.total_user_slots += observed_users;
+        self.metrics.peak_users = self.metrics.peak_users.max(observed_users);
+
+        if let Some(forecast) = &self.pending_forecast {
+            self.metrics.scored_slots += 1;
+            self.metrics.accuracy_sum += accuracy(forecast, &slot, groups).overall;
+        }
+
+        // the slot moves into the knowledge base (no clone) and the forecast
+        // comes from the observe-and-predict fast path — identical to
+        // `observe_slot` + `predict` on the same slot
+        let forecast = self.predictor.observe_and_predict(slot).ok();
+        if let Some(forecast) = &forecast {
+            match self.allocator.allocate(forecast) {
+                Ok(allocation) => {
+                    self.metrics.allocations += 1;
+                    self.metrics.allocated_instance_slots += allocation.total_instances();
+                    self.metrics.total_cost +=
+                        allocation.hourly_cost * self.slot_length_ms / 3_600_000.0;
+                    // pool failures cannot occur: the allocator respects the
+                    // same account cap the pool enforces
+                    let _ = self
+                        .pool
+                        .apply_allocation(&allocation.pool_allocation(), now_ms);
+                }
+                Err(_) => self.metrics.infeasible_allocations += 1,
+            }
+        }
+        self.pending_forecast = forecast;
+    }
+
+    /// Hands the tenant's slot history out of the shard (offboarding or
+    /// migration to another shard): the knowledge base moves without
+    /// copying, the standing forecast is dropped and the instance pool is
+    /// terminated at `now_ms`.
+    pub fn decommission(&mut self, now_ms: f64) -> SlotHistory {
+        self.pending_forecast = None;
+        self.pool.terminate_all(now_ms);
+        self.predictor.take_history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_offload::{AccelerationGroupId, UserId};
+
+    fn slot(index: usize, users: u32) -> TimeSlot {
+        TimeSlot::from_assignments(
+            index,
+            (0..users).map(|u| (AccelerationGroupId(1), UserId(u))),
+        )
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig::paper_three_groups().with_slot_length_ms(3_600_000.0)
+    }
+
+    #[test]
+    fn tick_cycle_scores_learns_allocates_and_bills() {
+        let mut shard = TenantShard::new(TenantId(3), &config(), 7);
+        assert_eq!(shard.id(), TenantId(3));
+        assert!(shard.forecast().is_none());
+
+        shard.tick(slot(0, 10), 3_600_000.0);
+        // first slot: nothing to score yet, but a forecast + allocation stand
+        assert_eq!(shard.metrics().slots, 1);
+        assert_eq!(shard.metrics().scored_slots, 0);
+        assert_eq!(shard.metrics().allocations, 1);
+        assert!(shard.forecast().is_some());
+        assert!(shard.metrics().total_cost > 0.0);
+        assert!(!shard.pool().is_empty());
+
+        shard.tick(slot(1, 10), 7_200_000.0);
+        // identical workload: the standing forecast scores perfectly
+        assert_eq!(shard.metrics().scored_slots, 1);
+        assert!((shard.metrics().accuracy_sum - 1.0).abs() < 1e-12);
+        assert_eq!(shard.metrics().peak_users, 10);
+        assert_eq!(shard.predictor().history().len(), 2);
+    }
+
+    #[test]
+    fn shards_replicate_the_single_tenant_loop_exactly() {
+        // two shards with the same config and stream seed, fed the same
+        // slots, are bit-identical — the property the fleet engine builds on
+        let mut a = TenantShard::new(TenantId(1), &config(), 42);
+        let mut b = TenantShard::new(TenantId(1), &config(), 42);
+        for i in 0..5 {
+            let users = 5 + (i as u32 * 7) % 11;
+            a.tick(slot(i, users), (i + 1) as f64 * 3_600_000.0);
+            b.tick(slot(i, users), (i + 1) as f64 * 3_600_000.0);
+        }
+        assert_eq!(a.forecast(), b.forecast());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn decommission_hands_off_the_history_and_clears_the_pool() {
+        let mut shard = TenantShard::new(TenantId(5), &config(), 1);
+        for i in 0..3 {
+            shard.tick(slot(i, 4), (i + 1) as f64 * 3_600_000.0);
+        }
+        let history = shard.decommission(4.0 * 3_600_000.0);
+        assert_eq!(history.len(), 3);
+        assert!(shard.predictor().history().is_empty());
+        assert!(shard.forecast().is_none());
+        assert!(shard.pool().is_empty());
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_tenant_and_fleet_seed() {
+        let a = TenantShard::stream_seed(1, TenantId(0));
+        let b = TenantShard::stream_seed(1, TenantId(1));
+        let c = TenantShard::stream_seed(2, TenantId(0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shard_streams_match_the_mix_canonical_streams() {
+        // the documented replay contract: with fleet seed == mix seed, a
+        // shard's private stream IS the mix's canonical per-tenant stream
+        let mix = mca_workload::TenantMix::heterogeneous(5, 10, config().groups.ids(), 77);
+        for tenant in mix.tenant_ids() {
+            let mut shard = TenantShard::new(tenant, &config(), 77);
+            assert_eq!(*shard.rng_mut(), mix.stream_for(tenant), "{tenant}");
+        }
+    }
+}

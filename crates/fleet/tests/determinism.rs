@@ -1,0 +1,100 @@
+//! Shard determinism: the same `TenantMix` seed must produce identical
+//! `FleetMetrics` (and forecasts) across repeated runs, across thread
+//! counts, across shard counts — and per-tenant results must be
+//! bit-identical to running each tenant alone.
+
+use mca_core::{SystemConfig, TimeSlotBuilder, WorkloadForecast};
+use mca_fleet::{FleetEngine, FleetMetrics, TenantShard};
+use mca_offload::TenantId;
+use mca_workload::TenantMix;
+
+const SEED: u64 = 20170605;
+const TENANTS: usize = 12;
+const SLOTS: usize = 24;
+
+fn config() -> SystemConfig {
+    SystemConfig::paper_three_groups().with_history_window(16)
+}
+
+fn mix() -> TenantMix {
+    TenantMix::heterogeneous(TENANTS, 12, config().groups.ids(), SEED)
+}
+
+fn run_fleet(
+    shards: usize,
+    threads: usize,
+) -> (FleetMetrics, Vec<(TenantId, Option<WorkloadForecast>)>) {
+    let mix = mix();
+    let mut engine = FleetEngine::new(config(), shards, SEED).with_threads(threads);
+    engine.add_tenants(mix.tenant_ids());
+    for _ in 0..SLOTS {
+        engine.tick_mix(&mix);
+    }
+    (engine.metrics(), engine.forecasts())
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let (metrics_a, forecasts_a) = run_fleet(4, 2);
+    let (metrics_b, forecasts_b) = run_fleet(4, 2);
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(forecasts_a, forecasts_b);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let (sequential, forecasts_seq) = run_fleet(6, 1);
+    for threads in [2, 4, 8] {
+        let (parallel, forecasts_par) = run_fleet(6, threads);
+        assert_eq!(sequential, parallel, "threads={threads}");
+        assert_eq!(forecasts_seq, forecasts_par, "threads={threads}");
+    }
+}
+
+#[test]
+fn shard_layout_does_not_change_results() {
+    let (one, forecasts_one) = run_fleet(1, 2);
+    for shards in [3, TENANTS, 64] {
+        let (many, forecasts_many) = run_fleet(shards, 2);
+        assert_eq!(one, many, "shards={shards}");
+        assert_eq!(forecasts_one, forecasts_many, "shards={shards}");
+    }
+}
+
+#[test]
+fn fleet_forecasts_are_bit_identical_to_each_tenant_alone() {
+    let mix = mix();
+    let mut engine = FleetEngine::new(config(), 5, SEED).with_threads(4);
+    engine.add_tenants(mix.tenant_ids());
+
+    // each tenant alone: a bare TenantShard (no router, no engine, no
+    // parallelism) consuming the same mix through the same stream seeds
+    let mut alone: Vec<TenantShard> = mix
+        .tenant_ids()
+        .map(|t| TenantShard::new(t, &config(), SEED))
+        .collect();
+
+    for slot in 0..SLOTS {
+        engine.tick_mix(&mix);
+        let now_ms = (slot + 1) as f64 * config().slot_length_ms;
+        for tenant in &mut alone {
+            let records = mix.slot_records(tenant.id(), slot, tenant.rng_mut());
+            let mut builder = TimeSlotBuilder::with_capacity(slot, records.len());
+            builder.extend(records);
+            tenant.tick(builder.build(), now_ms);
+        }
+        // compare after every slot, not just at the end
+        for ((fleet_id, fleet_forecast), tenant) in engine.forecasts().iter().zip(&alone) {
+            assert_eq!(*fleet_id, tenant.id());
+            assert_eq!(
+                fleet_forecast.as_ref(),
+                tenant.forecast(),
+                "slot {slot}, tenant {fleet_id}"
+            );
+        }
+    }
+    // the accounting agrees too
+    let rollup = engine.metrics();
+    let alone_rollup = FleetMetrics::aggregate(alone.iter().map(|t| t.metrics().clone()).collect());
+    assert_eq!(rollup, alone_rollup);
+}

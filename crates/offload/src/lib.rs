@@ -41,6 +41,6 @@ pub use decision::{DecisionEngine, DecisionInput, OffloadDecision};
 pub use error::OffloadError;
 pub use flavor::OffloadingModel;
 pub use profiler::{MethodProfile, Profiler};
-pub use request::{AccelerationGroupId, OffloadRequest, RequestId, TraceRecord, UserId};
+pub use request::{AccelerationGroupId, OffloadRequest, RequestId, TenantId, TraceRecord, UserId};
 pub use state::ApplicationState;
 pub use task::{TaskKind, TaskOutput, TaskPool, TaskSpec};

@@ -21,6 +21,21 @@ impl fmt::Display for UserId {
     }
 }
 
+/// Identifier of a tenant: one operator (application provider) with its own
+/// user population, slot history and cloud account. The paper models a single
+/// operator; a production deployment serves many, each predicted and
+/// provisioned independently (`mca-fleet`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// Identifier of an individual offloading request.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,

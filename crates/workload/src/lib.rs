@@ -18,6 +18,9 @@
 //! * [`scenario`] — parameterized experiment schedules such as the
 //!   arrival-rate-doubling scenario of Fig. 8b (1 Hz → 1024 Hz, doubling every
 //!   five minutes) and ramp scenarios used to evaluate the predictor,
+//! * [`tenant`] — multi-tenant mixes: heterogeneous per-tenant load shapes
+//!   (steady / ramp / doubling) with deterministic per-slot record
+//!   generation, feeding the sharded fleet engine,
 //! * [`trace`] — the arrival trace container with per-slot aggregation.
 
 #![forbid(unsafe_code)]
@@ -25,8 +28,10 @@
 
 pub mod generator;
 pub mod scenario;
+pub mod tenant;
 pub mod trace;
 
 pub use generator::{GenerationMode, WorkloadGenerator};
 pub use scenario::{DoublingRateScenario, RampScenario, RateStep};
+pub use tenant::{TenantMix, TenantScenario};
 pub use trace::{Arrival, ArrivalTrace};

@@ -1,0 +1,79 @@
+//! Fleet scaling: 16 tenants with heterogeneous load shapes (steady / ramp /
+//! doubling) served by the sharded multi-tenant engine, with the per-tenant
+//! and fleet-wide rollups printed at the end.
+//!
+//! ```bash
+//! cargo run --release --example fleet_scaling
+//! ```
+
+use mobile_code_acceleration::core::SystemConfig;
+use mobile_code_acceleration::fleet::FleetEngine;
+use mobile_code_acceleration::workload::{TenantMix, TenantScenario};
+
+const TENANTS: usize = 16;
+const SLOTS: usize = 120;
+const SHARDS: usize = 8;
+const SEED: u64 = 20170605;
+
+fn shape(scenario: &TenantScenario) -> String {
+    match scenario {
+        TenantScenario::Steady { users } => format!("steady {users}"),
+        TenantScenario::Ramp(ramp) => {
+            format!("ramp {}->{}", ramp.start_users, ramp.end_users)
+        }
+        TenantScenario::Doubling {
+            start_users,
+            doublings,
+            ..
+        } => format!("doubling {}->{}", start_users, start_users << doublings),
+    }
+}
+
+fn main() {
+    // A week-bounded knowledge base per tenant, otherwise paper defaults.
+    let config = SystemConfig::paper_three_groups().with_history_window(168);
+    let mix = TenantMix::heterogeneous(TENANTS, 320, config.groups.ids(), SEED);
+
+    let mut engine = FleetEngine::new(config, SHARDS, SEED);
+    engine.add_tenants(mix.tenant_ids());
+    println!(
+        "fleet: {} tenants on {} shards, {} thread(s), {} provisioning slots\n",
+        engine.tenants(),
+        engine.shard_count(),
+        engine.threads(),
+        SLOTS,
+    );
+
+    for _ in 0..SLOTS {
+        engine.tick_mix(&mix);
+    }
+
+    let rollup = engine.metrics();
+    println!(
+        "{:<8} {:<16} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "tenant", "shape", "shard", "users/slot", "peak", "accuracy", "cost $"
+    );
+    for tenant in &rollup.per_tenant {
+        println!(
+            "{:<8} {:<16} {:>6} {:>10.1} {:>10} {:>9.1}% {:>10.2}",
+            tenant.tenant.to_string(),
+            shape(mix.scenario_of(tenant.tenant)),
+            engine.shard_of(tenant.tenant),
+            tenant.mean_users(),
+            tenant.peak_users,
+            tenant.mean_accuracy().unwrap_or(0.0) * 100.0,
+            tenant.total_cost,
+        );
+    }
+
+    println!(
+        "\nfleet rollup: {} slots, mean accuracy {:.1}%, {} allocations \
+         ({} infeasible), peak-user sum {}, total spend ${:.2}",
+        rollup.slots,
+        rollup.mean_accuracy.unwrap_or(0.0) * 100.0,
+        rollup.total_allocations,
+        rollup.total_infeasible,
+        rollup.peak_user_sum,
+        rollup.total_cost,
+    );
+}

@@ -9,6 +9,9 @@
 //!   prediction, ILP resource allocation, the SDN-accelerator and the
 //!   closed-loop [`core::System`].
 //! * [`cloudsim`] (`mca-cloudsim`) — the EC2-like cloud substrate simulator.
+//! * [`fleet`] (`mca-fleet`) — the multi-tenant sharded prediction/allocation
+//!   engine: per-tenant knowledge bases, batched slot ingest and a parallel
+//!   provisioning tick.
 //! * [`offload`] (`mca-offload`) — the computational task pool and offloading
 //!   runtime.
 //! * [`mobile`] (`mca-mobile`) — device profiles, batteries, the client-side
@@ -41,6 +44,7 @@
 
 pub use mca_cloudsim as cloudsim;
 pub use mca_core as core;
+pub use mca_fleet as fleet;
 pub use mca_lp as lp;
 pub use mca_mobile as mobile;
 pub use mca_network as network;
@@ -57,12 +61,13 @@ pub mod prelude {
         PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory, System, SystemConfig,
         SystemReport, TimeSlot, WorkloadPredictor,
     };
+    pub use mca_fleet::{FleetEngine, FleetMetrics, ShardRouter, SlotRecord, TenantShard};
     pub use mca_mobile::{DeviceClass, DeviceProfile, Moderator, PromotionPolicy, UsageStudy};
     pub use mca_network::{CellularNetwork, NetRadarCampaign, Operator, Technology};
     pub use mca_offload::{
-        AccelerationGroupId, OffloadRequest, TaskKind, TaskPool, TaskSpec, UserId,
+        AccelerationGroupId, OffloadRequest, TaskKind, TaskPool, TaskSpec, TenantId, UserId,
     };
-    pub use mca_workload::{ArrivalTrace, DoublingRateScenario, WorkloadGenerator};
+    pub use mca_workload::{ArrivalTrace, DoublingRateScenario, TenantMix, WorkloadGenerator};
 }
 
 #[cfg(test)]

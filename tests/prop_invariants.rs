@@ -240,8 +240,11 @@ proptest! {
         }
     }
 
-    /// The pruned nearest-neighbour prediction returns exactly the forecast
-    /// of the retained naive full scan, on arbitrary histories and probes.
+    /// The best-first pruned nearest-neighbour prediction returns exactly
+    /// the forecast of the retained naive full scan, on arbitrary histories
+    /// and probes. The tight user universe (ids 0..40) makes duplicate
+    /// slots and equal-distance ties common, stressing the earliest-slot
+    /// tie-break of the best-first candidate ordering.
     #[test]
     fn pruned_prediction_matches_naive_scan(
         history in proptest::collection::vec(
@@ -258,6 +261,28 @@ proptest! {
         let fast = predictor.predict(&probe);
         let naive = predictor.predict_naive(&probe);
         prop_assert_eq!(fast.unwrap(), naive.unwrap());
+    }
+
+    /// `observe_and_predict` (the closed loop's per-interval fast path) is
+    /// bit-identical to `observe_slot` followed by `predict` — and hence,
+    /// transitively, to the naive scan — on arbitrary slot sequences.
+    #[test]
+    fn observe_and_predict_matches_separate_observe_then_predict(
+        slots in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u16..30), 0..10),
+            1..16,
+        ),
+    ) {
+        let mut combined = WorkloadPredictor::new(SLOT_GROUPS.to_vec(), 3_600_000.0);
+        let mut separate = combined.clone();
+        for assignments in &slots {
+            let slot = slot_of(0, assignments);
+            let fast = combined.observe_and_predict(slot.clone());
+            separate.observe_slot(slot.clone());
+            let reference = separate.predict(&slot);
+            prop_assert_eq!(fast.unwrap(), reference.unwrap());
+        }
+        prop_assert_eq!(combined, separate);
     }
 
     /// A windowed history never retains more than its cap, keeps global

@@ -1,0 +1,452 @@
+//! The build environment has no registry access, so this crate reimplements
+//! the subset of `rayon` 1.x the workspace uses: configurable thread pools
+//! ([`ThreadPoolBuilder`] / [`ThreadPool::install`]) and order-preserving
+//! data-parallel iteration over slices (`par_iter` / `par_iter_mut` with
+//! `map`, `for_each` and `collect`).
+//!
+//! Work is split into one contiguous chunk per thread and executed with
+//! `std::thread::scope`, so no unsafe code and no work stealing — results are
+//! returned in input order, exactly like upstream rayon's indexed parallel
+//! iterators. A pool of one thread (the default on single-core machines)
+//! degenerates to an inline sequential loop, which keeps single-threaded
+//! callers spawn-free. Swap this for the registry version when network access
+//! is available; no source change is required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] on this thread
+    /// (`None` = no pool installed, fall back to available parallelism).
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations on this thread will use: the
+/// installed pool's size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|installed| match installed.get() {
+        Some(threads) => threads,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
+
+/// Error returned when a thread pool cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPoolBuildError {
+    reason: String,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "could not build thread pool: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds [`ThreadPool`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration (one thread per
+    /// available core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = one per available core).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A pool of worker threads. Threads are scoped per operation rather than
+/// persistent: the pool only records how many ways parallel iterators run
+/// inside [`ThreadPool::install`] should split their input.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool installed: parallel iterators inside split
+    /// across this pool's thread count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        INSTALLED_THREADS.with(|installed| {
+            let previous = installed.replace(Some(self.threads));
+            let result = op();
+            installed.set(previous);
+            result
+        })
+    }
+}
+
+/// Splits `len` items into at most `parts` contiguous, near-equal ranges.
+fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for part in 0..parts {
+        let size = base + usize::from(part < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// A source of items that can be split into independent contiguous parts.
+trait Splittable: Sized + Send {
+    /// The item type handed to worker closures.
+    type Item: Send;
+    /// Iterator over the items, consumed sequentially within one part.
+    type Items: Iterator<Item = Self::Item>;
+
+    /// Number of items.
+    fn length(&self) -> usize;
+    /// Splits off the first `mid` items.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential iteration over the part.
+    fn into_items(self) -> Self::Items;
+}
+
+impl<'a, T: Sync> Splittable for &'a [T] {
+    type Item = &'a T;
+    type Items = std::slice::Iter<'a, T>;
+
+    fn length(&self) -> usize {
+        self.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        (&self[..mid], &self[mid..])
+    }
+
+    fn into_items(self) -> Self::Items {
+        self.iter()
+    }
+}
+
+impl<'a, T: Send> Splittable for &'a mut [T] {
+    type Item = &'a mut T;
+    type Items = std::slice::IterMut<'a, T>;
+
+    fn length(&self) -> usize {
+        self.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+
+    fn into_items(self) -> Self::Items {
+        self.iter_mut()
+    }
+}
+
+/// Internal driver: maps `base`'s items with `f` across the installed thread
+/// count, preserving input order.
+fn drive<B, F, R>(base: B, f: F) -> Vec<R>
+where
+    B: Splittable,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    let len = base.length();
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return base.into_items().map(f).collect();
+    }
+    let mut parts = Vec::new();
+    let mut rest = base;
+    let ranges = chunk_ranges(len, threads);
+    for range in &ranges[..ranges.len() - 1] {
+        let (head, tail) = rest.split_at(range.len());
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| scope.spawn(move || part.into_items().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// Order-preserving parallel iterator operations.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Evaluates the iterator eagerly, returning items in input order (the
+    /// internal driver behind [`ParallelIterator::collect`]).
+    #[doc(hidden)]
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Lazily maps every item with `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync;
+
+    /// Evaluates the iterator and collects the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Lazy map adapter returned by [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        drive(self.slice, |item| item)
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        drive(self.slice, f);
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn run(self) -> Vec<&'a mut T> {
+        drive(self.slice, |item| item)
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        drive(self.slice, f);
+    }
+}
+
+impl<'a, T: Sync, F, R> ParallelIterator for Map<Iter<'a, T>, F>
+where
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        drive(self.base.slice, self.f)
+    }
+
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        drive(self.base.slice, move |item| g(f(item)));
+    }
+}
+
+impl<'a, T: Send, F, R> ParallelIterator for Map<IterMut<'a, T>, F>
+where
+    F: Fn(&'a mut T) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        drive(self.base.slice, self.f)
+    }
+
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        drive(self.base.slice, move |item| g(f(item)));
+    }
+}
+
+/// `par_iter()` for shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `par_iter_mut()` for mutable slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The item type.
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over mutably borrowed items.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// The traits parallel-iterating code imports.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        for (len, parts) in [(10, 3), (3, 8), (0, 4), (7, 1), (16, 4)] {
+            let ranges = chunk_ranges(len, parts);
+            assert!(ranges.len() <= parts.max(1));
+            let mut expected = 0;
+            for range in &ranges {
+                assert_eq!(range.start, expected);
+                expected = range.end;
+            }
+            assert_eq!(expected, len);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        for threads in [1, 2, 5] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 2).collect());
+            assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_updates_every_item() {
+        let mut values = vec![1u32; 257];
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| values.par_iter_mut().for_each(|v| *v += 1));
+        assert!(values.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        let nested = pool.install(|| {
+            let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(current_num_threads)
+        });
+        assert_eq!(nested, 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
