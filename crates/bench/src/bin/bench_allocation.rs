@@ -1,0 +1,57 @@
+//! Regenerates `BENCH_allocation.json`: the sparse revised simplex with
+//! warm-started branch-and-bound versus the cold dense tableau on the
+//! allocation ILP, swept across instance-type catalogue sizes.
+//!
+//! Run with `cargo run --release -p mca-bench --bin bench_allocation`.
+//!
+//! * default: the acceptance-bar sweep (6–48 instance-type variables, 48
+//!   forecasts per point); exits non-zero below a 3× speedup at ≥ 32
+//!   variables or if any allocation differs between the backends.
+//! * `--smoke`: a small CI gate; exits non-zero if the revised path is
+//!   slower than dense at ≥ 32 variables or any allocation differs.
+
+use mca_bench::allocation::{self, AllocationWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    if !smoke && !args.is_empty() {
+        eprintln!("usage: bench_allocation [--smoke]");
+        std::process::exit(2);
+    }
+    let (workload, speedup_gate) = if smoke {
+        (AllocationWorkload::smoke(), 1.0)
+    } else {
+        (AllocationWorkload::headline(), 3.0)
+    };
+
+    let report = allocation::run(&workload, mca_bench::DEFAULT_SEED);
+    allocation::print(&report);
+
+    let json = report.to_json();
+    let path = "BENCH_allocation.json";
+    std::fs::write(path, &json).expect("write BENCH_allocation.json");
+    println!("wrote {path}");
+
+    if !report.all_identical() {
+        eprintln!("ERROR: revised allocations diverged from the dense reference");
+        std::process::exit(1);
+    }
+    match report.min_speedup_at(32) {
+        Some(speedup) if speedup < speedup_gate => {
+            eprintln!(
+                "ERROR: speedup {speedup:.1}x at >=32 instance types is below the \
+                 {speedup_gate}x acceptance bar"
+            );
+            std::process::exit(1);
+        }
+        Some(speedup) => println!(
+            "gate: {speedup:.1}x at >=32 instance types (bar {speedup_gate}x), \
+             allocations identical"
+        ),
+        None => {
+            eprintln!("ERROR: the sweep has no >=32 instance-type row to gate on");
+            std::process::exit(1);
+        }
+    }
+}

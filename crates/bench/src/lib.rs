@@ -12,13 +12,16 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison of every figure.
 //!
-//! Two performance harnesses ride alongside the figures: [`prediction`]
+//! Three performance harnesses ride alongside the figures: [`prediction`]
 //! (pruned versus naive nearest-slot search, `bench_prediction` →
-//! `BENCH_prediction.json`) and [`fleet`] (sharded multi-tenant engine
-//! versus the single-shard loop, `bench_fleet` → `BENCH_fleet.json`).
+//! `BENCH_prediction.json`), [`fleet`] (sharded multi-tenant engine versus
+//! the single-shard loop, `bench_fleet` → `BENCH_fleet.json`) and
+//! [`allocation`] (revised simplex + warm-started branch-and-bound versus
+//! the cold dense tableau, `bench_allocation` → `BENCH_allocation.json`).
 
 #![forbid(unsafe_code)]
 
+pub mod allocation;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;

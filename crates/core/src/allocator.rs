@@ -14,7 +14,7 @@ use crate::accel::AccelerationGroups;
 use crate::error::CoreError;
 use crate::predictor::WorkloadForecast;
 use mca_cloudsim::{InstanceType, Server};
-use mca_lp::{Problem, Sense, VarKind};
+use mca_lp::{BranchBoundOptions, LpBackend, Problem, Sense, VarKind};
 use mca_offload::AccelerationGroupId;
 use serde::{Deserialize, Serialize};
 
@@ -35,8 +35,27 @@ pub enum AllocationPolicy {
     OverProvision,
 }
 
+/// Work counters of the solve that produced an [`Allocation`].
+///
+/// Zero for the closed-form policies (greedy / over-provision) and for
+/// cache-served allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocationStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Simplex pivots across all node relaxations.
+    pub pivots: usize,
+    /// Nodes re-entered from a parent basis without running phase 1.
+    pub phase1_skips: usize,
+}
+
 /// The chosen allocation for one provisioning interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *prescription* — instance counts, per-group
+/// breakdown, cost and capacities — and deliberately ignores [`AllocationStats`],
+/// so two solvers that chose the same instances produce equal allocations
+/// regardless of how much work each spent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Allocation {
     /// Instances to run, per type (summed over groups).
     pub counts: Vec<(InstanceType, usize)>,
@@ -46,6 +65,17 @@ pub struct Allocation {
     pub hourly_cost: f64,
     /// Total capacity provided per group, in concurrent users.
     pub capacity_per_group: Vec<(AccelerationGroupId, usize)>,
+    /// Solver work counters (ILP policy only).
+    pub stats: AllocationStats,
+}
+
+impl PartialEq for Allocation {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.per_group == other.per_group
+            && self.hourly_cost == other.hourly_cost
+            && self.capacity_per_group == other.capacity_per_group
+    }
 }
 
 impl Allocation {
@@ -93,6 +123,7 @@ impl Allocation {
 pub struct ResourceAllocator {
     groups: AccelerationGroups,
     policy: AllocationPolicy,
+    lp_backend: LpBackend,
     /// Cloud account instance cap (`CC`).
     pub account_cap: usize,
     /// Minimum number of instances kept running per group even when the
@@ -120,6 +151,7 @@ impl ResourceAllocator {
         Self {
             groups,
             policy,
+            lp_backend: LpBackend::default(),
             account_cap: mca_cloudsim::pool::DEFAULT_ACCOUNT_CAP,
             min_instances_per_group: 1,
             typical_work_units,
@@ -137,6 +169,19 @@ impl ResourceAllocator {
     pub fn with_min_instances(mut self, min: usize) -> Self {
         self.min_instances_per_group = min;
         self
+    }
+
+    /// Overrides the LP engine used by the ILP policy (the default is the
+    /// sparse revised simplex with warm-started branch-and-bound;
+    /// [`LpBackend::DenseTableau`] selects the cold dense reference).
+    pub fn with_lp_backend(mut self, backend: LpBackend) -> Self {
+        self.lp_backend = backend;
+        self
+    }
+
+    /// The LP engine the ILP policy solves with.
+    pub fn lp_backend(&self) -> LpBackend {
+        self.lp_backend
     }
 
     /// The allocation policy in force.
@@ -244,11 +289,19 @@ impl ResourceAllocator {
             self.account_cap as f64,
         );
 
-        let solution = problem
-            .solve()
-            .map_err(|e| CoreError::AllocationInfeasible {
-                reason: e.to_string(),
-            })?;
+        // one solve builds the sparse problem representation once and shares
+        // it across every branch-and-bound node (the dense reference backend
+        // instead rebuilds its tableau per node)
+        let options = BranchBoundOptions {
+            backend: self.lp_backend,
+            ..Default::default()
+        };
+        let solution =
+            problem
+                .solve_with(&options)
+                .map_err(|e| CoreError::AllocationInfeasible {
+                    reason: e.to_string(),
+                })?;
 
         let mut per_group: Vec<(AccelerationGroupId, Vec<(InstanceType, usize)>)> = Vec::new();
         for group in self.groups.groups() {
@@ -260,7 +313,13 @@ impl ResourceAllocator {
                 .collect();
             per_group.push((group.id, counts));
         }
-        Ok(self.build_allocation(per_group))
+        let mut allocation = self.build_allocation(per_group);
+        allocation.stats = AllocationStats {
+            nodes: solution.stats.nodes,
+            pivots: solution.stats.pivots,
+            phase1_skips: solution.stats.phase1_skips,
+        };
+        Ok(allocation)
     }
 
     fn allocate_greedy(
@@ -337,6 +396,7 @@ impl ResourceAllocator {
             per_group,
             hourly_cost,
             capacity_per_group,
+            stats: AllocationStats::default(),
         }
     }
 }
@@ -468,6 +528,41 @@ mod tests {
             alloc.capacity_of(AccelerationGroupId(1), mca_cloudsim::InstanceType::T2Large),
             0
         );
+    }
+
+    #[test]
+    fn ilp_reports_solver_statistics() {
+        let alloc = allocator(AllocationPolicy::IlpExact);
+        let a = alloc
+            .allocate(&forecast(&[(1, 60), (2, 120), (3, 40)]))
+            .unwrap();
+        assert!(a.stats.nodes >= 1, "{:?}", a.stats);
+        assert!(a.stats.pivots >= 1, "{:?}", a.stats);
+        // greedy policies do no solver work
+        let g = allocator(AllocationPolicy::GreedyCheapest)
+            .allocate(&forecast(&[(1, 60), (2, 120), (3, 40)]))
+            .unwrap();
+        assert_eq!(g.stats, AllocationStats::default());
+    }
+
+    #[test]
+    fn revised_and_dense_backends_allocate_identically() {
+        use mca_lp::LpBackend;
+        let revised = allocator(AllocationPolicy::IlpExact);
+        let dense = allocator(AllocationPolicy::IlpExact).with_lp_backend(LpBackend::DenseTableau);
+        assert_eq!(dense.lp_backend(), LpBackend::DenseTableau);
+        for loads in [
+            [(1u8, 0usize), (2, 0), (3, 0)],
+            [(1, 60), (2, 120), (3, 40)],
+            [(1, 150), (2, 300), (3, 100)],
+            [(1, 777), (2, 13), (3, 333)],
+        ] {
+            let f = forecast(&loads);
+            let a = revised.allocate(&f).unwrap();
+            let b = dense.allocate(&f).unwrap();
+            // equality ignores stats: same instances, cost and capacities
+            assert_eq!(a, b, "loads {loads:?}");
+        }
     }
 
     #[test]

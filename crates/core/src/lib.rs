@@ -74,7 +74,7 @@ pub mod system;
 pub mod timeslot;
 
 pub use accel::{AccelerationGroup, AccelerationGroups};
-pub use allocator::{Allocation, AllocationPolicy, ResourceAllocator};
+pub use allocator::{Allocation, AllocationPolicy, AllocationStats, ResourceAllocator};
 pub use config::SystemConfig;
 pub use error::CoreError;
 pub use logs::TraceLog;

@@ -33,6 +33,12 @@ pub struct TenantMetrics {
     pub peak_users: usize,
     /// Sum of observed users over slots (user-slots).
     pub total_user_slots: usize,
+    /// Allocations served from the per-tenant memo cache (repeat forecast
+    /// workload vectors that skipped the solver).
+    pub alloc_cache_hits: usize,
+    /// Allocations that required a solver run (first sight of a workload
+    /// vector, or a re-solve after a cache reset).
+    pub alloc_cache_misses: usize,
 }
 
 impl TenantMetrics {
@@ -47,6 +53,13 @@ impl TenantMetrics {
     /// Mean forecast accuracy over the scored slots, when any were scored.
     pub fn mean_accuracy(&self) -> Option<f64> {
         (self.scored_slots > 0).then(|| self.accuracy_sum / self.scored_slots as f64)
+    }
+
+    /// Fraction of allocation requests served from the memo cache, when any
+    /// allocation ran.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.alloc_cache_hits + self.alloc_cache_misses;
+        (total > 0).then(|| self.alloc_cache_hits as f64 / total as f64)
     }
 
     /// Mean allocated instances per slot.
@@ -90,6 +103,10 @@ pub struct FleetMetrics {
     /// Sum of the tenants' peak per-slot user counts — the fleet's
     /// provisioning head-room requirement if every tenant peaked at once.
     pub peak_user_sum: usize,
+    /// Total allocation-cache hits across tenants.
+    pub total_cache_hits: usize,
+    /// Total allocation-cache misses (solver runs) across tenants.
+    pub total_cache_misses: usize,
 }
 
 impl FleetMetrics {
@@ -104,6 +121,8 @@ impl FleetMetrics {
         let total_allocations = per_tenant.iter().map(|m| m.allocations).sum();
         let total_infeasible = per_tenant.iter().map(|m| m.infeasible_allocations).sum();
         let peak_user_sum = per_tenant.iter().map(|m| m.peak_users).sum();
+        let total_cache_hits = per_tenant.iter().map(|m| m.alloc_cache_hits).sum();
+        let total_cache_misses = per_tenant.iter().map(|m| m.alloc_cache_misses).sum();
         let accuracies: Vec<f64> = per_tenant
             .iter()
             .filter_map(|m| m.mean_accuracy())
@@ -119,7 +138,16 @@ impl FleetMetrics {
             total_infeasible,
             mean_accuracy,
             peak_user_sum,
+            total_cache_hits,
+            total_cache_misses,
         }
+    }
+
+    /// Fraction of allocation requests across the fleet served from the
+    /// per-tenant memo caches, when any allocation ran.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.total_cache_hits + self.total_cache_misses;
+        (total > 0).then(|| self.total_cache_hits as f64 / total as f64)
     }
 
     /// The accounting of one tenant, if it is part of the fleet.
@@ -147,6 +175,8 @@ mod tests {
             allocated_instance_slots: 30,
             peak_users: 8,
             total_user_slots: 50,
+            alloc_cache_hits: 7,
+            alloc_cache_misses: 3,
         }
     }
 
@@ -162,6 +192,9 @@ mod tests {
         assert_eq!(rollup.total_allocations, 30);
         assert_eq!(rollup.total_infeasible, 3);
         assert_eq!(rollup.peak_user_sum, 24);
+        assert_eq!(rollup.total_cache_hits, 21);
+        assert_eq!(rollup.total_cache_misses, 9);
+        assert!((rollup.cache_hit_rate().unwrap() - 0.7).abs() < 1e-12);
         assert!((rollup.total_cost - 3.5).abs() < 1e-12);
         let ids: Vec<u32> = rollup.per_tenant.iter().map(|m| m.tenant.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
@@ -178,8 +211,10 @@ mod tests {
         assert!((m.mean_accuracy().unwrap() - 0.75).abs() < 1e-12);
         assert!((m.mean_instances() - 3.0).abs() < 1e-12);
         assert!((m.mean_users() - 5.0).abs() < 1e-12);
+        assert!((m.cache_hit_rate().unwrap() - 0.7).abs() < 1e-12);
         assert_eq!(TenantMetrics::new(TenantId(1)).mean_accuracy(), None);
         assert_eq!(TenantMetrics::new(TenantId(1)).mean_instances(), 0.0);
+        assert_eq!(TenantMetrics::new(TenantId(1)).cache_hit_rate(), None);
     }
 
     #[test]

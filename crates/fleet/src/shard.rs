@@ -13,12 +13,20 @@
 use crate::metrics::TenantMetrics;
 use mca_cloudsim::InstancePool;
 use mca_core::{
-    accuracy, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
+    accuracy, Allocation, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
     WorkloadPredictor,
 };
-use mca_offload::TenantId;
+use mca_offload::{AccelerationGroupId, TenantId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Upper bound on memoized allocations per tenant. Steady tenants cycle
+/// through a handful of workload vectors, so the cap is generous; when a
+/// pathological tenant exceeds it the cache is dropped wholesale and
+/// rebuilt (deterministically — eviction depends only on the tenant's own
+/// forecast sequence).
+const ALLOC_CACHE_CAP: usize = 1024;
 
 /// One tenant's predictor + allocator + instance pool + RNG stream.
 #[derive(Debug, Clone)]
@@ -33,6 +41,11 @@ pub struct TenantShard {
     /// next observed slot.
     pending_forecast: Option<WorkloadForecast>,
     slot_length_ms: f64,
+    /// Memoized allocations keyed by the forecast workload vector: steady
+    /// tenants re-predict the same per-group loads slot after slot, so the
+    /// ILP re-solve is skipped entirely on repeats. The allocator is a pure
+    /// function of the forecast, which makes the cache exact.
+    alloc_cache: HashMap<Vec<(AccelerationGroupId, usize)>, Allocation>,
 }
 
 impl TenantShard {
@@ -59,6 +72,7 @@ impl TenantShard {
             metrics: TenantMetrics::new(id),
             pending_forecast: None,
             slot_length_ms: config.slot_length_ms,
+            alloc_cache: HashMap::new(),
         }
     }
 
@@ -115,7 +129,7 @@ impl TenantShard {
         // `observe_slot` + `predict` on the same slot
         let forecast = self.predictor.observe_and_predict(slot).ok();
         if let Some(forecast) = &forecast {
-            match self.allocator.allocate(forecast) {
+            match self.allocate_memoized(forecast) {
                 Ok(allocation) => {
                     self.metrics.allocations += 1;
                     self.metrics.allocated_instance_slots += allocation.total_instances();
@@ -133,12 +147,41 @@ impl TenantShard {
         self.pending_forecast = forecast;
     }
 
+    /// Serves an allocation for `forecast`, from the memo cache when this
+    /// workload vector was allocated before, solving (and caching) it
+    /// otherwise. Cache-served allocations are clones of the original
+    /// solve's result, so the tick's behaviour is bit-identical with and
+    /// without the cache; only the hit/miss counters differ.
+    fn allocate_memoized(
+        &mut self,
+        forecast: &WorkloadForecast,
+    ) -> Result<Allocation, mca_core::CoreError> {
+        if let Some(hit) = self.alloc_cache.get(&forecast.per_group) {
+            self.metrics.alloc_cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.metrics.alloc_cache_misses += 1;
+        let allocation = self.allocator.allocate(forecast)?;
+        if self.alloc_cache.len() >= ALLOC_CACHE_CAP {
+            self.alloc_cache.clear();
+        }
+        self.alloc_cache
+            .insert(forecast.per_group.clone(), allocation.clone());
+        Ok(allocation)
+    }
+
+    /// Number of distinct workload vectors currently memoized.
+    pub fn cached_allocations(&self) -> usize {
+        self.alloc_cache.len()
+    }
+
     /// Hands the tenant's slot history out of the shard (offboarding or
     /// migration to another shard): the knowledge base moves without
-    /// copying, the standing forecast is dropped and the instance pool is
-    /// terminated at `now_ms`.
+    /// copying, the standing forecast is dropped, the allocation memo is
+    /// cleared and the instance pool is terminated at `now_ms`.
     pub fn decommission(&mut self, now_ms: f64) -> SlotHistory {
         self.pending_forecast = None;
+        self.alloc_cache.clear();
         self.pool.terminate_all(now_ms);
         self.predictor.take_history()
     }
@@ -171,6 +214,7 @@ mod tests {
         assert_eq!(shard.metrics().slots, 1);
         assert_eq!(shard.metrics().scored_slots, 0);
         assert_eq!(shard.metrics().allocations, 1);
+        assert_eq!(shard.metrics().alloc_cache_misses, 1);
         assert!(shard.forecast().is_some());
         assert!(shard.metrics().total_cost > 0.0);
         assert!(!shard.pool().is_empty());
@@ -196,6 +240,44 @@ mod tests {
         }
         assert_eq!(a.forecast(), b.forecast());
         assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn repeat_forecasts_hit_the_allocation_cache() {
+        let mut shard = TenantShard::new(TenantId(9), &config(), 3);
+        // steady workload: the forecast repeats from the second slot on
+        for i in 0..6 {
+            shard.tick(slot(i, 12), (i + 1) as f64 * 3_600_000.0);
+        }
+        let m = shard.metrics();
+        assert_eq!(m.allocations, 6);
+        assert_eq!(m.alloc_cache_misses, 1, "one solve for the steady vector");
+        assert_eq!(m.alloc_cache_hits, 5, "every repeat is served cached");
+        assert_eq!(shard.cached_allocations(), 1);
+
+        // a different workload vector misses, then hits on its repeat
+        shard.tick(slot(6, 30), 7.0 * 3_600_000.0);
+        shard.tick(slot(7, 30), 8.0 * 3_600_000.0);
+        let m = shard.metrics();
+        assert_eq!(m.alloc_cache_misses, 2);
+        assert_eq!(m.alloc_cache_hits, 6);
+        assert_eq!(shard.cached_allocations(), 2);
+    }
+
+    #[test]
+    fn cached_allocations_are_identical_to_fresh_solves() {
+        // same slots with and without intervening repeats: metrics that
+        // depend on the allocation (cost, instance-slots) must agree
+        let mut cached = TenantShard::new(TenantId(1), &config(), 5);
+        let mut fresh = TenantShard::new(TenantId(1), &config(), 5);
+        for i in 0..4 {
+            cached.tick(slot(i, 8), (i + 1) as f64 * 3_600_000.0);
+        }
+        for i in 0..4 {
+            fresh.tick(slot(i, 8), (i + 1) as f64 * 3_600_000.0);
+        }
+        assert_eq!(cached.metrics(), fresh.metrics());
+        assert_eq!(cached.forecast(), fresh.forecast());
     }
 
     #[test]

@@ -3,7 +3,23 @@
 use crate::error::LpError;
 use crate::model::{Objective, Problem, Sense, Solution, SolveStats, VarKind};
 use crate::simplex::{SimplexOutcome, SimplexSolver};
+use crate::sparse::{Basis, SparseOutcome, SparseProblem};
 use crate::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Which LP engine solves the relaxation at every branch-and-bound node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LpBackend {
+    /// Sparse revised simplex over one shared problem representation;
+    /// every child node warm-starts from its parent's optimal [`Basis`]
+    /// through dual-simplex re-entry (phase 1 is skipped).
+    #[default]
+    RevisedWarmStart,
+    /// The original dense tableau, rebuilt and solved cold at every node.
+    /// Kept as the reference implementation for agreement tests and the
+    /// `bench_allocation` baseline.
+    DenseTableau,
+}
 
 /// Tuning knobs for the branch-and-bound search.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +32,8 @@ pub struct BranchBoundOptions {
     pub integrality_tolerance: f64,
     /// Absolute gap below which an incumbent is accepted as optimal early.
     pub absolute_gap: f64,
+    /// LP engine used for node relaxations.
+    pub backend: LpBackend,
 }
 
 impl Default for BranchBoundOptions {
@@ -24,6 +42,7 @@ impl Default for BranchBoundOptions {
             max_nodes: 100_000,
             integrality_tolerance: 1e-6,
             absolute_gap: 1e-9,
+            backend: LpBackend::default(),
         }
     }
 }
@@ -31,6 +50,21 @@ impl Default for BranchBoundOptions {
 #[derive(Debug, Clone)]
 struct Node {
     bounds: Vec<(VarId, Sense, f64)>,
+    /// Optimal basis of the parent relaxation (revised backend only).
+    parent_basis: Option<Basis>,
+}
+
+/// Outcome of one node relaxation, backend-agnostic.
+enum NodeLp {
+    Optimal {
+        objective: f64,
+        values: Vec<f64>,
+        pivots: usize,
+        phase1_skipped: bool,
+        basis: Option<Basis>,
+    },
+    Infeasible,
+    Unbounded,
 }
 
 /// Solves `problem` (which may contain integer variables) by branch-and-bound.
@@ -44,10 +78,21 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
         .map(|(j, _)| j)
         .collect();
 
-    let mut stack = vec![Node { bounds: Vec::new() }];
+    // The sparse row representation is built once and shared by every node;
+    // only the per-node variable bounds differ.
+    let sparse = match options.backend {
+        LpBackend::RevisedWarmStart => Some(SparseProblem::from_problem(problem)),
+        LpBackend::DenseTableau => None,
+    };
+
+    let mut stack = vec![Node {
+        bounds: Vec::new(),
+        parent_basis: None,
+    }];
     let mut incumbent: Option<Solution> = None;
     let mut nodes = 0usize;
     let mut pivots = 0usize;
+    let mut phase1_skips = 0usize;
     let mut root_infeasible = true;
     let mut root_unbounded = false;
 
@@ -57,15 +102,59 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
         }
         nodes += 1;
 
-        let solver = SimplexSolver::from_problem(problem, &node.bounds);
-        let (objective, values, node_pivots) = match solver.solve()? {
-            SimplexOutcome::Optimal {
+        let relaxation = match &sparse {
+            Some(sp) => {
+                let outcome = match &node.parent_basis {
+                    Some(basis) => sp.solve_warm(&node.bounds, basis)?,
+                    None => sp.solve_cold(&node.bounds)?,
+                };
+                match outcome {
+                    SparseOutcome::Optimal(sol) => NodeLp::Optimal {
+                        objective: sol.objective,
+                        values: sol.values,
+                        pivots: sol.pivots,
+                        // a stalled warm attempt that restarted cold is not a
+                        // phase-1 skip, even if the cold solve needed none
+                        phase1_skipped: sol.warm_started,
+                        basis: sol.basis,
+                    },
+                    SparseOutcome::Infeasible => NodeLp::Infeasible,
+                    SparseOutcome::Unbounded => NodeLp::Unbounded,
+                }
+            }
+            None => match SimplexSolver::from_problem(problem, &node.bounds).solve_dense()? {
+                SimplexOutcome::Optimal {
+                    objective,
+                    values,
+                    pivots,
+                } => NodeLp::Optimal {
+                    objective,
+                    values,
+                    pivots,
+                    phase1_skipped: false,
+                    basis: None,
+                },
+                SimplexOutcome::Infeasible => NodeLp::Infeasible,
+                SimplexOutcome::Unbounded => NodeLp::Unbounded,
+            },
+        };
+
+        let (objective, values, node_basis) = match relaxation {
+            NodeLp::Optimal {
                 objective,
                 values,
-                pivots,
-            } => (objective, values, pivots),
-            SimplexOutcome::Infeasible => continue,
-            SimplexOutcome::Unbounded => {
+                pivots: node_pivots,
+                phase1_skipped,
+                basis,
+            } => {
+                pivots += node_pivots;
+                if phase1_skipped {
+                    phase1_skips += 1;
+                }
+                (objective, values, basis)
+            }
+            NodeLp::Infeasible => continue,
+            NodeLp::Unbounded => {
                 if node.bounds.is_empty() {
                     root_unbounded = true;
                 }
@@ -76,7 +165,6 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
             }
         };
         root_infeasible = false;
-        pivots += node_pivots;
 
         // Bound: prune nodes that cannot beat the incumbent.
         if let Some(ref inc) = incumbent {
@@ -124,7 +212,11 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
                     incumbent = Some(Solution {
                         objective: obj,
                         values: vals,
-                        stats: SolveStats { nodes, pivots },
+                        stats: SolveStats {
+                            nodes,
+                            pivots,
+                            phase1_skips,
+                        },
                     });
                 }
             }
@@ -139,16 +231,28 @@ pub(crate) fn solve(problem: &Problem, options: &BranchBoundOptions) -> Result<S
                 // Depth-first: push the "up" branch last so it is explored
                 // first — for covering-style minimization problems (like the
                 // paper's allocation) rounding up tends to reach feasibility
-                // quickly and yields early incumbents for pruning.
-                stack.push(Node { bounds: down });
-                stack.push(Node { bounds: up });
+                // quickly and yields early incumbents for pruning. Both
+                // children re-enter the revised simplex from this node's
+                // optimal basis.
+                stack.push(Node {
+                    bounds: down,
+                    parent_basis: node_basis.clone(),
+                });
+                stack.push(Node {
+                    bounds: up,
+                    parent_basis: node_basis,
+                });
             }
         }
     }
 
     match incumbent {
         Some(mut sol) => {
-            sol.stats = SolveStats { nodes, pivots };
+            sol.stats = SolveStats {
+                nodes,
+                pivots,
+                phase1_skips,
+            };
             Ok(sol)
         }
         None if root_unbounded => Err(LpError::Unbounded),
@@ -289,6 +393,92 @@ mod tests {
         let x = p.add_var("x", VarKind::Integer, 0.0, None, 1.0);
         p.add_constraint("c", &[(x, 1.0)], Sense::Ge, 0.0);
         assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    use crate::test_rng::XorShift;
+
+    fn dense_options() -> BranchBoundOptions {
+        BranchBoundOptions {
+            backend: LpBackend::DenseTableau,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn warm_started_backend_matches_dense_cold_backend() {
+        // Randomized covering ILPs (the allocation shape): the revised
+        // warm-started search and the dense cold search must agree on the
+        // optimal objective and on infeasibility, every time.
+        let mut rng = XorShift(0xA076_1D64_78BD_642F);
+        let mut warm_runs = 0usize;
+        for case in 0..60 {
+            let n = 2 + rng.below(4);
+            let mut p = Problem::minimize();
+            let vars: Vec<VarId> = (0..n)
+                .map(|i| {
+                    p.add_var(
+                        format!("x{i}"),
+                        VarKind::Integer,
+                        0.0,
+                        Some(8.0),
+                        rng.uniform(0.05, 2.0),
+                    )
+                })
+                .collect();
+            let caps: Vec<(VarId, f64)> = vars
+                .iter()
+                .map(|&v| (v, rng.uniform(1.0, 12.0).round()))
+                .collect();
+            p.add_constraint("cover", &caps, Sense::Ge, rng.uniform(1.0, 60.0).round());
+            let count: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            p.add_constraint("cc", &count, Sense::Le, rng.uniform(2.0, 10.0).round());
+
+            let revised = p.solve();
+            let dense = p.solve_with(&dense_options());
+            match (revised, dense) {
+                (Ok(r), Ok(d)) => {
+                    assert!(
+                        (r.objective - d.objective).abs() < 1e-6,
+                        "case {case}: revised {} vs dense {}",
+                        r.objective,
+                        d.objective
+                    );
+                    assert!(p.is_feasible(&r.values, 1e-6), "case {case}");
+                    if r.stats.phase1_skips > 0 {
+                        warm_runs += 1;
+                    }
+                    assert_eq!(d.stats.phase1_skips, 0, "dense never warm-starts");
+                }
+                (Err(re), Err(de)) => assert_eq!(re, de, "case {case}"),
+                (r, d) => panic!("case {case}: revised {r:?} vs dense {d:?}"),
+            }
+        }
+        assert!(
+            warm_runs > 10,
+            "branching cases should exercise warm starts: {warm_runs}"
+        );
+    }
+
+    #[test]
+    fn warm_starts_skip_phase_one_on_branching_problems() {
+        // a problem that must branch: every explored child re-enters from
+        // its parent's basis without phase 1
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Integer, 0.0, Some(10.0), 1.0);
+        let y = p.add_var("y", VarKind::Integer, 0.0, Some(10.0), 1.3);
+        p.add_constraint("c", &[(x, 2.0), (y, 3.0)], Sense::Ge, 12.5);
+        let sol = p.solve().unwrap();
+        assert!(sol.stats.nodes > 1, "the relaxation is fractional");
+        // every non-root *optimal* node warm-starts (infeasible children
+        // count as nodes but not as skips)
+        assert!(
+            sol.stats.phase1_skips >= 1 && sol.stats.phase1_skips < sol.stats.nodes,
+            "warm starts expected: {:?}",
+            sol.stats
+        );
+        let dense = p.solve_with(&dense_options()).unwrap();
+        assert!((sol.objective - dense.objective).abs() < 1e-9);
+        assert_eq!(sol.values, dense.values, "same incumbent on this problem");
     }
 
     #[test]

@@ -9,14 +9,19 @@
 //!
 //! * [`Problem`] — a small modelling API (continuous and integer variables,
 //!   linear constraints, minimize/maximize objectives),
-//! * a two-phase dense **primal simplex** for the LP relaxation
-//!   ([`SimplexSolver`]), and
+//! * a sparse **revised simplex** with a factorized basis and warm-started
+//!   re-entry ([`SparseProblem`], [`Basis`]) — the default LP engine,
+//! * a two-phase dense tableau simplex kept as the reference implementation
+//!   ([`SimplexSolver::solve_dense`]), and
 //! * **branch-and-bound** for integrality (configured by
-//!   [`BranchBoundOptions`]).
+//!   [`BranchBoundOptions`]); with the default [`LpBackend`] every child
+//!   node warm-starts from its parent's optimal basis instead of solving
+//!   cold.
 //!
-//! The allocation instances produced by the paper's model are tiny (one
-//! variable per instance type, a handful of constraints), so an exact
-//! branch-and-bound search is both practical and reproducible.
+//! The allocation instances produced by the paper's model grow with the
+//! instance-type catalogue (one variable per group × type); the revised
+//! simplex keeps the basis at the size of the constraint system so the
+//! per-node cost no longer scales with the variable count.
 //!
 //! # Example
 //!
@@ -45,12 +50,16 @@ mod error;
 mod expr;
 mod model;
 mod simplex;
+mod sparse;
+#[cfg(test)]
+pub(crate) mod test_rng;
 
-pub use branch_bound::BranchBoundOptions;
+pub use branch_bound::{BranchBoundOptions, LpBackend};
 pub use error::LpError;
 pub use expr::{LinearExpr, VarId};
 pub use model::{Constraint, Objective, Problem, Sense, Solution, SolveStats, VarKind, Variable};
 pub use simplex::{SimplexOutcome, SimplexSolver};
+pub use sparse::{Basis, SparseOutcome, SparseProblem, SparseSolution};
 
 #[cfg(test)]
 mod tests {

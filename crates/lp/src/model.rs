@@ -3,7 +3,7 @@
 use crate::branch_bound::{self, BranchBoundOptions};
 use crate::error::LpError;
 use crate::expr::{LinearExpr, VarId};
-use crate::simplex::{SimplexOutcome, SimplexSolver};
+use crate::sparse::{SparseOutcome, SparseProblem};
 use serde::{Deserialize, Serialize};
 
 /// Whether a variable must take integer values in the final solution.
@@ -85,6 +85,9 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Total simplex pivots across all LP relaxations.
     pub pivots: usize,
+    /// Nodes re-entered from a parent basis without running phase 1
+    /// (warm-started dual-simplex re-entries; 0 for the dense backend).
+    pub phase1_skips: usize,
 }
 
 /// The result of a successful solve.
@@ -321,7 +324,8 @@ impl Problem {
         branch_bound::solve(self, options)
     }
 
-    /// Solves only the LP relaxation (integrality requirements dropped).
+    /// Solves only the LP relaxation (integrality requirements dropped),
+    /// using the sparse revised simplex.
     ///
     /// # Errors
     ///
@@ -329,19 +333,18 @@ impl Problem {
     /// [`Problem::solve`].
     pub fn solve_relaxation(&self) -> Result<Solution, LpError> {
         self.validate()?;
-        let solver = SimplexSolver::from_problem(self, &[]);
-        match solver.solve()? {
-            SimplexOutcome::Optimal {
-                objective,
-                values,
-                pivots,
-            } => Ok(Solution {
-                objective,
-                values,
-                stats: SolveStats { nodes: 1, pivots },
+        match SparseProblem::from_problem(self).solve_cold(&[])? {
+            SparseOutcome::Optimal(sol) => Ok(Solution {
+                objective: sol.objective,
+                values: sol.values,
+                stats: SolveStats {
+                    nodes: 1,
+                    pivots: sol.pivots,
+                    phase1_skips: 0,
+                },
             }),
-            SimplexOutcome::Infeasible => Err(LpError::Infeasible),
-            SimplexOutcome::Unbounded => Err(LpError::Unbounded),
+            SparseOutcome::Infeasible => Err(LpError::Infeasible),
+            SparseOutcome::Unbounded => Err(LpError::Unbounded),
         }
     }
 }

@@ -145,6 +145,18 @@ impl SimplexSolver {
     /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted
     /// (which indicates numerical trouble for well-posed inputs).
     pub fn solve(&self) -> Result<SimplexOutcome, LpError> {
+        self.solve_dense()
+    }
+
+    /// Runs the two-phase **dense tableau** simplex. This is the reference
+    /// implementation the sparse revised simplex
+    /// ([`crate::SparseProblem`]) is property-tested against; production
+    /// paths use the revised solver.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimplexSolver::solve`].
+    pub fn solve_dense(&self) -> Result<SimplexOutcome, LpError> {
         let n = self.n_struct;
         let m = self.rows.len();
         if m == 0 {

@@ -1,0 +1,1389 @@
+//! Sparse revised simplex over a shared CSR/CSC problem representation.
+//!
+//! The dense tableau of [`crate::SimplexSolver`] rebuilds an `m × n` matrix
+//! per branch-and-bound node and turns every variable bound into an extra
+//! row. This module keeps the problem in **bounded-variable standard form**
+//! instead:
+//!
+//! * one [`SparseProblem`] is built per [`Problem`] and shared, immutable, by
+//!   every branch-and-bound node (CSR rows for activities, CSC columns for
+//!   pricing),
+//! * variable bounds — including the single-variable bounds branch-and-bound
+//!   imposes — are handled natively by the simplex instead of as rows, so
+//!   the basis dimension is the number of structural constraints only,
+//! * the basis inverse is maintained in factorized form (dense inverse of
+//!   the refactorization point plus product-form eta updates) rather than by
+//!   full tableau pivots, and
+//! * an optimal [`Basis`] can be handed back to the caller and used to
+//!   **warm-start** the solve of a neighbouring problem (same rows, tighter
+//!   bounds) through dual-simplex re-entry, skipping phase 1 entirely.
+//!
+//! Entering/leaving choices use Bland's smallest-index rule throughout, as
+//! the dense solver does, which guarantees termination of the primal
+//! iterations and keeps every run deterministic.
+
+use crate::error::LpError;
+use crate::model::{Objective, Problem, Sense};
+use crate::VarId;
+
+const TOL: f64 = 1e-9;
+/// Phase-1 infeasibility threshold — identical to the dense solver's.
+const PHASE1_TOL: f64 = 1e-7;
+const INF: f64 = f64::INFINITY;
+
+/// Where a column currently sits relative to the basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColState {
+    /// In the basis; its value is determined by the basic solve.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+}
+
+/// A basis of the bounded-variable simplex: which column is basic in each
+/// row, plus the bound each nonbasic column rests on.
+///
+/// A `Basis` returned by an optimal solve can warm-start
+/// [`SparseProblem::solve_warm`] on the same problem with tightened variable
+/// bounds (the branch-and-bound child relation): the solver re-enters
+/// through the dual simplex from this basis instead of running phase 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// Basic column per row, `basic[i]` is the column basic in row `i`.
+    basic: Vec<usize>,
+    /// State of every persistent column (structural then slack).
+    state: Vec<ColState>,
+}
+
+impl Basis {
+    /// Number of rows the basis covers.
+    pub fn rows(&self) -> usize {
+        self.basic.len()
+    }
+}
+
+/// Statistics and result of one sparse solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSolution {
+    /// Objective value in the original problem's direction.
+    pub objective: f64,
+    /// Values of the structural variables.
+    pub values: Vec<f64>,
+    /// Simplex pivots performed (basis changes, both phases).
+    pub pivots: usize,
+    /// Whether phase 1 ran (false for successful warm-started re-entries).
+    pub used_phase1: bool,
+    /// Whether the solve completed through the warm dual-simplex re-entry
+    /// (false for cold solves, including cold fallbacks of a stalled warm
+    /// attempt).
+    pub warm_started: bool,
+    /// The optimal basis, reusable for warm starts. `None` in the rare case
+    /// an artificial column could not be driven out of the basis.
+    pub basis: Option<Basis>,
+}
+
+/// Result of running the revised simplex.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseOutcome {
+    /// An optimal basic feasible solution was found.
+    Optimal(SparseSolution),
+    /// The constraints and bounds admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+/// A [`Problem`] in sparse bounded-variable form, shared by every
+/// branch-and-bound node: CSR rows, CSC columns, per-column bounds and
+/// minimization costs. Columns are `[structural | one slack per row]`; a
+/// row's sense is encoded in its slack's bounds (`<=` → `[0, ∞)`, `>=` →
+/// `(-∞, 0]`, `==` → `[0, 0]`), so negative right-hand sides need no
+/// normalization pass.
+#[derive(Debug, Clone)]
+pub struct SparseProblem {
+    n_struct: usize,
+    m: usize,
+    /// CSR over structural entries.
+    row_starts: Vec<usize>,
+    row_cols: Vec<usize>,
+    row_vals: Vec<f64>,
+    /// CSC over structural entries.
+    col_starts: Vec<usize>,
+    col_rows: Vec<usize>,
+    col_vals: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Minimization-direction cost per structural column.
+    cost: Vec<f64>,
+    /// Original-direction objective per structural column (reporting).
+    objective: Vec<f64>,
+    /// Base bounds per column (structural + slack).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    max_iterations: usize,
+}
+
+impl SparseProblem {
+    /// Builds the shared sparse representation of `problem`. The problem
+    /// must satisfy the same contract as [`Problem::solve`] (finite,
+    /// non-negative lower bounds); call after validation.
+    pub fn from_problem(problem: &Problem) -> Self {
+        let n = problem.num_vars();
+        let m = problem.constraints().len();
+        let maximize = problem.objective_sense() == Objective::Maximize;
+
+        let mut row_starts = Vec::with_capacity(m + 1);
+        let mut row_cols = Vec::new();
+        let mut row_vals = Vec::new();
+        let mut rhs = Vec::with_capacity(m);
+        row_starts.push(0);
+        for c in problem.constraints() {
+            for (v, a) in c.expr.iter() {
+                if a != 0.0 {
+                    row_cols.push(v.index());
+                    row_vals.push(a);
+                }
+            }
+            row_starts.push(row_cols.len());
+            rhs.push(c.rhs);
+        }
+
+        // transpose CSR → CSC
+        let mut col_counts = vec![0usize; n];
+        for &j in &row_cols {
+            col_counts[j] += 1;
+        }
+        let mut col_starts = vec![0usize; n + 1];
+        for j in 0..n {
+            col_starts[j + 1] = col_starts[j] + col_counts[j];
+        }
+        let mut cursor = col_starts.clone();
+        let mut col_rows = vec![0usize; row_cols.len()];
+        let mut col_vals = vec![0.0f64; row_cols.len()];
+        for i in 0..m {
+            for k in row_starts[i]..row_starts[i + 1] {
+                let j = row_cols[k];
+                col_rows[cursor[j]] = i;
+                col_vals[cursor[j]] = row_vals[k];
+                cursor[j] += 1;
+            }
+        }
+
+        let objective: Vec<f64> = problem.variables().iter().map(|v| v.objective).collect();
+        let cost: Vec<f64> = objective
+            .iter()
+            .map(|&c| if maximize { -c } else { c })
+            .collect();
+        let mut lower: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = problem
+            .variables()
+            .iter()
+            .map(|v| v.upper.unwrap_or(INF))
+            .collect();
+        for c in problem.constraints() {
+            let (lo, up) = match c.sense {
+                Sense::Le => (0.0, INF),
+                Sense::Ge => (-INF, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lower.push(lo);
+            upper.push(up);
+        }
+
+        Self {
+            n_struct: n,
+            m,
+            row_starts,
+            row_cols,
+            row_vals,
+            col_starts,
+            col_rows,
+            col_vals,
+            rhs,
+            cost,
+            objective,
+            lower,
+            upper,
+            max_iterations: 20_000,
+        }
+    }
+
+    /// Overrides the simplex iteration budget (default 20 000).
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_struct
+    }
+
+    /// Number of constraint rows (= basis dimension).
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Persistent column count (structural + slack).
+    fn ncols(&self) -> usize {
+        self.n_struct + self.m
+    }
+
+    /// Effective per-column bounds after applying the extra single-variable
+    /// bounds (`var sense rhs`), or `None` when a variable's bounds cross
+    /// (immediately infeasible).
+    fn effective_bounds(&self, extra: &[(VarId, Sense, f64)]) -> Option<(Vec<f64>, Vec<f64>)> {
+        let mut lower = self.lower.clone();
+        let mut upper = self.upper.clone();
+        for &(var, sense, rhs) in extra {
+            let j = var.index();
+            match sense {
+                Sense::Le => upper[j] = upper[j].min(rhs),
+                Sense::Ge => lower[j] = lower[j].max(rhs),
+                Sense::Eq => {
+                    lower[j] = lower[j].max(rhs);
+                    upper[j] = upper[j].min(rhs);
+                }
+            }
+        }
+        if lower.iter().zip(&upper).any(|(&l, &u)| l > u + TOL) {
+            return None;
+        }
+        Some((lower, upper))
+    }
+
+    /// Solves the problem from scratch: slack basis, phase 1 over artificial
+    /// columns when the start is infeasible, then phase 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] when the pivot budget is
+    /// exhausted.
+    pub fn solve_cold(&self, extra: &[(VarId, Sense, f64)]) -> Result<SparseOutcome, LpError> {
+        let Some((lower, upper)) = self.effective_bounds(extra) else {
+            return Ok(SparseOutcome::Infeasible);
+        };
+        if self.m == 0 {
+            return Ok(self.solve_unconstrained(&lower, &upper));
+        }
+        Worker::cold(self, lower, upper)?.run_cold()
+    }
+
+    /// Re-enters the solve from `basis` — typically the parent node's
+    /// optimal basis with `extra` containing one tightened bound — through
+    /// the dual simplex, skipping phase 1. Falls back to a cold solve when
+    /// the warm path stalls or the basis is numerically unusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] when even the cold fallback
+    /// exhausts the pivot budget.
+    pub fn solve_warm(
+        &self,
+        extra: &[(VarId, Sense, f64)],
+        basis: &Basis,
+    ) -> Result<SparseOutcome, LpError> {
+        let Some((lower, upper)) = self.effective_bounds(extra) else {
+            return Ok(SparseOutcome::Infeasible);
+        };
+        if self.m == 0 {
+            return Ok(self.solve_unconstrained(&lower, &upper));
+        }
+        debug_assert_eq!(basis.basic.len(), self.m);
+        debug_assert_eq!(basis.state.len(), self.ncols());
+        match Worker::warm(self, lower.clone(), upper.clone(), basis) {
+            Some(worker) => match worker.run_warm()? {
+                Some(outcome) => Ok(outcome),
+                // dual re-entry stalled: restart cold on the same bounds
+                None => Worker::cold(self, lower, upper)?.run_cold(),
+            },
+            // singular warm basis: restart cold
+            None => Worker::cold(self, lower, upper)?.run_cold(),
+        }
+    }
+
+    /// Optimum of a problem with no rows: every variable sits on the bound
+    /// its cost prefers.
+    fn solve_unconstrained(&self, lower: &[f64], upper: &[f64]) -> SparseOutcome {
+        let mut values = Vec::with_capacity(self.n_struct);
+        let mut state = Vec::with_capacity(self.n_struct);
+        for j in 0..self.n_struct {
+            if self.cost[j] < -TOL {
+                if upper[j] == INF {
+                    return SparseOutcome::Unbounded;
+                }
+                values.push(upper[j]);
+                state.push(ColState::AtUpper);
+            } else {
+                values.push(lower[j]);
+                state.push(ColState::AtLower);
+            }
+        }
+        for v in &mut values {
+            if v.abs() < TOL {
+                *v = 0.0;
+            }
+        }
+        let objective = dot(&self.objective, &values);
+        SparseOutcome::Optimal(SparseSolution {
+            objective,
+            values,
+            pivots: 0,
+            used_phase1: false,
+            warm_started: false,
+            basis: Some(Basis {
+                basic: Vec::new(),
+                state,
+            }),
+        })
+    }
+
+    /// Entries of persistent column `j`: CSC slice for structural columns,
+    /// the unit slack entry otherwise.
+    fn col_entries(&self, j: usize) -> ColEntries<'_> {
+        if j < self.n_struct {
+            ColEntries::Struct {
+                rows: &self.col_rows[self.col_starts[j]..self.col_starts[j + 1]],
+                vals: &self.col_vals[self.col_starts[j]..self.col_starts[j + 1]],
+                at: 0,
+            }
+        } else {
+            ColEntries::Unit {
+                row: j - self.n_struct,
+                sign: 1.0,
+                done: false,
+            }
+        }
+    }
+}
+
+/// Iterator over the `(row, value)` entries of one column.
+enum ColEntries<'a> {
+    Struct {
+        rows: &'a [usize],
+        vals: &'a [f64],
+        at: usize,
+    },
+    Unit {
+        row: usize,
+        sign: f64,
+        done: bool,
+    },
+}
+
+impl Iterator for ColEntries<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColEntries::Struct { rows, vals, at } => {
+                let i = *at;
+                if i < rows.len() {
+                    *at = i + 1;
+                    Some((rows[i], vals[i]))
+                } else {
+                    None
+                }
+            }
+            ColEntries::Unit { row, sign, done } => {
+                if *done {
+                    None
+                } else {
+                    *done = true;
+                    Some((*row, *sign))
+                }
+            }
+        }
+    }
+}
+
+/// How the primal iterations ended.
+enum PrimalEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// How the dual iterations ended.
+enum DualEnd {
+    Optimal,
+    Infeasible,
+    /// Iteration budget hit before primal feasibility — caller restarts cold.
+    Stalled,
+}
+
+/// Mutable solver state: bounds, values, basis and the factorized inverse.
+struct Worker<'a> {
+    sp: &'a SparseProblem,
+    /// Persistent columns (structural + slack).
+    ncols: usize,
+    /// Persistent + artificial columns.
+    total: usize,
+    /// Artificial k is column `ncols + k`: a single `art_signs[k]` entry in
+    /// row `art_rows[k]`.
+    art_rows: Vec<usize>,
+    art_signs: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    x: Vec<f64>,
+    state: Vec<ColState>,
+    basic: Vec<usize>,
+    /// Dense inverse of the basis at the last refactorization, row-major.
+    binv: Vec<f64>,
+    /// Product-form eta updates applied since: `(pivot row, B⁻¹·column)`.
+    etas: Vec<(usize, Vec<f64>)>,
+    pivots: usize,
+    iters: usize,
+}
+
+impl<'a> Worker<'a> {
+    /// Cold start: structural columns at their lower bound, slack basis,
+    /// one artificial per row whose slack start violates the slack bounds.
+    fn cold(sp: &'a SparseProblem, lower: Vec<f64>, upper: Vec<f64>) -> Result<Self, LpError> {
+        let m = sp.m;
+        let ncols = sp.ncols();
+        let mut x = vec![0.0; ncols];
+        let mut state = vec![ColState::AtLower; ncols];
+        x[..sp.n_struct].copy_from_slice(&lower[..sp.n_struct]);
+        // slack start: d_i = rhs_i - A_i·x
+        let mut d = sp.rhs.clone();
+        for (i, di) in d.iter_mut().enumerate() {
+            for k in sp.row_starts[i]..sp.row_starts[i + 1] {
+                *di -= sp.row_vals[k] * x[sp.row_cols[k]];
+            }
+        }
+        let mut basic = Vec::with_capacity(m);
+        let mut art_rows = Vec::new();
+        let mut art_signs = Vec::new();
+        let mut art_lower = Vec::new();
+        let mut art_upper = Vec::new();
+        let mut art_x = Vec::new();
+        for (i, &di) in d.iter().enumerate() {
+            let s = sp.n_struct + i;
+            if di >= lower[s] - TOL && di <= upper[s] + TOL {
+                // slack basic at its start value
+                state[s] = ColState::Basic;
+                x[s] = di;
+                basic.push(s);
+            } else {
+                // slack rests on its nearest bound, an artificial column
+                // carries the violation into the basis
+                let clamped = di.clamp(lower[s], upper[s]);
+                state[s] = if di < lower[s] {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
+                x[s] = clamped;
+                let sign = if di > clamped { 1.0 } else { -1.0 };
+                basic.push(ncols + art_rows.len());
+                art_rows.push(i);
+                art_signs.push(sign);
+                art_lower.push(0.0);
+                art_upper.push(INF);
+                art_x.push((di - clamped) * sign);
+            }
+        }
+        let total = ncols + art_rows.len();
+        let mut lower = lower;
+        let mut upper = upper;
+        lower.extend(art_lower);
+        upper.extend(art_upper);
+        x.extend(art_x);
+        state.resize(total, ColState::Basic);
+
+        let mut worker = Self {
+            sp,
+            ncols,
+            total,
+            art_rows,
+            art_signs,
+            lower,
+            upper,
+            x,
+            state,
+            basic,
+            binv: Vec::new(),
+            etas: Vec::new(),
+            pivots: 0,
+            iters: 0,
+        };
+        if !worker.refactorize() {
+            // the start basis is diagonal; singularity here means a
+            // malformed problem rather than a numerical accident
+            return Err(LpError::IterationLimit);
+        }
+        Ok(worker)
+    }
+
+    /// Warm start from a prior basis under (possibly tightened) bounds.
+    /// Returns `None` when the basis matrix is singular.
+    fn warm(
+        sp: &'a SparseProblem,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+        basis: &Basis,
+    ) -> Option<Self> {
+        let ncols = sp.ncols();
+        let mut x = vec![0.0; ncols];
+        for j in 0..ncols {
+            match basis.state[j] {
+                ColState::Basic => {}
+                ColState::AtLower => x[j] = lower[j],
+                ColState::AtUpper => x[j] = upper[j],
+            }
+        }
+        let mut worker = Self {
+            sp,
+            ncols,
+            total: ncols,
+            art_rows: Vec::new(),
+            art_signs: Vec::new(),
+            lower,
+            upper,
+            x,
+            state: basis.state.clone(),
+            basic: basis.basic.clone(),
+            binv: Vec::new(),
+            etas: Vec::new(),
+            pivots: 0,
+            iters: 0,
+        };
+        if !worker.refactorize() {
+            return None;
+        }
+        worker.compute_basics();
+        Some(worker)
+    }
+
+    /// Entries of column `j`, including artificial columns.
+    fn col_entries(&self, j: usize) -> ColEntries<'_> {
+        if j < self.ncols {
+            self.sp.col_entries(j)
+        } else {
+            ColEntries::Unit {
+                row: self.art_rows[j - self.ncols],
+                sign: self.art_signs[j - self.ncols],
+                done: false,
+            }
+        }
+    }
+
+    /// `column_j · y`.
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        self.col_entries(j).map(|(i, a)| a * y[i]).sum()
+    }
+
+    /// Column `j` as a dense vector.
+    fn col_dense(&self, j: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.sp.m];
+        for (i, a) in self.col_entries(j) {
+            v[i] += a;
+        }
+        v
+    }
+
+    /// Rebuilds the dense basis inverse from the current basic columns and
+    /// clears the eta file. Returns `false` when the basis is singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.sp.m;
+        // Gauss-Jordan with partial pivoting on [B | I]
+        let mut b = vec![0.0; m * m];
+        for (i, &j) in self.basic.iter().enumerate() {
+            for (row, a) in self.col_entries(j) {
+                b[row * m + i] += a;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let pivot_row = (col..m)
+                .max_by(|&r1, &r2| {
+                    b[r1 * m + col]
+                        .abs()
+                        .partial_cmp(&b[r2 * m + col].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty pivot range");
+            let p = b[pivot_row * m + col];
+            if p.abs() < 1e-11 {
+                return false;
+            }
+            if pivot_row != col {
+                for k in 0..m {
+                    b.swap(pivot_row * m + k, col * m + k);
+                    inv.swap(pivot_row * m + k, col * m + k);
+                }
+            }
+            let inv_p = 1.0 / p;
+            for k in 0..m {
+                b[col * m + k] *= inv_p;
+                inv[col * m + k] *= inv_p;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = b[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            b[r * m + k] -= f * b[col * m + k];
+                            inv[r * m + k] -= f * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.etas.clear();
+        true
+    }
+
+    /// Recomputes the basic values from the nonbasic ones:
+    /// `x_B = B⁻¹ (rhs − A_N x_N)`.
+    fn compute_basics(&mut self) {
+        let mut r = self.sp.rhs.clone();
+        for j in 0..self.total {
+            if self.state[j] != ColState::Basic && self.x[j] != 0.0 {
+                for (i, a) in self.col_entries(j) {
+                    r[i] -= a * self.x[j];
+                }
+            }
+        }
+        let xb = self.ftran(r);
+        for (&b, &value) in self.basic.iter().zip(&xb) {
+            self.x[b] = value;
+        }
+    }
+
+    /// `B⁻¹ v`: dense inverse of the refactorization point, then the eta
+    /// file in application order.
+    fn ftran(&self, v: Vec<f64>) -> Vec<f64> {
+        let m = self.sp.m;
+        let mut w = vec![0.0; m];
+        for (row, wi) in w.iter_mut().enumerate() {
+            *wi = self.binv[row * m..(row + 1) * m]
+                .iter()
+                .zip(&v)
+                .map(|(b, vk)| b * vk)
+                .sum();
+        }
+        for (r, e) in &self.etas {
+            let t = w[*r] / e[*r];
+            w[*r] = t;
+            if t != 0.0 {
+                for (i, (wi, ei)) in w.iter_mut().zip(e).enumerate() {
+                    if i != *r && *ei != 0.0 {
+                        *wi -= ei * t;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// `B⁻ᵀ v`: eta transposes in reverse order, then the dense inverse
+    /// transposed.
+    fn btran(&self, mut v: Vec<f64>) -> Vec<f64> {
+        let m = self.sp.m;
+        for (r, e) in self.etas.iter().rev() {
+            let mut acc = v[*r];
+            for (i, (vi, ei)) in v.iter().zip(e).enumerate() {
+                if i != *r && *ei != 0.0 {
+                    acc -= ei * vi;
+                }
+            }
+            v[*r] = acc / e[*r];
+        }
+        let mut y = vec![0.0; m];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi != 0.0 {
+                for (yk, b) in y.iter_mut().zip(&self.binv[i * m..(i + 1) * m]) {
+                    *yk += b * vi;
+                }
+            }
+        }
+        y
+    }
+
+    /// Replaces the basic column of row `r` with column `j` (direction
+    /// vector `w = B⁻¹ A_j`), records the eta update and refactorizes when
+    /// the eta file has grown past its threshold.
+    fn apply_pivot(&mut self, r: usize, j: usize, w: Vec<f64>) {
+        self.basic[r] = j;
+        self.state[j] = ColState::Basic;
+        self.etas.push((r, w));
+        self.pivots += 1;
+        if self.etas.len() > (2 * self.sp.m).max(20) && self.refactorize() {
+            self.compute_basics();
+        }
+    }
+
+    /// Bounded-variable primal simplex on cost vector `cost` (length
+    /// `total`), Bland's rule for entering and leaving choices.
+    fn primal(&mut self, cost: &[f64], max_iters: usize) -> Result<PrimalEnd, LpError> {
+        loop {
+            if self.iters >= max_iters {
+                return Err(LpError::IterationLimit);
+            }
+            self.iters += 1;
+            let cb: Vec<f64> = self.basic.iter().map(|&b| cost[b]).collect();
+            let y = self.btran(cb);
+            // entering: smallest-index nonbasic with an improving reduced cost
+            let mut entering = None;
+            for (j, &cj) in cost.iter().enumerate() {
+                if self.state[j] == ColState::Basic || self.lower[j] >= self.upper[j] {
+                    continue;
+                }
+                let d = cj - self.col_dot(j, &y);
+                let improves = match self.state[j] {
+                    ColState::AtLower => d < -TOL,
+                    ColState::AtUpper => d > TOL,
+                    ColState::Basic => false,
+                };
+                if improves {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(q) = entering else {
+                return Ok(PrimalEnd::Optimal);
+            };
+            let dir = if self.state[q] == ColState::AtLower {
+                1.0
+            } else {
+                -1.0
+            };
+            let w = self.ftran(self.col_dense(q));
+            // ratio test over the basic bounds, Bland tie-break
+            let mut limit = INF;
+            let mut leave: Option<(usize, bool)> = None; // (row, hits lower)
+            for (i, (&wi, &b)) in w.iter().zip(&self.basic).enumerate() {
+                let a = dir * wi;
+                let (ratio, to_lower) = if a > TOL {
+                    (((self.x[b] - self.lower[b]) / a).max(0.0), true)
+                } else if a < -TOL {
+                    if self.upper[b] == INF {
+                        continue;
+                    }
+                    (((self.upper[b] - self.x[b]) / -a).max(0.0), false)
+                } else {
+                    continue;
+                };
+                let tighter = match leave {
+                    None => ratio < limit,
+                    Some((lr, _)) => {
+                        ratio < limit - TOL || ((ratio - limit).abs() <= TOL && b < self.basic[lr])
+                    }
+                };
+                if tighter {
+                    limit = ratio;
+                    leave = Some((i, to_lower));
+                }
+            }
+            let flip = self.upper[q] - self.lower[q];
+            if limit == INF && flip == INF {
+                return Ok(PrimalEnd::Unbounded);
+            }
+            if flip < limit {
+                // bound flip: no basis change
+                for (&b, &wi) in self.basic.iter().zip(&w) {
+                    self.x[b] -= dir * flip * wi;
+                }
+                self.x[q] = if dir > 0.0 {
+                    self.upper[q]
+                } else {
+                    self.lower[q]
+                };
+                self.state[q] = if dir > 0.0 {
+                    ColState::AtUpper
+                } else {
+                    ColState::AtLower
+                };
+                continue;
+            }
+            let (r, to_lower) = leave.expect("finite limit implies a leaving row");
+            let entering_value = self.x[q] + dir * limit;
+            for (&b, &wi) in self.basic.iter().zip(&w) {
+                self.x[b] -= dir * limit * wi;
+            }
+            let lv = self.basic[r];
+            if to_lower {
+                self.x[lv] = self.lower[lv];
+                self.state[lv] = ColState::AtLower;
+            } else {
+                self.x[lv] = self.upper[lv];
+                self.state[lv] = ColState::AtUpper;
+            }
+            self.x[q] = entering_value;
+            self.apply_pivot(r, q, w);
+        }
+    }
+
+    /// Bounded-variable dual simplex on cost vector `cost`: repairs primal
+    /// feasibility while preserving dual feasibility. Used for warm-started
+    /// re-entry after bounds tighten.
+    fn dual(&mut self, cost: &[f64], max_iters: usize) -> Result<DualEnd, LpError> {
+        let m = self.sp.m;
+        loop {
+            if self.iters >= max_iters {
+                return Ok(DualEnd::Stalled);
+            }
+            self.iters += 1;
+            // leaving: most-violated basic, smallest variable index on ties
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, below lower)
+            for i in 0..m {
+                let b = self.basic[i];
+                let (viol, below) = if self.x[b] < self.lower[b] - TOL {
+                    (self.lower[b] - self.x[b], true)
+                } else if self.x[b] > self.upper[b] + TOL {
+                    (self.x[b] - self.upper[b], false)
+                } else {
+                    continue;
+                };
+                let better = match leave {
+                    None => true,
+                    Some((lr, lv, _)) => {
+                        viol > lv + TOL || ((viol - lv).abs() <= TOL && b < self.basic[lr])
+                    }
+                };
+                if better {
+                    leave = Some((i, viol, below));
+                }
+            }
+            let Some((r, _, below)) = leave else {
+                return Ok(DualEnd::Optimal);
+            };
+            let cb: Vec<f64> = self.basic.iter().map(|&b| cost[b]).collect();
+            let y = self.btran(cb);
+            let mut e_r = vec![0.0; m];
+            e_r[r] = 1.0;
+            let rho = self.btran(e_r);
+            // entering: dual ratio test, smallest |d/α|, smallest index on ties
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &cj) in cost.iter().enumerate() {
+                if self.state[j] == ColState::Basic || self.lower[j] >= self.upper[j] {
+                    continue;
+                }
+                let alpha = self.col_dot(j, &rho);
+                let eligible = if below {
+                    // leaving variable must increase to its lower bound
+                    (self.state[j] == ColState::AtLower && alpha < -TOL)
+                        || (self.state[j] == ColState::AtUpper && alpha > TOL)
+                } else {
+                    (self.state[j] == ColState::AtLower && alpha > TOL)
+                        || (self.state[j] == ColState::AtUpper && alpha < -TOL)
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = cj - self.col_dot(j, &y);
+                let ratio = (d / alpha).abs();
+                let better = match best {
+                    None => true,
+                    Some((bj, br)) => ratio < br - TOL || ((ratio - br).abs() <= TOL && j < bj),
+                };
+                if better {
+                    best = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = best else {
+                return Ok(DualEnd::Infeasible);
+            };
+            let w = self.ftran(self.col_dense(q));
+            let alpha = w[r];
+            if alpha.abs() <= TOL {
+                // the eta-updated direction disagrees with the pricing row:
+                // numerically degenerate, restart cold
+                return Ok(DualEnd::Stalled);
+            }
+            let lv = self.basic[r];
+            let target = if below {
+                self.lower[lv]
+            } else {
+                self.upper[lv]
+            };
+            let delta = (self.x[lv] - target) / alpha;
+            let entering_value = self.x[q] + delta;
+            for (&b, &wi) in self.basic.iter().zip(&w) {
+                self.x[b] -= delta * wi;
+            }
+            self.x[lv] = target;
+            self.state[lv] = if below {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
+            self.x[q] = entering_value;
+            self.apply_pivot(r, q, w);
+        }
+    }
+
+    /// Phase-2 cost vector over all current columns.
+    fn phase2_cost(&self) -> Vec<f64> {
+        let mut cost = vec![0.0; self.total];
+        cost[..self.sp.n_struct].copy_from_slice(&self.sp.cost);
+        cost
+    }
+
+    /// Cold solve: phase 1 when artificials exist, then phase 2.
+    fn run_cold(mut self) -> Result<SparseOutcome, LpError> {
+        let max_iters = self.sp.max_iterations;
+        let used_phase1 = !self.art_rows.is_empty();
+        if used_phase1 {
+            let mut cost = vec![0.0; self.total];
+            for c in cost.iter_mut().skip(self.ncols) {
+                *c = 1.0;
+            }
+            match self.primal(&cost, max_iters)? {
+                PrimalEnd::Optimal => {}
+                // phase 1 is bounded below by zero; an unbounded report is
+                // numerical trouble
+                PrimalEnd::Unbounded => return Err(LpError::IterationLimit),
+            }
+            let infeasibility: f64 = self.x[self.ncols..].iter().sum();
+            if infeasibility > PHASE1_TOL {
+                return Ok(SparseOutcome::Infeasible);
+            }
+            // pin artificials to zero and drive basic ones out where possible
+            for j in self.ncols..self.total {
+                self.lower[j] = 0.0;
+                self.upper[j] = 0.0;
+                if self.state[j] != ColState::Basic {
+                    self.x[j] = 0.0;
+                }
+            }
+            self.expel_artificials();
+        }
+        let cost = self.phase2_cost();
+        match self.primal(&cost, max_iters)? {
+            PrimalEnd::Optimal => Ok(SparseOutcome::Optimal(self.extract(used_phase1))),
+            PrimalEnd::Unbounded => Ok(SparseOutcome::Unbounded),
+        }
+    }
+
+    /// Warm solve: dual re-entry, then a primal polish. `Ok(None)` signals
+    /// the caller to restart cold — including when either warm phase runs
+    /// out of iterations, so the cold path gets its own fresh budget.
+    fn run_warm(mut self) -> Result<Option<SparseOutcome>, LpError> {
+        let max_iters = self.sp.max_iterations;
+        let cost = self.phase2_cost();
+        match self.dual(&cost, max_iters)? {
+            DualEnd::Optimal => {}
+            DualEnd::Infeasible => return Ok(Some(SparseOutcome::Infeasible)),
+            DualEnd::Stalled => return Ok(None),
+        }
+        // polish: repair any residual dual infeasibility (usually a no-op)
+        match self.primal(&cost, max_iters) {
+            Ok(PrimalEnd::Optimal) => {
+                let mut sol = self.extract(false);
+                sol.warm_started = true;
+                Ok(Some(SparseOutcome::Optimal(sol)))
+            }
+            Ok(PrimalEnd::Unbounded) => Ok(Some(SparseOutcome::Unbounded)),
+            Err(LpError::IterationLimit) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Pivots basic artificial columns out of the basis where a persistent
+    /// column can replace them (mirrors the dense solver's post-phase-1
+    /// cleanup; rows that stay artificial are redundant and keep a
+    /// zero-fixed artificial basic).
+    fn expel_artificials(&mut self) {
+        let m = self.sp.m;
+        for r in 0..m {
+            if self.basic[r] < self.ncols {
+                continue;
+            }
+            let mut e_r = vec![0.0; m];
+            e_r[r] = 1.0;
+            let rho = self.btran(e_r);
+            let candidate = (0..self.ncols)
+                .find(|&j| self.state[j] != ColState::Basic && self.col_dot(j, &rho).abs() > TOL);
+            if let Some(j) = candidate {
+                let w = self.ftran(self.col_dense(j));
+                let art = self.basic[r];
+                // the artificial sits at zero, so the swap moves nothing
+                self.x[art] = 0.0;
+                self.state[art] = ColState::AtLower;
+                self.state[j] = ColState::Basic;
+                self.apply_pivot(r, j, w);
+                // entering keeps its bound value; it is now basic at it
+            }
+        }
+    }
+
+    /// Builds the outcome: cleaned structural values, original-direction
+    /// objective and the reusable basis.
+    fn extract(self, used_phase1: bool) -> SparseSolution {
+        let mut values: Vec<f64> = self.x[..self.sp.n_struct].to_vec();
+        for v in &mut values {
+            if v.abs() < TOL {
+                *v = 0.0;
+            }
+        }
+        let objective = dot(&self.sp.objective, &values);
+        let basis = if self.basic.iter().all(|&b| b < self.ncols) {
+            Some(Basis {
+                basic: self.basic,
+                state: self.state[..self.ncols].to_vec(),
+            })
+        } else {
+            None
+        };
+        SparseSolution {
+            objective,
+            values,
+            pivots: self.pivots,
+            used_phase1,
+            warm_started: false,
+            basis,
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, VarKind};
+    use crate::simplex::{SimplexOutcome, SimplexSolver};
+
+    fn optimal(outcome: SparseOutcome) -> SparseSolution {
+        match outcome {
+            SparseOutcome::Optimal(sol) => sol,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    use crate::test_rng::XorShift;
+
+    #[test]
+    fn simple_maximization_matches_dense() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, None, 3.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, None, 5.0);
+        p.add_constraint("c1", &[(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint("c2", &[(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint("c3", &[(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let sol = optimal(SparseProblem::from_problem(&p).solve_cold(&[]).unwrap());
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 6.0).abs() < 1e-6);
+        assert!(!sol.used_phase1, "an all-<= problem needs no phase 1");
+    }
+
+    #[test]
+    fn ge_constraints_run_phase_one() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, None, 2.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, None, 3.0);
+        p.add_constraint("c1", &[(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        p.add_constraint("c2", &[(x, 1.0)], Sense::Ge, 3.0);
+        let sol = optimal(SparseProblem::from_problem(&p).solve_cold(&[]).unwrap());
+        assert!((sol.objective - 20.0).abs() < 1e-6);
+        assert!((sol.values[0] - 10.0).abs() < 1e-6);
+        assert!(sol.used_phase1);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_classification() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, None, 1.0);
+        p.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 5.0);
+        p.add_constraint("hi", &[(x, 1.0)], Sense::Le, 2.0);
+        assert_eq!(
+            SparseProblem::from_problem(&p).solve_cold(&[]).unwrap(),
+            SparseOutcome::Infeasible
+        );
+
+        let mut p = Problem::maximize();
+        let _x = p.add_var("x", VarKind::Continuous, 0.0, None, 1.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, None, 0.0);
+        p.add_constraint("c", &[(y, 1.0)], Sense::Le, 4.0);
+        assert_eq!(
+            SparseProblem::from_problem(&p).solve_cold(&[]).unwrap(),
+            SparseOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn negative_rhs_needs_no_normalization() {
+        // x >= 3 written as -x <= -3: the dense path flips the row sign and
+        // re-derives the sense (`effective_sense`); the sparse path encodes
+        // the sense in the slack bounds and must agree without any flip.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, None, 1.0);
+        p.add_constraint("c", &[(x, -1.0)], Sense::Le, -3.0);
+        let sol = optimal(SparseProblem::from_problem(&p).solve_cold(&[]).unwrap());
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert!(sol.used_phase1, "a negative-rhs <= row starts infeasible");
+    }
+
+    #[test]
+    fn negative_rhs_of_every_sense_matches_dense() {
+        // one case per sense with a negative right-hand side, checked
+        // against the dense solver's `effective_sense` normalization
+        for (sense, rhs) in [(Sense::Le, -3.0), (Sense::Ge, -8.0), (Sense::Eq, -5.0)] {
+            let mut p = Problem::minimize();
+            let x = p.add_var("x", VarKind::Continuous, 0.0, Some(20.0), 1.0);
+            let y = p.add_var("y", VarKind::Continuous, 0.0, Some(20.0), 2.0);
+            p.add_constraint("neg", &[(x, -1.0), (y, -1.0)], sense, rhs);
+            let dense = SimplexSolver::from_problem(&p, &[]).solve_dense().unwrap();
+            let sparse = SparseProblem::from_problem(&p).solve_cold(&[]).unwrap();
+            match (dense, sparse) {
+                (SimplexOutcome::Optimal { objective: od, .. }, SparseOutcome::Optimal(sol)) => {
+                    assert!(
+                        (od - sol.objective).abs() < 1e-6,
+                        "{sense:?}: {od} vs sparse"
+                    );
+                }
+                (SimplexOutcome::Infeasible, SparseOutcome::Infeasible) => {}
+                (SimplexOutcome::Unbounded, SparseOutcome::Unbounded) => {}
+                (d, s) => panic!("{sense:?}: dense {d:?} vs sparse {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn extra_bounds_fold_into_column_bounds() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, Some(10.0), 1.0);
+        let sp = SparseProblem::from_problem(&p);
+        let sol = optimal(sp.solve_cold(&[(x, Sense::Le, 3.5)]).unwrap());
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+        // crossing bounds are infeasible without any simplex work
+        assert_eq!(
+            sp.solve_cold(&[(x, Sense::Ge, 4.0), (x, Sense::Le, 2.0)])
+                .unwrap(),
+            SparseOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_start_after_tightening() {
+        // the branch-and-bound child relation: solve, tighten one bound,
+        // re-enter from the parent basis
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, Some(8.0), 1.0);
+        let y = p.add_var("y", VarKind::Continuous, 0.0, Some(8.0), 3.0);
+        p.add_constraint("cover", &[(x, 2.0), (y, 5.0)], Sense::Ge, 19.0);
+        p.add_constraint("cc", &[(x, 1.0), (y, 1.0)], Sense::Le, 8.0);
+        let sp = SparseProblem::from_problem(&p);
+        let root = optimal(sp.solve_cold(&[]).unwrap());
+        let basis = root.basis.clone().expect("reusable basis");
+        for bounds in [
+            vec![(x, Sense::Le, 3.0)],
+            vec![(x, Sense::Ge, 4.0)],
+            vec![(y, Sense::Le, 2.0)],
+            vec![(y, Sense::Ge, 4.0), (x, Sense::Le, 6.0)],
+        ] {
+            let warm = sp.solve_warm(&bounds, &basis).unwrap();
+            let cold = sp.solve_cold(&bounds).unwrap();
+            match (warm, cold) {
+                (SparseOutcome::Optimal(w), SparseOutcome::Optimal(c)) => {
+                    assert!(
+                        (w.objective - c.objective).abs() < 1e-6,
+                        "{bounds:?}: warm {} vs cold {}",
+                        w.objective,
+                        c.objective
+                    );
+                    assert!(!w.used_phase1, "warm re-entry must skip phase 1");
+                    assert!(w.warm_started, "completed through the warm path");
+                }
+                (SparseOutcome::Infeasible, SparseOutcome::Infeasible) => {}
+                (w, c) => panic!("{bounds:?}: warm {w:?} vs cold {c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", VarKind::Continuous, 0.0, Some(10.0), 1.0);
+        p.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 6.0);
+        let sp = SparseProblem::from_problem(&p);
+        let root = optimal(sp.solve_cold(&[]).unwrap());
+        let basis = root.basis.expect("reusable basis");
+        assert_eq!(
+            sp.solve_warm(&[(x, Sense::Le, 5.0)], &basis).unwrap(),
+            SparseOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn unconstrained_problems_sit_on_their_preferred_bounds() {
+        let mut p = Problem::minimize();
+        let _x = p.add_var("x", VarKind::Continuous, 2.0, None, 5.0);
+        let _y = p.add_var("y", VarKind::Continuous, 0.0, Some(7.5), -1.0);
+        let sol = optimal(SparseProblem::from_problem(&p).solve_cold(&[]).unwrap());
+        assert!((sol.values[0] - 2.0).abs() < 1e-9);
+        assert!((sol.values[1] - 7.5).abs() < 1e-9);
+
+        let mut p = Problem::minimize();
+        let _x = p.add_var("x", VarKind::Continuous, 0.0, None, -1.0);
+        assert_eq!(
+            SparseProblem::from_problem(&p).solve_cold(&[]).unwrap(),
+            SparseOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut p = Problem::maximize();
+        let x1 = p.add_var("x1", VarKind::Continuous, 0.0, None, 10.0);
+        let x2 = p.add_var("x2", VarKind::Continuous, 0.0, None, -57.0);
+        let x3 = p.add_var("x3", VarKind::Continuous, 0.0, None, -9.0);
+        let x4 = p.add_var("x4", VarKind::Continuous, 0.0, None, -24.0);
+        p.add_constraint(
+            "c1",
+            &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "c2",
+            &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint("c3", &[(x1, 1.0)], Sense::Le, 1.0);
+        let sol = optimal(SparseProblem::from_problem(&p).solve_cold(&[]).unwrap());
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn randomized_relaxations_agree_with_dense() {
+        // 120 random LPs over mixed senses, signs and bounds: the sparse
+        // cold solve must classify identically to the dense tableau and
+        // match its optimal objective
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        for case in 0..120 {
+            let nvars = 1 + rng.below(4);
+            let nrows = 1 + rng.below(4);
+            let maximize = rng.below(2) == 0;
+            let mut p = if maximize {
+                Problem::maximize()
+            } else {
+                Problem::minimize()
+            };
+            let vars: Vec<VarId> = (0..nvars)
+                .map(|i| {
+                    let lower = rng.uniform(0.0, 3.0);
+                    let upper = if rng.below(2) == 0 {
+                        Some(lower + rng.uniform(0.0, 10.0))
+                    } else {
+                        None
+                    };
+                    p.add_var(
+                        format!("x{i}"),
+                        VarKind::Continuous,
+                        lower,
+                        upper,
+                        rng.uniform(-4.0, 4.0),
+                    )
+                })
+                .collect();
+            for r in 0..nrows {
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &v in &vars {
+                    if rng.below(4) != 0 {
+                        terms.push((v, rng.uniform(-5.0, 5.0)));
+                    }
+                }
+                let sense = match rng.below(3) {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                p.add_constraint(format!("c{r}"), &terms, sense, rng.uniform(-20.0, 20.0));
+            }
+            let dense = SimplexSolver::from_problem(&p, &[]).solve_dense();
+            let sparse = SparseProblem::from_problem(&p).solve_cold(&[]);
+            match (dense, sparse) {
+                (
+                    Ok(SimplexOutcome::Optimal { objective: od, .. }),
+                    Ok(SparseOutcome::Optimal(sol)),
+                ) => {
+                    assert!(
+                        (od - sol.objective).abs() < 1e-5,
+                        "case {case}: dense {od} vs sparse {}",
+                        sol.objective
+                    );
+                }
+                (Ok(SimplexOutcome::Infeasible), Ok(SparseOutcome::Infeasible)) => {}
+                (Ok(SimplexOutcome::Unbounded), Ok(SparseOutcome::Unbounded)) => {}
+                // iteration-limit blowups must at least agree on erroring
+                (Err(_), Err(_)) => {}
+                (d, s) => panic!("case {case}: dense {d:?} vs sparse {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_warm_starts_agree_with_cold() {
+        // random covering problems, random bound tightenings from the root
+        // basis: warm re-entry must match the cold objective every time
+        let mut rng = XorShift(0xD1B54A32D192ED03);
+        let mut skips = 0usize;
+        for case in 0..80 {
+            let nvars = 2 + rng.below(4);
+            let mut p = Problem::minimize();
+            let vars: Vec<VarId> = (0..nvars)
+                .map(|i| {
+                    p.add_var(
+                        format!("x{i}"),
+                        VarKind::Continuous,
+                        0.0,
+                        Some(10.0),
+                        rng.uniform(0.1, 3.0),
+                    )
+                })
+                .collect();
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().map(|&v| (v, rng.uniform(1.0, 8.0))).collect();
+            p.add_constraint("cover", &terms, Sense::Ge, rng.uniform(5.0, 40.0));
+            let count: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            p.add_constraint("cc", &count, Sense::Le, rng.uniform(4.0, 20.0));
+            let sp = SparseProblem::from_problem(&p);
+            let SparseOutcome::Optimal(root) = sp.solve_cold(&[]).unwrap() else {
+                continue;
+            };
+            let basis = root.basis.expect("reusable basis");
+            for _ in 0..4 {
+                let v = vars[rng.below(nvars)];
+                let bound = rng.uniform(0.0, 9.0).floor();
+                let bounds = if rng.below(2) == 0 {
+                    vec![(v, Sense::Le, bound)]
+                } else {
+                    vec![(v, Sense::Ge, bound)]
+                };
+                let warm = sp.solve_warm(&bounds, &basis).unwrap();
+                let cold = sp.solve_cold(&bounds).unwrap();
+                match (warm, cold) {
+                    (SparseOutcome::Optimal(w), SparseOutcome::Optimal(c)) => {
+                        assert!(
+                            (w.objective - c.objective).abs() < 1e-5,
+                            "case {case} {bounds:?}: warm {} vs cold {}",
+                            w.objective,
+                            c.objective
+                        );
+                        if w.warm_started {
+                            skips += 1;
+                        }
+                    }
+                    (SparseOutcome::Infeasible, SparseOutcome::Infeasible) => {}
+                    (w, c) => panic!("case {case} {bounds:?}: warm {w:?} vs cold {c:?}"),
+                }
+            }
+        }
+        assert!(
+            skips > 50,
+            "warm starts should usually skip phase 1: {skips}"
+        );
+    }
+}

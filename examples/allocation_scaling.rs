@@ -1,0 +1,127 @@
+//! Allocation-solver scaling: the sparse revised simplex with warm-started
+//! branch-and-bound versus the dense cold tableau as the instance-type
+//! catalogue grows, plus the fleet's per-tenant allocation memo cache.
+//!
+//! ```bash
+//! cargo run --release --example allocation_scaling
+//! ```
+
+use mobile_code_acceleration::core::{SystemConfig, WorkloadForecast};
+use mobile_code_acceleration::fleet::TenantShard;
+use mobile_code_acceleration::lp::LpBackend;
+use mobile_code_acceleration::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const SEED: u64 = 20170605;
+const FORECASTS: usize = 24;
+
+/// `groups` acceleration groups, each offering six distinct-price instance
+/// types (the `bench_allocation` catalogue).
+fn catalogue(groups: u8) -> AccelerationGroups {
+    let types = vec![
+        InstanceType::T2Nano,
+        InstanceType::T2Small,
+        InstanceType::T2Large,
+        InstanceType::M4_4XLarge,
+        InstanceType::M4_10XLarge,
+        InstanceType::C4_8XLarge,
+    ];
+    let assignments: Vec<(AccelerationGroupId, Vec<InstanceType>)> = (0..groups)
+        .map(|g| (AccelerationGroupId(g + 1), types.clone()))
+        .collect();
+    AccelerationGroups::from_assignments(&assignments, 500.0, 65.0)
+}
+
+fn forecasts(groups: &AccelerationGroups, rng: &mut StdRng) -> Vec<WorkloadForecast> {
+    (0..FORECASTS)
+        .map(|_| WorkloadForecast {
+            per_group: groups
+                .ids()
+                .into_iter()
+                .map(|id| (id, rng.gen_range(0..2_001)))
+                .collect(),
+            matched_slot: None,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("allocation ILP scaling: revised+warm-started vs dense cold\n");
+    println!(
+        "{:>6} {:>6} {:>11} {:>11} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "types",
+        "groups",
+        "dense ms",
+        "revised ms",
+        "speedup",
+        "nodes",
+        "pivots",
+        "p1 skips",
+        "equal"
+    );
+    for group_count in [1u8, 2, 4, 8] {
+        let groups = catalogue(group_count);
+        let cap = 20 * group_count as usize;
+        let revised = ResourceAllocator::with_policy(groups.clone(), AllocationPolicy::IlpExact)
+            .with_account_cap(cap);
+        let dense = ResourceAllocator::with_policy(groups.clone(), AllocationPolicy::IlpExact)
+            .with_account_cap(cap)
+            .with_lp_backend(LpBackend::DenseTableau);
+        let mut rng = StdRng::seed_from_u64(SEED ^ u64::from(group_count));
+        let fs = forecasts(&groups, &mut rng);
+
+        let mut dense_ms = 0.0;
+        let mut revised_ms = 0.0;
+        let (mut nodes, mut pivots, mut skips) = (0usize, 0usize, 0usize);
+        let mut equal = true;
+        for f in &fs {
+            let start = Instant::now();
+            let d = dense.allocate(f).expect("feasible");
+            dense_ms += start.elapsed().as_secs_f64() * 1_000.0;
+            let start = Instant::now();
+            let r = revised.allocate(f).expect("feasible");
+            revised_ms += start.elapsed().as_secs_f64() * 1_000.0;
+            equal &= d == r;
+            nodes += r.stats.nodes;
+            pivots += r.stats.pivots;
+            skips += r.stats.phase1_skips;
+        }
+        let n = fs.len() as f64;
+        println!(
+            "{:>6} {:>6} {:>11.4} {:>11.4} {:>7.1}x {:>8.1} {:>9.1} {:>9.1} {:>9}",
+            6 * u32::from(group_count),
+            group_count,
+            dense_ms / n,
+            revised_ms / n,
+            dense_ms / revised_ms,
+            nodes as f64 / n,
+            pivots as f64 / n,
+            skips as f64 / n,
+            equal,
+        );
+    }
+
+    // the fleet layer's allocation memo: a steady tenant re-predicts the
+    // same workload vector slot after slot, so only the first slot solves
+    println!("\nper-tenant allocation memo (steady tenant, 24 slots):");
+    let config = SystemConfig::paper_three_groups();
+    let mut shard = TenantShard::new(TenantId(1), &config, SEED);
+    for slot in 0..24 {
+        let ts = TimeSlot::from_assignments(
+            slot,
+            (0..40u32).map(|u| (AccelerationGroupId(1 + (u % 3) as u8), UserId(u))),
+        );
+        shard.tick(ts, (slot + 1) as f64 * config.slot_length_ms);
+    }
+    let m = shard.metrics();
+    println!(
+        "  allocations {} | solver runs {} | cache hits {} | hit rate {:.1}% | cached vectors {}",
+        m.allocations,
+        m.alloc_cache_misses,
+        m.alloc_cache_hits,
+        100.0 * m.cache_hit_rate().unwrap_or(0.0),
+        shard.cached_allocations(),
+    );
+}

@@ -11,7 +11,10 @@ use mobile_code_acceleration::core::{
     },
     SlotHistory, TimeSlot, WorkloadForecast, WorkloadPredictor,
 };
-use mobile_code_acceleration::lp::{LpError, Problem, Sense, VarKind};
+use mobile_code_acceleration::lp::{
+    BranchBoundOptions, LpBackend, LpError, Problem, Sense, SimplexOutcome, SimplexSolver,
+    SparseOutcome, SparseProblem, VarKind,
+};
 use mobile_code_acceleration::offload::{ApplicationState, TaskKind, TaskSpec};
 use mobile_code_acceleration::prelude::*;
 use proptest::prelude::*;
@@ -89,6 +92,103 @@ proptest! {
             (solved, reference) => {
                 return Err(TestCaseError::fail(format!(
                     "solver and brute force disagree: {solved:?} vs {reference:?}"
+                )));
+            }
+        }
+    }
+
+    /// The revised warm-started backend and the dense cold backend agree on
+    /// every random covering ILP: same optimal objective, same
+    /// infeasible/unbounded classification, and the revised path actually
+    /// warm-starts once branching happens.
+    #[test]
+    fn revised_backend_agrees_with_dense_backend(
+        costs in proptest::collection::vec(0.01f64..2.0, 2..5),
+        caps in proptest::collection::vec(1.0f64..40.0, 2..5),
+        demand in 1.0f64..150.0,
+        total_cap in 3usize..8,
+    ) {
+        let n = costs.len().min(caps.len());
+        let mut problem = Problem::minimize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| problem.add_var(format!("x{i}"), VarKind::Integer, 0.0, Some(total_cap as f64), costs[i]))
+            .collect();
+        let cap_terms: Vec<_> = vars.iter().zip(&caps).map(|(&v, &c)| (v, c)).collect();
+        problem.add_constraint("cover", &cap_terms, Sense::Ge, demand);
+        let count_terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        problem.add_constraint("cc", &count_terms, Sense::Le, total_cap as f64);
+
+        let dense_options = BranchBoundOptions {
+            backend: LpBackend::DenseTableau,
+            ..Default::default()
+        };
+        match (problem.solve(), problem.solve_with(&dense_options)) {
+            (Ok(revised), Ok(dense)) => {
+                prop_assert!((revised.objective - dense.objective).abs() < 1e-6,
+                    "revised {} vs dense {}", revised.objective, dense.objective);
+                prop_assert!(problem.is_feasible(&revised.values, 1e-6));
+                prop_assert_eq!(dense.stats.phase1_skips, 0);
+                if revised.stats.nodes > 1 {
+                    prop_assert!(revised.stats.phase1_skips > 0,
+                        "branching without warm starts: {:?}", revised.stats);
+                }
+            }
+            (Err(re), Err(de)) => prop_assert_eq!(re, de),
+            (revised, dense) => {
+                return Err(TestCaseError::fail(format!(
+                    "backends disagree: revised {revised:?} vs dense {dense:?}"
+                )));
+            }
+        }
+    }
+
+    /// The sparse revised simplex classifies and scores random LP
+    /// relaxations exactly like the dense tableau reference.
+    #[test]
+    fn sparse_relaxation_agrees_with_dense_tableau(
+        costs in proptest::collection::vec(-3.0f64..3.0, 1..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-5.0f64..5.0, 1..5), 0usize..3, -15.0f64..15.0),
+            1..4,
+        ),
+        uppers in proptest::collection::vec(-12.0f64..12.0, 1..5),
+    ) {
+        let n = costs.len().min(uppers.len());
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = (0..n)
+            // draws below 0.5 mean "no upper bound" (the vendored proptest
+            // stand-in has no option strategy)
+            .map(|i| {
+                let upper = (uppers[i] > 0.5).then_some(uppers[i]);
+                p.add_var(format!("x{i}"), VarKind::Continuous, 0.0, upper, costs[i])
+            })
+            .collect();
+        for (r, (coeffs, sense, rhs)) in rows.iter().enumerate() {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .map(|(&v, &c)| (v, c))
+                .collect();
+            let sense = match sense {
+                0 => Sense::Le,
+                1 => Sense::Ge,
+                _ => Sense::Eq,
+            };
+            p.add_constraint(format!("c{r}"), &terms, sense, *rhs);
+        }
+        let dense = SimplexSolver::from_problem(&p, &[]).solve_dense();
+        let sparse = SparseProblem::from_problem(&p).solve_cold(&[]);
+        match (dense, sparse) {
+            (Ok(SimplexOutcome::Optimal { objective: od, .. }), Ok(SparseOutcome::Optimal(sol))) => {
+                prop_assert!((od - sol.objective).abs() < 1e-5,
+                    "dense {od} vs sparse {}", sol.objective);
+            }
+            (Ok(SimplexOutcome::Infeasible), Ok(SparseOutcome::Infeasible)) => {}
+            (Ok(SimplexOutcome::Unbounded), Ok(SparseOutcome::Unbounded)) => {}
+            (Err(_), Err(_)) => {}
+            (d, s) => {
+                return Err(TestCaseError::fail(format!(
+                    "solvers disagree: dense {d:?} vs sparse {s:?}"
                 )));
             }
         }
