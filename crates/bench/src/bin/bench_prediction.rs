@@ -1,11 +1,23 @@
 //! Regenerates `BENCH_prediction.json`: pruned versus naive nearest-slot
 //! prediction over the acceptance-bar workload (5,000 slots × 3 groups ×
-//! 200 users per group).
+//! 200 users per group), plus the chunked **parallel** knowledge-base scan
+//! versus the sequential best-first scan on a 100,000-slot single-tenant
+//! history, swept over thread counts 1/2/4/8.
 //!
 //! Run with `cargo run --release -p mca-bench --bin bench_prediction`.
-//! Optional arguments: `bench_prediction [slots] [users_per_group] [rounds]`.
+//!
+//! * default: both acceptance-bar workloads; exits non-zero below the 5×
+//!   pruned-vs-naive bar, below 2× parallel-vs-serial at 4 threads, or on
+//!   any forecast divergence.
+//! * `--smoke`: a small CI gate — the parallel-vs-serial(-vs-naive)
+//!   agreement check on a 6,000-slot history plus the pruned-vs-naive
+//!   check; exits non-zero only on divergence (no speedup gates: CI runner
+//!   core counts vary).
+//! * `bench_prediction [slots] [users_per_group] [rounds]`: custom shape;
+//!   the pruned-vs-naive 5× gate applies, the parallel sweep runs on the
+//!   same shape without a speedup gate.
 
-use mca_bench::prediction::{self, PredictionWorkload};
+use mca_bench::prediction::{self, ParallelScanWorkload, PredictionWorkload};
 
 fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
     match value {
@@ -14,7 +26,7 @@ fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
             Ok(parsed) if parsed > 0 => parsed,
             _ => {
                 eprintln!("error: {name} must be a positive integer, got '{raw}'");
-                eprintln!("usage: bench_prediction [slots] [users_per_group] [rounds]");
+                eprintln!("usage: bench_prediction [--smoke | slots users_per_group rounds]");
                 std::process::exit(2);
             }
         },
@@ -22,25 +34,69 @@ fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let mut workload = PredictionWorkload::headline();
-    workload.slots = parse_arg(args.next(), "slots", workload.slots);
-    workload.users_per_group = parse_arg(args.next(), "users_per_group", workload.users_per_group);
-    let rounds = parse_arg(args.next(), "rounds", 10);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    let custom = !smoke && !args.is_empty();
+
+    let (workload, parallel_workload, rounds, pruned_gate, parallel_gate) = if smoke {
+        let workload = PredictionWorkload {
+            slots: 2_000,
+            groups: 3,
+            users_per_group: 40,
+        };
+        (workload, ParallelScanWorkload::smoke(), 3, None, None)
+    } else if custom {
+        let mut args = args.into_iter();
+        let mut workload = PredictionWorkload::headline();
+        workload.slots = parse_arg(args.next(), "slots", workload.slots);
+        workload.users_per_group =
+            parse_arg(args.next(), "users_per_group", workload.users_per_group);
+        let rounds = parse_arg(args.next(), "rounds", 10);
+        let mut parallel = ParallelScanWorkload::smoke();
+        parallel.slots = workload.slots;
+        parallel.users_per_group = workload.users_per_group;
+        (workload, parallel, rounds, Some(5.0), None)
+    } else {
+        (
+            PredictionWorkload::headline(),
+            ParallelScanWorkload::headline(),
+            10,
+            Some(5.0),
+            Some(2.0),
+        )
+    };
 
     let report = prediction::run(&workload, rounds);
     prediction::print(&report);
+    println!();
+    let parallel = prediction::run_parallel(&parallel_workload, rounds);
+    prediction::print_parallel(&parallel);
 
-    let json = report.to_json();
+    let json = prediction::combined_json(&report, &parallel);
     let path = "BENCH_prediction.json";
     std::fs::write(path, &json).expect("write BENCH_prediction.json");
     println!("wrote {path}");
 
-    if report.speedup() < 5.0 {
-        eprintln!(
-            "WARNING: speedup {:.1}x is below the 5x acceptance bar",
-            report.speedup()
-        );
+    if !parallel.forecasts_identical {
+        eprintln!("ERROR: the chunked parallel scan diverged from the serial scan");
         std::process::exit(1);
+    }
+    if let Some(gate) = pruned_gate {
+        if report.speedup() < gate {
+            eprintln!(
+                "WARNING: pruned speedup {:.1}x is below the {gate}x acceptance bar",
+                report.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(gate) = parallel_gate {
+        let at_4 = parallel.speedup_at(4).unwrap_or(0.0);
+        if at_4 < gate {
+            eprintln!(
+                "WARNING: parallel speedup {at_4:.1}x at 4 threads is below the {gate}x acceptance bar",
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -7,8 +7,15 @@
 //! history, on which the pruned search must be at least 5× faster than the
 //! naive scan. `cargo run --release -p mca-bench --bin bench_prediction`
 //! regenerates `BENCH_prediction.json` at the repository root.
+//!
+//! A second harness ([`run_parallel`]) sweeps the chunked **parallel**
+//! knowledge-base scan against the sequential best-first scan on a huge
+//! single-tenant history (100k slots — the CloneCloud-style regime), over
+//! thread counts 1/2/4/8, asserting every configuration returns the
+//! bit-identical forecast (the naive scan included). The ≥2× acceptance
+//! gate applies at 4 threads.
 
-use mca_core::{SlotHistory, TimeSlot, WorkloadPredictor};
+use mca_core::{ParallelismPolicy, SlotHistory, TimeSlot, WorkloadPredictor};
 use mca_offload::{AccelerationGroupId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -108,10 +115,10 @@ impl PredictionBenchReport {
     /// offline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"benchmark\": \"nearest_slot_prediction\",\n  \"history_slots\": {},\n  \
+            "{{\n  \"history_slots\": {},\n  \
              \"groups\": {},\n  \"users_per_group\": {},\n  \"rounds\": {},\n  \
              \"naive_ms_per_prediction\": {:.4},\n  \"pruned_ms_per_prediction\": {:.4},\n  \
-             \"speedup\": {:.2}\n}}\n",
+             \"speedup\": {:.2}\n}}",
             self.workload.slots,
             self.workload.groups,
             self.workload.users_per_group,
@@ -152,6 +159,221 @@ pub fn run(workload: &PredictionWorkload, rounds: usize) -> PredictionBenchRepor
         naive_ms,
         pruned_ms,
     }
+}
+
+/// Shape of the parallel-scan sweep: a huge single-tenant history scanned
+/// by one predictor, serial versus chunked across a rayon pool.
+#[derive(Debug, Clone)]
+pub struct ParallelScanWorkload {
+    /// Number of historical slots (the CloneCloud-style regime: 100k+).
+    pub slots: usize,
+    /// Number of acceleration groups.
+    pub groups: usize,
+    /// Nominal users per group per slot.
+    pub users_per_group: usize,
+    /// Thread counts swept (each with a matching chunk count and pool).
+    pub thread_counts: Vec<usize>,
+}
+
+impl ParallelScanWorkload {
+    /// The acceptance-bar sweep: a 100,000-slot history, threads 1/2/4/8,
+    /// ≥2× over the sequential scan required at 4 threads.
+    pub fn headline() -> Self {
+        Self {
+            slots: 100_000,
+            groups: 3,
+            users_per_group: 48,
+            thread_counts: vec![1, 2, 4, 8],
+        }
+    }
+
+    /// The CI smoke shape: small enough to run in seconds, large enough to
+    /// clear the fan-out threshold so the chunked path genuinely runs.
+    pub fn smoke() -> Self {
+        Self {
+            slots: 6_000,
+            groups: 3,
+            users_per_group: 12,
+            thread_counts: vec![1, 2, 4],
+        }
+    }
+
+    fn as_prediction_workload(&self) -> PredictionWorkload {
+        PredictionWorkload {
+            slots: self.slots,
+            groups: self.groups,
+            users_per_group: self.users_per_group,
+        }
+    }
+}
+
+/// One point of the parallel sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelScanMeasurement {
+    /// Chunk count and pool width of this configuration.
+    pub threads: usize,
+    /// Mean wall-clock time of one prediction, milliseconds.
+    pub ms_per_prediction: f64,
+}
+
+/// Measurements of one serial-versus-parallel sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelScanReport {
+    /// The workload swept.
+    pub workload: ParallelScanWorkload,
+    /// Number of predictions timed per configuration.
+    pub rounds: usize,
+    /// Mean wall-clock time of one sequential (best-first) prediction, ms.
+    pub serial_ms: f64,
+    /// One measurement per swept thread count.
+    pub sweep: Vec<ParallelScanMeasurement>,
+    /// Whether every configuration (and the naive full scan) returned the
+    /// bit-identical forecast.
+    pub forecasts_identical: bool,
+}
+
+impl ParallelScanReport {
+    /// Serial time over the parallel time at `threads`, when measured.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.sweep
+            .iter()
+            .find(|m| m.threads == threads)
+            .map(|m| self.serial_ms / m.ms_per_prediction)
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        let sweep: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{ \"threads\": {}, \"ms_per_prediction\": {:.4}, \"speedup\": {:.2} }}",
+                    m.threads,
+                    m.ms_per_prediction,
+                    self.serial_ms / m.ms_per_prediction,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"history_slots\": {},\n  \"groups\": {},\n  \"users_per_group\": {},\n  \
+             \"rounds\": {},\n  \"serial_ms_per_prediction\": {:.4},\n  \
+             \"forecasts_identical\": {},\n  \"sweep\": [\n{}\n  ]\n}}",
+            self.workload.slots,
+            self.workload.groups,
+            self.workload.users_per_group,
+            self.rounds,
+            self.serial_ms,
+            self.forecasts_identical,
+            sweep.join(",\n"),
+        )
+    }
+}
+
+/// Sweeps the chunked parallel scan against the sequential scan on one huge
+/// history. Every configuration runs inside a rayon pool of exactly
+/// `threads` workers with a matching chunk count; every forecast (including
+/// the naive full scan's, checked once) must be bit-identical to the
+/// sequential scan's.
+pub fn run_parallel(workload: &ParallelScanWorkload, rounds: usize) -> ParallelScanReport {
+    assert!(rounds > 0, "at least one timed round");
+    let inner = workload.as_prediction_workload();
+    let history = synthetic_history(&inner);
+    let probe = current_probe_slot(&inner);
+    let mut predictor = WorkloadPredictor::new(inner.group_ids(), history.slot_length_ms);
+    predictor.set_history(history);
+
+    let reference = predictor.predict(&probe).expect("non-empty history");
+    let mut forecasts_identical =
+        reference == predictor.predict_naive(&probe).expect("non-empty history");
+
+    let serial_ms = time_ms(rounds, || {
+        std::hint::black_box(predictor.predict(&probe).expect("non-empty history"));
+    });
+
+    let mut sweep = Vec::with_capacity(workload.thread_counts.len());
+    for &threads in &workload.thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail");
+        // force the fan-out threshold down so the sweep measures the chunked
+        // path even on custom sub-threshold history shapes — without this a
+        // <4096-slot workload would silently re-time the serial scan under a
+        // "chunked" label
+        predictor.set_parallelism(ParallelismPolicy::parallel(threads).with_min_parallel_slots(1));
+        let forecast = pool.install(|| predictor.predict(&probe).expect("non-empty history"));
+        forecasts_identical &= forecast == reference;
+        let ms_per_prediction = time_ms(rounds, || {
+            pool.install(|| {
+                std::hint::black_box(predictor.predict(&probe).expect("non-empty history"));
+            });
+        });
+        sweep.push(ParallelScanMeasurement {
+            threads,
+            ms_per_prediction,
+        });
+    }
+    predictor.set_parallelism(ParallelismPolicy::serial());
+
+    ParallelScanReport {
+        workload: workload.clone(),
+        rounds,
+        serial_ms,
+        sweep,
+        forecasts_identical,
+    }
+}
+
+/// Prints the parallel sweep as an aligned table.
+pub fn print_parallel(report: &ParallelScanReport) {
+    println!(
+        "chunked parallel scan over {} slots x {} groups x {} users/group ({} rounds)",
+        report.workload.slots,
+        report.workload.groups,
+        report.workload.users_per_group,
+        report.rounds,
+    );
+    println!(
+        "  {:<28} {:>12} {:>10}",
+        "configuration", "ms/predict", "speedup"
+    );
+    println!(
+        "  {:<28} {:>12.3} {:>10}",
+        "serial best-first scan", report.serial_ms, "1.0x"
+    );
+    for m in &report.sweep {
+        println!(
+            "  {:<28} {:>12.3} {:>9.1}x",
+            format!("chunked, {} thread(s)", m.threads),
+            m.ms_per_prediction,
+            report.serial_ms / m.ms_per_prediction,
+        );
+    }
+    println!(
+        "  forecasts identical across every configuration: {}",
+        report.forecasts_identical
+    );
+}
+
+/// The two prediction reports combined into the `BENCH_prediction.json`
+/// document.
+pub fn combined_json(pruned: &PredictionBenchReport, parallel: &ParallelScanReport) -> String {
+    let pruned = pruned.to_json();
+    let pruned = pruned.trim_end();
+    let parallel = parallel.to_json().replace('\n', "\n  ");
+    format!(
+        "{{\n  \"benchmark\": \"nearest_slot_prediction\",\n  \"pruned_vs_naive\": {},\n  \
+         \"parallel_scan\": {}\n}}\n",
+        indent_object(pruned),
+        parallel,
+    )
+}
+
+/// Re-indents a one-object JSON string by two spaces for nesting.
+fn indent_object(json: &str) -> String {
+    json.replace('\n', "\n  ")
 }
 
 fn time_ms(rounds: usize, mut body: impl FnMut()) -> f64 {
@@ -197,6 +419,52 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"history_slots\": 60"));
         assert!(json.contains("speedup"));
+    }
+
+    #[test]
+    fn parallel_sweep_agrees_and_reports_every_thread_count() {
+        let workload = ParallelScanWorkload {
+            slots: 80,
+            groups: 3,
+            users_per_group: 10,
+            thread_counts: vec![1, 2, 4],
+        };
+        let report = run_parallel(&workload, 2);
+        assert!(report.forecasts_identical, "parallel diverged from serial");
+        assert_eq!(report.sweep.len(), 3);
+        assert!(report.serial_ms > 0.0);
+        assert!(report.sweep.iter().all(|m| m.ms_per_prediction > 0.0));
+        assert!(report.speedup_at(4).is_some());
+        assert!(report.speedup_at(16).is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"forecasts_identical\": true"));
+        assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn combined_json_nests_both_reports() {
+        let pruned = run(
+            &PredictionWorkload {
+                slots: 40,
+                groups: 2,
+                users_per_group: 8,
+            },
+            1,
+        );
+        let parallel = run_parallel(
+            &ParallelScanWorkload {
+                slots: 40,
+                groups: 2,
+                users_per_group: 8,
+                thread_counts: vec![2],
+            },
+            1,
+        );
+        let json = combined_json(&pruned, &parallel);
+        assert!(json.contains("\"benchmark\": \"nearest_slot_prediction\""));
+        assert!(json.contains("\"pruned_vs_naive\""));
+        assert!(json.contains("\"parallel_scan\""));
+        assert!(json.contains("\"sweep\""));
     }
 
     #[test]

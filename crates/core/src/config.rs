@@ -2,7 +2,7 @@
 
 use crate::accel::AccelerationGroups;
 use crate::allocator::{AllocationPolicy, ResourceAllocator};
-use crate::predictor::{DistanceKind, PredictionStrategy, WorkloadPredictor};
+use crate::predictor::{DistanceKind, ParallelismPolicy, PredictionStrategy, WorkloadPredictor};
 use mca_mobile::{DeviceClass, PromotionPolicy};
 use mca_network::{CellularNetwork, Operator, Technology};
 use serde::{Deserialize, Serialize};
@@ -39,6 +39,10 @@ pub struct SystemConfig {
     /// nearest-neighbour scan and the history's memory footprint constant
     /// for long-running deployments.
     pub history_window: Option<usize>,
+    /// How the predictor's nearest-neighbour scan fans out across threads
+    /// (serial by default; forecasts are identical either way, so this is
+    /// purely a throughput knob for 100k+ slot knowledge bases).
+    pub parallelism: ParallelismPolicy,
     /// Size of the downlink result payload, bytes.
     pub result_bytes: usize,
     /// Hour of day at which the experiment starts (affects network latency).
@@ -64,6 +68,7 @@ impl SystemConfig {
             prediction_strategy: PredictionStrategy::NearestSlot,
             distance_kind: DistanceKind::SetEdit,
             history_window: None,
+            parallelism: ParallelismPolicy::serial(),
             result_bytes: 256,
             start_hour_of_day: 9.0,
         }
@@ -114,6 +119,19 @@ impl SystemConfig {
         self
     }
 
+    /// Fans the predictor's nearest-neighbour scan out over `threads`
+    /// chunks (histories below the default threshold stay serial).
+    pub fn with_parallel_scan(mut self, threads: usize) -> Self {
+        self.parallelism = ParallelismPolicy::parallel(threads);
+        self
+    }
+
+    /// Overrides the full scan parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Builds a workload predictor configured exactly as [`crate::System`]
     /// would build its own: same groups, strategy, distance and history
     /// window. A multi-tenant deployment (`mca-fleet`) constructs one per
@@ -121,7 +139,8 @@ impl SystemConfig {
     pub fn build_predictor(&self) -> WorkloadPredictor {
         let mut predictor = WorkloadPredictor::new(self.groups.ids(), self.slot_length_ms)
             .with_strategy(self.prediction_strategy)
-            .with_distance(self.distance_kind);
+            .with_distance(self.distance_kind)
+            .with_parallelism(self.parallelism);
         predictor.set_window(self.history_window);
         predictor
     }
@@ -186,6 +205,27 @@ mod tests {
         assert_eq!(allocator.policy(), AllocationPolicy::GreedyCheapest);
         assert_eq!(allocator.account_cap, c.account_cap);
         assert_eq!(c.build_pool().account_cap(), c.account_cap);
+    }
+
+    #[test]
+    fn parallel_scan_knob_reaches_the_built_predictor() {
+        let c = SystemConfig::paper_three_groups();
+        assert_eq!(c.parallelism, ParallelismPolicy::serial());
+        assert_eq!(
+            c.build_predictor().parallelism(),
+            ParallelismPolicy::serial()
+        );
+
+        let c = c.with_parallel_scan(4);
+        assert_eq!(c.parallelism, ParallelismPolicy::parallel(4));
+        assert_eq!(
+            c.build_predictor().parallelism(),
+            ParallelismPolicy::parallel(4)
+        );
+
+        let custom = ParallelismPolicy::parallel(8).with_min_parallel_slots(10);
+        let c = c.with_parallelism(custom);
+        assert_eq!(c.build_predictor().parallelism(), custom);
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub use logs::TraceLog;
 pub use metrics::{
     accuracy, cross_validate, learning_curve, CrossValidationReport, PredictionQuality,
 };
-pub use predictor::{DistanceKind, PredictionStrategy, WorkloadForecast, WorkloadPredictor};
+pub use predictor::{
+    DistanceKind, ParallelismPolicy, PredictionStrategy, WorkloadForecast, WorkloadPredictor,
+};
 pub use sdn::{RoutedRequest, SdnAccelerator};
 pub use system::{PromotionEvent, SlotObservation, System, SystemReport, UserPerception};
 pub use timeslot::{SlotHistory, TimeSlot, TimeSlotBuilder};

@@ -17,16 +17,41 @@
 //! The nearest-slot scan is the hottest loop of the closed-loop system, so
 //! [`WorkloadPredictor::predict`] does not evaluate the full distance for
 //! every candidate. The predictor caches a *count signature* (the per-group
-//! user count) for every historical slot; because every per-group edit
-//! distance — set edit or Levenshtein — is at least the difference of the
-//! two user counts, the signature gives an `O(groups)` lower bound on the
-//! slot distance. Candidates whose bound cannot beat the best distance found
+//! user count) and an *id-range signature* (the per-group `(min, max)` user
+//! id) for every historical slot; because every per-group edit distance —
+//! set edit or Levenshtein — is at least the difference of the two user
+//! counts, and because two sorted deduplicated runs cannot share more ids
+//! than their ranges overlap, the signatures give an `O(groups)` lower
+//! bound on the slot distance that also refutes drifted-apart user
+//! populations outright. Candidates whose bound cannot beat the best distance found
 //! so far are skipped without touching their user lists, and the remaining
 //! candidates are evaluated with the `*_bounded` early-exit distances of
 //! [`crate::distance`] capped at best-so-far. The result is exactly the
 //! slot the naive linear scan would pick (first minimum in chronological
 //! order); [`WorkloadPredictor::predict_naive`] retains that scan as the
 //! reference and benchmark baseline.
+//!
+//! # Parallel knowledge-base scan
+//!
+//! For one huge tenant — the CloneCloud-style "millions of clones of one
+//! app" deployment — the knowledge base reaches 100k+ slots and even the
+//! pruned scan saturates a single thread. [`ParallelismPolicy`] lets the
+//! scan fan out: the candidate list is split into [`ParallelismPolicy::threads`]
+//! contiguous chronological chunks; the chunks compute their signature
+//! lower bounds in parallel, the globally most promising candidate (first
+//! minimum bound) is evaluated once as the shared *seed* cap, each chunk
+//! prunes its own range against that cap with its own best-so-far, and the
+//! per-chunk minima merge by lexicographic `(distance, position)` — the
+//! earliest slot still wins every tie, so the forecast is **bit-identical**
+//! to the sequential scan and the naive reference at any chunk or thread
+//! count. The chunk count is fixed by
+//! the policy (not by the machine), which keeps results reproducible across
+//! hosts; the executing thread count comes from the ambient rayon pool.
+//! Because no chunk needs the global best-first ordering, the parallel path
+//! also sheds the serial path's `O(n log n)` candidate sort. Histories
+//! shorter than [`ParallelismPolicy::min_parallel_slots`] stay on the
+//! sequential path, and the count distance keeps its dedicated
+//! allocation-free linear scan.
 
 use crate::distance::{
     count_distance, slot_distance, slot_distance_bounded, slot_distance_naive,
@@ -35,7 +60,9 @@ use crate::distance::{
 use crate::error::CoreError;
 use crate::timeslot::{SlotHistory, TimeSlot};
 use mca_offload::AccelerationGroupId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// How the predictor turns the slot history into a forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -65,6 +92,116 @@ pub enum DistanceKind {
     Levenshtein,
     /// Absolute difference of per-group user counts.
     CountDifference,
+}
+
+/// How the nearest-neighbour knowledge-base scan fans out across threads.
+///
+/// The policy fixes the number of *chunks* the candidate list splits into;
+/// the ambient rayon pool decides how many actually run concurrently. The
+/// forecast does not depend on either number — per-chunk minima merge with
+/// the same first-minimum tie-break the sequential scan applies — so the
+/// policy is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismPolicy {
+    /// Number of chunks the candidate list splits into (`<= 1` keeps the
+    /// sequential best-first scan unconditionally).
+    pub threads: usize,
+    /// Minimum retained history length before the scan fans out. Below it
+    /// the sequential path runs: for small knowledge bases the per-chunk
+    /// bound buffers and thread hand-off cost more than they save.
+    pub min_parallel_slots: usize,
+}
+
+impl ParallelismPolicy {
+    /// Default fan-out threshold: histories below ~4k slots scan serially.
+    pub const DEFAULT_MIN_PARALLEL_SLOTS: usize = 4096;
+
+    /// The sequential policy (the default): never fan out.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_parallel_slots: Self::DEFAULT_MIN_PARALLEL_SLOTS,
+        }
+    }
+
+    /// Fans the scan out over `threads` chunks once the history reaches the
+    /// default threshold.
+    pub fn parallel(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_parallel_slots: Self::DEFAULT_MIN_PARALLEL_SLOTS,
+        }
+    }
+
+    /// Overrides the fan-out threshold.
+    pub fn with_min_parallel_slots(mut self, min_parallel_slots: usize) -> Self {
+        self.min_parallel_slots = min_parallel_slots;
+        self
+    }
+
+    /// Whether this policy can ever take the chunked path.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ParallelismPolicy {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous near-equal ranges, in
+/// chronological order (mirrors rayon's slice chunking, but the count here
+/// is fixed by [`ParallelismPolicy`] rather than by the executing pool).
+fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for part in 0..parts {
+        let size = base + usize::from(part < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// The `(min, max)` id range of one sorted user run (`(u32::MAX, 0)` for an
+/// empty run).
+fn id_range(users: &[mca_offload::UserId]) -> (u32, u32) {
+    match (users.first(), users.last()) {
+        (Some(first), Some(last)) => (first.0, last.0),
+        _ => (u32::MAX, 0),
+    }
+}
+
+/// Upper bound on how many ids two sorted, deduplicated runs with the given
+/// `(min, max)` ranges can share: the number of integers in the overlap of
+/// the ranges (zero when either run is empty or the ranges are disjoint).
+fn range_overlap(a: (u32, u32), b: (u32, u32)) -> usize {
+    if a.0 > a.1 || b.0 > b.1 {
+        return 0;
+    }
+    let low = a.0.max(b.0);
+    let high = a.1.min(b.1);
+    if low > high {
+        0
+    } else {
+        (high - low) as usize + 1
+    }
+}
+
+/// One chunk of the parallel scan: its chronological range, the signature
+/// lower bound of every candidate in it, and the chunk's first-minimum
+/// bound (the chunk's nomination for the shared seed candidate).
+#[derive(Debug)]
+struct ChunkCandidates {
+    range: Range<usize>,
+    bounds: Vec<usize>,
+    min_bound: usize,
+    min_position: usize,
 }
 
 /// The per-group workload forecast for the next provisioning interval.
@@ -104,8 +241,18 @@ pub struct WorkloadPredictor {
     /// Flat per-slot count signatures, `groups.len()` entries per retained
     /// slot, aligned with `history.slots()`.
     signatures: Vec<usize>,
+    /// Flat per-slot `(min, max)` user-id ranges, `groups.len()` entries per
+    /// retained slot, aligned with `signatures`. Because every per-group run
+    /// is sorted and deduplicated, `|A ∩ B| <= min(|A|, |B|, range overlap)`,
+    /// which turns the ranges into a second-level distance lower bound that
+    /// refutes candidates whose user populations have drifted apart without
+    /// touching their user lists. Empty groups use the `(u32::MAX, 0)`
+    /// sentinel.
+    id_ranges: Vec<(u32, u32)>,
     /// Global index of the slot `signatures[0..groups.len()]` belongs to.
     signature_first_index: usize,
+    /// How the nearest-neighbour scan fans out over threads.
+    parallelism: ParallelismPolicy,
 }
 
 impl WorkloadPredictor {
@@ -119,7 +266,9 @@ impl WorkloadPredictor {
             distance: DistanceKind::SetEdit,
             groups,
             signatures: Vec::new(),
+            id_ranges: Vec::new(),
             signature_first_index: 0,
+            parallelism: ParallelismPolicy::default(),
         }
     }
 
@@ -133,6 +282,22 @@ impl WorkloadPredictor {
     pub fn with_distance(mut self, distance: DistanceKind) -> Self {
         self.distance = distance;
         self
+    }
+
+    /// Overrides the scan parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Changes the scan parallelism policy in place.
+    pub fn set_parallelism(&mut self, parallelism: ParallelismPolicy) {
+        self.parallelism = parallelism;
+    }
+
+    /// The scan parallelism policy in force.
+    pub fn parallelism(&self) -> ParallelismPolicy {
+        self.parallelism
     }
 
     /// Caps the knowledge base at the `window` most recent slots, bounding
@@ -182,6 +347,7 @@ impl WorkloadPredictor {
     pub fn set_history(&mut self, history: SlotHistory) {
         self.history = history;
         self.signatures.clear();
+        self.id_ranges.clear();
         self.signature_first_index = self.history.first_index();
         self.sync_signatures();
     }
@@ -197,6 +363,7 @@ impl WorkloadPredictor {
         empty.set_window(self.history.window());
         let history = std::mem::replace(&mut self.history, empty);
         self.signatures.clear();
+        self.id_ranges.clear();
         self.signature_first_index = 0;
         history
     }
@@ -212,14 +379,60 @@ impl WorkloadPredictor {
         if first > self.signature_first_index {
             let drop = (first - self.signature_first_index) * group_count;
             self.signatures.drain(0..drop.min(self.signatures.len()));
+            self.id_ranges.drain(0..drop.min(self.id_ranges.len()));
             self.signature_first_index = first;
         }
         let covered = self.signatures.len() / group_count;
         for slot in &self.history.slots()[covered..] {
             self.signatures
                 .extend(self.groups.iter().map(|g| slot.load_of(*g)));
+            self.id_ranges
+                .extend(self.groups.iter().map(|g| id_range(slot.users_in(*g))));
         }
         debug_assert_eq!(self.signatures.len(), self.history.len() * group_count);
+        debug_assert_eq!(self.id_ranges.len(), self.signatures.len());
+    }
+
+    /// Lower bound on the configured distance between the probe (described
+    /// by its per-group counts and id ranges) and the retained slot at
+    /// `position`, computed from the cached signatures alone — `O(groups)`,
+    /// no user lists touched. For the count distance the count signature
+    /// *is* the distance. For the edit distances the bound is the id-range
+    /// bound, which dominates the count difference: with `c_a`/`c_b` run
+    /// lengths and `shared = min(c_a, c_b, range overlap)` an upper bound on
+    /// the ids (equivalently, on any common subsequence) the runs can have
+    /// in common, `set edit >= c_a + c_b - 2*shared` and
+    /// `Levenshtein >= max(c_a, c_b) - shared`; both reduce to the count
+    /// difference when the ranges fully overlap and refute drifted-apart
+    /// populations outright when they do not.
+    fn signature_bound(
+        &self,
+        probe_counts: &[usize],
+        probe_ranges: &[(u32, u32)],
+        position: usize,
+    ) -> usize {
+        let group_count = self.groups.len();
+        let counts = &self.signatures[position * group_count..(position + 1) * group_count];
+        match self.distance {
+            DistanceKind::CountDifference => probe_counts
+                .iter()
+                .zip(counts)
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum(),
+            DistanceKind::SetEdit | DistanceKind::Levenshtein => {
+                let ranges = &self.id_ranges[position * group_count..(position + 1) * group_count];
+                let mut bound = 0usize;
+                for g in 0..group_count {
+                    let (ca, cb) = (probe_counts[g], counts[g]);
+                    let shared = ca.min(cb).min(range_overlap(probe_ranges[g], ranges[g]));
+                    bound += match self.distance {
+                        DistanceKind::SetEdit => ca + cb - 2 * shared,
+                        _ => ca.max(cb) - shared,
+                    };
+                }
+                bound
+            }
+        }
     }
 
     /// Distance between two slots under the configured distance function.
@@ -302,18 +515,26 @@ impl WorkloadPredictor {
             }
             return Some(best_position);
         }
+        let current_ranges: Vec<(u32, u32)> = self
+            .groups
+            .iter()
+            .map(|g| id_range(current.users_in(*g)))
+            .collect();
+        if self.parallelism.is_parallel() && slots.len() >= self.parallelism.min_parallel_slots {
+            return Some(self.nearest_position_chunked(
+                current,
+                &current_signature,
+                &current_ranges,
+            ));
+        }
         // `(signature lower bound, position)`, sorted ascending: best-first
         // with the earliest-slot preference as secondary order.
         let mut order: Vec<(usize, usize)> = (0..slots.len())
             .map(|position| {
-                let signature =
-                    &self.signatures[position * group_count..(position + 1) * group_count];
-                let lower_bound: usize = current_signature
-                    .iter()
-                    .zip(signature)
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
-                (lower_bound, position)
+                (
+                    self.signature_bound(&current_signature, &current_ranges, position),
+                    position,
+                )
             })
             .collect();
         order.sort_unstable();
@@ -334,21 +555,7 @@ impl WorkloadPredictor {
             } else {
                 best - 1 // position > best_position implies best > lower_bound >= 0
             };
-            let candidate = match self.distance {
-                DistanceKind::CountDifference => {
-                    unreachable!("the count distance takes the linear scan above")
-                }
-                DistanceKind::SetEdit => {
-                    slot_distance_bounded(current, &slots[position], &self.groups, cap)
-                }
-                DistanceKind::Levenshtein => slot_levenshtein_distance_bounded(
-                    current,
-                    &slots[position],
-                    &self.groups,
-                    cap,
-                    &mut scratch,
-                ),
-            };
+            let candidate = self.bounded_distance(current, &slots[position], cap, &mut scratch);
             if let Some(distance) = candidate {
                 if distance < best || (distance == best && position < best_position) {
                     best = distance;
@@ -362,6 +569,172 @@ impl WorkloadPredictor {
             }
         }
         Some(best_position)
+    }
+
+    /// The configured early-exit distance between `current` and one
+    /// candidate, capped at `cap` (`None` when the distance provably exceeds
+    /// the cap). The count distance never reaches here — its signature *is*
+    /// its distance and it takes the dedicated linear scan.
+    fn bounded_distance(
+        &self,
+        current: &TimeSlot,
+        candidate: &TimeSlot,
+        cap: usize,
+        scratch: &mut DistanceScratch,
+    ) -> Option<usize> {
+        match self.distance {
+            DistanceKind::CountDifference => {
+                unreachable!("the count distance takes its dedicated linear scan")
+            }
+            DistanceKind::SetEdit => slot_distance_bounded(current, candidate, &self.groups, cap),
+            DistanceKind::Levenshtein => {
+                slot_levenshtein_distance_bounded(current, candidate, &self.groups, cap, scratch)
+            }
+        }
+    }
+
+    /// Position of the nearest slot via the chunked parallel scan, in three
+    /// steps:
+    ///
+    /// 1. **Bounds (parallel):** the candidate list splits into
+    ///    [`ParallelismPolicy::threads`] contiguous chronological chunks and
+    ///    every chunk computes its signature lower bounds, reporting its
+    ///    first-minimum bound.
+    /// 2. **Seed (sequential, one candidate):** the global first-minimum
+    ///    bound candidate is evaluated fully. This is the candidate the
+    ///    sequential best-first scan would visit first, and its distance is
+    ///    the tight cap that lets *every* chunk prune as hard as the global
+    ///    scan — chunk-local seeds would leave far-past chunks burning full
+    ///    evaluations on candidates the global best already rules out.
+    /// 3. **Scan (parallel):** every chunk scans its range chronologically
+    ///    against the shared seed incumbent and reports its exact
+    ///    first-minimum `(distance, position)`; the lexicographic minimum of
+    ///    the chunk results reproduces the sequential scan's earliest-slot
+    ///    tie-break bit-for-bit — for any chunk count and any executing
+    ///    thread count.
+    ///
+    /// Unlike the sequential path no global best-first ordering is needed,
+    /// so the `O(n log n)` candidate sort disappears — which is why the
+    /// chunked scan wins even before threads multiply the bounds and scan
+    /// steps.
+    fn nearest_position_chunked(
+        &self,
+        current: &TimeSlot,
+        current_signature: &[usize],
+        current_ranges: &[(u32, u32)],
+    ) -> usize {
+        let chunks = chunk_ranges(self.history.len(), self.parallelism.threads);
+        let prepared: Vec<ChunkCandidates> = chunks
+            .par_iter()
+            .map(|range| self.chunk_bounds(current_signature, current_ranges, range.clone()))
+            .collect();
+        let (seed_bound, seed_position) = prepared
+            .iter()
+            .map(|chunk| (chunk.min_bound, chunk.min_position))
+            .min()
+            .expect("a non-empty history yields at least one chunk");
+        let mut scratch = DistanceScratch::new();
+        let seed_distance = self
+            .bounded_distance(
+                current,
+                &self.history.slots()[seed_position],
+                usize::MAX,
+                &mut scratch,
+            )
+            .expect("an uncapped distance always evaluates");
+        if seed_distance == 0 {
+            // the seed is the globally FIRST minimum bound: every earlier
+            // candidate has a strictly larger bound (> seed_bound == 0),
+            // hence a non-zero distance; later ones tie at best and lose
+            debug_assert_eq!(seed_bound, 0);
+            return seed_position;
+        }
+        let per_chunk: Vec<(usize, usize)> = prepared
+            .par_iter()
+            .map(|chunk| self.scan_chunk(current, chunk, seed_distance, seed_position))
+            .collect();
+        per_chunk
+            .into_iter()
+            .min()
+            .map(|(_, position)| position)
+            .expect("a non-empty history yields at least one chunk")
+    }
+
+    /// Step 1 of the chunked scan: the signature lower bounds of one chunk,
+    /// with the chunk's first-minimum bound and its position.
+    fn chunk_bounds(
+        &self,
+        current_signature: &[usize],
+        current_ranges: &[(u32, u32)],
+        range: Range<usize>,
+    ) -> ChunkCandidates {
+        let mut bounds = Vec::with_capacity(range.len());
+        let mut min_position = range.start;
+        let mut min_bound = usize::MAX;
+        for position in range.clone() {
+            let lower_bound = self.signature_bound(current_signature, current_ranges, position);
+            bounds.push(lower_bound);
+            if lower_bound < min_bound {
+                min_bound = lower_bound;
+                min_position = position;
+            }
+        }
+        ChunkCandidates {
+            range,
+            bounds,
+            min_bound,
+            min_position,
+        }
+    }
+
+    /// Step 3 of the chunked scan: the exact first-minimum
+    /// `(distance, position)` over one chunk's range *and* the shared seed
+    /// incumbent. Candidates are visited chronologically with the same cap
+    /// rules as the sequential path, starting from the globally tight seed
+    /// cap; a chunk that cannot improve on the seed returns the seed
+    /// incumbent itself, so the merge minimum is always exact.
+    fn scan_chunk(
+        &self,
+        current: &TimeSlot,
+        chunk: &ChunkCandidates,
+        seed_distance: usize,
+        seed_position: usize,
+    ) -> (usize, usize) {
+        let slots = self.history.slots();
+        let mut scratch = DistanceScratch::new();
+        let mut best = seed_distance;
+        let mut best_position = seed_position;
+        for (offset, position) in chunk.range.clone().enumerate() {
+            if position == seed_position {
+                continue;
+            }
+            let lower_bound = chunk.bounds[offset];
+            if lower_bound > best || (lower_bound == best && position > best_position) {
+                continue;
+            }
+            // an equal distance only helps for slots earlier than the
+            // incumbent; position > best_position passed the filter above
+            // with lower_bound < best, so best >= 1 and the cap cannot wrap
+            let cap = if position < best_position {
+                best
+            } else {
+                best - 1
+            };
+            if let Some(distance) =
+                self.bounded_distance(current, &slots[position], cap, &mut scratch)
+            {
+                if distance < best || (distance == best && position < best_position) {
+                    best = distance;
+                    best_position = position;
+                    if best == 0 {
+                        // chronological scan: every earlier in-chunk candidate
+                        // was already visited, later ones tie at best and lose
+                        break;
+                    }
+                }
+            }
+        }
+        (best, best_position)
     }
 
     /// Observes `slot` and immediately forecasts the next slot — the closed
@@ -503,7 +876,12 @@ impl WorkloadPredictor {
             .iter()
             .map(|g| {
                 let total: usize = self.history.slots().iter().map(|s| s.load_of(*g)).sum();
-                (*g, (total as f64 / n).round() as usize)
+                let mean = (total as f64 / n).round() as usize;
+                // a group observed at least once never forecasts to zero:
+                // the paper's model only ever predicts loads it has seen, so
+                // a small average must not round a live group out of the
+                // allocation
+                (*g, if total > 0 { mean.max(1) } else { 0 })
             })
             .collect();
         Ok(WorkloadForecast {
@@ -765,6 +1143,95 @@ mod tests {
         let forecast = p.predict(&slot(5, 2, 1)).unwrap();
         assert_eq!(forecast.matched_slot, Some(1));
         assert_eq!(forecast, p.predict_naive(&slot(5, 2, 1)).unwrap());
+    }
+
+    #[test]
+    fn mean_forecast_never_rounds_a_live_group_to_zero() {
+        // regression: one user in group 1 over three slots averages to 1/3,
+        // which `round()` silently truncated to a zero forecast for a group
+        // the predictor had just observed
+        let p = predictor_with_history(vec![slot(1, 0, 5), slot(0, 0, 5), slot(0, 0, 4)])
+            .with_strategy(PredictionStrategy::MeanOfHistory);
+        let forecast = p.predict(&slot(0, 0, 0)).unwrap();
+        assert_eq!(forecast.load_of(AccelerationGroupId(1)), 1, "clamped to 1");
+        // a group never observed still forecasts zero
+        assert_eq!(forecast.load_of(AccelerationGroupId(2)), 0);
+        // ordinary averages are untouched (14/3 rounds to 5)
+        assert_eq!(forecast.load_of(AccelerationGroupId(3)), 5);
+    }
+
+    #[test]
+    fn parallelism_policy_defaults_to_serial() {
+        let policy = ParallelismPolicy::default();
+        assert_eq!(policy, ParallelismPolicy::serial());
+        assert!(!policy.is_parallel());
+        assert!(ParallelismPolicy::parallel(4).is_parallel());
+        assert_eq!(ParallelismPolicy::parallel(0).threads, 1, "clamped");
+        let p = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0);
+        assert_eq!(p.parallelism(), ParallelismPolicy::serial());
+    }
+
+    #[test]
+    fn chunked_parallel_scan_is_bit_identical_to_serial_and_naive() {
+        // a history with many near-duplicates and exact ties, so the
+        // earliest-slot tie-break is genuinely exercised across chunk
+        // boundaries
+        let history: Vec<TimeSlot> = (0..120u32)
+            .map(|i| slot(5 + (i * 7) % 13, (i * 3) % 5, (i * 5) % 4))
+            .collect();
+        let probes = [
+            slot(9, 2, 1),
+            slot(0, 0, 0),
+            slot(12, 4, 3),
+            slot(5, 0, 0),
+            slot(300, 9, 2),
+        ];
+        for kind in [
+            DistanceKind::SetEdit,
+            DistanceKind::Levenshtein,
+            DistanceKind::CountDifference,
+        ] {
+            for strategy in [
+                PredictionStrategy::NearestSlot,
+                PredictionStrategy::SuccessorOfNearest,
+            ] {
+                let serial = predictor_with_history(history.clone())
+                    .with_distance(kind)
+                    .with_strategy(strategy);
+                for threads in [1, 2, 4, 8, 120, 1000] {
+                    let parallel = serial.clone().with_parallelism(
+                        ParallelismPolicy::parallel(threads).with_min_parallel_slots(1),
+                    );
+                    for probe in &probes {
+                        let chunked = parallel.predict(probe).unwrap();
+                        assert_eq!(
+                            chunked,
+                            serial.predict(probe).unwrap(),
+                            "{kind:?}/{strategy:?}/threads={threads}"
+                        );
+                        assert_eq!(
+                            chunked,
+                            serial.predict_naive(probe).unwrap(),
+                            "{kind:?}/{strategy:?}/threads={threads} vs naive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_respects_the_fan_out_threshold_and_ties() {
+        // identical slots everywhere: every chunk reports distance zero and
+        // the merge must still return the globally earliest slot
+        let p = predictor_with_history(vec![slot(4, 2, 1); 30])
+            .with_parallelism(ParallelismPolicy::parallel(7).with_min_parallel_slots(1));
+        let forecast = p.predict(&slot(4, 2, 1)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(0));
+        // below the threshold the serial path runs and agrees
+        let gated = predictor_with_history(vec![slot(4, 2, 1); 30])
+            .with_parallelism(ParallelismPolicy::parallel(7).with_min_parallel_slots(1000));
+        assert_eq!(gated.predict(&slot(4, 2, 1)).unwrap(), forecast);
     }
 
     #[test]

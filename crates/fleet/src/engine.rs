@@ -16,13 +16,14 @@
 //!   or thread count.
 
 use crate::ingest::{bucket_by_shard, SlotRecord};
-use crate::metrics::FleetMetrics;
+use crate::metrics::{FleetMetrics, TenantMetrics};
 use crate::router::ShardRouter;
 use crate::shard::TenantShard;
 use mca_core::{SlotHistory, SystemConfig, TimeSlotBuilder, WorkloadForecast};
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
 use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One worker partition: the tenants a shard index owns, plus the staging
 /// buffer the engine fills before a parallel tick.
@@ -84,6 +85,9 @@ pub struct FleetEngine {
     threads: usize,
     slot_index: usize,
     dropped_records: usize,
+    /// Tenants whose population is split across *every* shard by user hash
+    /// (one replica per shard) — the scaling mode for one huge tenant.
+    user_sharded: BTreeSet<TenantId>,
 }
 
 impl FleetEngine {
@@ -115,6 +119,7 @@ impl FleetEngine {
             threads,
             slot_index: 0,
             dropped_records: 0,
+            user_sharded: BTreeSet::new(),
         }
     }
 
@@ -144,9 +149,25 @@ impl FleetEngine {
         self.threads
     }
 
-    /// Number of onboarded tenants.
+    /// Number of onboarded tenants (a user-sharded tenant counts once, not
+    /// once per replica).
     pub fn tenants(&self) -> usize {
-        self.shards.iter().map(|s| s.tenants.len()).sum()
+        let tenant_sharded: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.tenants
+                    .iter()
+                    .filter(|t| !self.user_sharded.contains(&t.id()))
+                    .count()
+            })
+            .sum();
+        tenant_sharded + self.user_sharded.len()
+    }
+
+    /// The tenants served in user-sharded (huge tenant) mode.
+    pub fn user_sharded_tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.user_sharded.iter().copied()
     }
 
     /// Index of the next slot to tick.
@@ -188,10 +209,44 @@ impl FleetEngine {
         }
     }
 
+    /// Onboards one **huge** tenant in user-sharded mode — the reserved
+    /// [`ShardRouter::shard_of_user`] scaling path for a CloneCloud-style
+    /// deployment whose single app serves more users than one predictor can
+    /// scan. Every shard receives a replica [`TenantShard`]; each replica
+    /// predicts and allocates over its own hash-slice of the population, so
+    /// the per-slot scan shrinks by the shard count while the combined
+    /// forecast ([`FleetEngine::combined_forecast`]) still covers the whole
+    /// tenant. Replicas share the tenant's stream seed, which is harmless on
+    /// the batched ingest path (it never draws from the RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is already onboarded in either mode.
+    pub fn add_user_sharded_tenant(&mut self, tenant: TenantId) {
+        for shard in &mut self.shards {
+            match shard.tenants.binary_search_by_key(&tenant, TenantShard::id) {
+                Ok(_) => panic!("tenant {tenant} is already onboarded"),
+                Err(at) => shard
+                    .tenants
+                    .insert(at, TenantShard::new(tenant, &self.config, self.seed)),
+            }
+        }
+        self.user_sharded.insert(tenant);
+    }
+
     /// Offboards `tenant`, handing its slot history out (shard hand-off: the
     /// knowledge base moves without copying and can seed another engine or
     /// shard). Returns `None` when the tenant is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is user-sharded — it has one history per shard;
+    /// use [`FleetEngine::extract_user_sharded_tenant`] instead.
     pub fn extract_tenant(&mut self, tenant: TenantId) -> Option<SlotHistory> {
+        assert!(
+            !self.user_sharded.contains(&tenant),
+            "tenant {tenant} is user-sharded; extract_user_sharded_tenant returns its per-shard histories"
+        );
         let now_ms = self.slot_index as f64 * self.config.slot_length_ms;
         let shard = &mut self.shards[self.router.shard_of_tenant(tenant)];
         let at = shard
@@ -202,6 +257,26 @@ impl FleetEngine {
         Some(state.decommission(now_ms))
     }
 
+    /// Offboards a user-sharded tenant: every replica is decommissioned and
+    /// its slice history handed out, in shard order. Returns `None` when the
+    /// tenant is not user-sharded.
+    pub fn extract_user_sharded_tenant(&mut self, tenant: TenantId) -> Option<Vec<SlotHistory>> {
+        if !self.user_sharded.remove(&tenant) {
+            return None;
+        }
+        let now_ms = self.slot_index as f64 * self.config.slot_length_ms;
+        let mut histories = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let at = shard
+                .tenants
+                .binary_search_by_key(&tenant, TenantShard::id)
+                .expect("every shard hosts a replica of a user-sharded tenant");
+            let mut state = shard.tenants.remove(at);
+            histories.push(state.decommission(now_ms));
+        }
+        Some(histories)
+    }
+
     /// Ticks one provisioning slot on a batch of arrival records: buckets
     /// the batch by shard (one router pass), then runs every shard's
     /// predict→allocate→bill cycle in parallel. Records naming unknown
@@ -209,7 +284,7 @@ impl FleetEngine {
     pub fn tick_slot(&mut self, records: &[SlotRecord]) {
         let slot_index = self.slot_index;
         let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
-        let buckets = bucket_by_shard(records, &self.router);
+        let buckets = bucket_by_shard(records, &self.router, &self.user_sharded);
         for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
             shard.inbox = bucket;
         }
@@ -234,8 +309,15 @@ impl FleetEngine {
     ///
     /// # Panics
     ///
-    /// Panics if a hosted tenant is not part of the mix.
+    /// Panics if a hosted tenant is not part of the mix, or if any tenant is
+    /// user-sharded: the mix draws a tenant's *whole* population from its
+    /// RNG stream, so every replica would generate every user — feed huge
+    /// tenants through [`FleetEngine::tick_slot`] record batches instead.
     pub fn tick_mix(&mut self, mix: &TenantMix) {
+        assert!(
+            self.user_sharded.is_empty(),
+            "tick_mix cannot drive user-sharded tenants; ingest record batches via tick_slot"
+        );
         let slot_index = self.slot_index;
         let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
         let shards = &mut self.shards;
@@ -248,16 +330,59 @@ impl FleetEngine {
     }
 
     /// Every tenant's standing forecast for the next slot, sorted by tenant
-    /// id.
+    /// id. A user-sharded tenant appears once, with the combined forecast of
+    /// its replicas.
     pub fn forecasts(&self) -> Vec<(TenantId, Option<WorkloadForecast>)> {
         let mut forecasts: Vec<(TenantId, Option<WorkloadForecast>)> = self
             .shards
             .iter()
             .flat_map(|s| s.tenants.iter())
+            .filter(|t| !self.user_sharded.contains(&t.id()))
             .map(|t| (t.id(), t.forecast().cloned()))
             .collect();
+        for &tenant in &self.user_sharded {
+            forecasts.push((tenant, self.combined_forecast(tenant)));
+        }
         forecasts.sort_by_key(|(id, _)| *id);
         forecasts
+    }
+
+    /// The standing forecast for `tenant` across the whole fleet: for a
+    /// tenant-sharded tenant this is its shard's forecast; for a
+    /// user-sharded tenant the replicas' per-group loads are summed (slice
+    /// forecasts are independent nearest-slot matches, so the combined
+    /// forecast carries no single `matched_slot`). `None` when the tenant is
+    /// unknown or no replica has forecast yet.
+    pub fn combined_forecast(&self, tenant: TenantId) -> Option<WorkloadForecast> {
+        if !self.user_sharded.contains(&tenant) {
+            return self.tenant(tenant).and_then(|t| t.forecast().cloned());
+        }
+        let mut per_group: Vec<(mca_offload::AccelerationGroupId, usize)> = self
+            .config
+            .groups
+            .ids()
+            .into_iter()
+            .map(|g| (g, 0))
+            .collect();
+        let mut any = false;
+        for shard in &self.shards {
+            let at = shard
+                .tenants
+                .binary_search_by_key(&tenant, TenantShard::id)
+                .expect("every shard hosts a replica of a user-sharded tenant");
+            if let Some(forecast) = shard.tenants[at].forecast() {
+                any = true;
+                for (group, load) in &forecast.per_group {
+                    if let Some(entry) = per_group.iter_mut().find(|(g, _)| g == group) {
+                        entry.1 += load;
+                    }
+                }
+            }
+        }
+        any.then_some(WorkloadForecast {
+            per_group,
+            matched_slot: None,
+        })
     }
 
     /// Read access to one tenant's provisioning state.
@@ -270,15 +395,27 @@ impl FleetEngine {
             .map(|at| &shard.tenants[at])
     }
 
-    /// Aggregates every tenant's accounting into the fleet rollup.
+    /// Aggregates every tenant's accounting into the fleet rollup. The
+    /// replicas of a user-sharded tenant fold into one per-tenant record
+    /// first ([`TenantMetrics::absorb`], in shard order — deterministic), so
+    /// the rollup sees each tenant exactly once.
     pub fn metrics(&self) -> FleetMetrics {
-        FleetMetrics::aggregate(
-            self.shards
-                .iter()
-                .flat_map(|s| s.tenants.iter())
-                .map(|t| t.metrics().clone())
-                .collect(),
-        )
+        let mut per_tenant: Vec<TenantMetrics> = Vec::new();
+        let mut merged: BTreeMap<TenantId, TenantMetrics> = BTreeMap::new();
+        for shard in &self.shards {
+            for tenant in &shard.tenants {
+                if self.user_sharded.contains(&tenant.id()) {
+                    merged
+                        .entry(tenant.id())
+                        .and_modify(|m| m.absorb(tenant.metrics()))
+                        .or_insert_with(|| tenant.metrics().clone());
+                } else {
+                    per_tenant.push(tenant.metrics().clone());
+                }
+            }
+        }
+        per_tenant.extend(merged.into_values());
+        FleetMetrics::aggregate(per_tenant)
     }
 }
 
@@ -368,5 +505,136 @@ mod tests {
         let mut engine = FleetEngine::new(config(), 2, 1);
         engine.add_tenant(TenantId(1));
         engine.add_tenant(TenantId(1));
+    }
+
+    /// A batch for one tenant with `users` distinct users spread over the
+    /// three groups, with ids offset by `drift` so consecutive slots overlap.
+    fn huge_tenant_batch(tenant: TenantId, users: u32, drift: u32) -> Vec<SlotRecord> {
+        (0..users)
+            .map(|u| {
+                SlotRecord::new(
+                    tenant,
+                    AccelerationGroupId((u % 3 + 1) as u8),
+                    UserId(u + drift),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn user_sharded_tenant_splits_its_population_and_combines_forecasts() {
+        let mut engine = FleetEngine::new(config(), 4, 1);
+        engine.add_user_sharded_tenant(TenantId(0));
+        assert_eq!(engine.tenants(), 1, "replicas count once");
+        assert_eq!(
+            engine.user_sharded_tenants().collect::<Vec<_>>(),
+            vec![TenantId(0)]
+        );
+
+        let batch = huge_tenant_batch(TenantId(0), 64, 0);
+        engine.tick_slot(&batch);
+        engine.tick_slot(&batch);
+        assert_eq!(engine.dropped_records(), 0, "every shard hosts a replica");
+
+        let metrics = engine.metrics();
+        assert_eq!(metrics.tenants, 1);
+        let tenant = metrics.tenant(TenantId(0)).unwrap();
+        assert_eq!(tenant.slots, 2);
+        assert_eq!(tenant.total_user_slots, 2 * 64, "no user lost in routing");
+
+        // identical consecutive slots: every replica matches its own slice,
+        // so the combined forecast covers the whole population
+        let combined = engine.combined_forecast(TenantId(0)).unwrap();
+        assert_eq!(combined.total(), 64);
+        assert_eq!(combined.matched_slot, None, "slice matches are independent");
+        let forecasts = engine.forecasts();
+        assert_eq!(forecasts.len(), 1);
+        assert_eq!(forecasts[0].1.as_ref().unwrap(), &combined);
+    }
+
+    #[test]
+    fn single_shard_user_sharding_equals_tenant_sharding() {
+        // on one shard the single replica sees the whole population, so the
+        // user-sharded engine must reproduce the tenant-sharded one exactly
+        let mut by_user = FleetEngine::new(config(), 1, 7);
+        by_user.add_user_sharded_tenant(TenantId(3));
+        let mut by_tenant = FleetEngine::new(config(), 1, 7);
+        by_tenant.add_tenant(TenantId(3));
+        for i in 0..5u32 {
+            let batch = huge_tenant_batch(TenantId(3), 20 + i, i);
+            by_user.tick_slot(&batch);
+            by_tenant.tick_slot(&batch);
+        }
+        assert_eq!(by_user.metrics(), by_tenant.metrics());
+        let combined = by_user.combined_forecast(TenantId(3)).unwrap();
+        let plain = by_tenant.combined_forecast(TenantId(3)).unwrap();
+        assert_eq!(combined.per_group, plain.per_group);
+    }
+
+    #[test]
+    fn user_sharded_runs_are_deterministic_across_threads_and_repeats() {
+        let run = |threads: usize| {
+            let mut engine = FleetEngine::new(config(), 6, 11).with_threads(threads);
+            engine.add_user_sharded_tenant(TenantId(7));
+            engine.add_tenant(TenantId(1));
+            for i in 0..6u32 {
+                let mut batch = huge_tenant_batch(TenantId(7), 40, i);
+                batch.extend(huge_tenant_batch(TenantId(1), 8, 0));
+                engine.tick_slot(&batch);
+            }
+            (engine.metrics(), engine.forecasts())
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn extract_user_sharded_tenant_hands_off_every_slice() {
+        let mut engine = FleetEngine::new(config(), 3, 9);
+        engine.add_user_sharded_tenant(TenantId(2));
+        for i in 0..3u32 {
+            engine.tick_slot(&huge_tenant_batch(TenantId(2), 30, i));
+        }
+        let histories = engine.extract_user_sharded_tenant(TenantId(2)).unwrap();
+        assert_eq!(histories.len(), 3, "one slice history per shard");
+        assert!(histories.iter().all(|h| h.len() == 3));
+        // the population is conserved across the slices, slot by slot
+        for slot in 0..3 {
+            let users: usize = histories
+                .iter()
+                .map(|h| h.slots()[slot].total_users())
+                .sum();
+            assert_eq!(users, 30, "slot {slot}");
+        }
+        assert_eq!(engine.tenants(), 0);
+        assert!(engine.extract_user_sharded_tenant(TenantId(2)).is_none());
+        assert!(engine.combined_forecast(TenantId(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already onboarded")]
+    fn user_sharding_an_onboarded_tenant_panics() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_tenant(TenantId(1));
+        engine.add_user_sharded_tenant(TenantId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "extract_user_sharded_tenant")]
+    fn extracting_a_user_sharded_tenant_by_tenant_path_panics() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_user_sharded_tenant(TenantId(1));
+        let _ = engine.extract_tenant(TenantId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick_mix cannot drive user-sharded tenants")]
+    fn tick_mix_rejects_user_sharded_tenants() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_user_sharded_tenant(TenantId(0));
+        let mix = mca_workload::TenantMix::heterogeneous(1, 4, config().groups.ids(), 1);
+        engine.tick_mix(&mix);
     }
 }

@@ -13,6 +13,7 @@
 use crate::router::ShardRouter;
 use mca_offload::{AccelerationGroupId, TenantId, UserId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// One observed assignment: `user` of `tenant` was active in `group` during
 /// the current slot.
@@ -39,10 +40,26 @@ impl SlotRecord {
 
 /// Buckets a flat arrival-order batch into one vector per shard, preserving
 /// the batch's relative order within each bucket (one linear pass).
-pub fn bucket_by_shard(records: &[SlotRecord], router: &ShardRouter) -> Vec<Vec<SlotRecord>> {
+///
+/// Tenants listed in `user_sharded` are the fleet's *huge* tenants — one
+/// CloneCloud-style app with a user population too large for a single
+/// predictor — and their records route by **user** hash
+/// ([`ShardRouter::shard_of_user`]) instead of tenant hash, so every shard
+/// serves its own slice of that tenant's population. All other tenants
+/// route whole, exactly as before.
+pub fn bucket_by_shard(
+    records: &[SlotRecord],
+    router: &ShardRouter,
+    user_sharded: &BTreeSet<TenantId>,
+) -> Vec<Vec<SlotRecord>> {
     let mut buckets: Vec<Vec<SlotRecord>> = vec![Vec::new(); router.shards()];
     for &record in records {
-        buckets[router.shard_of_tenant(record.tenant)].push(record);
+        let shard = if user_sharded.contains(&record.tenant) {
+            router.shard_of_user(record.user)
+        } else {
+            router.shard_of_tenant(record.tenant)
+        };
+        buckets[shard].push(record);
     }
     buckets
 }
@@ -63,7 +80,7 @@ mod tests {
                 )
             })
             .collect();
-        let buckets = bucket_by_shard(&records, &router);
+        let buckets = bucket_by_shard(&records, &router, &BTreeSet::new());
         assert_eq!(buckets.len(), 4);
         assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 100);
         for (shard, bucket) in buckets.iter().enumerate() {
@@ -81,5 +98,32 @@ mod tests {
                 assert!(users.windows(2).all(|w| w[0] < w[1]));
             }
         }
+    }
+
+    #[test]
+    fn user_sharded_tenants_route_by_user_and_others_by_tenant() {
+        let router = ShardRouter::new(5);
+        let huge = TenantId(3);
+        let records: Vec<SlotRecord> = (0..200u32)
+            .map(|i| SlotRecord::new(TenantId(i % 4), AccelerationGroupId(1), UserId(i)))
+            .collect();
+        let user_sharded: BTreeSet<TenantId> = [huge].into();
+        let buckets = bucket_by_shard(&records, &router, &user_sharded);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 200);
+        for (shard, bucket) in buckets.iter().enumerate() {
+            for r in bucket {
+                if r.tenant == huge {
+                    assert_eq!(router.shard_of_user(r.user), shard);
+                } else {
+                    assert_eq!(router.shard_of_tenant(r.tenant), shard);
+                }
+            }
+        }
+        // the huge tenant's population actually spreads over several shards
+        let occupied = buckets
+            .iter()
+            .filter(|b| b.iter().any(|r| r.tenant == huge))
+            .count();
+        assert!(occupied >= 3, "50 users should land on most of 5 shards");
     }
 }

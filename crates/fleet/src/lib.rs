@@ -26,6 +26,11 @@
 //!   bit-identical to running each tenant alone, whatever the shard count
 //!   or thread count, because shards share no state, RNG streams are seeded
 //!   per tenant and the nearest-neighbour tie-break stays first-minimum.
+//!   One **huge** tenant (the CloneCloud-style single app with an outsized
+//!   clone population) can instead be *user-sharded*
+//!   ([`FleetEngine::add_user_sharded_tenant`]): every shard hosts a
+//!   replica serving its own hash-slice of the population, and the engine
+//!   combines slice forecasts and metrics into the tenant-wide view.
 //! * [`metrics`] — [`TenantMetrics`] / [`FleetMetrics`]: per-tenant
 //!   accuracy, spend and allocation volume folded (in tenant-id order, so
 //!   bitwise reproducibly) into fleet-wide rollups.

@@ -37,8 +37,12 @@ pub struct TenantMetrics {
     /// workload vectors that skipped the solver).
     pub alloc_cache_hits: usize,
     /// Allocations that required a solver run (first sight of a workload
-    /// vector, or a re-solve after a cache reset).
+    /// vector, or a re-solve after the vector was evicted).
     pub alloc_cache_misses: usize,
+    /// Memoized workload vectors evicted when the cache reached its cap
+    /// (FIFO by insertion order; a high rate flags a tenant whose forecast
+    /// churn exceeds the cache capacity).
+    pub alloc_cache_evictions: usize,
 }
 
 impl TenantMetrics {
@@ -60,6 +64,36 @@ impl TenantMetrics {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.alloc_cache_hits + self.alloc_cache_misses;
         (total > 0).then(|| self.alloc_cache_hits as f64 / total as f64)
+    }
+
+    /// Folds the accounting of another replica of the **same tenant** into
+    /// this one — the rollup path for a user-sharded huge tenant, whose
+    /// population is split across shards and served by one replica each.
+    /// Counters sum; `slots` takes the maximum (replicas tick the same
+    /// provisioning clock); `peak_users` sums the per-replica peaks, an
+    /// upper bound on the tenant's true peak (replica peaks may fall in
+    /// different slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` belongs to a different tenant.
+    pub fn absorb(&mut self, other: &TenantMetrics) {
+        assert_eq!(
+            self.tenant, other.tenant,
+            "absorb merges replicas of one tenant"
+        );
+        self.slots = self.slots.max(other.slots);
+        self.scored_slots += other.scored_slots;
+        self.accuracy_sum += other.accuracy_sum;
+        self.total_cost += other.total_cost;
+        self.allocations += other.allocations;
+        self.infeasible_allocations += other.infeasible_allocations;
+        self.allocated_instance_slots += other.allocated_instance_slots;
+        self.peak_users += other.peak_users;
+        self.total_user_slots += other.total_user_slots;
+        self.alloc_cache_hits += other.alloc_cache_hits;
+        self.alloc_cache_misses += other.alloc_cache_misses;
+        self.alloc_cache_evictions += other.alloc_cache_evictions;
     }
 
     /// Mean allocated instances per slot.
@@ -107,6 +141,8 @@ pub struct FleetMetrics {
     pub total_cache_hits: usize,
     /// Total allocation-cache misses (solver runs) across tenants.
     pub total_cache_misses: usize,
+    /// Total allocation-cache evictions across tenants.
+    pub total_cache_evictions: usize,
 }
 
 impl FleetMetrics {
@@ -123,6 +159,7 @@ impl FleetMetrics {
         let peak_user_sum = per_tenant.iter().map(|m| m.peak_users).sum();
         let total_cache_hits = per_tenant.iter().map(|m| m.alloc_cache_hits).sum();
         let total_cache_misses = per_tenant.iter().map(|m| m.alloc_cache_misses).sum();
+        let total_cache_evictions = per_tenant.iter().map(|m| m.alloc_cache_evictions).sum();
         let accuracies: Vec<f64> = per_tenant
             .iter()
             .filter_map(|m| m.mean_accuracy())
@@ -140,6 +177,7 @@ impl FleetMetrics {
             peak_user_sum,
             total_cache_hits,
             total_cache_misses,
+            total_cache_evictions,
         }
     }
 
@@ -177,6 +215,7 @@ mod tests {
             total_user_slots: 50,
             alloc_cache_hits: 7,
             alloc_cache_misses: 3,
+            alloc_cache_evictions: 2,
         }
     }
 
@@ -194,6 +233,7 @@ mod tests {
         assert_eq!(rollup.peak_user_sum, 24);
         assert_eq!(rollup.total_cache_hits, 21);
         assert_eq!(rollup.total_cache_misses, 9);
+        assert_eq!(rollup.total_cache_evictions, 6);
         assert!((rollup.cache_hit_rate().unwrap() - 0.7).abs() < 1e-12);
         assert!((rollup.total_cost - 3.5).abs() < 1e-12);
         let ids: Vec<u32> = rollup.per_tenant.iter().map(|m| m.tenant.0).collect();
@@ -215,6 +255,33 @@ mod tests {
         assert_eq!(TenantMetrics::new(TenantId(1)).mean_accuracy(), None);
         assert_eq!(TenantMetrics::new(TenantId(1)).mean_instances(), 0.0);
         assert_eq!(TenantMetrics::new(TenantId(1)).cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn absorb_merges_replicas_of_one_tenant() {
+        let mut a = metrics(3, 9, 7.2, 1.0);
+        let b = metrics(3, 4, 2.0, 0.5);
+        a.absorb(&b);
+        assert_eq!(a.tenant, TenantId(3));
+        assert_eq!(a.slots, 10, "same clock: max, not sum");
+        assert_eq!(a.scored_slots, 13);
+        assert!((a.accuracy_sum - 9.2).abs() < 1e-12);
+        assert!((a.total_cost - 1.5).abs() < 1e-12);
+        assert_eq!(a.allocations, 20);
+        assert_eq!(a.infeasible_allocations, 2);
+        assert_eq!(a.allocated_instance_slots, 60);
+        assert_eq!(a.peak_users, 16, "slice peaks sum (upper bound)");
+        assert_eq!(a.total_user_slots, 100);
+        assert_eq!(a.alloc_cache_hits, 14);
+        assert_eq!(a.alloc_cache_misses, 6);
+        assert_eq!(a.alloc_cache_evictions, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "absorb merges replicas of one tenant")]
+    fn absorb_rejects_a_different_tenant() {
+        let mut a = metrics(1, 0, 0.0, 0.0);
+        a.absorb(&metrics(2, 0, 0.0, 0.0));
     }
 
     #[test]

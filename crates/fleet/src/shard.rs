@@ -19,13 +19,15 @@ use mca_core::{
 use mca_offload::{AccelerationGroupId, TenantId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Upper bound on memoized allocations per tenant. Steady tenants cycle
-/// through a handful of workload vectors, so the cap is generous; when a
-/// pathological tenant exceeds it the cache is dropped wholesale and
-/// rebuilt (deterministically — eviction depends only on the tenant's own
-/// forecast sequence).
+/// through a handful of workload vectors, so the cap is generous; a tenant
+/// that exceeds it evicts one entry per new insertion, oldest first (FIFO
+/// by insertion order), so the recent working set keeps serving hits and
+/// the just-inserted vector is never the victim. Eviction depends only on
+/// the tenant's own forecast sequence, so it is deterministic across runs,
+/// shard layouts and thread counts.
 const ALLOC_CACHE_CAP: usize = 1024;
 
 /// One tenant's predictor + allocator + instance pool + RNG stream.
@@ -46,6 +48,10 @@ pub struct TenantShard {
     /// ILP re-solve is skipped entirely on repeats. The allocator is a pure
     /// function of the forecast, which makes the cache exact.
     alloc_cache: HashMap<Vec<(AccelerationGroupId, usize)>, Allocation>,
+    /// Insertion order of the memoized workload vectors (front = oldest):
+    /// the FIFO eviction queue behind [`ALLOC_CACHE_CAP`]. Always in sync
+    /// with `alloc_cache` — entries enter and leave both together.
+    alloc_cache_order: VecDeque<Vec<(AccelerationGroupId, usize)>>,
 }
 
 impl TenantShard {
@@ -73,6 +79,7 @@ impl TenantShard {
             pending_forecast: None,
             slot_length_ms: config.slot_length_ms,
             alloc_cache: HashMap::new(),
+            alloc_cache_order: VecDeque::new(),
         }
     }
 
@@ -163,10 +170,19 @@ impl TenantShard {
         self.metrics.alloc_cache_misses += 1;
         let allocation = self.allocator.allocate(forecast)?;
         if self.alloc_cache.len() >= ALLOC_CACHE_CAP {
-            self.alloc_cache.clear();
+            // bounded FIFO eviction: drop the oldest memoized vector. The
+            // key being inserted is by construction not in the cache (this
+            // is a miss), so the hot key can never be its own victim — the
+            // previous wholesale `clear()` here thrashed a >CAP-vector
+            // tenant to a ~0% hit rate right after warm-up.
+            if let Some(oldest) = self.alloc_cache_order.pop_front() {
+                self.alloc_cache.remove(&oldest);
+                self.metrics.alloc_cache_evictions += 1;
+            }
         }
         self.alloc_cache
             .insert(forecast.per_group.clone(), allocation.clone());
+        self.alloc_cache_order.push_back(forecast.per_group.clone());
         Ok(allocation)
     }
 
@@ -182,6 +198,7 @@ impl TenantShard {
     pub fn decommission(&mut self, now_ms: f64) -> SlotHistory {
         self.pending_forecast = None;
         self.alloc_cache.clear();
+        self.alloc_cache_order.clear();
         self.pool.terminate_all(now_ms);
         self.predictor.take_history()
     }
@@ -190,6 +207,7 @@ impl TenantShard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mca_core::{AllocationPolicy, PredictionStrategy};
     use mca_offload::{AccelerationGroupId, UserId};
 
     fn slot(index: usize, users: u32) -> TimeSlot {
@@ -278,6 +296,57 @@ mod tests {
         }
         assert_eq!(cached.metrics(), fresh.metrics());
         assert_eq!(cached.forecast(), fresh.forecast());
+    }
+
+    #[test]
+    fn cache_cap_evicts_oldest_vector_not_the_working_set() {
+        // LastValue makes the forecast equal the observed slot, so each
+        // distinct user count is a distinct workload vector; greedy
+        // allocation keeps the 1k+ solves cheap and a raised account cap
+        // keeps them feasible
+        let mut config = config()
+            .with_prediction_strategy(PredictionStrategy::LastValue)
+            .with_allocation_policy(AllocationPolicy::GreedyCheapest)
+            .with_history_window(4);
+        config.account_cap = 1_000_000;
+        let mut shard = TenantShard::new(TenantId(1), &config, 1);
+
+        // one distinct vector past the cap
+        let past_cap = ALLOC_CACHE_CAP as u32 + 1;
+        for users in 1..=past_cap {
+            shard.tick(slot(users as usize, users), f64::from(users) * 3_600_000.0);
+        }
+        let m = shard.metrics();
+        assert_eq!(m.alloc_cache_misses, ALLOC_CACHE_CAP + 1);
+        assert_eq!(m.alloc_cache_hits, 0);
+        assert_eq!(m.alloc_cache_evictions, 1, "only the oldest vector left");
+        assert_eq!(shard.cached_allocations(), ALLOC_CACHE_CAP);
+
+        // recent repeats keep serving hits — under the previous wholesale
+        // clear() the cache held a single vector at this point and every
+        // repeat below would have missed
+        let mut index = past_cap + 1;
+        for users in (past_cap - 31..=past_cap).rev() {
+            shard.tick(slot(index as usize, users), f64::from(index) * 3_600_000.0);
+            index += 1;
+        }
+        let m = shard.metrics();
+        assert_eq!(m.alloc_cache_misses, ALLOC_CACHE_CAP + 1, "all repeats hit");
+        assert_eq!(m.alloc_cache_hits, 32);
+        assert_eq!(m.alloc_cache_evictions, 1);
+
+        // the evicted oldest vector misses again and displaces the
+        // next-oldest, never the fresh working set
+        shard.tick(slot(index as usize, 1), f64::from(index) * 3_600_000.0);
+        let m = shard.metrics();
+        assert_eq!(m.alloc_cache_misses, ALLOC_CACHE_CAP + 2);
+        assert_eq!(m.alloc_cache_evictions, 2);
+        assert_eq!(shard.cached_allocations(), ALLOC_CACHE_CAP);
+        shard.tick(
+            slot(index as usize + 1, 1),
+            f64::from(index + 1) * 3_600_000.0,
+        );
+        assert_eq!(shard.metrics().alloc_cache_hits, 33, "hot key retained");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! counts, across shard counts — and per-tenant results must be
 //! bit-identical to running each tenant alone.
 
-use mca_core::{SystemConfig, TimeSlotBuilder, WorkloadForecast};
+use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
 use mca_fleet::{FleetEngine, FleetMetrics, TenantShard};
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
@@ -58,6 +58,33 @@ fn shard_layout_does_not_change_results() {
         let (many, forecasts_many) = run_fleet(shards, 2);
         assert_eq!(one, many, "shards={shards}");
         assert_eq!(forecasts_one, forecasts_many, "shards={shards}");
+    }
+}
+
+#[test]
+fn intra_predictor_parallel_scan_does_not_change_fleet_results() {
+    // the chunked knowledge-base scan inside each predictor must be
+    // invisible in every rollup, for any chunk count — even forced onto the
+    // small histories of this mix
+    let mix = mix();
+    let baseline = {
+        let mut engine = FleetEngine::new(config(), 4, SEED).with_threads(2);
+        engine.add_tenants(mix.tenant_ids());
+        for _ in 0..SLOTS {
+            engine.tick_mix(&mix);
+        }
+        (engine.metrics(), engine.forecasts())
+    };
+    for chunks in [2, 4, 16] {
+        let parallel_config = config()
+            .with_parallelism(ParallelismPolicy::parallel(chunks).with_min_parallel_slots(1));
+        let mut engine = FleetEngine::new(parallel_config, 4, SEED).with_threads(2);
+        engine.add_tenants(mix.tenant_ids());
+        for _ in 0..SLOTS {
+            engine.tick_mix(&mix);
+        }
+        assert_eq!(engine.metrics(), baseline.0, "chunks={chunks}");
+        assert_eq!(engine.forecasts(), baseline.1, "chunks={chunks}");
     }
 }
 

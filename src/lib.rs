@@ -58,8 +58,8 @@ pub mod prelude {
     };
     pub use mca_core::{
         accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, DistanceKind,
-        PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory, System, SystemConfig,
-        SystemReport, TimeSlot, WorkloadPredictor,
+        ParallelismPolicy, PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory,
+        System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
     };
     pub use mca_fleet::{FleetEngine, FleetMetrics, ShardRouter, SlotRecord, TenantShard};
     pub use mca_mobile::{DeviceClass, DeviceProfile, Moderator, PromotionPolicy, UsageStudy};
