@@ -19,12 +19,15 @@
 //! Alongside the timing comparison the harness replays every tenant
 //! **alone** (a bare [`TenantShard`], no engine) on the same records and
 //! asserts the fleet's per-tenant forecasts are bit-identical, slot by
-//! slot. The headline configuration is 64 tenants × 2,000 slots; `cargo
-//! run --release -p mca-bench --bin bench_fleet` regenerates
-//! `BENCH_fleet.json` at the repository root.
+//! slot. The fleet side is driven through the streaming ingestion API — a
+//! [`FleetDriver`] over a live [`SlotBatchSource`] lane, the path a real
+//! front-end feeds — so the measured cost includes the driver multiplexing.
+//! The headline configuration is 64 tenants × 2,000 slots; `cargo run
+//! --release -p mca-bench --bin bench_fleet` regenerates `BENCH_fleet.json`
+//! at the repository root.
 
 use mca_core::{AllocationPolicy, SystemConfig, TimeSlot, TimeSlotBuilder};
-use mca_fleet::{FleetEngine, SlotRecord, TenantShard};
+use mca_fleet::{FleetDriver, FleetEngine, SlotBatchSource, SlotRecord, TenantShard};
 use mca_offload::{AccelerationGroupId, TenantId, UserId};
 use mca_workload::TenantMix;
 use rand::rngs::StdRng;
@@ -160,11 +163,15 @@ pub fn run(workload: &FleetWorkload, seed: u64) -> FleetBenchReport {
 
     // the single merged shard of the pre-fleet architecture
     let mut single = TenantShard::new(TenantId(u32::MAX), &config, seed);
-    // the sharded fleet
+    // the sharded fleet, driven through the streaming ingestion API: the
+    // bench plays the front-end, pushing each slot's batch into the live
+    // lane the driver drains
     let mut engine = FleetEngine::new(config.clone(), workload.tenants, seed);
     engine.add_tenants(mix.tenant_ids());
     let shards = engine.shard_count();
     let threads = engine.threads();
+    let (feed, source) = SlotBatchSource::channel();
+    let mut driver = FleetDriver::new(engine).with_shared_source(source);
     // each tenant alone: the bit-identity reference
     let mut alone: Vec<TenantShard> = mix
         .tenant_ids()
@@ -195,9 +202,11 @@ pub fn run(workload: &FleetWorkload, seed: u64) -> FleetBenchReport {
         single.tick(merged, now_ms);
         single_ms += start.elapsed().as_secs_f64() * 1_000.0;
 
-        // fleet: bucketed batch ingest + parallel per-shard tick
+        // fleet: live-lane push + driver step (bucketed batch ingest +
+        // parallel per-shard tick)
         let start = Instant::now();
-        engine.tick_slot(&batch);
+        feed.push_slot(batch);
+        driver.step().expect("the shared lane never misroutes");
         fleet_ms += start.elapsed().as_secs_f64() * 1_000.0;
 
         // bit-identity: every tenant alone, same records (untimed)
@@ -206,7 +215,7 @@ pub fn run(workload: &FleetWorkload, seed: u64) -> FleetBenchReport {
             builder.extend(records.iter().copied());
             tenant.tick(builder.build(), now_ms);
         }
-        for ((_, fleet_forecast), tenant) in engine.forecasts().iter().zip(&alone) {
+        for ((_, fleet_forecast), tenant) in driver.engine().forecasts().iter().zip(&alone) {
             if fleet_forecast.as_ref() != tenant.forecast() {
                 forecasts_identical = false;
             }

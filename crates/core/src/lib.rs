@@ -29,6 +29,11 @@
 //!   strategies for ablation and the naive full scan as baseline.
 //! * [`metrics`] — prediction accuracy (the paper's 87.5 % headline metric)
 //!   and k-fold cross-validation.
+//! * [`window`] — [`SlotWindower`](window::SlotWindower): folds timestamped
+//!   events (log records, trace arrivals, live streams) into
+//!   provisioning-slot batches — out-of-order tolerance within a slot,
+//!   empty slots for gaps, deterministic boundary assignment, late-event
+//!   accounting. The bridge every ingestion path shares.
 //! * [`allocator`] — dynamic resource allocation (§IV-C): the ILP and two
 //!   baseline policies (greedy, over-provisioning).
 //! * [`sdn`] — the SDN-accelerator front-end: request handler, code
@@ -72,6 +77,7 @@ pub mod predictor;
 pub mod sdn;
 pub mod system;
 pub mod timeslot;
+pub mod window;
 
 pub use accel::{AccelerationGroup, AccelerationGroups};
 pub use allocator::{Allocation, AllocationPolicy, AllocationStats, ResourceAllocator};
@@ -87,3 +93,4 @@ pub use predictor::{
 pub use sdn::{RoutedRequest, SdnAccelerator};
 pub use system::{PromotionEvent, SlotObservation, System, SystemReport, UserPerception};
 pub use timeslot::{SlotHistory, TimeSlot, TimeSlotBuilder};
+pub use window::SlotWindower;

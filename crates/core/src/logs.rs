@@ -84,6 +84,16 @@ impl TraceLog {
         self.records.iter().filter(|r| r.success).count() as f64 / self.records.len() as f64
     }
 
+    /// Bridges the log into timestamped `(group, user)` assignment events —
+    /// the form the slot windower ([`crate::SlotWindower`]) and the fleet
+    /// ingestion layer consume when replaying a recorded log into per-slot
+    /// record batches.
+    pub fn assignments(&self) -> impl Iterator<Item = (f64, AccelerationGroupId, UserId)> + '_ {
+        self.records
+            .iter()
+            .map(|r| (r.timestamp_ms, r.group, r.user))
+    }
+
     /// The distinct users that appear in the log.
     pub fn users(&self) -> Vec<UserId> {
         let mut users: Vec<UserId> = self.records.iter().map(|r| r.user).collect();

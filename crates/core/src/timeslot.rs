@@ -21,6 +21,7 @@
 //! twice is stored once.
 
 use crate::logs::TraceLog;
+use crate::window::SlotWindower;
 use mca_offload::{AccelerationGroupId, TraceRecord, UserId};
 use serde::{Deserialize, Serialize};
 
@@ -335,15 +336,15 @@ impl SlotHistory {
     /// log through [`SlotHistory::observe`].
     pub fn from_log(log: &TraceLog, slot_length_ms: f64) -> Self {
         let mut history = Self::new(slot_length_ms);
-        let mut builders: Vec<TimeSlotBuilder> = Vec::new();
-        for record in log.records() {
-            let idx = (record.timestamp_ms / slot_length_ms).floor().max(0.0) as usize;
-            while builders.len() <= idx {
-                builders.push(TimeSlotBuilder::new(builders.len()));
-            }
-            builders[idx].assign(record.group, record.user);
+        let mut windower = SlotWindower::new(slot_length_ms);
+        for (time_ms, group, user) in log.assignments() {
+            windower.push(time_ms, (group, user));
         }
-        for builder in builders {
+        while !windower.is_drained() {
+            let index = windower.next_slot();
+            let assignments = windower.take_next();
+            let mut builder = TimeSlotBuilder::with_capacity(index, assignments.len());
+            builder.extend(assignments);
             history.push(builder.build());
         }
         history

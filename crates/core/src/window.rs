@@ -1,0 +1,199 @@
+//! Slot windowing: folding timestamped events into provisioning-slot batches.
+//!
+//! The paper's model consumes *time slots* (§IV-A), but every real workload
+//! source is timestamped — the SDN-accelerator's request log, a recorded
+//! arrival trace, a live record stream. [`SlotWindower`] is the bridge: it
+//! buckets events by `floor(timestamp / slot_length)` and hands slots out in
+//! chronological order, with three properties the ingestion layer relies on:
+//!
+//! * **out-of-order tolerance within a slot** — events may arrive in any
+//!   order; a slot's batch is complete once the slot is taken, and batch
+//!   order is irrelevant downstream ([`crate::TimeSlotBuilder`] sorts),
+//! * **empty slots for gaps** — [`SlotWindower::take_next`] yields an empty
+//!   batch for interior slots no event fell into, so the provisioning clock
+//!   never skips,
+//! * **deterministic boundary assignment** — an event whose timestamp lies
+//!   exactly on a slot boundary `k * slot_length` belongs to slot `k` (the
+//!   slot it *opens*), the same floor rule
+//!   [`crate::SlotHistory::from_log`] and the trace aggregation helpers use.
+//!
+//! Events that arrive for a slot that was already taken are **late**: they
+//! are dropped and counted ([`SlotWindower::late_events`]), never silently
+//! folded into a wrong slot.
+
+use std::collections::BTreeMap;
+
+/// Folds timestamped events into provisioning-slot batches.
+///
+/// Generic over the event payload `T` so the same windower serves the core
+/// trace-replay path (`(group, user)` assignments) and the fleet ingestion
+/// layer (tenant-tagged records).
+///
+/// ```
+/// use mca_core::SlotWindower;
+///
+/// let mut windower = SlotWindower::new(1_000.0);
+/// windower.push(250.0, "a");
+/// windower.push(2_500.0, "c"); // slot 2: leaves slot 1 as a gap
+/// windower.push(100.0, "b");   // out of order within slot 0: fine
+/// assert_eq!(windower.take_next(), vec!["a", "b"]);
+/// assert_eq!(windower.take_next(), Vec::<&str>::new()); // the gap slot
+/// assert!(!windower.push(500.0, "late")); // slot 0 was already taken
+/// assert_eq!(windower.take_next(), vec!["c"]);
+/// assert_eq!(windower.late_events(), 1);
+/// assert!(windower.is_drained());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotWindower<T> {
+    slot_length_ms: f64,
+    /// Events awaiting their slot, keyed by slot index.
+    pending: BTreeMap<usize, Vec<T>>,
+    /// The next slot [`SlotWindower::take_next`] will emit.
+    next_slot: usize,
+    /// Events dropped because their slot was already emitted.
+    late_events: usize,
+}
+
+impl<T> SlotWindower<T> {
+    /// Creates a windower over slots of `slot_length_ms` milliseconds,
+    /// starting at slot 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot length is not strictly positive.
+    pub fn new(slot_length_ms: f64) -> Self {
+        assert!(slot_length_ms > 0.0, "slot length must be positive");
+        Self {
+            slot_length_ms,
+            pending: BTreeMap::new(),
+            next_slot: 0,
+            late_events: 0,
+        }
+    }
+
+    /// The slot length, ms.
+    pub fn slot_length_ms(&self) -> f64 {
+        self.slot_length_ms
+    }
+
+    /// The slot a timestamp falls into: `floor(time / slot_length)`, clamped
+    /// at 0. A timestamp exactly on a boundary opens the later slot.
+    pub fn slot_of(&self, time_ms: f64) -> usize {
+        (time_ms / self.slot_length_ms).floor().max(0.0) as usize
+    }
+
+    /// Buckets one event. Returns `false` (and counts the event as late)
+    /// when its slot was already emitted.
+    pub fn push(&mut self, time_ms: f64, event: T) -> bool {
+        let slot = self.slot_of(time_ms);
+        if slot < self.next_slot {
+            self.late_events += 1;
+            return false;
+        }
+        self.pending.entry(slot).or_default().push(event);
+        true
+    }
+
+    /// Index of the next slot [`SlotWindower::take_next`] will emit.
+    pub fn next_slot(&self) -> usize {
+        self.next_slot
+    }
+
+    /// The highest slot currently holding a pending event, if any.
+    pub fn last_pending_slot(&self) -> Option<usize> {
+        self.pending.keys().next_back().copied()
+    }
+
+    /// Number of buffered events across all pending slots.
+    pub fn pending_events(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` when no event is waiting for a future slot.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Events dropped so far because their slot had already been emitted.
+    pub fn late_events(&self) -> usize {
+        self.late_events
+    }
+
+    /// Emits the next slot's batch, in push order, and advances the window.
+    /// Gap slots (no event fell into them) yield an empty batch, so calling
+    /// this repeatedly walks every slot up to the last pending one.
+    pub fn take_next(&mut self) -> Vec<T> {
+        let batch = self.pending.remove(&self.next_slot).unwrap_or_default();
+        self.next_slot += 1;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_events_open_the_later_slot() {
+        let mut windower = SlotWindower::new(1_000.0);
+        windower.push(0.0, 0u32); // boundary of slot 0
+        windower.push(999.999, 1);
+        windower.push(1_000.0, 2); // boundary: slot 1, deterministically
+        windower.push(2_000.0, 3);
+        assert_eq!(windower.take_next(), vec![0, 1]);
+        assert_eq!(windower.take_next(), vec![2]);
+        assert_eq!(windower.take_next(), vec![3]);
+    }
+
+    #[test]
+    fn out_of_order_within_a_slot_is_tolerated_in_push_order() {
+        let mut windower = SlotWindower::new(100.0);
+        windower.push(90.0, "c");
+        windower.push(10.0, "a");
+        windower.push(50.0, "b");
+        assert_eq!(windower.take_next(), vec!["c", "a", "b"]);
+        assert_eq!(windower.late_events(), 0);
+    }
+
+    #[test]
+    fn gaps_emit_empty_slots_and_drain_reports_pending() {
+        let mut windower = SlotWindower::new(100.0);
+        windower.push(10.0, 1u8);
+        windower.push(410.0, 2);
+        assert_eq!(windower.last_pending_slot(), Some(4));
+        assert_eq!(windower.pending_events(), 2);
+        assert_eq!(windower.take_next(), vec![1]);
+        for gap in 1..4 {
+            assert_eq!(windower.take_next(), Vec::<u8>::new(), "slot {gap}");
+            assert_eq!(windower.next_slot(), gap + 1);
+        }
+        assert!(!windower.is_drained());
+        assert_eq!(windower.take_next(), vec![2]);
+        assert!(windower.is_drained());
+    }
+
+    #[test]
+    fn late_events_are_dropped_and_counted() {
+        let mut windower = SlotWindower::new(100.0);
+        windower.push(10.0, 1u8);
+        assert_eq!(windower.take_next(), vec![1]);
+        assert!(!windower.push(50.0, 2), "slot 0 already emitted");
+        assert!(windower.push(150.0, 3), "slot 1 still open");
+        assert_eq!(windower.late_events(), 1);
+        assert_eq!(windower.take_next(), vec![3]);
+    }
+
+    #[test]
+    fn negative_timestamps_clamp_to_slot_zero() {
+        let mut windower = SlotWindower::new(100.0);
+        windower.push(-50.0, 1u8);
+        windower.push(20.0, 2);
+        assert_eq!(windower.take_next(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn zero_slot_length_panics() {
+        let _ = SlotWindower::<u8>::new(0.0);
+    }
+}

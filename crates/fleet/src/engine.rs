@@ -15,6 +15,7 @@
 //!   bit-identical to running that tenant alone, whatever the shard layout
 //!   or thread count.
 
+use crate::error::FleetError;
 use crate::ingest::{bucket_by_shard, SlotRecord};
 use crate::metrics::{FleetMetrics, TenantMetrics};
 use crate::router::ShardRouter;
@@ -59,18 +60,6 @@ impl Shard {
             tenant.tick(builder.build(), now_ms);
         }
         unknown
-    }
-
-    /// Generates each tenant's slot from the mix — drawing churn from the
-    /// tenant's own RNG stream — and runs the provisioning tick.
-    fn tick_mix(&mut self, mix: &TenantMix, slot_index: usize, now_ms: f64) {
-        for tenant in &mut self.tenants {
-            let id = tenant.id();
-            let records = mix.slot_records(id, slot_index, tenant.rng_mut());
-            let mut builder = TimeSlotBuilder::with_capacity(slot_index, records.len());
-            builder.extend(records);
-            tenant.tick(builder.build(), now_ms);
-        }
     }
 }
 
@@ -170,6 +159,19 @@ impl FleetEngine {
         self.user_sharded.iter().copied()
     }
 
+    /// Every onboarded tenant id, sorted (a user-sharded tenant appears
+    /// once, not once per replica).
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.tenants.iter().map(TenantShard::id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Index of the next slot to tick.
     pub fn slot_index(&self) -> usize {
         self.slot_index
@@ -236,52 +238,76 @@ impl FleetEngine {
 
     /// Offboards `tenant`, handing its slot history out (shard hand-off: the
     /// knowledge base moves without copying and can seed another engine or
-    /// shard). Returns `None` when the tenant is unknown.
+    /// shard).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tenant is user-sharded — it has one history per shard;
-    /// use [`FleetEngine::extract_user_sharded_tenant`] instead.
-    pub fn extract_tenant(&mut self, tenant: TenantId) -> Option<SlotHistory> {
-        assert!(
-            !self.user_sharded.contains(&tenant),
-            "tenant {tenant} is user-sharded; extract_user_sharded_tenant returns its per-shard histories"
-        );
+    /// [`FleetError::UnknownTenant`] when the tenant is not onboarded;
+    /// [`FleetError::UserSharded`] when it is served in user-sharded mode —
+    /// it has one history per shard, handed out by
+    /// [`FleetEngine::extract_user_sharded_tenant`].
+    pub fn extract_tenant(&mut self, tenant: TenantId) -> Result<SlotHistory, FleetError> {
+        if self.user_sharded.contains(&tenant) {
+            return Err(FleetError::UserSharded { tenant });
+        }
         let now_ms = self.slot_index as f64 * self.config.slot_length_ms;
         let shard = &mut self.shards[self.router.shard_of_tenant(tenant)];
         let at = shard
             .tenants
             .binary_search_by_key(&tenant, TenantShard::id)
-            .ok()?;
+            .map_err(|_| FleetError::UnknownTenant { tenant })?;
         let mut state = shard.tenants.remove(at);
-        Some(state.decommission(now_ms))
+        Ok(state.decommission(now_ms))
     }
 
     /// Offboards a user-sharded tenant: every replica is decommissioned and
-    /// its slice history handed out, in shard order. Returns `None` when the
-    /// tenant is not user-sharded.
-    pub fn extract_user_sharded_tenant(&mut self, tenant: TenantId) -> Option<Vec<SlotHistory>> {
-        if !self.user_sharded.remove(&tenant) {
-            return None;
+    /// its slice history handed out, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NotUserSharded`] when the tenant is not served in
+    /// user-sharded mode; [`FleetError::MissingReplica`] when a shard has
+    /// lost its replica (an engine invariant violation — the engine is left
+    /// untouched).
+    pub fn extract_user_sharded_tenant(
+        &mut self,
+        tenant: TenantId,
+    ) -> Result<Vec<SlotHistory>, FleetError> {
+        if !self.user_sharded.contains(&tenant) {
+            return Err(FleetError::NotUserSharded { tenant });
         }
+        // validate every replica before touching anything, so an invariant
+        // violation surfaces without a half-extracted tenant
+        let positions: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                shard
+                    .tenants
+                    .binary_search_by_key(&tenant, TenantShard::id)
+                    .map_err(|_| FleetError::MissingReplica {
+                        tenant,
+                        shard: index,
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        self.user_sharded.remove(&tenant);
         let now_ms = self.slot_index as f64 * self.config.slot_length_ms;
         let mut histories = Vec::with_capacity(self.shards.len());
-        for shard in &mut self.shards {
-            let at = shard
-                .tenants
-                .binary_search_by_key(&tenant, TenantShard::id)
-                .expect("every shard hosts a replica of a user-sharded tenant");
+        for (shard, at) in self.shards.iter_mut().zip(positions) {
             let mut state = shard.tenants.remove(at);
             histories.push(state.decommission(now_ms));
         }
-        Some(histories)
+        Ok(histories)
     }
 
     /// Ticks one provisioning slot on a batch of arrival records: buckets
     /// the batch by shard (one router pass), then runs every shard's
     /// predict→allocate→bill cycle in parallel. Records naming unknown
-    /// tenants are counted in [`FleetEngine::dropped_records`].
-    pub fn tick_slot(&mut self, records: &[SlotRecord]) {
+    /// tenants are counted in [`FleetEngine::dropped_records`]. This is the
+    /// single ingestion primitive every front-end funnels into.
+    pub(crate) fn ingest_batch(&mut self, records: &[SlotRecord]) {
         let slot_index = self.slot_index;
         let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
         let buckets = bucket_by_shard(records, &self.router, &self.user_sharded);
@@ -303,30 +329,76 @@ impl FleetEngine {
         self.slot_index += 1;
     }
 
-    /// Ticks one provisioning slot generated from a [`TenantMix`]: each
-    /// shard draws its tenants' records from their private RNG streams and
-    /// ticks, all in parallel.
+    /// Ticks one provisioning slot on a hand-built batch of arrival
+    /// records.
+    #[deprecated(
+        note = "drive the engine through `mca_fleet::FleetDriver` (a `SlotBatchSource` replays \
+                hand-built batches); this shim runs the identical ingest"
+    )]
+    pub fn tick_slot(&mut self, records: &[SlotRecord]) {
+        self.ingest_batch(records);
+    }
+
+    /// Ticks one provisioning slot generated from a [`TenantMix`]: every
+    /// tenant's records are drawn from its private RNG stream (in tenant-id
+    /// order within each shard, streams independent) and routed through the
+    /// ordinary batch ingest — so user-sharded tenants are served
+    /// per-record like any other batch, a configuration the old
+    /// generate-inside-the-shard path had to reject.
+    ///
+    /// For a user-sharded tenant the generation stream lives with the
+    /// replica on shard 0 (replica RNGs are never consumed by batched
+    /// ingest, so the other replicas' streams staying untouched is
+    /// harmless).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::TenantNotInMix`] when a hosted tenant is not part of
+    /// the mix (checked before any stream is advanced).
+    pub fn try_tick_mix(&mut self, mix: &TenantMix) -> Result<(), FleetError> {
+        for shard in &self.shards {
+            for tenant in &shard.tenants {
+                if tenant.id().0 as usize >= mix.tenants() {
+                    return Err(FleetError::TenantNotInMix {
+                        tenant: tenant.id(),
+                        mix_tenants: mix.tenants(),
+                    });
+                }
+            }
+        }
+        let slot_index = self.slot_index;
+        let mut batch: Vec<SlotRecord> = Vec::new();
+        let mut generated: BTreeSet<TenantId> = BTreeSet::new();
+        for shard in &mut self.shards {
+            for tenant in &mut shard.tenants {
+                let id = tenant.id();
+                if self.user_sharded.contains(&id) && !generated.insert(id) {
+                    continue;
+                }
+                batch.extend(
+                    mix.slot_records(id, slot_index, tenant.rng_mut())
+                        .into_iter()
+                        .map(|(group, user)| SlotRecord::new(id, group, user)),
+                );
+            }
+        }
+        self.ingest_batch(&batch);
+        Ok(())
+    }
+
+    /// Ticks one provisioning slot generated from a [`TenantMix`].
     ///
     /// # Panics
     ///
-    /// Panics if a hosted tenant is not part of the mix, or if any tenant is
-    /// user-sharded: the mix draws a tenant's *whole* population from its
-    /// RNG stream, so every replica would generate every user — feed huge
-    /// tenants through [`FleetEngine::tick_slot`] record batches instead.
+    /// Panics if a hosted tenant is not part of the mix.
+    #[deprecated(
+        note = "drive the engine through `mca_fleet::FleetDriver::with_mix` (or call \
+                `try_tick_mix` for the typed-error form)"
+    )]
     pub fn tick_mix(&mut self, mix: &TenantMix) {
-        assert!(
-            self.user_sharded.is_empty(),
-            "tick_mix cannot drive user-sharded tenants; ingest record batches via tick_slot"
-        );
-        let slot_index = self.slot_index;
-        let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
-        let shards = &mut self.shards;
-        self.pool.install(|| {
-            shards
-                .par_iter_mut()
-                .for_each(|shard| shard.tick_mix(mix, slot_index, now_ms));
-        });
-        self.slot_index += 1;
+        if let Err(error) = self.try_tick_mix(mix) {
+            panic!("tick_mix: {error}");
+        }
     }
 
     /// Every tenant's standing forecast for the next slot, sorted by tenant
@@ -366,10 +438,12 @@ impl FleetEngine {
             .collect();
         let mut any = false;
         for shard in &self.shards {
-            let at = shard
-                .tenants
-                .binary_search_by_key(&tenant, TenantShard::id)
-                .expect("every shard hosts a replica of a user-sharded tenant");
+            // every shard hosts a replica of a user-sharded tenant; a missing
+            // one is skipped rather than panicking so the reporting path
+            // (forecasts / DriveReport) can never unwind the fleet
+            let Ok(at) = shard.tenants.binary_search_by_key(&tenant, TenantShard::id) else {
+                continue;
+            };
             if let Some(forecast) = shard.tenants[at].forecast() {
                 any = true;
                 for (group, load) in &forecast.per_group {
@@ -421,6 +495,10 @@ impl FleetEngine {
 
 #[cfg(test)]
 mod tests {
+    // the deprecated tick_slot/tick_mix shims are exercised on purpose: they
+    // must stay bit-identical to the ingest paths they wrap
+    #![allow(deprecated)]
+
     use super::*;
     use mca_offload::{AccelerationGroupId, UserId};
 
@@ -493,7 +571,12 @@ mod tests {
         assert_eq!(history.len(), 3);
         assert_eq!(engine.tenants(), 3);
         assert!(engine.tenant(TenantId(2)).is_none());
-        assert!(engine.extract_tenant(TenantId(2)).is_none());
+        assert_eq!(
+            engine.extract_tenant(TenantId(2)).unwrap_err(),
+            FleetError::UnknownTenant {
+                tenant: TenantId(2)
+            }
+        );
         // the remaining tenants keep ticking
         engine.tick_slot(&records(4, 5));
         assert_eq!(engine.dropped_records(), 5, "tenant 2's records now drop");
@@ -609,7 +692,12 @@ mod tests {
             assert_eq!(users, 30, "slot {slot}");
         }
         assert_eq!(engine.tenants(), 0);
-        assert!(engine.extract_user_sharded_tenant(TenantId(2)).is_none());
+        assert_eq!(
+            engine.extract_user_sharded_tenant(TenantId(2)).unwrap_err(),
+            FleetError::NotUserSharded {
+                tenant: TenantId(2)
+            }
+        );
         assert!(engine.combined_forecast(TenantId(2)).is_none());
     }
 
@@ -622,19 +710,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "extract_user_sharded_tenant")]
-    fn extracting_a_user_sharded_tenant_by_tenant_path_panics() {
+    fn extracting_a_user_sharded_tenant_by_tenant_path_is_a_typed_error() {
         let mut engine = FleetEngine::new(config(), 2, 1);
         engine.add_user_sharded_tenant(TenantId(1));
-        let _ = engine.extract_tenant(TenantId(1));
+        assert_eq!(
+            engine.extract_tenant(TenantId(1)).unwrap_err(),
+            FleetError::UserSharded {
+                tenant: TenantId(1)
+            }
+        );
+        // the tenant is untouched by the failed extraction
+        assert_eq!(engine.tenants(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "tick_mix cannot drive user-sharded tenants")]
-    fn tick_mix_rejects_user_sharded_tenants() {
+    fn tenant_ids_lists_every_tenant_once() {
+        let mut engine = FleetEngine::new(config(), 3, 1);
+        engine.add_tenants([TenantId(4), TenantId(1)]);
+        engine.add_user_sharded_tenant(TenantId(2));
+        assert_eq!(
+            engine.tenant_ids(),
+            vec![TenantId(1), TenantId(2), TenantId(4)]
+        );
+    }
+
+    #[test]
+    fn try_tick_mix_errors_when_a_hosted_tenant_is_missing_from_the_mix() {
         let mut engine = FleetEngine::new(config(), 2, 1);
-        engine.add_user_sharded_tenant(TenantId(0));
-        let mix = mca_workload::TenantMix::heterogeneous(1, 4, config().groups.ids(), 1);
-        engine.tick_mix(&mix);
+        engine.add_tenants([TenantId(0), TenantId(5)]);
+        let mix = mca_workload::TenantMix::heterogeneous(2, 4, config().groups.ids(), 1);
+        assert_eq!(
+            engine.try_tick_mix(&mix).unwrap_err(),
+            FleetError::TenantNotInMix {
+                tenant: TenantId(5),
+                mix_tenants: 2
+            }
+        );
+        assert_eq!(engine.slot_index(), 0, "the failed tick did not advance");
+    }
+
+    #[test]
+    fn try_tick_mix_drives_user_sharded_tenants_through_the_batch_path() {
+        // the configuration the old generate-inside-the-shard tick_mix had
+        // to reject: a user-sharded tenant driven from a mix. Routing the
+        // generated records through the batch ingest must match generating
+        // the same records by hand and feeding them to the ingest directly.
+        let mix = mca_workload::TenantMix::heterogeneous(2, 16, config().groups.ids(), 3);
+        let seed = 3; // fleet seed == mix seed: shard streams are canonical
+
+        let mut via_mix = FleetEngine::new(config(), 3, seed);
+        via_mix.add_user_sharded_tenant(TenantId(0));
+        via_mix.add_tenant(TenantId(1));
+
+        let mut via_batches = FleetEngine::new(config(), 3, seed);
+        via_batches.add_user_sharded_tenant(TenantId(0));
+        via_batches.add_tenant(TenantId(1));
+
+        let mut streams: Vec<_> = mix.tenant_ids().map(|t| mix.stream_for(t)).collect();
+        for slot in 0..6 {
+            via_mix
+                .try_tick_mix(&mix)
+                .expect("both tenants are in the mix");
+            let mut batch = Vec::new();
+            for tenant in mix.tenant_ids() {
+                batch.extend(
+                    mix.slot_records(tenant, slot, &mut streams[tenant.0 as usize])
+                        .into_iter()
+                        .map(|(g, u)| SlotRecord::new(tenant, g, u)),
+                );
+            }
+            via_batches.tick_slot(&batch);
+        }
+        assert_eq!(via_mix.metrics(), via_batches.metrics());
+        assert_eq!(via_mix.forecasts(), via_batches.forecasts());
+        assert_eq!(via_mix.dropped_records(), 0);
     }
 }

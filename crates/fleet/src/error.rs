@@ -1,0 +1,137 @@
+//! Typed errors for the fleet engine and the streaming ingestion driver.
+//!
+//! The pre-driver API reported misuse with `assert!`/`expect` panics deep in
+//! the engine (the `tick_mix` user-sharded rejection, the `extract_*` replica
+//! lookups). The ingestion redesign surfaces every such condition as a
+//! [`FleetError`] returned through [`crate::FleetDriver`] and the engine's
+//! fallible methods, so a control plane can handle a misconfigured tenant or
+//! source without unwinding the whole fleet.
+
+use mca_offload::TenantId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fleet engine and the ingestion driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tenant is not onboarded on this engine.
+    UnknownTenant {
+        /// The tenant that was named.
+        tenant: TenantId,
+    },
+    /// The tenant is served in user-sharded mode, but a tenant-sharded
+    /// operation was requested (e.g. [`crate::FleetEngine::extract_tenant`]
+    /// on a tenant whose history lives in one slice per shard).
+    UserSharded {
+        /// The user-sharded tenant.
+        tenant: TenantId,
+    },
+    /// The tenant is not served in user-sharded mode, but a user-sharded
+    /// operation was requested.
+    NotUserSharded {
+        /// The tenant.
+        tenant: TenantId,
+    },
+    /// A shard does not host the replica of a user-sharded tenant it is
+    /// supposed to (an engine invariant violation surfaced instead of
+    /// panicking mid-extraction).
+    MissingReplica {
+        /// The user-sharded tenant.
+        tenant: TenantId,
+        /// The shard missing its replica.
+        shard: usize,
+    },
+    /// A hosted tenant is not part of the [`mca_workload::TenantMix`] that
+    /// was asked to drive the fleet.
+    TenantNotInMix {
+        /// The hosted tenant the mix does not define.
+        tenant: TenantId,
+        /// Number of tenants the mix defines (ids `0..mix_tenants`).
+        mix_tenants: usize,
+    },
+    /// A record source is already registered for this tenant.
+    DuplicateSource {
+        /// The tenant with two sources.
+        tenant: TenantId,
+    },
+    /// A source bound to one tenant produced a record naming another.
+    ForeignRecord {
+        /// The tenant the source is bound to.
+        bound: TenantId,
+        /// The tenant the offending record named.
+        found: TenantId,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not onboarded")
+            }
+            FleetError::UserSharded { tenant } => write!(
+                f,
+                "tenant {tenant} is user-sharded; its history is one slice per shard \
+                 (use extract_user_sharded_tenant)"
+            ),
+            FleetError::NotUserSharded { tenant } => {
+                write!(f, "tenant {tenant} is not user-sharded")
+            }
+            FleetError::MissingReplica { tenant, shard } => write!(
+                f,
+                "shard {shard} does not host a replica of user-sharded tenant {tenant}"
+            ),
+            FleetError::TenantNotInMix {
+                tenant,
+                mix_tenants,
+            } => write!(
+                f,
+                "hosted tenant {tenant} is not part of the mix ({mix_tenants} mix tenants)"
+            ),
+            FleetError::DuplicateSource { tenant } => {
+                write!(
+                    f,
+                    "a record source is already registered for tenant {tenant}"
+                )
+            }
+            FleetError::ForeignRecord { bound, found } => write!(
+                f,
+                "source bound to tenant {bound} produced a record for tenant {found}"
+            ),
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_tenant_and_condition() {
+        let e = FleetError::UnknownTenant {
+            tenant: TenantId(7),
+        };
+        assert!(e.to_string().contains("not onboarded"));
+        let e = FleetError::ForeignRecord {
+            bound: TenantId(1),
+            found: TenantId(2),
+        };
+        let text = e.to_string();
+        assert!(text.contains("bound"));
+        assert!(text.contains('2'));
+        assert!(FleetError::TenantNotInMix {
+            tenant: TenantId(9),
+            mix_tenants: 4
+        }
+        .to_string()
+        .contains("mix"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<FleetError>();
+    }
+}

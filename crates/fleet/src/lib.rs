@@ -21,6 +21,18 @@
 //!   per slot, bucketed by shard in one pass and materialized per tenant
 //!   with [`mca_core::TimeSlotBuilder`]'s single sort + dedup instead of a
 //!   per-record ordered insert.
+//! * [`source`] — the unified streaming ingestion surface:
+//!   [`RecordSource`], a source-agnostic stream of per-slot
+//!   [`SourceBatch`]es, with adapters for every workload shape — recorded
+//!   arrival traces ([`ArrivalTraceSource`]), SDN-accelerator request logs
+//!   ([`TraceLogSource`]), synthetic tenant mixes ([`TenantMixSource`]),
+//!   replayable batch lists and push-fed live streams
+//!   ([`SlotBatchSource`], [`StreamSource`]). Timestamped sources window
+//!   their events with [`mca_core::SlotWindower`].
+//! * [`driver`] — [`FleetDriver`]: multiplexes many sources, drives the
+//!   engine slot by slot and reports a [`DriveReport`] (forecasts, rollup,
+//!   late/dropped-record accounting). Misuse surfaces as a typed
+//!   [`FleetError`] instead of a panic.
 //! * [`engine`] — [`FleetEngine`]: owns the shards and runs every shard's
 //!   tick concurrently on a rayon thread pool. Per-tenant forecasts are
 //!   bit-identical to running each tenant alone, whatever the shard count
@@ -39,32 +51,40 @@
 //!
 //! ```
 //! use mca_core::SystemConfig;
-//! use mca_fleet::FleetEngine;
+//! use mca_fleet::{FleetDriver, FleetEngine};
 //! use mca_workload::TenantMix;
 //!
 //! let config = SystemConfig::paper_three_groups().with_history_window(64);
 //! let mix = TenantMix::heterogeneous(8, 16, config.groups.ids(), 7);
 //! let mut engine = FleetEngine::new(config, 4, 7);
 //! engine.add_tenants(mix.tenant_ids());
-//! for _ in 0..12 {
-//!     engine.tick_mix(&mix);
-//! }
-//! let rollup = engine.metrics();
-//! assert_eq!(rollup.tenants, 8);
-//! assert!(rollup.mean_accuracy.unwrap() > 0.0);
+//! let mut driver = FleetDriver::new(engine).with_mix(&mix).unwrap();
+//! let report = driver.run(12).unwrap();
+//! assert_eq!(report.metrics.tenants, 8);
+//! assert!(report.metrics.mean_accuracy.unwrap() > 0.0);
+//! assert_eq!(report.late_records + report.dropped_records, 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod engine;
+pub mod error;
 pub mod ingest;
 pub mod metrics;
 pub mod router;
 pub mod shard;
+pub mod source;
 
+pub use driver::{DriveReport, FleetDriver};
 pub use engine::FleetEngine;
+pub use error::FleetError;
 pub use ingest::SlotRecord;
 pub use metrics::{FleetMetrics, TenantMetrics};
 pub use router::ShardRouter;
 pub use shard::TenantShard;
+pub use source::{
+    ArrivalTraceSource, RecordSource, SlotBatchHandle, SlotBatchSource, SourceBatch, StreamHandle,
+    StreamSource, TenantMixSource, TraceLogSource,
+};

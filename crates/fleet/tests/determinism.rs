@@ -1,10 +1,13 @@
 //! Shard determinism: the same `TenantMix` seed must produce identical
 //! `FleetMetrics` (and forecasts) across repeated runs, across thread
 //! counts, across shard counts — and per-tenant results must be
-//! bit-identical to running each tenant alone.
+//! bit-identical to running each tenant alone. All runs are driven through
+//! the streaming ingestion API (`FleetDriver` over per-tenant
+//! `TenantMixSource`s), which is itself required to reproduce the
+//! deprecated `tick_mix` path exactly.
 
 use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
-use mca_fleet::{FleetEngine, FleetMetrics, TenantShard};
+use mca_fleet::{FleetDriver, FleetEngine, FleetMetrics, TenantShard};
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
 
@@ -27,10 +30,11 @@ fn run_fleet(
     let mix = mix();
     let mut engine = FleetEngine::new(config(), shards, SEED).with_threads(threads);
     engine.add_tenants(mix.tenant_ids());
-    for _ in 0..SLOTS {
-        engine.tick_mix(&mix);
-    }
-    (engine.metrics(), engine.forecasts())
+    let mut driver = FleetDriver::new(engine)
+        .with_mix(&mix)
+        .expect("every tenant is part of the mix");
+    let report = driver.run(SLOTS).expect("mix sources never misbehave");
+    (report.metrics, report.forecasts)
 }
 
 #[test]
@@ -62,6 +66,23 @@ fn shard_layout_does_not_change_results() {
 }
 
 #[test]
+#[allow(deprecated)]
+fn deprecated_tick_mix_shim_matches_the_driver_exactly() {
+    // the legacy entry point is a shim over the same ingest path the driver
+    // uses — fleet seed == mix seed makes the shard streams canonical, so
+    // the two runs must agree bit for bit
+    let mix = mix();
+    let mut engine = FleetEngine::new(config(), 4, SEED).with_threads(2);
+    engine.add_tenants(mix.tenant_ids());
+    for _ in 0..SLOTS {
+        engine.tick_mix(&mix);
+    }
+    let (driver_metrics, driver_forecasts) = run_fleet(4, 2);
+    assert_eq!(engine.metrics(), driver_metrics);
+    assert_eq!(engine.forecasts(), driver_forecasts);
+}
+
+#[test]
 fn intra_predictor_parallel_scan_does_not_change_fleet_results() {
     // the chunked knowledge-base scan inside each predictor must be
     // invisible in every rollup, for any chunk count — even forced onto the
@@ -70,21 +91,19 @@ fn intra_predictor_parallel_scan_does_not_change_fleet_results() {
     let baseline = {
         let mut engine = FleetEngine::new(config(), 4, SEED).with_threads(2);
         engine.add_tenants(mix.tenant_ids());
-        for _ in 0..SLOTS {
-            engine.tick_mix(&mix);
-        }
-        (engine.metrics(), engine.forecasts())
+        let mut driver = FleetDriver::new(engine).with_mix(&mix).unwrap();
+        let report = driver.run(SLOTS).unwrap();
+        (report.metrics, report.forecasts)
     };
     for chunks in [2, 4, 16] {
         let parallel_config = config()
             .with_parallelism(ParallelismPolicy::parallel(chunks).with_min_parallel_slots(1));
         let mut engine = FleetEngine::new(parallel_config, 4, SEED).with_threads(2);
         engine.add_tenants(mix.tenant_ids());
-        for _ in 0..SLOTS {
-            engine.tick_mix(&mix);
-        }
-        assert_eq!(engine.metrics(), baseline.0, "chunks={chunks}");
-        assert_eq!(engine.forecasts(), baseline.1, "chunks={chunks}");
+        let mut driver = FleetDriver::new(engine).with_mix(&mix).unwrap();
+        let report = driver.run(SLOTS).unwrap();
+        assert_eq!(report.metrics, baseline.0, "chunks={chunks}");
+        assert_eq!(report.forecasts, baseline.1, "chunks={chunks}");
     }
 }
 
@@ -93,6 +112,7 @@ fn fleet_forecasts_are_bit_identical_to_each_tenant_alone() {
     let mix = mix();
     let mut engine = FleetEngine::new(config(), 5, SEED).with_threads(4);
     engine.add_tenants(mix.tenant_ids());
+    let mut driver = FleetDriver::new(engine).with_mix(&mix).unwrap();
 
     // each tenant alone: a bare TenantShard (no router, no engine, no
     // parallelism) consuming the same mix through the same stream seeds
@@ -102,7 +122,7 @@ fn fleet_forecasts_are_bit_identical_to_each_tenant_alone() {
         .collect();
 
     for slot in 0..SLOTS {
-        engine.tick_mix(&mix);
+        driver.step().expect("mix sources never misbehave");
         let now_ms = (slot + 1) as f64 * config().slot_length_ms;
         for tenant in &mut alone {
             let records = mix.slot_records(tenant.id(), slot, tenant.rng_mut());
@@ -111,7 +131,7 @@ fn fleet_forecasts_are_bit_identical_to_each_tenant_alone() {
             tenant.tick(builder.build(), now_ms);
         }
         // compare after every slot, not just at the end
-        for ((fleet_id, fleet_forecast), tenant) in engine.forecasts().iter().zip(&alone) {
+        for ((fleet_id, fleet_forecast), tenant) in driver.engine().forecasts().iter().zip(&alone) {
             assert_eq!(*fleet_id, tenant.id());
             assert_eq!(
                 fleet_forecast.as_ref(),
@@ -121,7 +141,7 @@ fn fleet_forecasts_are_bit_identical_to_each_tenant_alone() {
         }
     }
     // the accounting agrees too
-    let rollup = engine.metrics();
+    let rollup = driver.engine().metrics();
     let alone_rollup = FleetMetrics::aggregate(alone.iter().map(|t| t.metrics().clone()).collect());
     assert_eq!(rollup, alone_rollup);
 }

@@ -113,10 +113,44 @@ impl ArrivalTrace {
     }
 
     /// Merges another trace into this one, keeping chronological order.
+    ///
+    /// Both traces are already sorted (every constructor sorts), so a single
+    /// linear two-way merge suffices — `O(n + m)` instead of the
+    /// `O((n + m) log(n + m))` re-sort of the full concatenation. Ties keep
+    /// this trace's arrivals before `other`'s, exactly as the previous
+    /// concatenate-and-stable-sort did.
     pub fn merge(&mut self, other: ArrivalTrace) {
-        self.arrivals.extend(other.arrivals);
-        self.arrivals
-            .sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("times are finite"));
+        if other.arrivals.is_empty() {
+            return;
+        }
+        if self.arrivals.is_empty() {
+            self.arrivals = other.arrivals;
+            return;
+        }
+        let left = std::mem::take(&mut self.arrivals);
+        let mut merged = Vec::with_capacity(left.len() + other.arrivals.len());
+        let mut a = left.into_iter().peekable();
+        let mut b = other.arrivals.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.time_ms <= y.time_ms {
+                        merged.push(a.next().expect("peeked"));
+                    } else {
+                        merged.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(b);
+                    break;
+                }
+            }
+        }
+        self.arrivals = merged;
     }
 }
 
@@ -204,6 +238,61 @@ mod tests {
         a.merge(b);
         let times: Vec<f64> = a.iter().map(|x| x.time_ms).collect();
         assert_eq!(times, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn merge_with_empty_traces_is_identity() {
+        let mut a = ArrivalTrace::new(vec![arrival(10.0, 1)]);
+        a.merge(ArrivalTrace::default());
+        assert_eq!(a.len(), 1);
+        let mut empty = ArrivalTrace::default();
+        empty.merge(a.clone());
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn merge_ties_keep_self_before_other() {
+        // the stable-sort behaviour the linear merge must reproduce: on equal
+        // timestamps, self's arrivals come first, each side in its own order
+        let mut a = ArrivalTrace::new(vec![arrival(10.0, 1), arrival(10.0, 2)]);
+        let b = ArrivalTrace::new(vec![arrival(10.0, 3), arrival(10.0, 4)]);
+        a.merge(b);
+        let users: Vec<u32> = a.iter().map(|x| x.user.0).collect();
+        assert_eq!(users, vec![1, 2, 3, 4]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The linear merge is bit-identical to the previous implementation
+        /// (concatenate, then stable-sort by time) on arbitrary trace pairs —
+        /// timestamps drawn from a tiny range so ties are common.
+        #[test]
+        fn linear_merge_equals_concat_and_stable_sort(
+            left in proptest::collection::vec((0u32..40, 0u32..8), 0..32),
+            right in proptest::collection::vec((0u32..40, 0u32..8), 0..32),
+        ) {
+            let build = |pairs: &[(u32, u32)]| {
+                ArrivalTrace::new(
+                    pairs
+                        .iter()
+                        .map(|&(t, u)| arrival(f64::from(t) * 0.5, u))
+                        .collect(),
+                )
+            };
+            let mut merged = build(&left);
+            merged.merge(build(&right));
+
+            // the old behaviour, reproduced verbatim as the reference
+            let mut reference: Vec<Arrival> = build(&left)
+                .iter()
+                .chain(build(&right).iter())
+                .copied()
+                .collect();
+            reference
+                .sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("times are finite"));
+            proptest::prop_assert_eq!(merged.arrivals(), reference.as_slice());
+        }
     }
 
     #[test]

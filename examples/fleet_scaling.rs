@@ -7,7 +7,7 @@
 //! ```
 
 use mobile_code_acceleration::core::SystemConfig;
-use mobile_code_acceleration::fleet::FleetEngine;
+use mobile_code_acceleration::fleet::{FleetDriver, FleetEngine};
 use mobile_code_acceleration::workload::{TenantMix, TenantScenario};
 
 const TENANTS: usize = 16;
@@ -44,11 +44,15 @@ fn main() {
         SLOTS,
     );
 
-    for _ in 0..SLOTS {
-        engine.tick_mix(&mix);
-    }
+    // one mix-backed record source per tenant, multiplexed by the driver —
+    // the same ingestion path recorded traces and live streams use
+    let mut driver = FleetDriver::new(engine)
+        .with_mix(&mix)
+        .expect("every tenant is part of the mix");
+    let report = driver.run(SLOTS).expect("mix sources never misroute");
 
-    let rollup = engine.metrics();
+    let rollup = &report.metrics;
+    let engine = driver.engine();
     println!(
         "{:<8} {:<16} {:>6} {:>10} {:>10} {:>10} {:>10}",
         "tenant", "shape", "shard", "users/slot", "peak", "accuracy", "cost $"
@@ -75,5 +79,9 @@ fn main() {
         rollup.total_infeasible,
         rollup.peak_user_sum,
         rollup.total_cost,
+    );
+    println!(
+        "ingestion: {} records through {} sources, {} late, {} dropped",
+        report.records, report.total_sources, report.late_records, report.dropped_records,
     );
 }

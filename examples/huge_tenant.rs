@@ -12,7 +12,7 @@
 //! ```
 
 use mobile_code_acceleration::core::SystemConfig;
-use mobile_code_acceleration::fleet::{FleetEngine, SlotRecord};
+use mobile_code_acceleration::fleet::{FleetDriver, FleetEngine, SlotBatchSource, SlotRecord};
 use mobile_code_acceleration::offload::{AccelerationGroupId, TenantId, UserId};
 
 const SHARDS: usize = 4;
@@ -34,25 +34,35 @@ fn main() {
     engine.add_user_sharded_tenant(huge);
     println!("huge tenant: {POPULATION} clones user-sharded over {SHARDS} shards, {SLOTS} slots\n");
 
-    for slot in 0..SLOTS {
-        // diurnal ramp with a slowly drifting population window, the shape
-        // of the paper's traces
-        let phase = (slot % 24) as f64 / 24.0 * std::f64::consts::TAU;
-        let load = (f64::from(POPULATION) * (1.0 + 0.25 * phase.sin())).round() as u32;
-        let drift = slot as u32 * (POPULATION / 200);
-        let batch: Vec<SlotRecord> = (0..load)
-            .map(|u| {
-                SlotRecord::new(
-                    huge,
-                    AccelerationGroupId((u % 3 + 1) as u8),
-                    UserId(drift + u),
-                )
-            })
-            .collect();
-        engine.tick_slot(&batch);
-    }
+    // diurnal ramp with a slowly drifting population window, the shape of
+    // the paper's traces — recorded up front as a replayable per-slot batch
+    // list and streamed through the unified ingestion driver
+    let batches: Vec<Vec<SlotRecord>> = (0..SLOTS)
+        .map(|slot| {
+            let phase = (slot % 24) as f64 / 24.0 * std::f64::consts::TAU;
+            let load = (f64::from(POPULATION) * (1.0 + 0.25 * phase.sin())).round() as u32;
+            let drift = slot as u32 * (POPULATION / 200);
+            (0..load)
+                .map(|u| {
+                    SlotRecord::new(
+                        huge,
+                        AccelerationGroupId((u % 3 + 1) as u8),
+                        UserId(drift + u),
+                    )
+                })
+                .collect()
+        })
+        .collect();
 
-    let metrics = engine.metrics();
+    let mut driver = FleetDriver::new(engine)
+        .with_source(huge, SlotBatchSource::new(batches))
+        .expect("the huge tenant is onboarded");
+    let report = driver
+        .run_until_exhausted(SLOTS)
+        .expect("the replay source stays on its tenant");
+
+    let metrics = &report.metrics;
+    let engine = driver.engine();
     let tenant = metrics.tenant(huge).expect("huge tenant is onboarded");
     println!("rollup over the tenant's {} replicas:", SHARDS);
     println!("  slots ticked              {:>10}", tenant.slots);

@@ -10,8 +10,9 @@
 //!   closed-loop [`core::System`].
 //! * [`cloudsim`] (`mca-cloudsim`) — the EC2-like cloud substrate simulator.
 //! * [`fleet`] (`mca-fleet`) — the multi-tenant sharded prediction/allocation
-//!   engine: per-tenant knowledge bases, batched slot ingest and a parallel
-//!   provisioning tick.
+//!   engine: per-tenant knowledge bases, a parallel provisioning tick and
+//!   the unified streaming ingestion API ([`fleet::FleetDriver`] over
+//!   trace-, log-, mix- and stream-backed record sources).
 //! * [`offload`] (`mca-offload`) — the computational task pool and offloading
 //!   runtime.
 //! * [`mobile`] (`mca-mobile`) — device profiles, batteries, the client-side
@@ -61,7 +62,10 @@ pub mod prelude {
         ParallelismPolicy, PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory,
         System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
     };
-    pub use mca_fleet::{FleetEngine, FleetMetrics, ShardRouter, SlotRecord, TenantShard};
+    pub use mca_fleet::{
+        DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RecordSource, ShardRouter,
+        SlotRecord, SourceBatch, TenantShard,
+    };
     pub use mca_mobile::{DeviceClass, DeviceProfile, Moderator, PromotionPolicy, UsageStudy};
     pub use mca_network::{CellularNetwork, NetRadarCampaign, Operator, Technology};
     pub use mca_offload::{
