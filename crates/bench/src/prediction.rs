@@ -12,10 +12,18 @@
 //! knowledge-base scan against the sequential best-first scan on a huge
 //! single-tenant history (100k slots — the CloneCloud-style regime), over
 //! thread counts 1/2/4/8, asserting every configuration returns the
-//! bit-identical forecast (the naive scan included). The ≥2× acceptance
-//! gate applies at 4 threads.
+//! bit-identical forecast (the naive scan included). The report records the
+//! machine's `available_parallelism` so the acceptance gate can judge the
+//! best thread count the runner can actually exploit.
+//!
+//! A third harness ([`run_index`]) scales the history from 100k to 1M slots
+//! and times the vantage-point **metric index** against the pruned linear
+//! scan at every point, asserting the serial, chunked and indexed paths all
+//! return the bit-identical forecast. The acceptance bar: ≥5× over the
+//! pruned scan at 1M slots and sub-linear growth (10× more history must
+//! cost the indexed path <3× more time).
 
-use mca_core::{ParallelismPolicy, SlotHistory, TimeSlot, WorkloadPredictor};
+use mca_core::{IndexPolicy, ParallelismPolicy, SlotHistory, TimeSlot, WorkloadPredictor};
 use mca_offload::{AccelerationGroupId, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -230,6 +238,11 @@ pub struct ParallelScanReport {
     /// Whether every configuration (and the naive full scan) returned the
     /// bit-identical forecast.
     pub forecasts_identical: bool,
+    /// `std::thread::available_parallelism()` of the machine that produced
+    /// the report. Speedup gates must only judge thread counts the runner
+    /// can actually exploit — a single-core CI container legitimately shows
+    /// ~1× at every width.
+    pub available_parallelism: usize,
 }
 
 impl ParallelScanReport {
@@ -239,6 +252,17 @@ impl ParallelScanReport {
             .iter()
             .find(|m| m.threads == threads)
             .map(|m| self.serial_ms / m.ms_per_prediction)
+    }
+
+    /// The best speedup among sweep entries whose thread count does not
+    /// exceed the runner's `available_parallelism`, with the thread count
+    /// that achieved it. `None` when no swept width fits the machine.
+    pub fn best_feasible_speedup(&self) -> Option<(usize, f64)> {
+        self.sweep
+            .iter()
+            .filter(|m| m.threads <= self.available_parallelism)
+            .map(|m| (m.threads, self.serial_ms / m.ms_per_prediction))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The report as a JSON object (hand-rolled: serde_json is unavailable
@@ -258,17 +282,26 @@ impl ParallelScanReport {
             .collect();
         format!(
             "{{\n  \"history_slots\": {},\n  \"groups\": {},\n  \"users_per_group\": {},\n  \
-             \"rounds\": {},\n  \"serial_ms_per_prediction\": {:.4},\n  \
+             \"rounds\": {},\n  \"available_parallelism\": {},\n  \
+             \"serial_ms_per_prediction\": {:.4},\n  \
              \"forecasts_identical\": {},\n  \"sweep\": [\n{}\n  ]\n}}",
             self.workload.slots,
             self.workload.groups,
             self.workload.users_per_group,
             self.rounds,
+            self.available_parallelism,
             self.serial_ms,
             self.forecasts_identical,
             sweep.join(",\n"),
         )
     }
+}
+
+/// `std::thread::available_parallelism()` with a single-core fallback.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Sweeps the chunked parallel scan against the sequential scan on one huge
@@ -323,6 +356,7 @@ pub fn run_parallel(workload: &ParallelScanWorkload, rounds: usize) -> ParallelS
         serial_ms,
         sweep,
         forecasts_identical,
+        available_parallelism: available_parallelism(),
     }
 }
 
@@ -355,19 +389,277 @@ pub fn print_parallel(report: &ParallelScanReport) {
         "  forecasts identical across every configuration: {}",
         report.forecasts_identical
     );
+    println!(
+        "  available parallelism on this machine: {}",
+        report.available_parallelism
+    );
 }
 
-/// The two prediction reports combined into the `BENCH_prediction.json`
+/// Shape of the metric-index scaling sweep: one predictor, histories of
+/// growing size, pruned linear scan versus vantage-point index at each.
+#[derive(Debug, Clone)]
+pub struct IndexScanWorkload {
+    /// History sizes swept, ascending (the history grows incrementally, so
+    /// every size extends the previous one).
+    pub sizes: Vec<usize>,
+    /// Number of acceleration groups.
+    pub groups: usize,
+    /// Nominal users per group per slot.
+    pub users_per_group: usize,
+    /// Pivot count of the vantage-point index.
+    pub pivots: usize,
+    /// Largest size at which the naive full scan is also checked for
+    /// forecast identity (it is infeasible to run at 1M slots).
+    pub verify_naive_up_to: usize,
+}
+
+impl IndexScanWorkload {
+    /// The acceptance-bar sweep: 100k → 1M slots; the index must beat the
+    /// pruned linear scan ≥5× at 1M, and 10× more history must cost it <3×
+    /// more time.
+    pub fn headline() -> Self {
+        Self {
+            sizes: vec![100_000, 300_000, 1_000_000],
+            groups: 3,
+            users_per_group: 48,
+            pivots: IndexPolicy::DEFAULT_PIVOTS,
+            verify_naive_up_to: 100_000,
+        }
+    }
+
+    /// The CI smoke shape: one small size, agreement gating only.
+    pub fn smoke() -> Self {
+        Self {
+            sizes: vec![6_000],
+            groups: 3,
+            users_per_group: 12,
+            pivots: IndexPolicy::DEFAULT_PIVOTS,
+            verify_naive_up_to: 6_000,
+        }
+    }
+}
+
+/// One point of the index scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexScanPoint {
+    /// History size at this point.
+    pub slots: usize,
+    /// Mean wall-clock time of one pruned linear-scan prediction, ms.
+    pub pruned_ms: f64,
+    /// Mean wall-clock time of one indexed prediction, ms (index build
+    /// excluded — it is amortized over the history's lifetime).
+    pub indexed_ms: f64,
+    /// Whether the serial, chunked and indexed paths (and the naive scan,
+    /// where checked) all returned the bit-identical forecast.
+    pub forecasts_identical: bool,
+}
+
+impl IndexScanPoint {
+    /// Pruned linear-scan time over indexed time.
+    pub fn speedup(&self) -> f64 {
+        self.pruned_ms / self.indexed_ms
+    }
+}
+
+/// Measurements of one index scaling sweep.
+#[derive(Debug, Clone)]
+pub struct IndexScanReport {
+    /// The workload swept.
+    pub workload: IndexScanWorkload,
+    /// Number of predictions timed per configuration per point.
+    pub rounds: usize,
+    /// One measurement per swept history size.
+    pub points: Vec<IndexScanPoint>,
+}
+
+impl IndexScanReport {
+    /// Whether every point agreed across every scan path.
+    pub fn forecasts_identical(&self) -> bool {
+        self.points.iter().all(|p| p.forecasts_identical)
+    }
+
+    /// The pruned-over-indexed speedup at the largest swept size.
+    pub fn speedup_at_largest(&self) -> Option<f64> {
+        self.points.last().map(IndexScanPoint::speedup)
+    }
+
+    /// Indexed time at the largest size over indexed time at the smallest:
+    /// the sub-linearity figure (a linear search would scale with the size
+    /// ratio; the acceptance bar demands <3× for 10× more history).
+    pub fn indexed_scaling_ratio(&self) -> Option<f64> {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) if self.points.len() > 1 => {
+                Some(last.indexed_ms / first.indexed_ms)
+            }
+            _ => None,
+        }
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"history_slots\": {}, \"pruned_ms_per_prediction\": {:.4}, \
+                     \"indexed_ms_per_prediction\": {:.4}, \"speedup\": {:.2}, \
+                     \"forecasts_identical\": {} }}",
+                    p.slots,
+                    p.pruned_ms,
+                    p.indexed_ms,
+                    p.speedup(),
+                    p.forecasts_identical,
+                )
+            })
+            .collect();
+        let scaling = self
+            .indexed_scaling_ratio()
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "null".into());
+        format!(
+            "{{\n  \"groups\": {},\n  \"users_per_group\": {},\n  \"pivots\": {},\n  \
+             \"rounds\": {},\n  \"forecasts_identical\": {},\n  \
+             \"speedup_at_largest\": {:.2},\n  \"indexed_scaling_ratio\": {},\n  \
+             \"points\": [\n{}\n  ]\n}}",
+            self.workload.groups,
+            self.workload.users_per_group,
+            self.workload.pivots,
+            self.rounds,
+            self.forecasts_identical(),
+            self.speedup_at_largest().unwrap_or(0.0),
+            scaling,
+            points.join(",\n"),
+        )
+    }
+}
+
+/// Sweeps the vantage-point index against the pruned linear scan over
+/// growing history sizes. At every point the serial scan, the chunked scan
+/// (2 chunks) and the indexed scan must return bit-identical forecasts; up
+/// to [`IndexScanWorkload::verify_naive_up_to`] slots the naive full scan is
+/// held to the same bar. Index build time is excluded from the timed rounds
+/// (the predictor maintains it incrementally in production).
+pub fn run_index(workload: &IndexScanWorkload, rounds: usize) -> IndexScanReport {
+    assert!(rounds > 0, "at least one timed round");
+    assert!(
+        workload.sizes.windows(2).all(|w| w[0] < w[1]) && !workload.sizes.is_empty(),
+        "sweep sizes must be ascending and non-empty"
+    );
+    let max = *workload.sizes.last().expect("non-empty sweep");
+    let template = PredictionWorkload {
+        slots: max,
+        groups: workload.groups,
+        users_per_group: workload.users_per_group,
+    };
+    let mut rng = StdRng::seed_from_u64(crate::DEFAULT_SEED);
+    let mut history = SlotHistory::hourly();
+    let mut predictor = WorkloadPredictor::new(template.group_ids(), history.slot_length_ms);
+    let mut points = Vec::with_capacity(workload.sizes.len());
+    for &size in &workload.sizes {
+        while history.len() < size {
+            history.push(synthetic_slot(&template, history.len(), &mut rng));
+        }
+        let probe = current_probe_slot(&PredictionWorkload {
+            slots: size,
+            ..template
+        });
+        // linear policy first so set_history does not pay an index build
+        // that the pruned timing would then discard
+        predictor.set_index_policy(IndexPolicy::linear());
+        predictor.set_parallelism(ParallelismPolicy::serial());
+        predictor.set_history(history.clone());
+
+        let reference = predictor.predict(&probe).expect("non-empty history");
+        let pruned_ms = time_ms(rounds, || {
+            std::hint::black_box(predictor.predict(&probe).expect("non-empty history"));
+        });
+
+        predictor.set_parallelism(ParallelismPolicy::parallel(2).with_min_parallel_slots(1));
+        let chunked = predictor.predict(&probe).expect("non-empty history");
+        predictor.set_parallelism(ParallelismPolicy::serial());
+
+        predictor.set_index_policy(
+            IndexPolicy::indexed()
+                .with_pivots(workload.pivots)
+                .with_min_indexed_slots(1),
+        );
+        assert!(
+            predictor.index_active(),
+            "the index must be live at every sweep point"
+        );
+        let indexed = predictor.predict(&probe).expect("non-empty history");
+        let indexed_ms = time_ms(rounds, || {
+            std::hint::black_box(predictor.predict(&probe).expect("non-empty history"));
+        });
+
+        let mut forecasts_identical = chunked == reference && indexed == reference;
+        if size <= workload.verify_naive_up_to {
+            forecasts_identical &=
+                predictor.predict_naive(&probe).expect("non-empty history") == reference;
+        }
+        points.push(IndexScanPoint {
+            slots: size,
+            pruned_ms,
+            indexed_ms,
+            forecasts_identical,
+        });
+    }
+    IndexScanReport {
+        workload: workload.clone(),
+        rounds,
+        points,
+    }
+}
+
+/// Prints the index scaling sweep as an aligned table.
+pub fn print_index(report: &IndexScanReport) {
+    println!(
+        "vantage-point index over {} groups x {} users/group, {} pivots ({} rounds)",
+        report.workload.groups,
+        report.workload.users_per_group,
+        report.workload.pivots,
+        report.rounds,
+    );
+    println!(
+        "  {:<14} {:>14} {:>14} {:>10} {:>10}",
+        "history slots", "pruned ms", "indexed ms", "speedup", "identical"
+    );
+    for p in &report.points {
+        println!(
+            "  {:<14} {:>14.3} {:>14.4} {:>9.1}x {:>10}",
+            p.slots,
+            p.pruned_ms,
+            p.indexed_ms,
+            p.speedup(),
+            p.forecasts_identical,
+        );
+    }
+    if let Some(ratio) = report.indexed_scaling_ratio() {
+        let size_ratio = report.points.last().unwrap().slots as f64
+            / report.points.first().unwrap().slots as f64;
+        println!("  indexed scaling: {ratio:.2}x more time for {size_ratio:.0}x more history",);
+    }
+}
+
+/// The three prediction reports combined into the `BENCH_prediction.json`
 /// document.
-pub fn combined_json(pruned: &PredictionBenchReport, parallel: &ParallelScanReport) -> String {
+pub fn combined_json(
+    pruned: &PredictionBenchReport,
+    parallel: &ParallelScanReport,
+    index: &IndexScanReport,
+) -> String {
     let pruned = pruned.to_json();
     let pruned = pruned.trim_end();
     let parallel = parallel.to_json().replace('\n', "\n  ");
+    let index = index.to_json().replace('\n', "\n  ");
     format!(
         "{{\n  \"benchmark\": \"nearest_slot_prediction\",\n  \"pruned_vs_naive\": {},\n  \
-         \"parallel_scan\": {}\n}}\n",
+         \"parallel_scan\": {},\n  \"index\": {}\n}}\n",
         indent_object(pruned),
         parallel,
+        index,
     )
 }
 
@@ -436,9 +728,37 @@ mod tests {
         assert!(report.sweep.iter().all(|m| m.ms_per_prediction > 0.0));
         assert!(report.speedup_at(4).is_some());
         assert!(report.speedup_at(16).is_none());
+        assert!(report.available_parallelism >= 1);
+        let (threads, speedup) = report
+            .best_feasible_speedup()
+            .expect("threads=1 always fits the machine");
+        assert!(threads <= report.available_parallelism);
+        assert!(speedup > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"forecasts_identical\": true"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"available_parallelism\""));
+    }
+
+    #[test]
+    fn index_sweep_agrees_and_reports_every_size() {
+        let workload = IndexScanWorkload {
+            sizes: vec![60, 120],
+            groups: 3,
+            users_per_group: 10,
+            pivots: 3,
+            verify_naive_up_to: 120,
+        };
+        let report = run_index(&workload, 2);
+        assert_eq!(report.points.len(), 2);
+        assert!(report.forecasts_identical(), "indexed diverged from serial");
+        assert!(report.points.iter().all(|p| p.indexed_ms > 0.0));
+        assert!(report.speedup_at_largest().is_some());
+        assert!(report.indexed_scaling_ratio().is_some());
+        let json = report.to_json();
+        assert!(json.contains("\"history_slots\": 120"));
+        assert!(json.contains("\"forecasts_identical\": true"));
+        assert!(json.contains("\"indexed_scaling_ratio\""));
     }
 
     #[test]
@@ -460,11 +780,23 @@ mod tests {
             },
             1,
         );
-        let json = combined_json(&pruned, &parallel);
+        let index = run_index(
+            &IndexScanWorkload {
+                sizes: vec![40],
+                groups: 2,
+                users_per_group: 8,
+                pivots: 2,
+                verify_naive_up_to: 40,
+            },
+            1,
+        );
+        let json = combined_json(&pruned, &parallel, &index);
         assert!(json.contains("\"benchmark\": \"nearest_slot_prediction\""));
         assert!(json.contains("\"pruned_vs_naive\""));
         assert!(json.contains("\"parallel_scan\""));
         assert!(json.contains("\"sweep\""));
+        assert!(json.contains("\"index\""));
+        assert!(json.contains("\"points\""));
     }
 
     #[test]

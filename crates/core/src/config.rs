@@ -2,6 +2,7 @@
 
 use crate::accel::AccelerationGroups;
 use crate::allocator::{AllocationPolicy, ResourceAllocator};
+use crate::index::IndexPolicy;
 use crate::predictor::{DistanceKind, ParallelismPolicy, PredictionStrategy, WorkloadPredictor};
 use mca_mobile::{DeviceClass, PromotionPolicy};
 use mca_network::{CellularNetwork, Operator, Technology};
@@ -43,6 +44,11 @@ pub struct SystemConfig {
     /// (serial by default; forecasts are identical either way, so this is
     /// purely a throughput knob for 100k+ slot knowledge bases).
     pub parallelism: ParallelismPolicy,
+    /// Whether the predictor builds the vantage-point metric index over its
+    /// retained slots (linear by default; forecasts are identical either
+    /// way, so — like `parallelism` — this is purely a throughput knob, the
+    /// one that makes million-slot knowledge bases sublinear per predict).
+    pub index_policy: IndexPolicy,
     /// Size of the downlink result payload, bytes.
     pub result_bytes: usize,
     /// Hour of day at which the experiment starts (affects network latency).
@@ -69,6 +75,7 @@ impl SystemConfig {
             distance_kind: DistanceKind::SetEdit,
             history_window: None,
             parallelism: ParallelismPolicy::serial(),
+            index_policy: IndexPolicy::linear(),
             result_bytes: 256,
             start_hour_of_day: 9.0,
         }
@@ -132,6 +139,19 @@ impl SystemConfig {
         self
     }
 
+    /// Turns on the predictor's vantage-point metric index with the default
+    /// pivot count and build threshold (see [`IndexPolicy::indexed`]).
+    pub fn with_indexed_scan(mut self) -> Self {
+        self.index_policy = IndexPolicy::indexed();
+        self
+    }
+
+    /// Overrides the full metric-index policy.
+    pub fn with_index_policy(mut self, index_policy: IndexPolicy) -> Self {
+        self.index_policy = index_policy;
+        self
+    }
+
     /// Builds a workload predictor configured exactly as [`crate::System`]
     /// would build its own: same groups, strategy, distance and history
     /// window. A multi-tenant deployment (`mca-fleet`) constructs one per
@@ -140,7 +160,8 @@ impl SystemConfig {
         let mut predictor = WorkloadPredictor::new(self.groups.ids(), self.slot_length_ms)
             .with_strategy(self.prediction_strategy)
             .with_distance(self.distance_kind)
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_index_policy(self.index_policy);
         predictor.set_window(self.history_window);
         predictor
     }
@@ -226,6 +247,23 @@ mod tests {
         let custom = ParallelismPolicy::parallel(8).with_min_parallel_slots(10);
         let c = c.with_parallelism(custom);
         assert_eq!(c.build_predictor().parallelism(), custom);
+    }
+
+    #[test]
+    fn index_policy_knob_reaches_the_built_predictor() {
+        let c = SystemConfig::paper_three_groups();
+        assert_eq!(c.index_policy, IndexPolicy::linear());
+        assert_eq!(c.build_predictor().index_policy(), IndexPolicy::linear());
+
+        let c = c.with_indexed_scan();
+        assert_eq!(c.index_policy, IndexPolicy::indexed());
+        assert_eq!(c.build_predictor().index_policy(), IndexPolicy::indexed());
+
+        let custom = IndexPolicy::indexed()
+            .with_pivots(2)
+            .with_min_indexed_slots(64);
+        let c = c.with_index_policy(custom);
+        assert_eq!(c.build_predictor().index_policy(), custom);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::timeslot::TimeSlot;
 use mca_offload::{AccelerationGroupId, UserId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Edit distance between the user sets of one acceleration group in two
@@ -146,19 +147,36 @@ pub fn count_distance(a: &TimeSlot, b: &TimeSlot, groups: &[AccelerationGroupId]
         .sum()
 }
 
-/// Reusable row buffers for the banded Levenshtein computation, so the
-/// nearest-neighbour search allocates once per query instead of once per
-/// candidate.
+/// Reusable buffers for the banded and bit-parallel Levenshtein
+/// computations, so the nearest-neighbour search allocates once per query
+/// instead of once per candidate.
 #[derive(Debug, Default, Clone)]
 pub struct DistanceScratch {
     prev: Vec<usize>,
     cur: Vec<usize>,
+    /// `(symbol, position)` pairs of the Myers pattern, sorted by symbol.
+    peq_symbols: Vec<(u32, u32)>,
+    /// Per-block equality mask of the current text symbol (Myers `Peq`).
+    eq_words: Vec<u64>,
+    /// Myers vertical-positive delta words, one per 64-row block.
+    vp: Vec<u64>,
+    /// Myers vertical-negative delta words, one per 64-row block.
+    vn: Vec<u64>,
+    grows: usize,
 }
 
 impl DistanceScratch {
     /// Fresh, empty buffers (they grow to the longest sequence compared).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How many times any buffer had to grow beyond its capacity. Once the
+    /// scratch has seen the longest inputs of a scan this stays constant —
+    /// the per-candidate allocation-freedom the pruned scans rely on, and
+    /// what the regression tests assert.
+    pub fn grows(&self) -> usize {
+        self.grows
     }
 }
 
@@ -217,6 +235,9 @@ pub fn levenshtein_bounded_with<T: PartialEq>(
     // nothing (and would overflow the band arithmetic)
     let cap = cap.min(n.max(m));
     const UNREACHED: usize = usize::MAX / 2;
+    if scratch.prev.capacity() <= m || scratch.cur.capacity() <= m {
+        scratch.grows += 1;
+    }
     let prev = &mut scratch.prev;
     let cur = &mut scratch.cur;
     prev.clear();
@@ -257,6 +278,155 @@ pub fn levenshtein_bounded_with<T: PartialEq>(
     (distance <= cap).then_some(distance)
 }
 
+/// Myers' bit-parallel Levenshtein distance between two user-id sequences
+/// (Myers 1999, in Hyyrö's blocked formulation): the pattern — the shorter
+/// sequence — is packed into ⌈m/64⌉ vertical-delta words, and each text
+/// symbol advances all m dynamic-programming cells of its column with a
+/// handful of word operations per block, so an unpruned candidate costs
+/// word-parallel rather than cell-by-cell work. Exact for any inputs,
+/// including duplicate-heavy and unsorted sequences.
+pub fn levenshtein_myers(a: &[UserId], b: &[UserId]) -> usize {
+    levenshtein_myers_bounded(a, b, a.len().max(b.len()))
+        .expect("distance never exceeds max length")
+}
+
+/// [`levenshtein_myers`] with an early exit once the distance provably
+/// exceeds `cap` (allocating fresh scratch; the scans reuse one via
+/// [`levenshtein_myers_bounded_with`]).
+pub fn levenshtein_myers_bounded(a: &[UserId], b: &[UserId], cap: usize) -> Option<usize> {
+    levenshtein_myers_bounded_with(a, b, cap, &mut DistanceScratch::new())
+}
+
+/// [`levenshtein_myers`] with a cap and caller-owned scratch: the score
+/// after `j` text symbols is `D(j, m)`, and each further symbol lowers it by
+/// at most one, so the candidate is abandoned as soon as
+/// `score - remaining > cap`.
+pub fn levenshtein_myers_bounded_with(
+    a: &[UserId],
+    b: &[UserId],
+    cap: usize,
+    scratch: &mut DistanceScratch,
+) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > cap {
+        return None;
+    }
+    if a.is_empty() || b.is_empty() {
+        // covered by the length bound above: the distance is max(n, m) <= cap
+        return Some(a.len().max(b.len()));
+    }
+    // the shorter sequence becomes the bit-packed pattern: fewest blocks
+    let (text, pattern) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (text.len(), pattern.len());
+    let cap = cap.min(n); // the distance never exceeds the longer length
+    let blocks = m.div_ceil(64);
+    let DistanceScratch {
+        peq_symbols,
+        eq_words,
+        vp,
+        vn,
+        grows,
+        ..
+    } = scratch;
+    if peq_symbols.capacity() < m
+        || eq_words.capacity() < blocks
+        || vp.capacity() < blocks
+        || vn.capacity() < blocks
+    {
+        *grows += 1;
+    }
+    // Peq table: every pattern symbol with its row, sorted by symbol, so one
+    // binary search finds a text symbol's occurrence run. The sorted runs
+    // `TimeSlot::users_in` hands out skip the sort outright.
+    peq_symbols.clear();
+    peq_symbols.extend(pattern.iter().enumerate().map(|(j, u)| (u.0, j as u32)));
+    if !pattern.windows(2).all(|w| w[0] <= w[1]) {
+        peq_symbols.sort_unstable();
+    }
+    eq_words.clear();
+    eq_words.resize(blocks, 0);
+    vp.clear();
+    vp.resize(blocks, !0u64);
+    vn.clear();
+    vn.resize(blocks, 0);
+    let last_bit = 1u64 << ((m - 1) % 64);
+    let mut score = m;
+    for (j, tj) in text.iter().enumerate() {
+        let run_start = peq_symbols.partition_point(|&(s, _)| s < tj.0);
+        for &(_, row) in peq_symbols[run_start..]
+            .iter()
+            .take_while(|&&(s, _)| s == tj.0)
+        {
+            eq_words[(row / 64) as usize] |= 1u64 << (row % 64);
+        }
+        // carry chain bottom-up: each block's horizontal delta out of its
+        // top row feeds the next block; the boundary row D(j, 0) = j always
+        // increments, so block 0 sees +1
+        let mut hin: i32 = 1;
+        for (k, (pv_k, mv_k)) in vp.iter_mut().zip(vn.iter_mut()).enumerate() {
+            let mut eq = eq_words[k];
+            let (pv, mv) = (*pv_k, *mv_k);
+            let xv = eq | mv;
+            if hin < 0 {
+                eq |= 1;
+            }
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let mut ph = mv | !(xh | pv);
+            let mut mh = pv & xh;
+            let top = if k + 1 == blocks {
+                last_bit
+            } else {
+                1u64 << 63
+            };
+            let hout = i32::from(ph & top != 0) - i32::from(mh & top != 0);
+            ph <<= 1;
+            mh <<= 1;
+            match hin.cmp(&0) {
+                std::cmp::Ordering::Greater => ph |= 1,
+                std::cmp::Ordering::Less => mh |= 1,
+                std::cmp::Ordering::Equal => {}
+            }
+            *pv_k = mh | !(xv | ph);
+            *mv_k = ph & xv;
+            hin = hout;
+        }
+        score = score.wrapping_add_signed(hin as isize);
+        for &(_, row) in peq_symbols[run_start..]
+            .iter()
+            .take_while(|&&(s, _)| s == tj.0)
+        {
+            eq_words[(row / 64) as usize] = 0;
+        }
+        // each remaining text symbol lowers the score by at most one
+        let remaining = n - j - 1;
+        if score > cap.saturating_add(remaining) {
+            return None;
+        }
+    }
+    (score <= cap).then_some(score)
+}
+
+/// Capped Levenshtein between two user-id runs, dispatching between the
+/// banded scalar computation ([`levenshtein_bounded_with`]) and the Myers
+/// bit-vector kernel: the band costs ~`min(2·cap+1, m)` cells per text
+/// symbol, the bit-parallel kernel ~`⌈m/64⌉` words, so Myers wins exactly
+/// when the cap is loose relative to the pattern's block count. Both are
+/// exact, so the dispatch is invisible in the result.
+pub fn id_levenshtein_bounded_with(
+    a: &[UserId],
+    b: &[UserId],
+    cap: usize,
+    scratch: &mut DistanceScratch,
+) -> Option<usize> {
+    let (n, m) = (a.len().max(b.len()), a.len().min(b.len()));
+    let blocks = m.div_ceil(64);
+    let band = (2 * cap.min(n)).saturating_add(1).min(m + 1);
+    if m >= 32 && blocks * 4 < band {
+        levenshtein_myers_bounded_with(a, b, cap, scratch)
+    } else {
+        levenshtein_bounded_with(a, b, cap, scratch)
+    }
+}
+
 /// Marzal–Vidal normalized edit distance between two sequences: the edit
 /// distance divided by the length of the longer sequence, in `[0, 1]`.
 /// (The exact Marzal–Vidal definition normalizes over editing paths; the
@@ -285,7 +455,9 @@ pub fn slot_levenshtein_distance(
         .sum()
 }
 
-/// [`slot_levenshtein_distance`] with banded early exit against a cap.
+/// [`slot_levenshtein_distance`] with early exit against a cap, taking the
+/// banded-or-bit-parallel dispatch of [`id_levenshtein_bounded_with`] per
+/// group.
 pub fn slot_levenshtein_distance_bounded(
     a: &TimeSlot,
     b: &TimeSlot,
@@ -295,9 +467,116 @@ pub fn slot_levenshtein_distance_bounded(
 ) -> Option<usize> {
     let mut total = 0;
     for g in groups {
-        total += levenshtein_bounded_with(a.users_in(*g), b.users_in(*g), cap - total, scratch)?;
+        total += id_levenshtein_bounded_with(a.users_in(*g), b.users_in(*g), cap - total, scratch)?;
     }
     Some(total)
+}
+
+/// One acceleration group's user run as a word-aligned u64 bitset: bit
+/// `id % 64` of word `id / 64 - first_word` is set exactly for the assigned
+/// user ids. Because both sides align words to absolute `id / 64` positions,
+/// the symmetric difference — [`group_distance`] — is a straight
+/// XOR-popcount over the overlapping words with no bit shifting.
+///
+/// Construction refuses runs whose id span is sparse relative to their
+/// population (the words would dwarf the run itself); callers fall back to
+/// the linear merge, so the guard never affects results. The metric index
+/// caches one bitset per retained slot and group for the set-edit distance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupBitset {
+    first_word: u32,
+    words: Vec<u64>,
+}
+
+impl GroupBitset {
+    /// Densest span allowed: at most `max(16, len)` words for `len` ids,
+    /// i.e. on average at least one assigned id per 64-id word.
+    const MAX_WORDS_FACTOR: usize = 1;
+
+    /// Packs a sorted, deduplicated user run ([`TimeSlot::users_in`]'s
+    /// guarantee) into a bitset, or `None` when the id span is too sparse
+    /// for the packing to pay off.
+    pub fn from_run(users: &[UserId]) -> Option<Self> {
+        let (Some(first), Some(last)) = (users.first(), users.last()) else {
+            return Some(Self::default());
+        };
+        let first_word = first.0 / 64;
+        let span = (last.0 / 64 - first_word) as usize + 1;
+        if span > users.len().saturating_mul(Self::MAX_WORDS_FACTOR).max(16) {
+            return None;
+        }
+        let mut words = vec![0u64; span];
+        for u in users {
+            words[(u.0 / 64 - first_word) as usize] |= 1u64 << (u.0 % 64);
+        }
+        Some(Self { first_word, words })
+    }
+
+    /// Number of assigned ids in the bitset.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Half-open absolute word range `[first_word, first_word + len)`.
+    fn word_range(&self) -> (usize, usize) {
+        (
+            self.first_word as usize,
+            self.first_word as usize + self.words.len(),
+        )
+    }
+}
+
+/// [`group_distance`] over two packed runs: the popcount of the XOR of the
+/// aligned words. Exact — the bitsets encode the full sets.
+pub fn bitset_group_distance(a: &GroupBitset, b: &GroupBitset) -> usize {
+    bitset_group_distance_bounded(a, b, usize::MAX).expect("an uncapped distance always evaluates")
+}
+
+/// [`bitset_group_distance`] with an early exit once the accumulated
+/// popcount exceeds `cap`.
+pub fn bitset_group_distance_bounded(
+    a: &GroupBitset,
+    b: &GroupBitset,
+    cap: usize,
+) -> Option<usize> {
+    if a.words.is_empty() || b.words.is_empty() {
+        let distance = a.count() + b.count(); // one of the two is zero
+        return (distance <= cap).then_some(distance);
+    }
+    let (a_lo, a_hi) = a.word_range();
+    let (b_lo, b_hi) = b.word_range();
+    let mut distance = 0usize;
+    // words covered by only one side contribute their own popcount; the
+    // overlap contributes the popcount of the XOR
+    let lo = a_lo.max(b_lo); // >= both starts
+    let hi = a_hi.min(b_hi);
+    for w in &a.words[..lo.min(a_hi) - a_lo] {
+        distance += w.count_ones() as usize;
+    }
+    for w in &b.words[..lo.min(b_hi) - b_lo] {
+        distance += w.count_ones() as usize;
+    }
+    if distance > cap {
+        return None;
+    }
+    if lo < hi {
+        for (wa, wb) in a.words[lo - a_lo..hi - a_lo]
+            .iter()
+            .zip(&b.words[lo - b_lo..hi - b_lo])
+        {
+            distance += (wa ^ wb).count_ones() as usize;
+            if distance > cap {
+                return None;
+            }
+        }
+    }
+    for w in &a.words[(hi.clamp(a_lo, a_hi)) - a_lo..] {
+        distance += w.count_ones() as usize;
+    }
+    for w in &b.words[(hi.clamp(b_lo, b_hi)) - b_lo..] {
+        distance += w.count_ones() as usize;
+    }
+    (distance <= cap).then_some(distance)
 }
 
 #[cfg(test)]
@@ -459,6 +738,112 @@ mod tests {
             levenshtein_bounded_with(b"xy", b"xy", 0, &mut scratch),
             Some(0)
         );
+    }
+
+    fn ids(raw: &[u32]) -> Vec<UserId> {
+        raw.iter().map(|&i| UserId(i)).collect()
+    }
+
+    #[test]
+    fn myers_agrees_with_scalar_levenshtein() {
+        let cases: Vec<(Vec<UserId>, Vec<UserId>)> = vec![
+            (ids(&[]), ids(&[])),
+            (ids(&[1]), ids(&[])),
+            (ids(&[1, 2, 3]), ids(&[2, 3, 4])),
+            (ids(&[5, 5, 5, 5]), ids(&[5, 5])), // duplicates
+            (ids(&[9, 1, 4, 4, 2]), ids(&[4, 9, 9, 1])), // unsorted
+            (
+                (0..200).map(UserId).collect(),
+                (3..180).map(|i| UserId(i * 2)).collect(),
+            ),
+            (
+                (0..70).map(UserId).collect(),
+                (0..70).map(|i| UserId(i + 1)).collect(),
+            ),
+        ];
+        for (a, b) in &cases {
+            let exact = levenshtein(a, b);
+            assert_eq!(levenshtein_myers(a, b), exact, "{a:?} vs {b:?}");
+            for cap in [0, 1, exact.saturating_sub(1), exact, exact + 3] {
+                let expect = (exact <= cap).then_some(exact);
+                assert_eq!(levenshtein_myers_bounded(a, b, cap), expect, "cap {cap}");
+                let mut scratch = DistanceScratch::new();
+                assert_eq!(id_levenshtein_bounded_with(a, b, cap, &mut scratch), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn myers_crosses_word_boundaries_exactly() {
+        // patterns of 64, 65, 128 and 129 rows exercise the inter-block
+        // carry chain on both sides of every boundary
+        for m in [63usize, 64, 65, 127, 128, 129, 200] {
+            let a: Vec<UserId> = (0..m as u32).map(UserId).collect();
+            for shift in [0u32, 1, 7, 64] {
+                let b: Vec<UserId> = (0..m as u32).map(|i| UserId(i + shift)).collect();
+                assert_eq!(
+                    levenshtein_myers(&a, &b),
+                    levenshtein(&a, &b),
+                    "m={m} shift={shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_distance_matches_merge_and_naive() {
+        let cases = [
+            (users(&[]), users(&[])),
+            (users(&[1, 2, 3]), users(&[])),
+            (users(&[1, 2, 3]), users(&[2, 3, 4])),
+            (users(&[0, 63, 64, 127, 128]), users(&[63, 64, 65])),
+            (users(&[1_000_000, 1_000_001]), users(&[1, 2])), // disjoint spans
+            (users(&[10, 20, 700]), users(&[15, 700])),
+        ];
+        for (a, b) in &cases {
+            let (Some(ba), Some(bb)) = (GroupBitset::from_run(a), GroupBitset::from_run(b)) else {
+                panic!("dense test runs always pack");
+            };
+            let expect = group_distance(a, b);
+            assert_eq!(expect, group_distance_naive(a, b));
+            assert_eq!(bitset_group_distance(&ba, &bb), expect, "{a:?} vs {b:?}");
+            assert_eq!(
+                bitset_group_distance_bounded(&ba, &bb, expect),
+                Some(expect)
+            );
+            if expect > 0 {
+                assert_eq!(bitset_group_distance_bounded(&ba, &bb, expect - 1), None);
+            }
+            assert_eq!(ba.count(), a.len());
+        }
+    }
+
+    #[test]
+    fn sparse_runs_refuse_to_pack() {
+        let sparse: Vec<UserId> = (0..20u32).map(|i| UserId(i * 10_000)).collect();
+        assert_eq!(GroupBitset::from_run(&sparse), None);
+        // a dense run packs even when short
+        assert!(GroupBitset::from_run(&users(&[5, 6, 7])).is_some());
+    }
+
+    #[test]
+    fn scratch_growth_settles_after_the_largest_input() {
+        let mut scratch = DistanceScratch::new();
+        let a: Vec<UserId> = (0..150u32).map(UserId).collect();
+        let b: Vec<UserId> = (0..140u32).map(|i| UserId(i + 5)).collect();
+        levenshtein_bounded_with(&a, &b, 300, &mut scratch);
+        levenshtein_myers_bounded_with(&a, &b, 300, &mut scratch);
+        levenshtein_bounded_with(&b, &a, 300, &mut scratch);
+        levenshtein_myers_bounded_with(&b, &a, 300, &mut scratch);
+        let grown = scratch.grows();
+        assert!(grown > 0, "first calls grow the fresh buffers");
+        for _ in 0..50 {
+            levenshtein_bounded_with(&a, &b, 300, &mut scratch);
+            levenshtein_myers_bounded_with(&a, &b, 300, &mut scratch);
+            levenshtein_bounded_with(&b, &a, 10, &mut scratch);
+            levenshtein_myers_bounded_with(&b, &a, 10, &mut scratch);
+        }
+        assert_eq!(scratch.grows(), grown, "warm scratch never regrows");
     }
 
     #[test]

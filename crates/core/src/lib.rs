@@ -23,6 +23,10 @@
 //!   `δ` and slot distance `Δ` as allocation-free linear merges over the
 //!   sorted runs, plus banded early-exit Levenshtein / normalized variants
 //!   and the retained `*_naive` references.
+//! * [`index`] — the vantage-point metric index over retained slots: cached
+//!   pivot distances turn the triangle inequality into a sublinear
+//!   nearest-slot search for 100k+ slot histories, maintained incrementally
+//!   alongside the predictor's signatures.
 //! * [`predictor`] — workload prediction (§IV-B): pruned nearest-neighbour
 //!   search over the slot history (cached per-slot count signatures give an
 //!   `O(groups)` lower bound that skips most candidates), with alternative
@@ -71,6 +75,7 @@ pub mod allocator;
 pub mod config;
 pub mod distance;
 pub mod error;
+pub mod index;
 pub mod logs;
 pub mod metrics;
 pub mod predictor;
@@ -83,6 +88,7 @@ pub use accel::{AccelerationGroup, AccelerationGroups};
 pub use allocator::{Allocation, AllocationPolicy, AllocationStats, ResourceAllocator};
 pub use config::SystemConfig;
 pub use error::CoreError;
+pub use index::IndexPolicy;
 pub use logs::TraceLog;
 pub use metrics::{
     accuracy, cross_validate, learning_curve, CrossValidationReport, PredictionQuality,

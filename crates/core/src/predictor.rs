@@ -54,10 +54,12 @@
 //! allocation-free linear scan.
 
 use crate::distance::{
-    count_distance, slot_distance, slot_distance_bounded, slot_distance_naive,
-    slot_levenshtein_distance, slot_levenshtein_distance_bounded, DistanceScratch,
+    bitset_group_distance_bounded, count_distance, group_distance_bounded, slot_distance,
+    slot_distance_bounded, slot_distance_naive, slot_levenshtein_distance,
+    slot_levenshtein_distance_bounded, DistanceScratch, GroupBitset,
 };
 use crate::error::CoreError;
+use crate::index::{IndexPolicy, SlotIndex};
 use crate::timeslot::{SlotHistory, TimeSlot};
 use mca_offload::AccelerationGroupId;
 use rayon::prelude::*;
@@ -253,6 +255,15 @@ pub struct WorkloadPredictor {
     signature_first_index: usize,
     /// How the nearest-neighbour scan fans out over threads.
     parallelism: ParallelismPolicy,
+    /// Whether (and when) the vantage-point metric index takes over the
+    /// nearest-slot search.
+    index_policy: IndexPolicy,
+    /// The metric index itself, built once the retained history crosses
+    /// [`IndexPolicy::min_indexed_slots`] and maintained incrementally
+    /// alongside the signatures. `None` while the policy is linear, the
+    /// history is short, or the distance is the count difference (whose
+    /// signature scan is already `O(groups)` per candidate).
+    index: Option<SlotIndex>,
 }
 
 impl WorkloadPredictor {
@@ -269,6 +280,8 @@ impl WorkloadPredictor {
             id_ranges: Vec::new(),
             signature_first_index: 0,
             parallelism: ParallelismPolicy::default(),
+            index_policy: IndexPolicy::default(),
+            index: None,
         }
     }
 
@@ -278,9 +291,12 @@ impl WorkloadPredictor {
         self
     }
 
-    /// Overrides the distance function.
+    /// Overrides the distance function. Any existing metric index is
+    /// rebuilt — its cached pivot distances belong to the old metric.
     pub fn with_distance(mut self, distance: DistanceKind) -> Self {
         self.distance = distance;
+        self.index = None;
+        self.sync_index();
         self
     }
 
@@ -298,6 +314,32 @@ impl WorkloadPredictor {
     /// The scan parallelism policy in force.
     pub fn parallelism(&self) -> ParallelismPolicy {
         self.parallelism
+    }
+
+    /// Overrides the metric-index policy (builder form).
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.set_index_policy(policy);
+        self
+    }
+
+    /// Changes the metric-index policy in place, rebuilding (or dropping)
+    /// the index to match.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+        self.index = None;
+        self.sync_index();
+    }
+
+    /// The metric-index policy in force.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Whether the vantage-point index is currently built and answering
+    /// nearest-slot queries (benchmarks assert the indexed path is really
+    /// exercised).
+    pub fn index_active(&self) -> bool {
+        self.index.is_some()
     }
 
     /// Caps the knowledge base at the `window` most recent slots, bounding
@@ -349,6 +391,7 @@ impl WorkloadPredictor {
         self.signatures.clear();
         self.id_ranges.clear();
         self.signature_first_index = self.history.first_index();
+        self.index = None;
         self.sync_signatures();
     }
 
@@ -365,6 +408,7 @@ impl WorkloadPredictor {
         self.signatures.clear();
         self.id_ranges.clear();
         self.signature_first_index = 0;
+        self.index = None;
         history
     }
 
@@ -391,6 +435,65 @@ impl WorkloadPredictor {
         }
         debug_assert_eq!(self.signatures.len(), self.history.len() * group_count);
         debug_assert_eq!(self.id_ranges.len(), self.signatures.len());
+        self.sync_index();
+    }
+
+    /// Brings the metric index in line with the retained slots: builds it
+    /// once the history crosses the policy threshold, evicts and appends
+    /// incrementally alongside the signatures, and re-chooses pivots under
+    /// the doubling rule. A no-op for linear policies and for the count
+    /// distance.
+    fn sync_index(&mut self) {
+        let Self {
+            index,
+            index_policy,
+            history,
+            groups,
+            distance,
+            ..
+        } = self;
+        if !index_policy.is_indexed()
+            || groups.is_empty()
+            || *distance == DistanceKind::CountDifference
+        {
+            *index = None;
+            return;
+        }
+        let len = history.len();
+        match index {
+            None => {
+                if len >= index_policy.min_indexed_slots.max(1) {
+                    *index = Some(SlotIndex::build(
+                        history.slots(),
+                        history.first_index(),
+                        *distance,
+                        groups,
+                        index_policy.pivots,
+                    ));
+                }
+            }
+            Some(existing) => {
+                existing.evict_to(history.first_index(), groups.len());
+                let covered = existing.len();
+                for (offset, slot) in history.slots()[covered..].iter().enumerate() {
+                    existing.push(
+                        slot,
+                        history.first_index() + covered + offset,
+                        *distance,
+                        groups,
+                    );
+                }
+                if existing.should_rebuild() {
+                    *index = Some(SlotIndex::build(
+                        history.slots(),
+                        history.first_index(),
+                        *distance,
+                        groups,
+                        index_policy.pivots,
+                    ));
+                }
+            }
+        }
     }
 
     /// Lower bound on the configured distance between the probe (described
@@ -520,6 +623,14 @@ impl WorkloadPredictor {
             .iter()
             .map(|g| id_range(current.users_in(*g)))
             .collect();
+        if let Some(index) = &self.index {
+            return Some(self.nearest_position_indexed(
+                current,
+                &current_signature,
+                &current_ranges,
+                index,
+            ));
+        }
         if self.parallelism.is_parallel() && slots.len() >= self.parallelism.min_parallel_slots {
             return Some(self.nearest_position_chunked(
                 current,
@@ -735,6 +846,140 @@ impl WorkloadPredictor {
             }
         }
         (best, best_position)
+    }
+
+    /// Position of the nearest slot via the vantage-point metric index.
+    ///
+    /// The probe's exact distance to every pivot is computed once; each
+    /// candidate then carries two families of lower bounds that are pure
+    /// cached-number arithmetic: the triangle bound
+    /// `|d(probe, p_k) - d(candidate, p_k)|` per pivot, and the
+    /// count/id-range signature bound of the linear scans. Candidates are
+    /// walked in non-decreasing ring offset to pivot 0
+    /// ([`SlotIndex::ring_walk`]), so when the ring offset alone exceeds
+    /// the best distance found the walk stops — every remaining candidate
+    /// is refuted wholesale without being visited, which is where the
+    /// sublinear behaviour comes from. Survivors are evaluated with the
+    /// same `*_bounded` early-exit kernels and the same cap and tie rules
+    /// as the serial scan (cap `best` for candidates earlier than the
+    /// incumbent, `best - 1` for later ones), with the set-edit distance
+    /// additionally taking the cached XOR-popcount bitsets. The probe's
+    /// own ring is visited first in ascending global index, so a perfect
+    /// match terminates at the earliest equal slot — the forecast is
+    /// bit-identical to the serial, chunked and naive scans.
+    fn nearest_position_indexed(
+        &self,
+        current: &TimeSlot,
+        current_signature: &[usize],
+        current_ranges: &[(u32, u32)],
+        index: &SlotIndex,
+    ) -> usize {
+        let slots = self.history.slots();
+        let first_index = self.history.first_index();
+        debug_assert_eq!(index.first_index(), first_index);
+        debug_assert_eq!(index.len(), slots.len());
+        let mut scratch = DistanceScratch::new();
+        let probe_pivot: Vec<u32> = index
+            .pivots()
+            .iter()
+            .map(|p| self.distance_between(current, p).min(u32::MAX as usize) as u32)
+            .collect();
+        let probe_bitsets: Vec<Option<GroupBitset>> = match self.distance {
+            DistanceKind::SetEdit => self
+                .groups
+                .iter()
+                .map(|g| GroupBitset::from_run(current.users_in(*g)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let probe_key = probe_pivot[0];
+        let mut best = usize::MAX;
+        let mut best_global = u64::MAX;
+        for (ring, global) in index.ring_walk(probe_key) {
+            if ring as usize > best {
+                break; // rings ascend: everything further is refuted wholesale
+            }
+            let position = (global as usize) - first_index;
+            let mut bound = ring as usize;
+            for (probe_d, cached_d) in probe_pivot.iter().zip(index.pivot_distances_of(position)) {
+                bound = bound.max(probe_d.abs_diff(*cached_d) as usize);
+            }
+            bound = bound.max(self.signature_bound(current_signature, current_ranges, position));
+            if bound > best || (bound == best && global > best_global) {
+                continue; // cannot win, or can at best tie and lose the tie-break
+            }
+            // an equal distance only helps for slots earlier than the
+            // incumbent; global > best_global passed the filter above with
+            // bound < best, so best >= 1 and the cap cannot wrap
+            let cap = if global < best_global { best } else { best - 1 };
+            let candidate = self.indexed_bounded_distance(
+                current,
+                &probe_bitsets,
+                index,
+                position,
+                cap,
+                &mut scratch,
+            );
+            if let Some(distance) = candidate {
+                if distance < best || (distance == best && global < best_global) {
+                    best = distance;
+                    best_global = global;
+                    if best == 0 {
+                        // only the probe's own ring can hold distance-zero
+                        // candidates (triangle inequality), and that ring is
+                        // walked in ascending global index: this is the
+                        // earliest perfect match
+                        break;
+                    }
+                }
+            }
+        }
+        (best_global as usize) - first_index
+    }
+
+    /// The configured early-exit distance for the indexed scan: like
+    /// [`WorkloadPredictor::bounded_distance`], but the set-edit distance
+    /// runs over the index's cached bitset packings (XOR + popcount per
+    /// 64-id word) wherever both sides packed, falling back to the linear
+    /// merge per group otherwise. Exact either way.
+    fn indexed_bounded_distance(
+        &self,
+        current: &TimeSlot,
+        probe_bitsets: &[Option<GroupBitset>],
+        index: &SlotIndex,
+        position: usize,
+        cap: usize,
+        scratch: &mut DistanceScratch,
+    ) -> Option<usize> {
+        match self.distance {
+            DistanceKind::CountDifference => {
+                unreachable!("the count distance never builds an index")
+            }
+            DistanceKind::Levenshtein => slot_levenshtein_distance_bounded(
+                current,
+                &self.history.slots()[position],
+                &self.groups,
+                cap,
+                scratch,
+            ),
+            DistanceKind::SetEdit => {
+                let candidate = &self.history.slots()[position];
+                let cached = index.bitsets_of(position, self.groups.len());
+                let mut total = 0;
+                for (g, group) in self.groups.iter().enumerate() {
+                    let remaining = cap - total;
+                    total += match (&probe_bitsets[g], cached.get(g).and_then(|b| b.as_ref())) {
+                        (Some(a), Some(b)) => bitset_group_distance_bounded(a, b, remaining)?,
+                        _ => group_distance_bounded(
+                            current.users_in(*group),
+                            candidate.users_in(*group),
+                            remaining,
+                        )?,
+                    };
+                }
+                Some(total)
+            }
+        }
     }
 
     /// Observes `slot` and immediately forecasts the next slot — the closed
@@ -1232,6 +1477,137 @@ mod tests {
         let gated = predictor_with_history(vec![slot(4, 2, 1); 30])
             .with_parallelism(ParallelismPolicy::parallel(7).with_min_parallel_slots(1000));
         assert_eq!(gated.predict(&slot(4, 2, 1)).unwrap(), forecast);
+    }
+
+    #[test]
+    fn indexed_scan_is_bit_identical_to_serial_chunked_and_naive() {
+        // near-duplicates and exact ties, so equal-distance candidates land
+        // in different rings of different pivot partitions
+        let history: Vec<TimeSlot> = (0..160u32)
+            .map(|i| slot(5 + (i * 7) % 13, (i * 3) % 5, (i * 5) % 4))
+            .collect();
+        let probes = [
+            slot(9, 2, 1),
+            slot(0, 0, 0),
+            slot(12, 4, 3),
+            slot(5, 0, 0),
+            slot(300, 9, 2),
+        ];
+        for kind in [DistanceKind::SetEdit, DistanceKind::Levenshtein] {
+            for strategy in [
+                PredictionStrategy::NearestSlot,
+                PredictionStrategy::SuccessorOfNearest,
+            ] {
+                let serial = predictor_with_history(history.clone())
+                    .with_distance(kind)
+                    .with_strategy(strategy);
+                let chunked = serial
+                    .clone()
+                    .with_parallelism(ParallelismPolicy::parallel(4).with_min_parallel_slots(1));
+                for pivots in [1, 2, 4, 9] {
+                    let indexed = serial.clone().with_index_policy(
+                        IndexPolicy::indexed()
+                            .with_pivots(pivots)
+                            .with_min_indexed_slots(1),
+                    );
+                    assert!(indexed.index_active(), "history is long enough");
+                    for probe in &probes {
+                        let forecast = indexed.predict(probe).unwrap();
+                        assert_eq!(
+                            forecast,
+                            serial.predict(probe).unwrap(),
+                            "{kind:?}/{strategy:?}/pivots={pivots} vs serial"
+                        );
+                        assert_eq!(
+                            forecast,
+                            chunked.predict(probe).unwrap(),
+                            "{kind:?}/{strategy:?}/pivots={pivots} vs chunked"
+                        );
+                        assert_eq!(
+                            forecast,
+                            serial.predict_naive(probe).unwrap(),
+                            "{kind:?}/{strategy:?}/pivots={pivots} vs naive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_scan_keeps_the_earliest_slot_on_ties() {
+        // identical slots: every candidate sits in the probe's own ring and
+        // the ascending walk must return the globally earliest one
+        let p = predictor_with_history(vec![slot(4, 2, 1); 25])
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(1));
+        assert!(p.index_active());
+        for probe in [slot(4, 2, 1), slot(5, 2, 1), slot(0, 0, 0)] {
+            let forecast = p.predict(&probe).unwrap();
+            assert_eq!(forecast.matched_slot, Some(0));
+            assert_eq!(forecast, p.predict_naive(&probe).unwrap());
+        }
+        // an exact match later in the history still loses to an equal-distance
+        // earlier slot, but wins over strictly-worse earlier slots
+        let p = predictor_with_history(vec![slot(9, 9, 9), slot(5, 2, 1), slot(5, 2, 1)])
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(1));
+        let forecast = p.predict(&slot(5, 2, 1)).unwrap();
+        assert_eq!(forecast.matched_slot, Some(1));
+    }
+
+    #[test]
+    fn index_follows_window_eviction_and_keeps_global_indices() {
+        let mut indexed = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0)
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(2))
+            .with_window(5);
+        let mut plain = WorkloadPredictor::new(GROUPS.to_vec(), 3_600_000.0).with_window(5);
+        for i in 0..23u32 {
+            let s = slot(3 + (i * 7) % 11, (i * 3) % 6, i % 3);
+            indexed.observe_slot(s.clone());
+            plain.observe_slot(s);
+            let probe = slot(3 + (i * 5) % 11, (i * 2) % 6, (i + 1) % 3);
+            assert_eq!(
+                indexed.predict(&probe).unwrap(),
+                plain.predict_naive(&probe).unwrap(),
+                "step {i}"
+            );
+        }
+        assert!(indexed.index_active());
+        assert_eq!(indexed.history().len(), 5);
+        assert_eq!(indexed.history().first_index(), 18);
+    }
+
+    #[test]
+    fn index_gates_on_threshold_distance_kind_and_policy() {
+        let history: Vec<TimeSlot> = (0..10u32).map(|i| slot(i + 1, 0, 0)).collect();
+        // linear policy: no index
+        let p = predictor_with_history(history.clone());
+        assert!(!p.index_active());
+        // below the build threshold the linear scans keep running
+        let p = predictor_with_history(history.clone())
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(50));
+        assert!(!p.index_active());
+        assert_eq!(
+            p.predict(&slot(3, 0, 0)).unwrap(),
+            p.predict_naive(&slot(3, 0, 0)).unwrap()
+        );
+        // the count distance never builds one — its signature scan is exact
+        let p = predictor_with_history(history.clone())
+            .with_distance(DistanceKind::CountDifference)
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(1));
+        assert!(!p.index_active());
+        assert_eq!(
+            p.predict(&slot(3, 0, 0)).unwrap(),
+            p.predict_naive(&slot(3, 0, 0)).unwrap()
+        );
+        // switching the distance rebuilds the index for the new metric
+        let p = predictor_with_history(history)
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(1))
+            .with_distance(DistanceKind::Levenshtein);
+        assert!(p.index_active());
+        assert_eq!(
+            p.predict(&slot(3, 0, 0)).unwrap(),
+            p.predict_naive(&slot(3, 0, 0)).unwrap()
+        );
     }
 
     #[test]

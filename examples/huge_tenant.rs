@@ -5,13 +5,16 @@
 //! engine combines the slice forecasts into the tenant-wide view. The
 //! predictor is configured with the chunked parallel knowledge-base scan
 //! (`with_parallel_scan`), which takes over automatically once a replica's
-//! history crosses the fan-out threshold.
+//! history crosses the fan-out threshold, and with the vantage-point metric
+//! index (`with_index_policy`), which takes precedence once a replica
+//! retains 24 slots and keeps the nearest-slot search sublinear as the
+//! knowledge base grows toward its six-month window.
 //!
 //! ```bash
 //! cargo run --release --example huge_tenant
 //! ```
 
-use mobile_code_acceleration::core::SystemConfig;
+use mobile_code_acceleration::core::{IndexPolicy, SystemConfig};
 use mobile_code_acceleration::fleet::{FleetDriver, FleetEngine, SlotBatchSource, SlotRecord};
 use mobile_code_acceleration::offload::{AccelerationGroupId, TenantId, UserId};
 
@@ -22,11 +25,12 @@ const SEED: u64 = 20170605;
 
 fn main() {
     // Paper defaults except: a raised account cap (one huge tenant needs
-    // more than 20 instances), a bounded knowledge base, and the chunked
-    // parallel scan for the nearest-neighbour search.
+    // more than 20 instances), a bounded knowledge base, the chunked
+    // parallel scan, and the metric index for the nearest-neighbour search.
     let mut config = SystemConfig::paper_three_groups()
         .with_history_window(4_320) // six months of hourly slots
-        .with_parallel_scan(SHARDS);
+        .with_parallel_scan(SHARDS)
+        .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(24));
     config.account_cap = 5_000;
 
     let huge = TenantId(0);

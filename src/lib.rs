@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use mca_core::{
         accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, DistanceKind,
-        ParallelismPolicy, PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory,
-        System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
+        IndexPolicy, ParallelismPolicy, PredictionStrategy, ResourceAllocator, SdnAccelerator,
+        SlotHistory, System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
     };
     pub use mca_fleet::{
         DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RecordSource, ShardRouter,

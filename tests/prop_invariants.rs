@@ -5,9 +5,10 @@
 
 use mobile_code_acceleration::core::{
     distance::{
-        group_distance, group_distance_bounded, group_distance_naive, levenshtein,
-        levenshtein_bounded, normalized_levenshtein, slot_distance, slot_distance_bounded,
-        slot_distance_naive,
+        bitset_group_distance, bitset_group_distance_bounded, group_distance,
+        group_distance_bounded, group_distance_naive, levenshtein, levenshtein_bounded,
+        levenshtein_myers, levenshtein_myers_bounded, normalized_levenshtein, slot_distance,
+        slot_distance_bounded, slot_distance_naive, GroupBitset,
     },
     ParallelismPolicy, SlotHistory, TimeSlot, WorkloadForecast, WorkloadPredictor,
 };
@@ -431,6 +432,102 @@ proptest! {
         let expected: Vec<usize> =
             (loads.len().saturating_sub(window)..loads.len()).collect();
         prop_assert_eq!(indices, expected);
+    }
+}
+
+fn raw_run(ids: Vec<u16>) -> Vec<UserId> {
+    ids.into_iter().map(|i| UserId(u32::from(i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Myers' bit-vector Levenshtein agrees exactly with the classic
+    /// full-matrix reference and with the banded early-exit variant's
+    /// `Some`/`None` semantics. The tiny symbol universe makes the runs
+    /// duplicate-heavy, and lengths beyond 64 force the carry chain across
+    /// machine-word boundaries.
+    #[test]
+    fn myers_levenshtein_matches_scalar_reference(
+        a in proptest::collection::vec(0u16..6, 0..150),
+        b in proptest::collection::vec(0u16..6, 0..150),
+        cap in 0usize..160,
+    ) {
+        let (a, b) = (raw_run(a), raw_run(b));
+        let exact = levenshtein(&a, &b);
+        prop_assert_eq!(levenshtein_myers(&a, &b), exact);
+        let bounded = levenshtein_myers_bounded(&a, &b, cap);
+        if cap >= exact {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
+        }
+        prop_assert_eq!(
+            levenshtein_myers_bounded(&a, &b, cap),
+            levenshtein_bounded(&a, &b, cap)
+        );
+    }
+
+    /// The word-aligned bitset distance agrees exactly with the merge
+    /// implementation and the set-based reference, including the bounded
+    /// variant's prune semantics. Ids span several 64-bit words so the
+    /// prefix/overlap/suffix decomposition is exercised on every shape.
+    #[test]
+    fn bitset_distance_matches_merge_and_naive(
+        a in proptest::collection::vec(0u16..300, 0..40),
+        b in proptest::collection::vec(0u16..300, 0..40),
+        cap in 0usize..90,
+    ) {
+        let (a, b) = (user_run(a), user_run(b));
+        let exact = group_distance_naive(&a, &b);
+        let set_a = GroupBitset::from_run(&a).expect("dense-enough run packs");
+        let set_b = GroupBitset::from_run(&b).expect("dense-enough run packs");
+        prop_assert_eq!(set_a.count(), a.len());
+        prop_assert_eq!(bitset_group_distance(&set_a, &set_b), exact);
+        prop_assert_eq!(bitset_group_distance(&set_a, &set_b), group_distance(&a, &b));
+        let bounded = bitset_group_distance_bounded(&set_a, &set_b, cap);
+        if cap >= exact {
+            prop_assert_eq!(bounded, Some(exact));
+        } else {
+            prop_assert_eq!(bounded, None);
+        }
+    }
+
+    /// The vantage-point indexed nearest-slot scan is bit-identical to the
+    /// pruned serial scan and the naive full scan for every pivot count,
+    /// with and without a retention window. The tight user universe (ids
+    /// 0..40) makes duplicate slots and exact-distance ties common, so ties
+    /// straddle pivot ring partitions and the earliest-slot tie-break is
+    /// exercised across them; the window exercises incremental eviction
+    /// maintenance of the index.
+    #[test]
+    fn indexed_prediction_matches_pruned_and_naive(
+        history in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u16..40), 0..12),
+            1..14,
+        ),
+        probe in proptest::collection::vec((0u8..3, 0u16..40), 0..12),
+        pivots in 1usize..5,
+        window_raw in 0usize..10,
+    ) {
+        // draws below 2 mean "unbounded history" (the vendored proptest has
+        // no option combinator); 2..10 bound the retention window
+        let window = (window_raw >= 2).then_some(window_raw);
+        let probe = slot_of(0, &probe);
+        let mut serial = WorkloadPredictor::new(SLOT_GROUPS.to_vec(), 3_600_000.0);
+        serial.set_window(window);
+        let mut indexed = serial.clone().with_index_policy(
+            IndexPolicy::indexed().with_pivots(pivots).with_min_indexed_slots(1),
+        );
+        for assignments in &history {
+            let slot = slot_of(0, assignments);
+            serial.observe_slot(slot.clone());
+            indexed.observe_slot(slot);
+        }
+        prop_assert!(indexed.index_active());
+        let fast = indexed.predict(&probe);
+        prop_assert_eq!(&fast, &serial.predict(&probe));
+        prop_assert_eq!(fast.unwrap(), serial.predict_naive(&probe).unwrap());
     }
 }
 
