@@ -8,7 +8,10 @@
 //!   non-zero below a 4× speedup or on any forecast divergence.
 //! * `--smoke`: a small CI gate (16 tenants × 200 slots); exits non-zero if
 //!   the fleet is slower than the single-shard baseline or forecasts
-//!   diverge.
+//!   diverge. Also runs the telemetry gates — histogram totals must equal
+//!   event counts, the JSON snapshot must round-trip, and instrumentation
+//!   overhead must stay within bounds — and writes
+//!   `BENCH_fleet_telemetry.json`.
 //! * `bench_fleet [tenants] [slots] [users_per_tenant]`: custom shape, no
 //!   speedup gate (forecast divergence still fails).
 
@@ -64,6 +67,18 @@ fn main() {
                 "WARNING: speedup {:.1}x is below the {gate}x acceptance bar",
                 report.speedup()
             );
+            std::process::exit(1);
+        }
+    }
+
+    if smoke {
+        let telemetry = fleet::telemetry_smoke(&workload, mca_bench::DEFAULT_SEED);
+        fleet::print_telemetry_smoke(&telemetry);
+        let path = "BENCH_fleet_telemetry.json";
+        std::fs::write(path, telemetry.to_json()).expect("write BENCH_fleet_telemetry.json");
+        println!("wrote {path}");
+        if !telemetry.passed() {
+            eprintln!("ERROR: the telemetry smoke gates failed");
             std::process::exit(1);
         }
     }

@@ -27,11 +27,16 @@
 //! at the repository root.
 
 use mca_core::{AllocationPolicy, IndexPolicy, SystemConfig, TimeSlot, TimeSlotBuilder};
-use mca_fleet::{FleetDriver, FleetEngine, SlotBatchSource, SlotRecord, TenantShard};
+use mca_fleet::{
+    FleetDriver, FleetEngine, FleetTelemetry, SlotBatchSource, SlotRecord, TelemetryMode,
+    TenantShard,
+};
 use mca_offload::{AccelerationGroupId, TenantId, UserId};
+use mca_telemetry::{json, json_snapshot, prometheus_text, SNAPSHOT_VERSION};
 use mca_workload::TenantMix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Knowledge-base window of the benchmark configuration: a week of hourly
@@ -112,6 +117,9 @@ pub struct FleetBenchReport {
     /// Whether every per-tenant fleet forecast matched the tenant-alone
     /// replay bit for bit, every slot.
     pub forecasts_identical: bool,
+    /// The fleet engine's telemetry snapshot at the end of the run: per-slot
+    /// tick latency tails, stage histograms and per-shard load.
+    pub telemetry: FleetTelemetry,
 }
 
 impl FleetBenchReport {
@@ -123,12 +131,31 @@ impl FleetBenchReport {
     /// The report as a JSON object (hand-rolled: serde_json is unavailable
     /// offline).
     pub fn to_json(&self) -> String {
+        let slot = &self.telemetry.slot;
+        let mut shard_loads = String::new();
+        for (index, shard) in self.telemetry.shards.iter().enumerate() {
+            let _ = write!(
+                shard_loads,
+                "{}\n    {{\"shard\": {}, \"tenants\": {}, \"ticks\": {}, \"records\": {}, \
+                 \"load_ewma\": {:.4}, \"tick_ewma_ns\": {:.1}, \"tick_p99_ns\": {}}}",
+                if index > 0 { "," } else { "" },
+                shard.shard,
+                shard.tenants,
+                shard.ticks,
+                shard.records,
+                shard.load_ewma,
+                shard.tick_ewma_ns,
+                shard.tick_p99_ns,
+            );
+        }
         format!(
             "{{\n  \"benchmark\": \"fleet_tick\",\n  \"tenants\": {},\n  \"slots\": {},\n  \
              \"users_per_tenant\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \
              \"history_window\": {},\n  \"single_shard_ms_per_slot\": {:.4},\n  \
              \"fleet_ms_per_slot\": {:.4},\n  \"speedup\": {:.2},\n  \
-             \"forecasts_bit_identical\": {}\n}}\n",
+             \"forecasts_bit_identical\": {},\n  \
+             \"slot_tick_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
+             \"max\": {}}},\n  \"shard_loads\": [{}\n  ]\n}}\n",
             self.workload.tenants,
             self.workload.slots,
             self.workload.users_per_tenant,
@@ -139,6 +166,12 @@ impl FleetBenchReport {
             self.fleet_ms_per_slot,
             self.speedup(),
             self.forecasts_identical,
+            slot.count(),
+            slot.p50(),
+            slot.p99(),
+            slot.p999(),
+            slot.max(),
+            shard_loads,
         )
     }
 }
@@ -248,6 +281,7 @@ pub fn run(workload: &FleetWorkload, seed: u64) -> FleetBenchReport {
         single_ms_per_slot: single_ms / workload.slots as f64,
         fleet_ms_per_slot: fleet_ms / workload.slots as f64,
         forecasts_identical,
+        telemetry: driver.engine().telemetry(),
     }
 }
 
@@ -275,6 +309,281 @@ pub fn print(report: &FleetBenchReport) {
         "  per-tenant forecasts bit-identical to tenant-alone replay: {}",
         report.forecasts_identical
     );
+    let slot = &report.telemetry.slot;
+    if slot.count() > 0 {
+        println!(
+            "  slot tick latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {:.1} us",
+            slot.p50() as f64 / 1_000.0,
+            slot.p99() as f64 / 1_000.0,
+            slot.p999() as f64 / 1_000.0,
+            slot.max() as f64 / 1_000.0,
+        );
+    }
+    if !report.telemetry.shards.is_empty() {
+        println!(
+            "  {:<8} {:>8} {:>10} {:>12} {:>14} {:>14}",
+            "shard", "tenants", "records", "load ewma", "tick ewma us", "tick p99 us"
+        );
+        for shard in &report.telemetry.shards {
+            println!(
+                "  {:<8} {:>8} {:>10} {:>12.1} {:>14.1} {:>14.1}",
+                shard.shard,
+                shard.tenants,
+                shard.records,
+                shard.load_ewma,
+                shard.tick_ewma_ns / 1_000.0,
+                shard.tick_p99_ns as f64 / 1_000.0,
+            );
+        }
+    }
+}
+
+/// Absolute slack added to the telemetry-overhead gate, ms per slot. The
+/// 3% relative bound is the real bar; on a smoke-sized workload a slot is a
+/// few milliseconds, so scheduler jitter alone can swing two identical runs
+/// past a bare percentage — the fixed slack absorbs that noise while still
+/// failing on any per-record cost sneaking into the hot path.
+pub const OVERHEAD_SLACK_MS: f64 = 0.25;
+
+/// Relative telemetry-overhead bound: instrumented ticks may cost at most
+/// this fraction more than uninstrumented ones.
+pub const OVERHEAD_BOUND: f64 = 0.03;
+
+/// Results and gate verdicts of the telemetry smoke run: one fleet pass
+/// with monotonic telemetry, one with telemetry disabled, on identical
+/// record streams.
+#[derive(Debug, Clone)]
+pub struct TelemetrySmokeReport {
+    /// The workload shape measured.
+    pub workload: FleetWorkload,
+    /// Mean wall-clock time of one fleet slot with monotonic telemetry, ms.
+    pub enabled_ms_per_slot: f64,
+    /// Mean wall-clock time of one fleet slot with telemetry disabled, ms.
+    pub disabled_ms_per_slot: f64,
+    /// The instrumented engine's telemetry snapshot.
+    pub telemetry: FleetTelemetry,
+    /// The instrumented engine's registry as a versioned JSON snapshot.
+    pub snapshot_json: String,
+    /// Correctness-gate failures: histogram totals that disagree with event
+    /// counts, or a snapshot that fails to round-trip. Empty on success.
+    pub failures: Vec<String>,
+    /// Whether the instrumented pass stayed within the overhead bound.
+    pub overhead_within_bound: bool,
+}
+
+impl TelemetrySmokeReport {
+    /// Instrumented cost over uninstrumented cost, as a percentage.
+    pub fn overhead_percent(&self) -> f64 {
+        (self.enabled_ms_per_slot / self.disabled_ms_per_slot - 1.0) * 100.0
+    }
+
+    /// Whether every gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.overhead_within_bound
+    }
+
+    /// The report as a JSON object; `snapshot` embeds the registry snapshot
+    /// verbatim (it is already JSON).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"fleet_telemetry\",\n  \"tenants\": {},\n  \"slots\": {},\n  \
+             \"users_per_tenant\": {},\n  \"enabled_ms_per_slot\": {:.4},\n  \
+             \"disabled_ms_per_slot\": {:.4},\n  \"overhead_percent\": {:.2},\n  \
+             \"overhead_within_bound\": {},\n  \"checks_passed\": {},\n  \"snapshot\": {}\n}}\n",
+            self.workload.tenants,
+            self.workload.slots,
+            self.workload.users_per_tenant,
+            self.enabled_ms_per_slot,
+            self.disabled_ms_per_slot,
+            self.overhead_percent(),
+            self.overhead_within_bound,
+            self.failures.is_empty(),
+            self.snapshot_json.trim_end(),
+        )
+    }
+}
+
+/// Drives the fleet path alone (no single-shard baseline, no tenant-alone
+/// replicas) over the workload's record stream and returns the mean ms per
+/// slot plus the driver for inspection.
+fn drive_fleet(workload: &FleetWorkload, seed: u64, mode: TelemetryMode) -> (f64, FleetDriver) {
+    let config = bench_config();
+    let mix = TenantMix::heterogeneous(
+        workload.tenants,
+        workload.users_per_tenant,
+        config.groups.ids(),
+        seed,
+    );
+    let mut engine = FleetEngine::new(config, workload.tenants, seed).with_telemetry(mode);
+    engine.add_tenants(mix.tenant_ids());
+    let (feed, source) = SlotBatchSource::channel();
+    let mut driver = FleetDriver::new(engine).with_shared_source(source);
+
+    let mut streams: Vec<StdRng> = mix.tenant_ids().map(|t| mix.stream_for(t)).collect();
+    let mut arrival_rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    let mut fleet_ms = 0.0f64;
+    for slot in 0..workload.slots {
+        let per_tenant: Vec<Vec<(AccelerationGroupId, UserId)>> = mix
+            .tenant_ids()
+            .map(|t| mix.slot_records(t, slot, &mut streams[t.0 as usize]))
+            .collect();
+        let batch = interleave(&per_tenant, &mut arrival_rng);
+        let start = Instant::now();
+        feed.push_slot(batch);
+        driver.step().expect("the shared lane never misroutes");
+        fleet_ms += start.elapsed().as_secs_f64() * 1_000.0;
+    }
+    (fleet_ms / workload.slots as f64, driver)
+}
+
+/// The telemetry smoke gate: proves the instrumentation layer's three
+/// contracts on a live fleet run.
+///
+/// 1. **Histogram totals equal event counts** — the stage-count arithmetic
+///    (`windowing == predict == tenant-ticks`, `allocate == allocations +
+///    infeasible`, `bill == allocations`, `tick == shards × slots`, `slot ==
+///    slots`) holds exactly; a missed or double-counted timer fails the gate.
+/// 2. **The exposition round-trips** — the versioned JSON snapshot parses
+///    with the in-tree parser, carries [`SNAPSHOT_VERSION`], and its
+///    histogram counts agree with the live histograms; the Prometheus text
+///    carries the slot-tick series.
+/// 3. **The hot path stays cheap** — the instrumented pass costs at most
+///    [`OVERHEAD_BOUND`] more than a telemetry-disabled pass over identical
+///    records (plus [`OVERHEAD_SLACK_MS`] for timing noise).
+pub fn telemetry_smoke(workload: &FleetWorkload, seed: u64) -> TelemetrySmokeReport {
+    // a short untimed pass warms the allocator and the rayon pool so the
+    // disabled-vs-enabled comparison does not charge warmup to either side
+    let warmup = FleetWorkload {
+        slots: workload.slots.min(16),
+        ..*workload
+    };
+    drive_fleet(&warmup, seed, TelemetryMode::Disabled);
+
+    let (disabled_ms, _) = drive_fleet(workload, seed, TelemetryMode::Disabled);
+    let (enabled_ms, driver) = drive_fleet(workload, seed, TelemetryMode::Monotonic);
+
+    let report = driver.report();
+    let telemetry = report.telemetry.clone();
+    let mut failures = Vec::new();
+    let mut check = |name: &str, got: u64, want: u64| {
+        if got != want {
+            failures.push(format!("{name}: got {got}, want {want}"));
+        }
+    };
+
+    let slots = workload.slots as u64;
+    let shards = telemetry.shards.len() as u64;
+    check("slot histogram count", telemetry.slot.count(), slots);
+    check(
+        "tick histogram count",
+        telemetry.stages.tick.count(),
+        shards * slots,
+    );
+    check(
+        "windowing histogram count",
+        telemetry.stages.windowing.count(),
+        workload.tenants as u64 * slots,
+    );
+    check(
+        "predict histogram count",
+        telemetry.stages.predict.count(),
+        telemetry.stages.windowing.count(),
+    );
+    check(
+        "allocate histogram count",
+        telemetry.stages.allocate.count(),
+        (report.metrics.total_allocations + report.metrics.total_infeasible) as u64,
+    );
+    check(
+        "bill histogram count",
+        telemetry.stages.bill.count(),
+        report.metrics.total_allocations as u64,
+    );
+    let staged: u64 = telemetry.shards.iter().map(|s| s.records).sum();
+    check(
+        "records staged across shards",
+        staged,
+        report.records as u64,
+    );
+
+    let registry = driver.engine().telemetry_registry();
+    let snapshot_json = json_snapshot(&registry);
+    match json::parse(&snapshot_json) {
+        Err(error) => failures.push(format!("snapshot does not parse: {error}")),
+        Ok(doc) => {
+            if doc.get("version").and_then(|v| v.as_u64()) != Some(SNAPSHOT_VERSION) {
+                failures.push(format!("snapshot version is not {SNAPSHOT_VERSION}"));
+            }
+            let hist_count = |name: &str| {
+                doc.get("histograms")
+                    .and_then(|h| h.get(name))
+                    .and_then(|h| h.get("count"))
+                    .and_then(|c| c.as_u64())
+            };
+            if hist_count("fleet_slot_tick_ns") != Some(telemetry.slot.count()) {
+                failures.push("snapshot fleet_slot_tick_ns count disagrees".to_string());
+            }
+            let counter = |name: &str| {
+                doc.get("counters")
+                    .and_then(|c| c.get(name))
+                    .and_then(|c| c.as_u64())
+            };
+            if counter("fleet_records_total") != Some(report.records as u64) {
+                failures.push("snapshot fleet_records_total disagrees".to_string());
+            }
+        }
+    }
+    if !prometheus_text(&registry).contains("fleet_slot_tick_ns_count") {
+        failures.push("prometheus text is missing the slot-tick series".to_string());
+    }
+
+    let overhead_within_bound =
+        enabled_ms <= disabled_ms * (1.0 + OVERHEAD_BOUND) + OVERHEAD_SLACK_MS;
+
+    TelemetrySmokeReport {
+        workload: *workload,
+        enabled_ms_per_slot: enabled_ms,
+        disabled_ms_per_slot: disabled_ms,
+        telemetry,
+        snapshot_json,
+        failures,
+        overhead_within_bound,
+    }
+}
+
+/// Prints the telemetry smoke verdicts as an aligned table.
+pub fn print_telemetry_smoke(report: &TelemetrySmokeReport) {
+    println!(
+        "\ntelemetry smoke over {} tenants x {} slots",
+        report.workload.tenants, report.workload.slots
+    );
+    println!("  {:<32} {:>12}", "fleet path", "ms/slot");
+    println!(
+        "  {:<32} {:>12.3}",
+        "telemetry disabled", report.disabled_ms_per_slot
+    );
+    println!(
+        "  {:<32} {:>12.3}",
+        "telemetry enabled (monotonic)", report.enabled_ms_per_slot
+    );
+    println!(
+        "  overhead: {:+.2}% (bound {:.0}% + {:.2} ms slack) -> {}",
+        report.overhead_percent(),
+        OVERHEAD_BOUND * 100.0,
+        OVERHEAD_SLACK_MS,
+        if report.overhead_within_bound {
+            "ok"
+        } else {
+            "EXCEEDED"
+        },
+    );
+    if report.failures.is_empty() {
+        println!("  histogram totals equal event counts; snapshot round-trips: ok");
+    } else {
+        for failure in &report.failures {
+            println!("  FAILED: {failure}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,9 +600,36 @@ mod tests {
         let report = run(&workload, crate::DEFAULT_SEED);
         assert!(report.forecasts_identical);
         assert!(report.single_ms_per_slot > 0.0 && report.fleet_ms_per_slot > 0.0);
+        // the engine defaults to monotonic telemetry, so the bench report
+        // carries real tail latencies and per-shard load
+        assert_eq!(report.telemetry.slot.count(), 12);
+        assert!(report.telemetry.slot.p99() > 0);
+        assert_eq!(report.telemetry.shards.len(), report.shards);
         let json = report.to_json();
         assert!(json.contains("\"tenants\": 6"));
         assert!(json.contains("\"forecasts_bit_identical\": true"));
+        assert!(json.contains("\"slot_tick_ns\""));
+        assert!(json.contains("\"p999\""));
+        assert!(json.contains("\"shard_loads\""));
+        assert!(json.contains("\"load_ewma\""));
+    }
+
+    #[test]
+    fn telemetry_smoke_gates_pass_on_a_small_fleet() {
+        let workload = FleetWorkload {
+            tenants: 6,
+            slots: 12,
+            users_per_tenant: 20,
+        };
+        let report = telemetry_smoke(&workload, crate::DEFAULT_SEED);
+        // the correctness gates are deterministic; the overhead gate is a
+        // wall-clock comparison and is only asserted at smoke scale in CI
+        assert_eq!(report.failures, Vec::<String>::new());
+        assert_eq!(report.telemetry.slot.count(), 12);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"fleet_telemetry\""));
+        assert!(json.contains("\"snapshot\": {\"version\":1,"));
+        mca_telemetry::json::parse(&json).expect("the telemetry report is valid JSON");
     }
 
     #[test]

@@ -65,6 +65,7 @@ use mca_offload::AccelerationGroupId;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// How the predictor turns the slot history into a forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -232,6 +233,123 @@ impl WorkloadForecast {
     }
 }
 
+/// Cumulative query and index-health counters of one predictor.
+///
+/// The counters are atomics because the chunked parallel scan increments
+/// them from worker threads through `&self`; every total is nonetheless a
+/// deterministic function of the query sequence (per-chunk work is fixed by
+/// the [`ParallelismPolicy`], not by the executing thread count). Like
+/// [`crate::AllocationStats`] on [`crate::Allocation`], the stats are
+/// observability data, **not** part of the predictor's semantic state: two
+/// predictors with identical knowledge bases compare equal regardless of how
+/// many queries each has answered, so `PartialEq` here is identically true.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Nearest-slot scan queries answered (all paths: serial best-first,
+    /// count-signature linear, chunked parallel, indexed).
+    queries: AtomicU64,
+    /// `observe_and_predict` calls resolved by the signature-equality
+    /// shortcut, never evaluating a distance.
+    fast_predictions: AtomicU64,
+    /// Candidates visited by [`SlotIndex::ring_walk`] before the ring bound
+    /// terminated the walk.
+    rings_walked: AtomicU64,
+    /// Candidates whose signature/triangle lower bound was computed.
+    candidates_bounded: AtomicU64,
+    /// Candidates that survived the bounds and had a full (early-exit)
+    /// distance evaluation.
+    candidates_evaluated: AtomicU64,
+    /// Times a [`DistanceScratch`] buffer had to grow mid-query (see
+    /// [`DistanceScratch::grows`]).
+    scratch_grows: AtomicU64,
+    /// Metric-index builds from scratch (first build after crossing
+    /// [`IndexPolicy::min_indexed_slots`], or a policy/distance change).
+    index_builds: AtomicU64,
+    /// Metric-index rebuilds triggered by the doubling rule
+    /// ([`SlotIndex::should_rebuild`]).
+    index_rebuilds: AtomicU64,
+}
+
+impl PredictorStats {
+    /// A plain-integer copy of the current counter values.
+    pub fn snapshot(&self) -> PredictorStatsSnapshot {
+        PredictorStatsSnapshot {
+            queries: self.queries.load(Relaxed),
+            fast_predictions: self.fast_predictions.load(Relaxed),
+            rings_walked: self.rings_walked.load(Relaxed),
+            candidates_bounded: self.candidates_bounded.load(Relaxed),
+            candidates_evaluated: self.candidates_evaluated.load(Relaxed),
+            scratch_grows: self.scratch_grows.load(Relaxed),
+            index_builds: self.index_builds.load(Relaxed),
+            index_rebuilds: self.index_rebuilds.load(Relaxed),
+        }
+    }
+}
+
+impl Clone for PredictorStats {
+    fn clone(&self) -> Self {
+        let snapshot = self.snapshot();
+        Self {
+            queries: AtomicU64::new(snapshot.queries),
+            fast_predictions: AtomicU64::new(snapshot.fast_predictions),
+            rings_walked: AtomicU64::new(snapshot.rings_walked),
+            candidates_bounded: AtomicU64::new(snapshot.candidates_bounded),
+            candidates_evaluated: AtomicU64::new(snapshot.candidates_evaluated),
+            scratch_grows: AtomicU64::new(snapshot.scratch_grows),
+            index_builds: AtomicU64::new(snapshot.index_builds),
+            index_rebuilds: AtomicU64::new(snapshot.index_rebuilds),
+        }
+    }
+}
+
+impl PartialEq for PredictorStats {
+    /// Always true: query counters are observability data and take no part
+    /// in predictor equality (the precedent is [`crate::Allocation`], whose
+    /// equality ignores its [`crate::AllocationStats`]). A fast-path
+    /// predictor that never scanned and a slow-path one that scanned
+    /// everything hold the same knowledge and must compare equal.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+/// Plain-integer snapshot of [`PredictorStats`], comparable and copyable.
+/// See the field docs on [`PredictorStats`] for meanings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictorStatsSnapshot {
+    /// Nearest-slot scan queries answered.
+    pub queries: u64,
+    /// Fast-path `observe_and_predict` resolutions.
+    pub fast_predictions: u64,
+    /// Index ring-walk candidates visited.
+    pub rings_walked: u64,
+    /// Candidates with a lower bound computed.
+    pub candidates_bounded: u64,
+    /// Candidates fully evaluated.
+    pub candidates_evaluated: u64,
+    /// Distance-scratch buffer growths.
+    pub scratch_grows: u64,
+    /// Index builds from scratch.
+    pub index_builds: u64,
+    /// Doubling-rule index rebuilds.
+    pub index_rebuilds: u64,
+}
+
+impl PredictorStatsSnapshot {
+    /// Component-wise sum — used by the fleet to fold per-tenant stats into
+    /// fleet-wide totals.
+    pub fn merge(&mut self, other: &PredictorStatsSnapshot) {
+        self.queries += other.queries;
+        self.fast_predictions += other.fast_predictions;
+        self.rings_walked += other.rings_walked;
+        self.candidates_bounded += other.candidates_bounded;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.scratch_grows += other.scratch_grows;
+        self.index_builds += other.index_builds;
+        self.index_rebuilds += other.index_rebuilds;
+    }
+}
+
 /// The workload predictor: a knowledge base of historical slots plus a
 /// prediction strategy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -264,6 +382,9 @@ pub struct WorkloadPredictor {
     /// history is short, or the distance is the count difference (whose
     /// signature scan is already `O(groups)` per candidate).
     index: Option<SlotIndex>,
+    /// Cumulative query and index-health counters. Excluded from equality
+    /// (see [`PredictorStats`]).
+    stats: PredictorStats,
 }
 
 impl WorkloadPredictor {
@@ -282,7 +403,17 @@ impl WorkloadPredictor {
             parallelism: ParallelismPolicy::default(),
             index_policy: IndexPolicy::default(),
             index: None,
+            stats: PredictorStats::default(),
         }
+    }
+
+    /// Plain-integer snapshot of the cumulative query and index-health
+    /// counters: scan queries answered, candidates bounded vs. evaluated,
+    /// index ring-walk lengths, [`DistanceScratch`] growths, and index
+    /// builds/rebuilds. Counters only ever increase; diff two snapshots to
+    /// rate a window.
+    pub fn stats(&self) -> PredictorStatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Overrides the prediction strategy.
@@ -450,6 +581,7 @@ impl WorkloadPredictor {
             history,
             groups,
             distance,
+            stats,
             ..
         } = self;
         if !index_policy.is_indexed()
@@ -470,6 +602,7 @@ impl WorkloadPredictor {
                         groups,
                         index_policy.pivots,
                     ));
+                    stats.index_builds.fetch_add(1, Relaxed);
                 }
             }
             Some(existing) => {
@@ -491,6 +624,7 @@ impl WorkloadPredictor {
                         groups,
                         index_policy.pivots,
                     ));
+                    stats.index_rebuilds.fetch_add(1, Relaxed);
                 }
             }
         }
@@ -602,12 +736,14 @@ impl WorkloadPredictor {
             // allocation-free scan, first minimum wins
             let mut best = usize::MAX;
             let mut best_position = 0;
+            let mut visited = 0u64;
             for (position, signature) in self.signatures.chunks_exact(group_count).enumerate() {
                 let distance: usize = current_signature
                     .iter()
                     .zip(signature)
                     .map(|(a, b)| a.abs_diff(*b))
                     .sum();
+                visited += 1;
                 if distance < best {
                     best = distance;
                     best_position = position;
@@ -616,6 +752,8 @@ impl WorkloadPredictor {
                     }
                 }
             }
+            self.stats.queries.fetch_add(1, Relaxed);
+            self.stats.candidates_bounded.fetch_add(visited, Relaxed);
             return Some(best_position);
         }
         let current_ranges: Vec<(u32, u32)> = self
@@ -649,6 +787,11 @@ impl WorkloadPredictor {
             })
             .collect();
         order.sort_unstable();
+        self.stats.queries.fetch_add(1, Relaxed);
+        self.stats
+            .candidates_bounded
+            .fetch_add(order.len() as u64, Relaxed);
+        let mut evaluated = 0u64;
         let mut scratch = DistanceScratch::new();
         let mut best = usize::MAX;
         let mut best_position = usize::MAX;
@@ -667,6 +810,7 @@ impl WorkloadPredictor {
                 best - 1 // position > best_position implies best > lower_bound >= 0
             };
             let candidate = self.bounded_distance(current, &slots[position], cap, &mut scratch);
+            evaluated += 1;
             if let Some(distance) = candidate {
                 if distance < best || (distance == best && position < best_position) {
                     best = distance;
@@ -679,6 +823,12 @@ impl WorkloadPredictor {
                 }
             }
         }
+        self.stats
+            .candidates_evaluated
+            .fetch_add(evaluated, Relaxed);
+        self.stats
+            .scratch_grows
+            .fetch_add(scratch.grows() as u64, Relaxed);
         Some(best_position)
     }
 
@@ -735,6 +885,10 @@ impl WorkloadPredictor {
         current_ranges: &[(u32, u32)],
     ) -> usize {
         let chunks = chunk_ranges(self.history.len(), self.parallelism.threads);
+        self.stats.queries.fetch_add(1, Relaxed);
+        self.stats
+            .candidates_bounded
+            .fetch_add(self.history.len() as u64, Relaxed);
         let prepared: Vec<ChunkCandidates> = chunks
             .par_iter()
             .map(|range| self.chunk_bounds(current_signature, current_ranges, range.clone()))
@@ -753,6 +907,10 @@ impl WorkloadPredictor {
                 &mut scratch,
             )
             .expect("an uncapped distance always evaluates");
+        self.stats.candidates_evaluated.fetch_add(1, Relaxed);
+        self.stats
+            .scratch_grows
+            .fetch_add(scratch.grows() as u64, Relaxed);
         if seed_distance == 0 {
             // the seed is the globally FIRST minimum bound: every earlier
             // candidate has a strictly larger bound (> seed_bound == 0),
@@ -813,6 +971,7 @@ impl WorkloadPredictor {
     ) -> (usize, usize) {
         let slots = self.history.slots();
         let mut scratch = DistanceScratch::new();
+        let mut evaluated = 0u64;
         let mut best = seed_distance;
         let mut best_position = seed_position;
         for (offset, position) in chunk.range.clone().enumerate() {
@@ -831,9 +990,9 @@ impl WorkloadPredictor {
             } else {
                 best - 1
             };
-            if let Some(distance) =
-                self.bounded_distance(current, &slots[position], cap, &mut scratch)
-            {
+            let candidate = self.bounded_distance(current, &slots[position], cap, &mut scratch);
+            evaluated += 1;
+            if let Some(distance) = candidate {
                 if distance < best || (distance == best && position < best_position) {
                     best = distance;
                     best_position = position;
@@ -845,6 +1004,12 @@ impl WorkloadPredictor {
                 }
             }
         }
+        self.stats
+            .candidates_evaluated
+            .fetch_add(evaluated, Relaxed);
+        self.stats
+            .scratch_grows
+            .fetch_add(scratch.grows() as u64, Relaxed);
         (best, best_position)
     }
 
@@ -893,12 +1058,18 @@ impl WorkloadPredictor {
             _ => Vec::new(),
         };
         let probe_key = probe_pivot[0];
+        self.stats.queries.fetch_add(1, Relaxed);
+        let mut walked = 0u64;
+        let mut bounded = 0u64;
+        let mut evaluated = 0u64;
         let mut best = usize::MAX;
         let mut best_global = u64::MAX;
         for (ring, global) in index.ring_walk(probe_key) {
+            walked += 1;
             if ring as usize > best {
                 break; // rings ascend: everything further is refuted wholesale
             }
+            bounded += 1;
             let position = (global as usize) - first_index;
             let mut bound = ring as usize;
             for (probe_d, cached_d) in probe_pivot.iter().zip(index.pivot_distances_of(position)) {
@@ -920,6 +1091,7 @@ impl WorkloadPredictor {
                 cap,
                 &mut scratch,
             );
+            evaluated += 1;
             if let Some(distance) = candidate {
                 if distance < best || (distance == best && global < best_global) {
                     best = distance;
@@ -934,6 +1106,14 @@ impl WorkloadPredictor {
                 }
             }
         }
+        self.stats.rings_walked.fetch_add(walked, Relaxed);
+        self.stats.candidates_bounded.fetch_add(bounded, Relaxed);
+        self.stats
+            .candidates_evaluated
+            .fetch_add(evaluated, Relaxed);
+        self.stats
+            .scratch_grows
+            .fetch_add(scratch.grows() as u64, Relaxed);
         (best_global as usize) - first_index
     }
 
@@ -1046,6 +1226,7 @@ impl WorkloadPredictor {
                     // no groups: every distance is zero, the earliest slot wins
                     position = 0;
                 }
+                self.stats.fast_predictions.fetch_add(1, Relaxed);
                 Ok(self.forecast_from_position(position))
             }
         }
@@ -1629,6 +1810,61 @@ mod tests {
         let forecast = receiver.predict(&slot(3, 0, 0)).unwrap();
         assert_eq!(forecast.matched_slot, Some(0));
         assert_eq!(forecast.load_of(AccelerationGroupId(1)), 3);
+    }
+
+    #[test]
+    fn stats_count_queries_but_never_affect_equality() {
+        let mut p = predictor_with_history(vec![slot(3, 0, 0), slot(7, 1, 0), slot(5, 2, 1)]);
+        let untouched = p.clone();
+        assert_eq!(p.stats(), PredictorStatsSnapshot::default());
+
+        p.predict(&slot(4, 1, 0)).unwrap();
+        let after_one = p.stats();
+        assert_eq!(after_one.queries, 1);
+        assert_eq!(after_one.candidates_bounded, 3);
+        assert!(after_one.candidates_evaluated >= 1);
+
+        p.observe_and_predict(slot(4, 1, 0)).unwrap();
+        assert_eq!(p.stats().fast_predictions, 1);
+        // the fast path resolves by signature equality: no new scan query
+        assert_eq!(p.stats().queries, 1);
+
+        // stats are observability data, not semantic state: the probed
+        // predictor still equals one that never answered a query (modulo the
+        // slot the fast path observed, which we remove again)
+        let probed = untouched.clone();
+        probed.predict(&slot(4, 1, 0)).unwrap();
+        assert_eq!(probed, untouched);
+        assert_ne!(probed.stats(), untouched.stats());
+    }
+
+    #[test]
+    fn stats_snapshots_are_identical_across_scan_paths() {
+        let slots: Vec<TimeSlot> = (0..64u32).map(|i| slot(i % 7 + 1, i % 5, i % 3)).collect();
+        let probe = slot(4, 2, 1);
+
+        let serial = predictor_with_history(slots.clone());
+        serial.predict(&probe).unwrap();
+
+        let chunked = predictor_with_history(slots.clone())
+            .with_parallelism(ParallelismPolicy::parallel(4).with_min_parallel_slots(1));
+        chunked.predict(&probe).unwrap();
+
+        // both linear paths bound every candidate exactly once per query
+        assert_eq!(serial.stats().candidates_bounded, 64);
+        assert_eq!(chunked.stats().candidates_bounded, 64);
+        assert_eq!(serial.stats().queries, 1);
+        assert_eq!(chunked.stats().queries, 1);
+
+        // the indexed path reports ring-walk coverage and index builds
+        let indexed = predictor_with_history(slots)
+            .with_index_policy(IndexPolicy::indexed().with_min_indexed_slots(1));
+        indexed.predict(&probe).unwrap();
+        let stats = indexed.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert!(stats.rings_walked >= stats.candidates_bounded);
+        assert!(stats.candidates_bounded >= stats.candidates_evaluated);
+        assert!(stats.candidates_evaluated >= 1);
     }
 
     #[test]

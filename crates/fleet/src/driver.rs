@@ -15,10 +15,11 @@ use crate::error::FleetError;
 use crate::ingest::SlotRecord;
 use crate::metrics::FleetMetrics;
 use crate::source::{RecordSource, TenantMixSource};
+use crate::telemetry::FleetTelemetry;
 use mca_core::WorkloadForecast;
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -34,7 +35,13 @@ struct DriverSource {
 /// What a drive accomplished: the rollup an operator dashboard would show
 /// for the session, plus the ingestion accounting the old batch API had no
 /// home for.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *semantic* outcome — forecasts, metrics and the
+/// ingestion accounting — and deliberately ignores the [`FleetTelemetry`]
+/// section: under the default monotonic clock two identical runs measure
+/// different wall times, and the determinism suite compares reports across
+/// telemetry modes.
+#[derive(Debug, Clone)]
 pub struct DriveReport {
     /// Slots this driver ticked.
     pub slots: usize,
@@ -48,14 +55,39 @@ pub struct DriveReport {
     /// Records sources dropped because they arrived after their slot was
     /// ticked (late events on windower-backed live streams).
     pub late_records: usize,
+    /// The late records broken down by tenant (bound sources attribute to
+    /// their tenant; shared stream sources attribute by each dropped
+    /// record's tag).
+    pub late_by_tenant: BTreeMap<TenantId, usize>,
     /// Records the engine dropped because they named an unknown tenant
     /// (engine-lifetime counter; includes pre-driver ticks on the same
     /// engine).
     pub dropped_records: usize,
+    /// The dropped records broken down by the unknown tenant they named
+    /// (engine-lifetime, like [`DriveReport::dropped_records`]).
+    pub dropped_by_tenant: BTreeMap<TenantId, usize>,
     /// Sources that have raised their end-of-stream marker.
     pub exhausted_sources: usize,
     /// Sources registered in total.
     pub total_sources: usize,
+    /// The engine's telemetry snapshot: per-slot tick latency, per-stage
+    /// histograms and per-shard load. Ignored by `==`.
+    pub telemetry: FleetTelemetry,
+}
+
+impl PartialEq for DriveReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+            && self.forecasts == other.forecasts
+            && self.metrics == other.metrics
+            && self.records == other.records
+            && self.late_records == other.late_records
+            && self.late_by_tenant == other.late_by_tenant
+            && self.dropped_records == other.dropped_records
+            && self.dropped_by_tenant == other.dropped_by_tenant
+            && self.exhausted_sources == other.exhausted_sources
+            && self.total_sources == other.total_sources
+    }
 }
 
 /// A driving session over a [`FleetEngine`]: multiplexes [`RecordSource`]s
@@ -85,6 +117,7 @@ pub struct FleetDriver {
     slots_driven: usize,
     records_ingested: usize,
     late_records: usize,
+    late_by_tenant: BTreeMap<TenantId, usize>,
 }
 
 impl FleetDriver {
@@ -98,6 +131,7 @@ impl FleetDriver {
             slots_driven: 0,
             records_ingested: 0,
             late_records: 0,
+            late_by_tenant: BTreeMap::new(),
         }
     }
 
@@ -233,6 +267,7 @@ impl FleetDriver {
         let mut batch: Vec<SlotRecord> = Vec::new();
         let mut records = 0usize;
         let mut late = 0usize;
+        let mut late_by_tenant: BTreeMap<TenantId, usize> = BTreeMap::new();
         let mut first_error: Option<FleetError> = None;
         for entry in &mut self.sources {
             if entry.exhausted {
@@ -240,6 +275,19 @@ impl FleetDriver {
             }
             let produced = entry.source.next_slot(slot);
             late += produced.late;
+            match entry.tenant {
+                // a bound source's events are all its tenant's, so even late
+                // events a source does not break down are attributable
+                Some(bound) if produced.late > 0 => {
+                    *late_by_tenant.entry(bound).or_insert(0) += produced.late;
+                }
+                None => {
+                    for (&tenant, &count) in &produced.late_by_tenant {
+                        *late_by_tenant.entry(tenant).or_insert(0) += count;
+                    }
+                }
+                _ => {}
+            }
             if let Some(bound) = entry.tenant {
                 if let Some(foreign) = produced.records.iter().find(|r| r.tenant != bound) {
                     entry.exhausted = true;
@@ -264,6 +312,9 @@ impl FleetDriver {
         self.engine.ingest_batch(&batch);
         self.records_ingested += records;
         self.late_records += late;
+        for (tenant, count) in late_by_tenant {
+            *self.late_by_tenant.entry(tenant).or_insert(0) += count;
+        }
         self.slots_driven += 1;
         match first_error {
             Some(error) => Err(error),
@@ -309,9 +360,12 @@ impl FleetDriver {
             metrics: self.engine.metrics(),
             records: self.records_ingested,
             late_records: self.late_records,
+            late_by_tenant: self.late_by_tenant.clone(),
             dropped_records: self.engine.dropped_records(),
+            dropped_by_tenant: self.engine.dropped_by_tenant().clone(),
             exhausted_sources: self.sources.iter().filter(|s| s.exhausted).count(),
             total_sources: self.sources.len(),
+            telemetry: self.engine.telemetry(),
         }
     }
 }

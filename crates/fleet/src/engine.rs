@@ -20,8 +20,12 @@ use crate::ingest::{bucket_by_shard, SlotRecord};
 use crate::metrics::{FleetMetrics, TenantMetrics};
 use crate::router::ShardRouter;
 use crate::shard::TenantShard;
-use mca_core::{SlotHistory, SystemConfig, TimeSlotBuilder, WorkloadForecast};
+use crate::telemetry::{FleetTelemetry, ShardTelemetry, StageHistograms, TelemetryMode};
+use mca_core::{
+    PredictorStatsSnapshot, SlotHistory, SystemConfig, TimeSlotBuilder, WorkloadForecast,
+};
 use mca_offload::TenantId;
+use mca_telemetry::{LatencyHistogram, Registry, StageTimer, TelemetryClock};
 use mca_workload::TenantMix;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -34,31 +38,43 @@ struct Shard {
     tenants: Vec<TenantShard>,
     /// Records staged for the next tick.
     inbox: Vec<SlotRecord>,
+    /// The shard's private instrumentation state: its own clock (so logical
+    /// timestamps are deterministic under any thread schedule), stage
+    /// histograms and load accounting.
+    telemetry: ShardTelemetry,
 }
 
 impl Shard {
     /// Consumes the inbox: builds each tenant's slot with one sort + dedup
-    /// pass and runs the tenant's provisioning tick. Returns the number of
-    /// records that named a tenant this shard does not host.
-    fn tick_inbox(&mut self, slot_index: usize, now_ms: f64) -> usize {
-        let mut builders: Vec<TimeSlotBuilder> = self
-            .tenants
+    /// pass and runs the tenant's provisioning tick, timing the windowing
+    /// and per-tenant stages against the shard's telemetry. Returns how many
+    /// records named each tenant this shard does not host.
+    fn tick_inbox(&mut self, slot_index: usize, now_ms: f64) -> BTreeMap<TenantId, usize> {
+        let Shard {
+            tenants,
+            inbox,
+            telemetry,
+        } = self;
+        let tick_timer = telemetry.start_stage();
+        let staged = inbox.len();
+        let mut builders: Vec<TimeSlotBuilder> = tenants
             .iter()
             .map(|_| TimeSlotBuilder::new(slot_index))
             .collect();
-        let mut unknown = 0usize;
-        for record in self.inbox.drain(..) {
-            match self
-                .tenants
-                .binary_search_by_key(&record.tenant, TenantShard::id)
-            {
+        let mut unknown: BTreeMap<TenantId, usize> = BTreeMap::new();
+        for record in inbox.drain(..) {
+            match tenants.binary_search_by_key(&record.tenant, TenantShard::id) {
                 Ok(at) => builders[at].assign(record.group, record.user),
-                Err(_) => unknown += 1,
+                Err(_) => *unknown.entry(record.tenant).or_insert(0) += 1,
             }
         }
-        for (tenant, builder) in self.tenants.iter_mut().zip(builders) {
-            tenant.tick(builder.build(), now_ms);
+        for (tenant, builder) in tenants.iter_mut().zip(builders) {
+            let timer = telemetry.start_stage();
+            let slot = builder.build();
+            telemetry.end_windowing(timer);
+            tenant.tick_instrumented(slot, now_ms, telemetry);
         }
+        telemetry.finish_tick(staged, tick_timer);
         unknown
     }
 }
@@ -74,9 +90,17 @@ pub struct FleetEngine {
     threads: usize,
     slot_index: usize,
     dropped_records: usize,
+    /// Dropped records broken down by the unknown tenant they named.
+    dropped_by_tenant: BTreeMap<TenantId, usize>,
     /// Tenants whose population is split across *every* shard by user hash
     /// (one replica per shard) — the scaling mode for one huge tenant.
     user_sharded: BTreeSet<TenantId>,
+    /// How stage and slot latencies are measured.
+    telemetry_mode: TelemetryMode,
+    /// The engine-level clock timing each full slot tick.
+    clock: TelemetryClock,
+    /// Latency histogram over full `ingest_batch` slot ticks.
+    slot_hist: LatencyHistogram,
 }
 
 impl FleetEngine {
@@ -88,11 +112,13 @@ impl FleetEngine {
     ///
     /// Panics if `shards` is zero.
     pub fn new(config: SystemConfig, shards: usize, seed: u64) -> Self {
+        let mode = TelemetryMode::default();
         let router = ShardRouter::new(shards);
         let shards = (0..shards)
             .map(|_| Shard {
                 tenants: Vec::new(),
                 inbox: Vec::new(),
+                telemetry: ShardTelemetry::new(mode),
             })
             .collect();
         let pool = rayon::ThreadPoolBuilder::new()
@@ -108,7 +134,11 @@ impl FleetEngine {
             threads,
             slot_index: 0,
             dropped_records: 0,
+            dropped_by_tenant: BTreeMap::new(),
             user_sharded: BTreeSet::new(),
+            telemetry_mode: mode,
+            clock: mode.clock(),
+            slot_hist: LatencyHistogram::new(),
         }
     }
 
@@ -121,6 +151,25 @@ impl FleetEngine {
             .expect("thread pool construction cannot fail");
         self.threads = self.pool.current_num_threads();
         self
+    }
+
+    /// Switches how stage and slot latencies are measured, resetting every
+    /// clock and histogram (typically called right after construction).
+    /// Forecasts and metrics are bit-identical in every mode: measurement
+    /// flows through per-shard clocks and touches no tenant state.
+    pub fn with_telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry_mode = mode;
+        self.clock = mode.clock();
+        self.slot_hist.clear();
+        for shard in &mut self.shards {
+            shard.telemetry = ShardTelemetry::new(mode);
+        }
+        self
+    }
+
+    /// The active telemetry mode.
+    pub fn telemetry_mode(&self) -> TelemetryMode {
+        self.telemetry_mode
     }
 
     /// The shared system configuration.
@@ -180,6 +229,12 @@ impl FleetEngine {
     /// Records dropped so far because they named an unknown tenant.
     pub fn dropped_records(&self) -> usize {
         self.dropped_records
+    }
+
+    /// Dropped records broken down by the unknown tenant they named, sorted
+    /// by tenant id.
+    pub fn dropped_by_tenant(&self) -> &BTreeMap<TenantId, usize> {
+        &self.dropped_by_tenant
     }
 
     /// The shard index hosting `tenant`.
@@ -308,6 +363,7 @@ impl FleetEngine {
     /// tenants are counted in [`FleetEngine::dropped_records`]. This is the
     /// single ingestion primitive every front-end funnels into.
     pub(crate) fn ingest_batch(&mut self, records: &[SlotRecord]) {
+        let timer = StageTimer::start(&mut self.clock);
         let slot_index = self.slot_index;
         let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
         let buckets = bucket_by_shard(records, &self.router, &self.user_sharded);
@@ -315,18 +371,24 @@ impl FleetEngine {
             shard.inbox = bucket;
         }
         let shards = &mut self.shards;
-        let dropped: usize = self
-            .pool
-            .install(|| {
-                shards
-                    .par_iter_mut()
-                    .map(|shard| shard.tick_inbox(slot_index, now_ms))
-                    .collect::<Vec<usize>>()
-            })
-            .into_iter()
-            .sum();
-        self.dropped_records += dropped;
+        let dropped_per_shard: Vec<BTreeMap<TenantId, usize>> = self.pool.install(|| {
+            shards
+                .par_iter_mut()
+                .map(|shard| shard.tick_inbox(slot_index, now_ms))
+                .collect()
+        });
+        // merged in shard order, so the fold is deterministic
+        for dropped in dropped_per_shard {
+            for (tenant, count) in dropped {
+                self.dropped_records += count;
+                *self.dropped_by_tenant.entry(tenant).or_insert(0) += count;
+            }
+        }
         self.slot_index += 1;
+        let elapsed = timer.stop(&mut self.clock);
+        if self.clock.enabled() {
+            self.slot_hist.record(elapsed);
+        }
     }
 
     /// Ticks one provisioning slot on a hand-built batch of arrival
@@ -491,6 +553,105 @@ impl FleetEngine {
         per_tenant.extend(merged.into_values());
         FleetMetrics::aggregate(per_tenant)
     }
+
+    /// The engine-wide telemetry snapshot: per-slot ingest latency, stage
+    /// histograms merged over shards (in shard order) and every shard's load
+    /// view. Cheap relative to a tick — clones of mostly-small histograms —
+    /// but intended for end-of-run reporting, not the per-slot hot path.
+    pub fn telemetry(&self) -> FleetTelemetry {
+        let mut stages = StageHistograms::default();
+        let mut shard_loads = Vec::with_capacity(self.shards.len());
+        for (index, shard) in self.shards.iter().enumerate() {
+            stages.merge(shard.telemetry.stages());
+            shard_loads.push(shard.telemetry.load_snapshot(index, shard.tenants.len()));
+        }
+        FleetTelemetry {
+            mode: self.telemetry_mode,
+            slot: self.slot_hist.clone(),
+            stages,
+            shards: shard_loads,
+        }
+    }
+
+    /// Assembles the full metrics registry for exposition
+    /// ([`mca_telemetry::prometheus_text`] / [`mca_telemetry::json_snapshot`]):
+    /// the telemetry histograms and per-shard gauges, the fleet accounting
+    /// counters, the summed solver work and the summed predictor scan
+    /// statistics.
+    pub fn telemetry_registry(&self) -> Registry {
+        let mut registry = Registry::new();
+        self.telemetry().fill_registry(&mut registry);
+
+        let metrics = self.metrics();
+        registry.add_counter("fleet_slots_total", self.slot_index as u64);
+        let staged: u64 = self.shards.iter().map(|s| s.telemetry.records()).sum();
+        registry.add_counter("fleet_records_total", staged);
+        registry.add_counter("fleet_dropped_records_total", self.dropped_records as u64);
+        registry.add_counter("fleet_allocations_total", metrics.total_allocations as u64);
+        registry.add_counter(
+            "fleet_infeasible_allocations_total",
+            metrics.total_infeasible as u64,
+        );
+        registry.add_counter(
+            "fleet_alloc_cache_hits_total",
+            metrics.total_cache_hits as u64,
+        );
+        registry.add_counter(
+            "fleet_alloc_cache_misses_total",
+            metrics.total_cache_misses as u64,
+        );
+        registry.add_counter(
+            "fleet_alloc_cache_evictions_total",
+            metrics.total_cache_evictions as u64,
+        );
+        registry.add_counter(
+            "fleet_solver_nodes_total",
+            metrics.total_solver_nodes as u64,
+        );
+        registry.add_counter(
+            "fleet_solver_pivots_total",
+            metrics.total_solver_pivots as u64,
+        );
+        registry.add_counter(
+            "fleet_solver_phase1_skips_total",
+            metrics.total_solver_phase1_skips as u64,
+        );
+        if let Some(accuracy) = metrics.mean_accuracy {
+            registry.set_gauge("fleet_mean_accuracy", accuracy);
+        }
+
+        let predictor = self.predictor_stats();
+        registry.add_counter("predictor_queries_total", predictor.queries);
+        registry.add_counter(
+            "predictor_fast_predictions_total",
+            predictor.fast_predictions,
+        );
+        registry.add_counter("predictor_rings_walked_total", predictor.rings_walked);
+        registry.add_counter(
+            "predictor_candidates_bounded_total",
+            predictor.candidates_bounded,
+        );
+        registry.add_counter(
+            "predictor_candidates_evaluated_total",
+            predictor.candidates_evaluated,
+        );
+        registry.add_counter("predictor_scratch_grows_total", predictor.scratch_grows);
+        registry.add_counter("predictor_index_builds_total", predictor.index_builds);
+        registry.add_counter("predictor_index_rebuilds_total", predictor.index_rebuilds);
+        registry
+    }
+
+    /// The summed scan statistics of every hosted predictor (replicas of a
+    /// user-sharded tenant each contribute their own scans).
+    pub fn predictor_stats(&self) -> PredictorStatsSnapshot {
+        let mut total = PredictorStatsSnapshot::default();
+        for shard in &self.shards {
+            for tenant in &shard.tenants {
+                total.merge(&tenant.predictor().stats());
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -557,7 +718,103 @@ mod tests {
         ));
         engine.tick_slot(&batch);
         assert_eq!(engine.dropped_records(), 1);
+        assert_eq!(engine.dropped_by_tenant().get(&TenantId(99)), Some(&1));
         assert_eq!(engine.metrics().tenants, 1);
+    }
+
+    #[test]
+    fn stage_histogram_counts_follow_the_tick_arithmetic() {
+        let mut engine = FleetEngine::new(config(), 2, 1).with_telemetry(TelemetryMode::Logical);
+        engine.add_tenants((0..3).map(TenantId));
+        for _ in 0..4 {
+            engine.tick_slot(&records(3, 6));
+        }
+        let telemetry = engine.telemetry();
+        let metrics = engine.metrics();
+        assert_eq!(telemetry.mode, TelemetryMode::Logical);
+        assert_eq!(telemetry.slot.count(), 4, "one sample per slot tick");
+        assert_eq!(telemetry.stages.tick.count(), 2 * 4, "one per shard-slot");
+        assert_eq!(
+            telemetry.stages.windowing.count(),
+            3 * 4,
+            "one per tenant-tick"
+        );
+        assert_eq!(telemetry.stages.predict.count(), 3 * 4);
+        assert_eq!(
+            telemetry.stages.allocate.count() as usize,
+            metrics.total_allocations + metrics.total_infeasible,
+            "one per produced forecast"
+        );
+        assert_eq!(
+            telemetry.stages.bill.count() as usize,
+            metrics.total_allocations,
+            "one per successful allocation"
+        );
+        assert_eq!(telemetry.shards.len(), 2);
+        let staged: u64 = telemetry.shards.iter().map(|s| s.records).sum();
+        assert_eq!(staged, 4 * 18, "every record lands on exactly one shard");
+        assert_eq!(telemetry.shards.iter().map(|s| s.tenants).sum::<usize>(), 3);
+        assert!(telemetry.shards.iter().all(|s| s.ticks == 4));
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_but_still_counts_load() {
+        let mut engine = FleetEngine::new(config(), 2, 1).with_telemetry(TelemetryMode::Disabled);
+        engine.add_tenants((0..2).map(TenantId));
+        engine.tick_slot(&records(2, 5));
+        let telemetry = engine.telemetry();
+        assert_eq!(telemetry.slot.count(), 0);
+        assert_eq!(telemetry.stages.total_samples(), 0);
+        let staged: u64 = telemetry.shards.iter().map(|s| s.records).sum();
+        assert_eq!(staged, 10, "load accounting runs in every mode");
+        assert!(telemetry.shards.iter().any(|s| s.load_ewma > 0.0));
+    }
+
+    #[test]
+    fn telemetry_registry_exposes_counters_gauges_and_histograms() {
+        let mut engine = FleetEngine::new(config(), 2, 1).with_telemetry(TelemetryMode::Logical);
+        engine.add_tenants((0..3).map(TenantId));
+        for _ in 0..3 {
+            engine.tick_slot(&records(3, 4));
+        }
+        let metrics = engine.metrics();
+        let registry = engine.telemetry_registry();
+        assert_eq!(registry.counter("fleet_slots_total"), Some(3));
+        assert_eq!(registry.counter("fleet_records_total"), Some(3 * 12));
+        assert_eq!(
+            registry.counter("fleet_allocations_total"),
+            Some(metrics.total_allocations as u64)
+        );
+        assert_eq!(
+            registry.counter("fleet_alloc_cache_misses_total"),
+            Some(metrics.total_cache_misses as u64)
+        );
+        assert!(
+            registry.counter("fleet_solver_nodes_total").unwrap() > 0,
+            "the ILP solves did measurable work"
+        );
+        let queries = registry.counter("predictor_queries_total").unwrap();
+        let fast = registry
+            .counter("predictor_fast_predictions_total")
+            .unwrap();
+        assert_eq!(
+            queries + fast,
+            3 * 3,
+            "every tenant-tick predicted, by scan or by fast path"
+        );
+        assert!(registry.gauge("fleet_mean_accuracy").is_some());
+        assert!(registry.gauge("fleet_shard_0_load_ewma").is_some());
+        assert_eq!(registry.histogram("fleet_slot_tick_ns").unwrap().count(), 3);
+        // both exposition formats serialize the registry, and the JSON
+        // snapshot round-trips through the bundled parser
+        let text = mca_telemetry::prometheus_text(&registry);
+        assert!(text.contains("fleet_slot_tick_ns"));
+        let snapshot = mca_telemetry::json_snapshot(&registry);
+        let parsed = mca_telemetry::json::parse(&snapshot).expect("snapshot is valid JSON");
+        assert_eq!(
+            parsed.get("version").and_then(|v| v.as_u64()),
+            Some(mca_telemetry::SNAPSHOT_VERSION)
+        );
     }
 
     #[test]

@@ -46,6 +46,17 @@
 //! * [`metrics`] — [`TenantMetrics`] / [`FleetMetrics`]: per-tenant
 //!   accuracy, spend and allocation volume folded (in tenant-id order, so
 //!   bitwise reproducibly) into fleet-wide rollups.
+//! * [`telemetry`] — the observability layer over [`mca_telemetry`]: every
+//!   engine instruments itself by default ([`TelemetryMode::Monotonic`]),
+//!   histogramming the per-slot ingest+tick latency and each tenant's
+//!   windowing → predict → allocate → bill stages, and tracking per-shard
+//!   load/latency EWMAs. [`FleetEngine::telemetry`] returns the
+//!   [`FleetTelemetry`] snapshot (also on [`DriveReport`]);
+//!   [`FleetEngine::telemetry_registry`] assembles the full metric registry
+//!   for Prometheus-text / JSON exposition. Instrumentation never perturbs
+//!   forecasts or metrics, and under [`TelemetryMode::Logical`] the
+//!   snapshot itself is bit-identical at any thread count (see
+//!   `tests/determinism.rs` and `docs/observability.md`).
 //!
 //! # Quick start
 //!
@@ -76,6 +87,7 @@ pub mod metrics;
 pub mod router;
 pub mod shard;
 pub mod source;
+pub mod telemetry;
 
 pub use driver::{DriveReport, FleetDriver};
 pub use engine::FleetEngine;
@@ -88,3 +100,4 @@ pub use source::{
     ArrivalTraceSource, RecordSource, SlotBatchHandle, SlotBatchSource, SourceBatch, StreamHandle,
     StreamSource, TenantMixSource, TraceLogSource,
 };
+pub use telemetry::{FleetTelemetry, ShardLoad, ShardTelemetry, StageHistograms, TelemetryMode};

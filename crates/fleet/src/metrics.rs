@@ -43,6 +43,13 @@ pub struct TenantMetrics {
     /// (FIFO by insertion order; a high rate flags a tenant whose forecast
     /// churn exceeds the cache capacity).
     pub alloc_cache_evictions: usize,
+    /// Branch-and-bound nodes the tenant's ILP solves explored (cache-served
+    /// allocations replay the original solve and add nothing).
+    pub solver_nodes: usize,
+    /// Simplex pivots across the tenant's ILP solves.
+    pub solver_pivots: usize,
+    /// Solver nodes re-entered from a parent basis without running phase 1.
+    pub solver_phase1_skips: usize,
 }
 
 impl TenantMetrics {
@@ -94,6 +101,9 @@ impl TenantMetrics {
         self.alloc_cache_hits += other.alloc_cache_hits;
         self.alloc_cache_misses += other.alloc_cache_misses;
         self.alloc_cache_evictions += other.alloc_cache_evictions;
+        self.solver_nodes += other.solver_nodes;
+        self.solver_pivots += other.solver_pivots;
+        self.solver_phase1_skips += other.solver_phase1_skips;
     }
 
     /// Mean allocated instances per slot.
@@ -143,6 +153,12 @@ pub struct FleetMetrics {
     pub total_cache_misses: usize,
     /// Total allocation-cache evictions across tenants.
     pub total_cache_evictions: usize,
+    /// Total branch-and-bound nodes explored across tenants' ILP solves.
+    pub total_solver_nodes: usize,
+    /// Total simplex pivots across tenants' ILP solves.
+    pub total_solver_pivots: usize,
+    /// Total phase-1 skips across tenants' ILP solves.
+    pub total_solver_phase1_skips: usize,
 }
 
 impl FleetMetrics {
@@ -160,6 +176,9 @@ impl FleetMetrics {
         let total_cache_hits = per_tenant.iter().map(|m| m.alloc_cache_hits).sum();
         let total_cache_misses = per_tenant.iter().map(|m| m.alloc_cache_misses).sum();
         let total_cache_evictions = per_tenant.iter().map(|m| m.alloc_cache_evictions).sum();
+        let total_solver_nodes = per_tenant.iter().map(|m| m.solver_nodes).sum();
+        let total_solver_pivots = per_tenant.iter().map(|m| m.solver_pivots).sum();
+        let total_solver_phase1_skips = per_tenant.iter().map(|m| m.solver_phase1_skips).sum();
         let accuracies: Vec<f64> = per_tenant
             .iter()
             .filter_map(|m| m.mean_accuracy())
@@ -178,6 +197,9 @@ impl FleetMetrics {
             total_cache_hits,
             total_cache_misses,
             total_cache_evictions,
+            total_solver_nodes,
+            total_solver_pivots,
+            total_solver_phase1_skips,
         }
     }
 
@@ -216,6 +238,9 @@ mod tests {
             alloc_cache_hits: 7,
             alloc_cache_misses: 3,
             alloc_cache_evictions: 2,
+            solver_nodes: 40,
+            solver_pivots: 90,
+            solver_phase1_skips: 5,
         }
     }
 
@@ -234,6 +259,9 @@ mod tests {
         assert_eq!(rollup.total_cache_hits, 21);
         assert_eq!(rollup.total_cache_misses, 9);
         assert_eq!(rollup.total_cache_evictions, 6);
+        assert_eq!(rollup.total_solver_nodes, 120);
+        assert_eq!(rollup.total_solver_pivots, 270);
+        assert_eq!(rollup.total_solver_phase1_skips, 15);
         assert!((rollup.cache_hit_rate().unwrap() - 0.7).abs() < 1e-12);
         assert!((rollup.total_cost - 3.5).abs() < 1e-12);
         let ids: Vec<u32> = rollup.per_tenant.iter().map(|m| m.tenant.0).collect();
@@ -275,6 +303,9 @@ mod tests {
         assert_eq!(a.alloc_cache_hits, 14);
         assert_eq!(a.alloc_cache_misses, 6);
         assert_eq!(a.alloc_cache_evictions, 4);
+        assert_eq!(a.solver_nodes, 80);
+        assert_eq!(a.solver_pivots, 180);
+        assert_eq!(a.solver_phase1_skips, 10);
     }
 
     #[test]

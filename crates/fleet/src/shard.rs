@@ -11,6 +11,7 @@
 //! parallel.
 
 use crate::metrics::TenantMetrics;
+use crate::telemetry::ShardTelemetry;
 use mca_cloudsim::InstancePool;
 use mca_core::{
     accuracy, Allocation, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
@@ -120,6 +121,20 @@ impl TenantShard {
     /// allocation for one slot length. `now_ms` is the closing slot
     /// boundary.
     pub fn tick(&mut self, slot: TimeSlot, now_ms: f64) {
+        self.tick_instrumented(slot, now_ms, &mut ShardTelemetry::disabled());
+    }
+
+    /// [`TenantShard::tick`] with stage tracing: the predict, allocate and
+    /// billing phases are each timed against `telemetry`'s clock. The
+    /// instrumented and plain ticks are the same code — `tick` delegates here
+    /// with a disabled telemetry whose clock reads cost one branch — so
+    /// forecasts and metrics are bit-identical in every telemetry mode.
+    pub fn tick_instrumented(
+        &mut self,
+        slot: TimeSlot,
+        now_ms: f64,
+        telemetry: &mut ShardTelemetry,
+    ) {
         let groups = self.predictor.groups();
         self.metrics.slots += 1;
         let observed_users = slot.total_users();
@@ -134,10 +149,16 @@ impl TenantShard {
         // the slot moves into the knowledge base (no clone) and the forecast
         // comes from the observe-and-predict fast path — identical to
         // `observe_slot` + `predict` on the same slot
+        let timer = telemetry.start_stage();
         let forecast = self.predictor.observe_and_predict(slot).ok();
+        telemetry.end_predict(timer);
         if let Some(forecast) = &forecast {
-            match self.allocate_memoized(forecast) {
+            let timer = telemetry.start_stage();
+            let allocated = self.allocate_memoized(forecast);
+            telemetry.end_allocate(timer);
+            match allocated {
                 Ok(allocation) => {
+                    let timer = telemetry.start_stage();
                     self.metrics.allocations += 1;
                     self.metrics.allocated_instance_slots += allocation.total_instances();
                     self.metrics.total_cost +=
@@ -147,6 +168,7 @@ impl TenantShard {
                     let _ = self
                         .pool
                         .apply_allocation(&allocation.pool_allocation(), now_ms);
+                    telemetry.end_bill(timer);
                 }
                 Err(_) => self.metrics.infeasible_allocations += 1,
             }
@@ -169,6 +191,11 @@ impl TenantShard {
         }
         self.metrics.alloc_cache_misses += 1;
         let allocation = self.allocator.allocate(forecast)?;
+        // solver work is accounted where it happens: cache hits replay a
+        // clone of the original solve and must not re-count its effort
+        self.metrics.solver_nodes += allocation.stats.nodes;
+        self.metrics.solver_pivots += allocation.stats.pivots;
+        self.metrics.solver_phase1_skips += allocation.stats.phase1_skips;
         if self.alloc_cache.len() >= ALLOC_CACHE_CAP {
             // bounded FIFO eviction: drop the oldest memoized vector. The
             // key being inserted is by construction not in the cache (this

@@ -23,7 +23,7 @@ use mca_offload::{AccelerationGroupId, TenantId};
 use mca_workload::{ArrivalTrace, TenantMix};
 use rand::rngs::StdRng;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// What one source produced for one provisioning slot.
@@ -38,6 +38,10 @@ pub struct SourceBatch {
     /// Events this source dropped since the previous slot because they
     /// arrived after their slot had already been ticked.
     pub late: usize,
+    /// The late events broken down by the tenant each dropped record named
+    /// (sums to [`SourceBatch::late`] — every dropped record carries a
+    /// tenant tag).
+    pub late_by_tenant: BTreeMap<TenantId, usize>,
 }
 
 impl SourceBatch {
@@ -45,17 +49,15 @@ impl SourceBatch {
     pub fn live(records: Vec<SlotRecord>) -> Self {
         Self {
             records,
-            exhausted: false,
-            late: 0,
+            ..Self::default()
         }
     }
 
     /// An empty end-of-stream batch.
     pub fn end_of_stream() -> Self {
         Self {
-            records: Vec::new(),
             exhausted: true,
-            late: 0,
+            ..Self::default()
         }
     }
 }
@@ -79,7 +81,7 @@ impl SourceBatch {
 ///         let records = (0..3)
 ///             .map(|u| SlotRecord::new(TenantId(0), AccelerationGroupId(1), UserId(u)))
 ///             .collect();
-///         SourceBatch { records, exhausted: slot + 1 >= 4, late: 0 }
+///         SourceBatch { records, exhausted: slot + 1 >= 4, ..SourceBatch::default() }
 ///     }
 /// }
 ///
@@ -134,7 +136,7 @@ impl ReplaySlots {
         SourceBatch {
             records: self.slots.get(index).cloned().unwrap_or_default(),
             exhausted: index + 1 >= self.slots.len(),
-            late: 0,
+            ..SourceBatch::default()
         }
     }
 }
@@ -355,7 +357,7 @@ impl RecordSource for SlotBatchSource {
                 SourceBatch {
                     records,
                     exhausted: queue.closed && queue.batches.is_empty(),
-                    late: 0,
+                    ..SourceBatch::default()
                 }
             }
         }
@@ -369,6 +371,9 @@ struct StreamQueue {
     closed: bool,
     /// Late events already surfaced in an earlier [`SourceBatch`].
     reported_late: usize,
+    /// Per-tenant breakdown of late events not yet surfaced (every dropped
+    /// record names its tenant, so attribution is exact).
+    pending_late_by_tenant: BTreeMap<TenantId, usize>,
 }
 
 /// A [`RecordSource`] over a **live record stream**: timestamped records are
@@ -389,9 +394,16 @@ pub struct StreamHandle {
 
 impl StreamHandle {
     /// Pushes one timestamped record. Returns `false` when the record's slot
-    /// was already ticked (it is dropped and counted late).
+    /// was already ticked (it is dropped and counted late against the
+    /// record's tenant).
     pub fn push(&self, time_ms: f64, record: SlotRecord) -> bool {
-        self.queue.borrow_mut().windower.push(time_ms, record)
+        let tenant = record.tenant;
+        let mut queue = self.queue.borrow_mut();
+        let accepted = queue.windower.push(time_ms, record);
+        if !accepted {
+            *queue.pending_late_by_tenant.entry(tenant).or_insert(0) += 1;
+        }
+        accepted
     }
 
     /// Marks the stream finished: once the buffered slots drain, the source
@@ -408,6 +420,7 @@ impl StreamSource {
             windower: SlotWindower::new(slot_length_ms),
             closed: false,
             reported_late: 0,
+            pending_late_by_tenant: BTreeMap::new(),
         }));
         (
             StreamHandle {
@@ -430,10 +443,12 @@ impl RecordSource for StreamSource {
         }
         let late = queue.windower.late_events() - queue.reported_late;
         queue.reported_late = queue.windower.late_events();
+        let late_by_tenant = std::mem::take(&mut queue.pending_late_by_tenant);
         SourceBatch {
             records,
             exhausted: queue.closed && queue.windower.is_drained(),
             late,
+            late_by_tenant,
         }
     }
 }
@@ -602,6 +617,7 @@ mod tests {
         let batch = source.next_slot(1);
         assert_eq!(batch.records, vec![rec(4)]);
         assert_eq!(batch.late, 1, "the straggler is surfaced once");
+        assert_eq!(batch.late_by_tenant.get(&TenantId(0)), Some(&1));
         assert!(!batch.exhausted);
 
         handle.close();

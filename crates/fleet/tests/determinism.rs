@@ -7,7 +7,7 @@
 //! deprecated `tick_mix` path exactly.
 
 use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
-use mca_fleet::{FleetDriver, FleetEngine, FleetMetrics, TenantShard};
+use mca_fleet::{DriveReport, FleetDriver, FleetEngine, FleetMetrics, TelemetryMode, TenantShard};
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
 
@@ -23,17 +23,23 @@ fn mix() -> TenantMix {
     TenantMix::heterogeneous(TENANTS, 12, config().groups.ids(), SEED)
 }
 
-fn run_fleet(
-    shards: usize,
-    threads: usize,
-) -> (FleetMetrics, Vec<(TenantId, Option<WorkloadForecast>)>) {
+fn run_fleet_mode(shards: usize, threads: usize, mode: TelemetryMode) -> DriveReport {
     let mix = mix();
-    let mut engine = FleetEngine::new(config(), shards, SEED).with_threads(threads);
+    let mut engine = FleetEngine::new(config(), shards, SEED)
+        .with_threads(threads)
+        .with_telemetry(mode);
     engine.add_tenants(mix.tenant_ids());
     let mut driver = FleetDriver::new(engine)
         .with_mix(&mix)
         .expect("every tenant is part of the mix");
-    let report = driver.run(SLOTS).expect("mix sources never misbehave");
+    driver.run(SLOTS).expect("mix sources never misbehave")
+}
+
+fn run_fleet(
+    shards: usize,
+    threads: usize,
+) -> (FleetMetrics, Vec<(TenantId, Option<WorkloadForecast>)>) {
+    let report = run_fleet_mode(shards, threads, TelemetryMode::default());
     (report.metrics, report.forecasts)
 }
 
@@ -104,6 +110,48 @@ fn intra_predictor_parallel_scan_does_not_change_fleet_results() {
         let report = driver.run(SLOTS).unwrap();
         assert_eq!(report.metrics, baseline.0, "chunks={chunks}");
         assert_eq!(report.forecasts, baseline.1, "chunks={chunks}");
+    }
+}
+
+#[test]
+fn telemetry_mode_does_not_change_forecasts_or_metrics() {
+    // the tentpole guarantee of the instrumentation layer: enabling stage
+    // tracing must not perturb a single forecast or metric, under any
+    // telemetry mode and any thread count
+    let (baseline_metrics, baseline_forecasts) = run_fleet(4, 1);
+    for mode in [
+        TelemetryMode::Disabled,
+        TelemetryMode::Monotonic,
+        TelemetryMode::Logical,
+    ] {
+        for threads in [1, 2, 4, 8] {
+            let report = run_fleet_mode(4, threads, mode);
+            assert_eq!(
+                report.metrics, baseline_metrics,
+                "{mode:?}, threads={threads}"
+            );
+            assert_eq!(
+                report.forecasts, baseline_forecasts,
+                "{mode:?}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn logical_telemetry_snapshots_are_bit_identical_across_thread_counts() {
+    // under the logical clock a histogram is a pure function of the event
+    // sequence, and clocks are per shard — so the whole telemetry snapshot
+    // (stage histograms, per-slot latency, per-shard loads) must reproduce
+    // exactly whatever the thread count
+    let baseline = run_fleet_mode(6, 1, TelemetryMode::Logical).telemetry;
+    assert_eq!(baseline.slot.count() as usize, SLOTS);
+    assert_eq!(baseline.stages.tick.count() as usize, 6 * SLOTS);
+    assert_eq!(baseline.stages.predict.count() as usize, TENANTS * SLOTS);
+    assert!(baseline.stages.predict.p99() > 0);
+    for threads in [2, 4, 8] {
+        let telemetry = run_fleet_mode(6, threads, TelemetryMode::Logical).telemetry;
+        assert_eq!(telemetry, baseline, "threads={threads}");
     }
 }
 

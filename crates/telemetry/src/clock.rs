@@ -1,0 +1,204 @@
+//! Pluggable clocks and the stage timer built on top of them.
+//!
+//! The instrumentation layer never calls [`std::time::Instant::now`] directly:
+//! every duration measurement goes through a [`Clock`]. Real runs use the
+//! [`MonotonicClock`]; tests and determinism suites use the [`LogicalClock`],
+//! which advances by a fixed quantum on every read. Because the logical clock
+//! is a plain counter, an instrumented run under it is *bit-identical* to an
+//! uninstrumented run — the clock reads perturb nothing and the recorded
+//! durations are a pure function of how many reads happened, which the
+//! deterministic tick loop fixes exactly.
+
+use std::time::Instant;
+
+/// A source of monotonic nanosecond timestamps.
+///
+/// Implementations must be cheap (a handful of nanoseconds per read) and
+/// monotone non-decreasing. Reads take `&mut self` so that logical clocks can
+/// advance without interior mutability — the fleet keeps one clock per shard,
+/// which also keeps logical timestamps deterministic under any thread count.
+pub trait Clock {
+    /// Current timestamp in nanoseconds since an arbitrary epoch.
+    fn now_ns(&mut self) -> u64;
+}
+
+/// Wall-clock monotonic time, anchored at the clock's construction instant.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&mut self) -> u64 {
+        let elapsed = self.epoch.elapsed();
+        elapsed
+            .as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(elapsed.subsec_nanos()))
+    }
+}
+
+/// A deterministic clock that advances by a fixed quantum on every read.
+///
+/// Two reads `t0`, `t1` around any stage therefore always measure exactly one
+/// quantum, independent of the host, the optimiser, or the thread schedule.
+/// This makes instrumented histograms a deterministic function of the event
+/// counts alone, which the determinism suite exploits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalClock {
+    next: u64,
+    quantum: u64,
+}
+
+/// Default quantum for [`LogicalClock::default`]: 1µs per read.
+pub const DEFAULT_LOGICAL_QUANTUM_NS: u64 = 1_000;
+
+impl LogicalClock {
+    /// A logical clock starting at zero that advances `quantum_ns` per read.
+    pub fn new(quantum_ns: u64) -> Self {
+        Self {
+            next: 0,
+            quantum: quantum_ns.max(1),
+        }
+    }
+
+    /// Number of reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.next / self.quantum
+    }
+}
+
+impl Default for LogicalClock {
+    fn default() -> Self {
+        Self::new(DEFAULT_LOGICAL_QUANTUM_NS)
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now_ns(&mut self) -> u64 {
+        let now = self.next;
+        self.next = self.next.saturating_add(self.quantum);
+        now
+    }
+}
+
+/// The clock an instrumented component actually carries: disabled (all reads
+/// return 0 and no histogram records anything), monotonic, or logical.
+#[derive(Debug, Clone, Default)]
+pub enum TelemetryClock {
+    /// Telemetry off: reads cost one branch and return 0.
+    #[default]
+    Disabled,
+    /// Wall-clock monotonic time for real measurement runs.
+    Monotonic(MonotonicClock),
+    /// Deterministic fixed-quantum time for tests.
+    Logical(LogicalClock),
+}
+
+impl TelemetryClock {
+    /// Whether measurements taken against this clock should be recorded.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TelemetryClock::Disabled)
+    }
+}
+
+impl Clock for TelemetryClock {
+    fn now_ns(&mut self) -> u64 {
+        match self {
+            TelemetryClock::Disabled => 0,
+            TelemetryClock::Monotonic(c) => c.now_ns(),
+            TelemetryClock::Logical(c) => c.now_ns(),
+        }
+    }
+}
+
+/// A started stage measurement: holds the start timestamp, yields the elapsed
+/// nanoseconds when stopped against the same clock.
+///
+/// `StageTimer` is a plain `u64` wrapper — starting and stopping a stage is
+/// two clock reads and zero allocations. It deliberately does *not* borrow the
+/// clock, so a shard can time nested and interleaved stages with one clock:
+///
+/// ```
+/// use mca_telemetry::{Clock, LogicalClock, StageTimer};
+/// let mut clock = LogicalClock::new(500);
+/// let timer = StageTimer::start(&mut clock);
+/// // ... stage body ...
+/// let elapsed = timer.stop(&mut clock);
+/// assert_eq!(elapsed, 500); // exactly one quantum under a logical clock
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer {
+    started_ns: u64,
+}
+
+impl StageTimer {
+    /// Read the clock and begin a measurement.
+    pub fn start<C: Clock + ?Sized>(clock: &mut C) -> Self {
+        Self {
+            started_ns: clock.now_ns(),
+        }
+    }
+
+    /// Read the clock again and return the elapsed nanoseconds.
+    pub fn stop<C: Clock + ?Sized>(self, clock: &mut C) -> u64 {
+        clock.now_ns().saturating_sub(self.started_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_non_decreasing() {
+        let mut clock = MonotonicClock::new();
+        let mut prev = clock.now_ns();
+        for _ in 0..1000 {
+            let now = clock.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn logical_clock_measures_exactly_one_quantum_per_stage() {
+        let mut clock = LogicalClock::new(250);
+        for _ in 0..10 {
+            let timer = StageTimer::start(&mut clock);
+            assert_eq!(timer.stop(&mut clock), 250);
+        }
+        assert_eq!(clock.reads(), 20);
+    }
+
+    #[test]
+    fn disabled_clock_always_reads_zero() {
+        let mut clock = TelemetryClock::Disabled;
+        assert!(!clock.enabled());
+        let timer = StageTimer::start(&mut clock);
+        assert_eq!(timer.stop(&mut clock), 0);
+    }
+
+    #[test]
+    fn logical_quantum_is_clamped_to_at_least_one() {
+        let mut clock = LogicalClock::new(0);
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,59 @@
+//! # mca-telemetry
+//!
+//! Zero-allocation-on-hot-path instrumentation for the fleet engine: stage
+//! timers over a pluggable [`Clock`], fixed-bucket log-linear latency
+//! histograms with exact p50/p99/p999 extraction, a deterministic
+//! counter/gauge/histogram [`Registry`], and two exposition formats
+//! (Prometheus-style text and a versioned JSON snapshot).
+//!
+//! ## Design rules
+//!
+//! * **The hot path never allocates.** [`StageTimer`] is two clock reads;
+//!   [`LatencyHistogram::record`] is a counter increment after its one-time
+//!   lazy table allocation; counters are plain integers owned by the
+//!   instrumented component. The [`Registry`] is assembled only at snapshot
+//!   time.
+//! * **Instrumentation must not perturb determinism.** Every measurement goes
+//!   through the [`Clock`] trait: real runs plug in [`MonotonicClock`], tests
+//!   plug in [`LogicalClock`] (fixed quantum per read), and disabled
+//!   telemetry reads a constant. Forecasts and metrics are bit-identical in
+//!   all three modes — the determinism suite in `mca-fleet` proves it.
+//! * **Exposition is byte-deterministic.** All families iterate in sorted
+//!   name order; the JSON snapshot is versioned ([`SNAPSHOT_VERSION`]) and
+//!   round-trip validated by the bundled [`json`] parser in CI.
+//!
+//! ```
+//! use mca_telemetry::{
+//!     json, json_snapshot, Clock, LatencyHistogram, LogicalClock, Registry, StageTimer,
+//! };
+//!
+//! let mut clock = LogicalClock::default();
+//! let mut hist = LatencyHistogram::new();
+//! for _ in 0..100 {
+//!     let timer = StageTimer::start(&mut clock);
+//!     // ... stage under measurement ...
+//!     hist.record(timer.stop(&mut clock));
+//! }
+//! assert_eq!(hist.count(), 100);
+//!
+//! let mut registry = Registry::new();
+//! registry.merge_histogram("stage_ns", &hist);
+//! let snapshot = json_snapshot(&registry);
+//! assert!(json::parse(&snapshot).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod expo;
+mod hist;
+pub mod json;
+mod registry;
+
+pub use clock::{
+    Clock, LogicalClock, MonotonicClock, StageTimer, TelemetryClock, DEFAULT_LOGICAL_QUANTUM_NS,
+};
+pub use expo::{json_snapshot, prometheus_text, SNAPSHOT_VERSION};
+pub use hist::{LatencyHistogram, BUCKETS, SUB_BITS};
+pub use registry::Registry;

@@ -1,0 +1,121 @@
+//! A deterministic counter / gauge / histogram registry.
+//!
+//! The registry is the *exposition-side* aggregation point, not the hot-path
+//! store: instrumented components keep their own shard-local histograms and
+//! plain integer counters, and a `Registry` is assembled only when a snapshot
+//! is requested. Backing every family with a `BTreeMap` makes iteration order
+//! (and therefore every exposition format) deterministic regardless of
+//! insertion order.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LatencyHistogram;
+
+/// A named collection of counters, gauges and latency histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `value` to the counter `name`, creating it at zero if absent.
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Merge `hist` into the histogram `name`, creating it if absent.
+    pub fn merge_histogram(&mut self, name: &str, hist: &LatencyHistogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
+    }
+
+    /// Current value of counter `name`, or `None` if absent.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of gauge `name`, or `None` if absent.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, or `None` if absent.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in lexicographic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauges in lexicographic name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in lexicographic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total number of metrics across all three families.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether the registry holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_iterate_sorted() {
+        let mut registry = Registry::new();
+        registry.add_counter("zeta", 1);
+        registry.add_counter("alpha", 2);
+        registry.add_counter("zeta", 3);
+        let names: Vec<_> = registry.counters().collect();
+        assert_eq!(names, vec![("alpha", 2), ("zeta", 4)]);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut registry = Registry::new();
+        registry.set_gauge("load", 1.5);
+        registry.set_gauge("load", 2.5);
+        assert_eq!(registry.gauge("load"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_merge_across_inserts() {
+        let mut registry = Registry::new();
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(20);
+        registry.merge_histogram("tick", &a);
+        registry.merge_histogram("tick", &b);
+        assert_eq!(registry.histogram("tick").unwrap().count(), 2);
+        assert_eq!(registry.len(), 1);
+    }
+}

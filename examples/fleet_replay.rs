@@ -119,6 +119,30 @@ fn main() {
         report.dropped_records,
         report.metrics.total_cost,
     );
+    // the engine instruments itself by default, so the replay reports its
+    // own tail latencies: per-slot ingest+tick and the predict stage
+    let telemetry = &report.telemetry;
+    println!(
+        "slot tick latency ({:?} clock): p50 {:.1} us, p99 {:.1} us, p999 {:.1} us over {} slots",
+        telemetry.mode,
+        telemetry.slot.p50() as f64 / 1_000.0,
+        telemetry.slot.p99() as f64 / 1_000.0,
+        telemetry.slot.p999() as f64 / 1_000.0,
+        telemetry.slot.count(),
+    );
+    println!(
+        "predict stage: p50 {:.1} us, p99 {:.1} us over {} tenant-ticks; \
+         shard load ewma {:?}",
+        telemetry.stages.predict.p50() as f64 / 1_000.0,
+        telemetry.stages.predict.p99() as f64 / 1_000.0,
+        telemetry.stages.predict.count(),
+        telemetry
+            .shards
+            .iter()
+            .map(|s| (s.load_ewma * 10.0).round() / 10.0)
+            .collect::<Vec<_>>(),
+    );
     assert_eq!(report.exhausted_sources, report.total_sources);
     assert_eq!(report.late_records + report.dropped_records, 0);
+    assert_eq!(telemetry.slot.count(), report.slots as u64);
 }

@@ -13,6 +13,10 @@
 //!   engine: per-tenant knowledge bases, a parallel provisioning tick and
 //!   the unified streaming ingestion API ([`fleet::FleetDriver`] over
 //!   trace-, log-, mix- and stream-backed record sources).
+//! * [`telemetry`] (`mca-telemetry`) — the instrumentation core the fleet
+//!   measures itself with: stage timers over pluggable clocks, fixed-bucket
+//!   latency histograms with exact tail quantiles, and the
+//!   Prometheus-text / versioned-JSON metrics exposition pipeline.
 //! * [`offload`] (`mca-offload`) — the computational task pool and offloading
 //!   runtime.
 //! * [`mobile`] (`mca-mobile`) — device profiles, batteries, the client-side
@@ -50,6 +54,7 @@ pub use mca_lp as lp;
 pub use mca_mobile as mobile;
 pub use mca_network as network;
 pub use mca_offload as offload;
+pub use mca_telemetry as telemetry;
 pub use mca_workload as workload;
 
 /// The most commonly used types, re-exported flat.
@@ -63,8 +68,8 @@ pub mod prelude {
         SlotHistory, System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
     };
     pub use mca_fleet::{
-        DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RecordSource, ShardRouter,
-        SlotRecord, SourceBatch, TenantShard,
+        DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, FleetTelemetry,
+        RecordSource, ShardRouter, SlotRecord, SourceBatch, TelemetryMode, TenantShard,
     };
     pub use mca_mobile::{DeviceClass, DeviceProfile, Moderator, PromotionPolicy, UsageStudy};
     pub use mca_network::{CellularNetwork, NetRadarCampaign, Operator, Technology};
