@@ -1,21 +1,28 @@
 //! Regenerates `BENCH_fleet.json`: the sharded fleet engine's parallel tick
 //! versus the sequential single-shard loop, with per-tenant forecasts
-//! verified bit-identical to running each tenant alone.
+//! verified bit-identical to running each tenant alone — plus the Zipf-skew
+//! comparison of static hash placement versus the elastic rebalancer.
 //!
 //! Run with `cargo run --release -p mca-bench --bin bench_fleet`.
 //!
 //! * default: the acceptance-bar workload (64 tenants × 2,000 slots); exits
-//!   non-zero below a 4× speedup or on any forecast divergence.
+//!   non-zero below a 4× speedup or on any forecast divergence. The skew
+//!   section must show the rebalanced fleet ≥ 1.5× over static placement at
+//!   4 threads (projected from single-threaded shard-tick samples; the
+//!   measured wall-clock gate additionally applies when the machine has the
+//!   cores).
 //! * `--smoke`: a small CI gate (16 tenants × 200 slots); exits non-zero if
 //!   the fleet is slower than the single-shard baseline or forecasts
 //!   diverge. Also runs the telemetry gates — histogram totals must equal
 //!   event counts, the JSON snapshot must round-trip, and instrumentation
 //!   overhead must stay within bounds — and writes
-//!   `BENCH_fleet_telemetry.json`.
+//!   `BENCH_fleet_telemetry.json`. The skew gate requires migrations to
+//!   happen, forecasts to stay identical, and the rebalanced fleet to beat
+//!   static placement ≥ 1.2× projected.
 //! * `bench_fleet [tenants] [slots] [users_per_tenant]`: custom shape, no
-//!   speedup gate (forecast divergence still fails).
+//!   speedup gate and no skew section (forecast divergence still fails).
 
-use mca_bench::fleet::{self, FleetWorkload};
+use mca_bench::fleet::{self, FleetWorkload, SkewWorkload};
 
 fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
     match value {
@@ -48,11 +55,28 @@ fn main() {
     } else {
         (FleetWorkload::headline(), Some(4.0))
     };
+    // the rebalancer acceptance bar is 1.5x at the headline shape; the smoke
+    // shape is smaller and gates a little looser against CI noise
+    let skew = if custom {
+        None
+    } else if smoke {
+        Some((SkewWorkload::smoke(), 1.2))
+    } else {
+        Some((SkewWorkload::headline(), 1.5))
+    };
 
     let report = fleet::run(&workload, mca_bench::DEFAULT_SEED);
     fleet::print(&report);
+    let skew_report = skew.as_ref().map(|(skew_workload, _)| {
+        let skew_report = fleet::run_skewed(skew_workload, mca_bench::DEFAULT_SEED);
+        fleet::print_skewed(&skew_report);
+        skew_report
+    });
 
-    let json = report.to_json();
+    let json = match &skew_report {
+        Some(skew_report) => report.to_json_with_skew(skew_report),
+        None => report.to_json(),
+    };
     let path = "BENCH_fleet.json";
     std::fs::write(path, &json).expect("write BENCH_fleet.json");
     println!("wrote {path}");
@@ -66,6 +90,38 @@ fn main() {
             eprintln!(
                 "WARNING: speedup {:.1}x is below the {gate}x acceptance bar",
                 report.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let (Some(skew_report), Some((skew_workload, gate))) = (&skew_report, &skew) {
+        if !skew_report.forecasts_identical {
+            eprintln!("ERROR: rebalancing changed the forecasts or metrics");
+            std::process::exit(1);
+        }
+        if skew_report.migrations == 0 {
+            eprintln!("ERROR: the Zipf skew triggered no migrations");
+            std::process::exit(1);
+        }
+        if skew_report.projected_speedup() < *gate {
+            eprintln!(
+                "ERROR: rebalanced projected speedup {:.2}x is below the {gate}x bar",
+                skew_report.projected_speedup()
+            );
+            std::process::exit(1);
+        }
+        // the wall-clock comparison is only meaningful with the cores to
+        // run the target thread count; a single-core runner gates on the
+        // projected model above instead
+        if skew_report.available_parallelism >= skew_workload.threads
+            && skew_report.measured_speedup() < *gate
+        {
+            eprintln!(
+                "ERROR: rebalanced measured speedup {:.2}x is below the {gate}x bar \
+                 ({} cores available)",
+                skew_report.measured_speedup(),
+                skew_report.available_parallelism
             );
             std::process::exit(1);
         }

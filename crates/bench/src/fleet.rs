@@ -28,8 +28,8 @@
 
 use mca_core::{AllocationPolicy, IndexPolicy, SystemConfig, TimeSlot, TimeSlotBuilder};
 use mca_fleet::{
-    FleetDriver, FleetEngine, FleetTelemetry, SlotBatchSource, SlotRecord, TelemetryMode,
-    TenantShard,
+    FleetDriver, FleetEngine, FleetTelemetry, RebalancerConfig, SlotBatchSource, SlotRecord,
+    TelemetryMode, TenantShard,
 };
 use mca_offload::{AccelerationGroupId, TenantId, UserId};
 use mca_telemetry::{json, json_snapshot, prometheus_text, SNAPSHOT_VERSION};
@@ -128,9 +128,9 @@ impl FleetBenchReport {
         self.single_ms_per_slot / self.fleet_ms_per_slot
     }
 
-    /// The report as a JSON object (hand-rolled: serde_json is unavailable
-    /// offline).
-    pub fn to_json(&self) -> String {
+    /// The report's fields, without the enclosing braces, so the caller can
+    /// append sibling sections ([`FleetBenchReport::to_json_with_skew`]).
+    fn json_fields(&self) -> String {
         let slot = &self.telemetry.slot;
         let mut shard_loads = String::new();
         for (index, shard) in self.telemetry.shards.iter().enumerate() {
@@ -149,13 +149,13 @@ impl FleetBenchReport {
             );
         }
         format!(
-            "{{\n  \"benchmark\": \"fleet_tick\",\n  \"tenants\": {},\n  \"slots\": {},\n  \
+            "  \"benchmark\": \"fleet_tick\",\n  \"tenants\": {},\n  \"slots\": {},\n  \
              \"users_per_tenant\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \
              \"history_window\": {},\n  \"single_shard_ms_per_slot\": {:.4},\n  \
              \"fleet_ms_per_slot\": {:.4},\n  \"speedup\": {:.2},\n  \
              \"forecasts_bit_identical\": {},\n  \
              \"slot_tick_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
-             \"max\": {}}},\n  \"shard_loads\": [{}\n  ]\n}}\n",
+             \"max\": {}}},\n  \"shard_loads\": [{}\n  ]",
             self.workload.tenants,
             self.workload.slots,
             self.workload.users_per_tenant,
@@ -172,6 +172,22 @@ impl FleetBenchReport {
             slot.p999(),
             slot.max(),
             shard_loads,
+        )
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        format!("{{\n{}\n}}\n", self.json_fields())
+    }
+
+    /// The report as a JSON object with the Zipf-skew comparison embedded as
+    /// a `skewed` section — the shape `BENCH_fleet.json` records.
+    pub fn to_json_with_skew(&self, skew: &SkewBenchReport) -> String {
+        format!(
+            "{{\n{},\n  \"skewed\": {}\n}}\n",
+            self.json_fields(),
+            skew.json_object()
         )
     }
 }
@@ -335,6 +351,365 @@ pub fn print(report: &FleetBenchReport) {
                 shard.tick_p99_ns as f64 / 1_000.0,
             );
         }
+    }
+}
+
+/// Shape of the Zipf-skewed rebalancing workload: heavy-tailed tenant sizes
+/// over a small shard count, the regime where static hash placement leaves
+/// the fleet running at the speed of its hottest shard.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewWorkload {
+    /// Number of shards (deliberately small and coprime-ish with the tenant
+    /// count, so the hash clumps heavy tenants).
+    pub shards: usize,
+    /// Number of tenants, Zipf-sized.
+    pub tenants: usize,
+    /// The Zipf exponent `s` of [`TenantMix::zipf`].
+    pub zipf_s: f64,
+    /// Users of the heaviest tenant (tenant 0).
+    pub max_users: usize,
+    /// Number of provisioning slots.
+    pub slots: usize,
+    /// The thread count the projected and measured comparisons target.
+    pub threads: usize,
+}
+
+impl SkewWorkload {
+    /// The acceptance-bar configuration.
+    pub fn headline() -> Self {
+        Self {
+            shards: 7,
+            tenants: 24,
+            zipf_s: 0.8,
+            max_users: 800,
+            slots: 400,
+            threads: 4,
+        }
+    }
+
+    /// A small configuration for the CI smoke gate.
+    pub fn smoke() -> Self {
+        Self {
+            shards: 7,
+            tenants: 16,
+            zipf_s: 0.8,
+            max_users: 300,
+            slots: 120,
+            threads: 4,
+        }
+    }
+}
+
+/// The rebalancer configuration the skew bench runs: trigger early (10 %
+/// over the mean), one move per slot once the load EWMAs have seeded.
+pub fn skew_rebalancer_config() -> RebalancerConfig {
+    RebalancerConfig::default()
+        .with_ratio(1.1)
+        .with_warmup_slots(8)
+}
+
+/// Measurements of one static-placement-versus-rebalanced comparison on the
+/// Zipf-skewed workload.
+///
+/// Three cost models, weakest hardware dependence first:
+///
+/// * **critical path** — per slot, the slowest shard tick (what the slot
+///   would cost with one thread per shard); measured single-threaded, so it
+///   is meaningful on any machine including a single-core CI runner;
+/// * **projected** — per slot, the slowest *chunk* of shards under the
+///   bundled thread pool's contiguous chunking at
+///   [`SkewWorkload::threads`] threads, from the same single-threaded tick
+///   samples: the multicore slot cost this machine would pay if it had the
+///   cores;
+/// * **measured** — wall-clock ms per slot of full runs at the configured
+///   thread count; only a fair comparison when
+///   [`SkewBenchReport::available_parallelism`] covers the thread count.
+#[derive(Debug, Clone)]
+pub struct SkewBenchReport {
+    /// The workload shape measured.
+    pub workload: SkewWorkload,
+    /// Cores the machine exposes (what the measured model actually ran on).
+    pub available_parallelism: usize,
+    /// Whether static and rebalanced forecasts matched bit for bit after
+    /// every slot.
+    pub forecasts_identical: bool,
+    /// Migrations the rebalanced arm performed.
+    pub migrations: u64,
+    /// The max/mean load ratio the rebalancer last observed.
+    pub trigger_last_ratio: f64,
+    /// Per-shard loads when the trigger last fired, before the move.
+    pub loads_before: Vec<f64>,
+    /// Per-shard loads after the last firing check's moves.
+    pub loads_after: Vec<f64>,
+    /// Critical-path ms per slot, static placement.
+    pub static_critical_ms: f64,
+    /// Critical-path ms per slot, rebalanced.
+    pub rebalanced_critical_ms: f64,
+    /// Projected ms per slot at the target thread count, static placement.
+    pub static_projected_ms: f64,
+    /// Projected ms per slot at the target thread count, rebalanced.
+    pub rebalanced_projected_ms: f64,
+    /// Measured wall-clock ms per slot at the target thread count, static.
+    pub static_measured_ms: f64,
+    /// Measured wall-clock ms per slot at the target thread count,
+    /// rebalanced.
+    pub rebalanced_measured_ms: f64,
+}
+
+impl SkewBenchReport {
+    /// Static over rebalanced, critical-path model.
+    pub fn critical_speedup(&self) -> f64 {
+        self.static_critical_ms / self.rebalanced_critical_ms
+    }
+
+    /// Static over rebalanced, projected at the target thread count.
+    pub fn projected_speedup(&self) -> f64 {
+        self.static_projected_ms / self.rebalanced_projected_ms
+    }
+
+    /// Static over rebalanced, measured wall clock.
+    pub fn measured_speedup(&self) -> f64 {
+        self.static_measured_ms / self.rebalanced_measured_ms
+    }
+
+    /// The report as a JSON object (no trailing newline — embeddable as a
+    /// section of `BENCH_fleet.json`).
+    pub fn json_object(&self) -> String {
+        let loads = |values: &[f64]| {
+            let mut out = String::from("[");
+            for (i, v) in values.iter().enumerate() {
+                let _ = write!(out, "{}{:.2}", if i > 0 { ", " } else { "" }, v);
+            }
+            out.push(']');
+            out
+        };
+        format!(
+            "{{\n    \"shards\": {},\n    \"tenants\": {},\n    \"zipf_s\": {:.2},\n    \
+             \"max_users\": {},\n    \"slots\": {},\n    \"threads\": {},\n    \
+             \"available_parallelism\": {},\n    \"forecasts_identical\": {},\n    \
+             \"migrations\": {},\n    \"trigger_last_ratio\": {:.3},\n    \
+             \"loads_before\": {},\n    \"loads_after\": {},\n    \
+             \"static_critical_ms_per_slot\": {:.4},\n    \
+             \"rebalanced_critical_ms_per_slot\": {:.4},\n    \
+             \"critical_path_speedup\": {:.2},\n    \
+             \"static_projected_ms_per_slot\": {:.4},\n    \
+             \"rebalanced_projected_ms_per_slot\": {:.4},\n    \
+             \"projected_speedup\": {:.2},\n    \
+             \"static_measured_ms_per_slot\": {:.4},\n    \
+             \"rebalanced_measured_ms_per_slot\": {:.4},\n    \
+             \"measured_speedup\": {:.2}\n  }}",
+            self.workload.shards,
+            self.workload.tenants,
+            self.workload.zipf_s,
+            self.workload.max_users,
+            self.workload.slots,
+            self.workload.threads,
+            self.available_parallelism,
+            self.forecasts_identical,
+            self.migrations,
+            self.trigger_last_ratio,
+            loads(&self.loads_before),
+            loads(&self.loads_after),
+            self.static_critical_ms,
+            self.rebalanced_critical_ms,
+            self.critical_speedup(),
+            self.static_projected_ms,
+            self.rebalanced_projected_ms,
+            self.projected_speedup(),
+            self.static_measured_ms,
+            self.rebalanced_measured_ms,
+            self.measured_speedup(),
+        )
+    }
+}
+
+/// One slot's cost at `threads` threads under the bundled thread pool's
+/// contiguous chunking, from the per-shard tick times: the pool splits the
+/// shard list into `threads` contiguous chunks (the first `len % threads`
+/// chunks one longer), runs each chunk on one worker, and the slot ends when
+/// the slowest chunk does. Mirrors `chunk_ranges` in the bundled rayon
+/// stand-in exactly, so the projection is the arithmetic the real pool
+/// executes.
+fn projected_slot_ns(ticks: &[u64], threads: usize) -> u64 {
+    let len = ticks.len();
+    let parts = threads.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0;
+    let mut slowest = 0u64;
+    for part in 0..parts {
+        let size = base + usize::from(part < extra);
+        let chunk: u64 = ticks[start..start + size].iter().sum();
+        start += size;
+        slowest = slowest.max(chunk);
+    }
+    slowest
+}
+
+/// Drives a full skewed run at the workload's thread count with telemetry
+/// disabled and returns the mean wall-clock ms per slot (generation
+/// included, identically on both arms).
+fn measure_skewed(
+    workload: &SkewWorkload,
+    seed: u64,
+    config: &SystemConfig,
+    mix: &TenantMix,
+    rebalancer: Option<RebalancerConfig>,
+) -> f64 {
+    let mut engine = FleetEngine::new(config.clone(), workload.shards, seed)
+        .with_threads(workload.threads)
+        .with_telemetry(TelemetryMode::Disabled);
+    if let Some(rebalancer) = rebalancer {
+        engine = engine.with_rebalancer(rebalancer);
+    }
+    engine.add_tenants(mix.tenant_ids());
+    let start = Instant::now();
+    for _ in 0..workload.slots {
+        engine
+            .try_tick_mix(mix)
+            .expect("every hosted tenant is in the mix");
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / workload.slots as f64
+}
+
+/// Runs the Zipf-skew comparison: a static-placement fleet and a rebalanced
+/// fleet drive the identical heavy-tailed [`TenantMix::zipf`] workload in
+/// lockstep, with forecasts compared bit for bit after **every** slot — the
+/// perf claim is only admissible because the rebalanced fleet provably
+/// computes the same answers. The lockstep pass runs single-threaded with
+/// monotonic telemetry, sampling each shard's tick time per slot for the
+/// critical-path and projected models; a second pass measures wall-clock
+/// runs at the target thread count.
+pub fn run_skewed(workload: &SkewWorkload, seed: u64) -> SkewBenchReport {
+    let config = bench_config();
+    let mix = TenantMix::zipf(
+        workload.tenants,
+        workload.max_users,
+        workload.zipf_s,
+        config.groups.ids(),
+        seed,
+    );
+
+    let mut static_engine = FleetEngine::new(config.clone(), workload.shards, seed).with_threads(1);
+    static_engine.add_tenants(mix.tenant_ids());
+    let mut rebalanced_engine = FleetEngine::new(config.clone(), workload.shards, seed)
+        .with_threads(1)
+        .with_rebalancer(skew_rebalancer_config());
+    rebalanced_engine.add_tenants(mix.tenant_ids());
+
+    let mut forecasts_identical = true;
+    let mut static_critical_ns = 0u64;
+    let mut rebalanced_critical_ns = 0u64;
+    let mut static_projected_ns = 0u64;
+    let mut rebalanced_projected_ns = 0u64;
+    for _ in 0..workload.slots {
+        static_engine
+            .try_tick_mix(&mix)
+            .expect("every hosted tenant is in the mix");
+        rebalanced_engine
+            .try_tick_mix(&mix)
+            .expect("every hosted tenant is in the mix");
+        if static_engine.forecasts() != rebalanced_engine.forecasts() {
+            forecasts_identical = false;
+        }
+        let static_ticks = static_engine.last_shard_tick_ns();
+        let rebalanced_ticks = rebalanced_engine.last_shard_tick_ns();
+        static_critical_ns += static_ticks.iter().copied().max().unwrap_or(0);
+        rebalanced_critical_ns += rebalanced_ticks.iter().copied().max().unwrap_or(0);
+        static_projected_ns += projected_slot_ns(&static_ticks, workload.threads);
+        rebalanced_projected_ns += projected_slot_ns(&rebalanced_ticks, workload.threads);
+    }
+    if static_engine.metrics() != rebalanced_engine.metrics() {
+        forecasts_identical = false;
+    }
+    let rebalance = rebalanced_engine
+        .telemetry()
+        .rebalance
+        .expect("the rebalanced arm runs a rebalancer");
+
+    let static_measured_ms = measure_skewed(workload, seed, &config, &mix, None);
+    let rebalanced_measured_ms = measure_skewed(
+        workload,
+        seed,
+        &config,
+        &mix,
+        Some(skew_rebalancer_config()),
+    );
+
+    let to_ms = |ns: u64| ns as f64 / 1e6 / workload.slots as f64;
+    SkewBenchReport {
+        workload: *workload,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        forecasts_identical,
+        migrations: rebalance.migrations,
+        trigger_last_ratio: rebalance.last_ratio,
+        loads_before: rebalance.loads_before,
+        loads_after: rebalance.loads_after,
+        static_critical_ms: to_ms(static_critical_ns),
+        rebalanced_critical_ms: to_ms(rebalanced_critical_ns),
+        static_projected_ms: to_ms(static_projected_ns),
+        rebalanced_projected_ms: to_ms(rebalanced_projected_ns),
+        static_measured_ms,
+        rebalanced_measured_ms,
+    }
+}
+
+/// Prints the skew comparison as an aligned table.
+pub fn print_skewed(report: &SkewBenchReport) {
+    println!(
+        "\nzipf skew (s={:.1}) over {} tenants x {} slots, {} shards, target {} threads \
+         ({} core(s) available)",
+        report.workload.zipf_s,
+        report.workload.tenants,
+        report.workload.slots,
+        report.workload.shards,
+        report.workload.threads,
+        report.available_parallelism,
+    );
+    println!(
+        "  {:<26} {:>14} {:>14} {:>9}",
+        "cost model", "static ms/slot", "rebal ms/slot", "speedup"
+    );
+    println!(
+        "  {:<26} {:>14.3} {:>14.3} {:>8.2}x",
+        "critical path (1/shard)",
+        report.static_critical_ms,
+        report.rebalanced_critical_ms,
+        report.critical_speedup(),
+    );
+    println!(
+        "  {:<26} {:>14.3} {:>14.3} {:>8.2}x",
+        format!("projected @{} threads", report.workload.threads),
+        report.static_projected_ms,
+        report.rebalanced_projected_ms,
+        report.projected_speedup(),
+    );
+    println!(
+        "  {:<26} {:>14.3} {:>14.3} {:>8.2}x",
+        "measured wall clock",
+        report.static_measured_ms,
+        report.rebalanced_measured_ms,
+        report.measured_speedup(),
+    );
+    println!(
+        "  migrations: {} (last trigger ratio {:.2}); forecasts identical every slot: {}",
+        report.migrations, report.trigger_last_ratio, report.forecasts_identical,
+    );
+    if !report.loads_before.is_empty() {
+        let fmt = |values: &[f64]| {
+            values
+                .iter()
+                .map(|v| format!("{v:.0}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "  shard loads at last trigger: [{}] -> [{}]",
+            fmt(&report.loads_before),
+            fmt(&report.loads_after),
+        );
     }
 }
 
@@ -630,6 +1005,64 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"fleet_telemetry\""));
         assert!(json.contains("\"snapshot\": {\"version\":1,"));
         mca_telemetry::json::parse(&json).expect("the telemetry report is valid JSON");
+    }
+
+    #[test]
+    fn skewed_run_rebalances_without_perturbing_forecasts() {
+        let workload = SkewWorkload {
+            shards: 5,
+            tenants: 8,
+            zipf_s: 0.8,
+            max_users: 60,
+            slots: 30,
+            threads: 2,
+        };
+        let report = run_skewed(&workload, crate::DEFAULT_SEED);
+        assert!(
+            report.forecasts_identical,
+            "rebalancing must not change a single forecast or metric"
+        );
+        assert!(report.migrations > 0, "the Zipf skew must trigger moves");
+        assert!(report.static_critical_ms > 0.0 && report.rebalanced_critical_ms > 0.0);
+        // the projected model can never beat the critical path (one thread
+        // per shard is its limit), and never lose to a single thread
+        assert!(report.static_projected_ms >= report.static_critical_ms);
+        let json = report.json_object();
+        assert!(json.contains("\"forecasts_identical\": true"));
+        assert!(json.contains("\"projected_speedup\""));
+        // the embedded form stays valid JSON
+        let full = FleetBenchReport {
+            workload: FleetWorkload {
+                tenants: 2,
+                slots: 1,
+                users_per_tenant: 1,
+            },
+            shards: 1,
+            threads: 1,
+            single_ms_per_slot: 1.0,
+            fleet_ms_per_slot: 1.0,
+            forecasts_identical: true,
+            telemetry: FleetTelemetry {
+                mode: TelemetryMode::Disabled,
+                slot: Default::default(),
+                stages: Default::default(),
+                shards: Vec::new(),
+                rebalance: None,
+                critical_path_ns: 0,
+            },
+        }
+        .to_json_with_skew(&report);
+        mca_telemetry::json::parse(&full).expect("the skewed report is valid JSON");
+    }
+
+    #[test]
+    fn projected_slot_model_mirrors_the_pool_chunking() {
+        // 5 shards at 2 threads: chunks [0..3], [3..5]
+        assert_eq!(projected_slot_ns(&[5, 1, 1, 4, 4], 2), 8);
+        // more threads than shards: one shard per worker = critical path
+        assert_eq!(projected_slot_ns(&[5, 1, 1], 8), 5);
+        // one thread: the full serial sum
+        assert_eq!(projected_slot_ns(&[5, 1, 1], 1), 7);
     }
 
     #[test]

@@ -140,6 +140,16 @@ impl FleetDriver {
         &self.engine
     }
 
+    /// Mutable access to the engine for mid-drive control-plane operations —
+    /// explicit migration schedules ([`FleetEngine::migrate_tenant`]),
+    /// on-demand rebalance checks ([`FleetEngine::rebalance_now`]). The
+    /// driver's own accounting is untouched; ticking the engine directly
+    /// from here would desynchronize the two, so stick to control-plane
+    /// calls.
+    pub fn engine_mut(&mut self) -> &mut FleetEngine {
+        &mut self.engine
+    }
+
     /// Hands the engine back (e.g. to extract tenants after a drive).
     pub fn into_engine(self) -> FleetEngine {
         self.engine

@@ -18,6 +18,7 @@
 use crate::error::FleetError;
 use crate::ingest::{bucket_by_shard, SlotRecord};
 use crate::metrics::{FleetMetrics, TenantMetrics};
+use crate::rebalance::{MigrationRecord, Rebalancer, RebalancerConfig};
 use crate::router::ShardRouter;
 use crate::shard::TenantShard;
 use crate::telemetry::{FleetTelemetry, ShardTelemetry, StageHistograms, TelemetryMode};
@@ -101,6 +102,11 @@ pub struct FleetEngine {
     clock: TelemetryClock,
     /// Latency histogram over full `ingest_batch` slot ticks.
     slot_hist: LatencyHistogram,
+    /// The between-slots rebalancing policy, when one is configured.
+    rebalancer: Option<Rebalancer>,
+    /// Sum over slots of the slowest shard tick of the slot — the fleet's
+    /// serial floor (0 while stage measurements are disabled).
+    critical_path_ns: u64,
 }
 
 impl FleetEngine {
@@ -139,6 +145,8 @@ impl FleetEngine {
             telemetry_mode: mode,
             clock: mode.clock(),
             slot_hist: LatencyHistogram::new(),
+            rebalancer: None,
+            critical_path_ns: 0,
         }
     }
 
@@ -161,9 +169,23 @@ impl FleetEngine {
         self.telemetry_mode = mode;
         self.clock = mode.clock();
         self.slot_hist.clear();
+        self.critical_path_ns = 0;
         for shard in &mut self.shards {
             shard.telemetry = ShardTelemetry::new(mode);
         }
+        self
+    }
+
+    /// Enables between-slots hot-shard rebalancing under `config`: before
+    /// each due slot the engine evaluates the per-shard load view (every
+    /// hosted tenant's users-per-tick EWMA) and live-migrates tenants chosen
+    /// by the policy, carrying their history, index, RNG stream, allocation
+    /// memo cache and metrics intact. Forecasts and [`FleetMetrics`] are
+    /// bit-identical with rebalancing on or off — the policy reads only
+    /// deterministic load counts and migrations move state without mutating
+    /// it.
+    pub fn with_rebalancer(mut self, config: RebalancerConfig) -> Self {
+        self.rebalancer = Some(Rebalancer::new(config));
         self
     }
 
@@ -357,12 +379,127 @@ impl FleetEngine {
         Ok(histories)
     }
 
+    /// Runs the rebalancer's periodic check when one is configured and due,
+    /// applying the migrations it plans. Control-plane work between slots:
+    /// runs before the slot timer starts, so the slot latency histogram
+    /// keeps measuring the data path alone.
+    fn maybe_rebalance(&mut self) {
+        let due = match &self.rebalancer {
+            Some(rebalancer) => rebalancer.due(self.slot_index),
+            None => return,
+        };
+        if due {
+            self.run_rebalance_check();
+        }
+    }
+
+    /// Builds the load view, runs one rebalance check and applies the
+    /// planned migrations.
+    fn run_rebalance_check(&mut self) -> Vec<MigrationRecord> {
+        let slot = self.slot_index;
+        let mut loads: Vec<f64> = Vec::with_capacity(self.shards.len());
+        let mut movable: Vec<Vec<(TenantId, f64)>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut total = 0.0;
+            let mut tenants = Vec::new();
+            for tenant in &shard.tenants {
+                // user-sharded replicas contribute load but cannot move:
+                // their records route by user hash, not by placement
+                total += tenant.load_ewma();
+                if !self.user_sharded.contains(&tenant.id()) {
+                    tenants.push((tenant.id(), tenant.load_ewma()));
+                }
+            }
+            loads.push(total);
+            movable.push(tenants);
+        }
+        let rebalancer = self
+            .rebalancer
+            .as_mut()
+            .expect("callers check a rebalancer is configured");
+        let moves = rebalancer.check(slot, &mut loads, &mut movable);
+        for record in &moves {
+            self.move_tenant_between_shards(record.tenant, record.from, record.to);
+        }
+        moves
+    }
+
+    /// Runs one rebalance check immediately, regardless of warmup or check
+    /// interval (the trigger still decides whether anything moves). Returns
+    /// the migrations performed, or `None` when no rebalancer is configured.
+    pub fn rebalance_now(&mut self) -> Option<Vec<MigrationRecord>> {
+        self.rebalancer.as_ref()?;
+        Some(self.run_rebalance_check())
+    }
+
+    /// Live-migrates `tenant` from `from` to `to`: the whole [`TenantShard`]
+    /// moves — slot history, nearest-slot index, RNG stream, standing
+    /// forecast, warm allocation memo cache, instance pool and metrics — and
+    /// the router's indirection table is updated so subsequent records
+    /// follow.
+    fn move_tenant_between_shards(&mut self, tenant: TenantId, from: usize, to: usize) {
+        let at = self.shards[from]
+            .tenants
+            .binary_search_by_key(&tenant, TenantShard::id)
+            .expect("the migration source hosts the tenant");
+        let state = self.shards[from].tenants.remove(at);
+        let destination = &mut self.shards[to];
+        let at = destination
+            .tenants
+            .binary_search_by_key(&tenant, TenantShard::id)
+            .expect_err("the migration destination does not already host the tenant");
+        destination.tenants.insert(at, state);
+        self.router.place(tenant, to);
+    }
+
+    /// Explicitly live-migrates `tenant` onto shard `to`, independent of any
+    /// rebalancer (migration schedules in tests and operational drains use
+    /// this). Migrating a tenant onto the shard it already occupies is a
+    /// no-op. Forecasts and metrics are unaffected: the tenant's state moves
+    /// intact and the router's indirection table keeps its records routing
+    /// to it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UserSharded`] when the tenant is served in user-sharded
+    /// mode (its replicas route by user hash — there is no single placement
+    /// to move); [`FleetError::InvalidShard`] when `to` is out of range;
+    /// [`FleetError::UnknownTenant`] when the tenant is not onboarded.
+    pub fn migrate_tenant(&mut self, tenant: TenantId, to: usize) -> Result<(), FleetError> {
+        if self.user_sharded.contains(&tenant) {
+            return Err(FleetError::UserSharded { tenant });
+        }
+        if to >= self.shards.len() {
+            return Err(FleetError::InvalidShard {
+                shard: to,
+                shards: self.shards.len(),
+            });
+        }
+        let from = self.router.shard_of_tenant(tenant);
+        self.shards[from]
+            .tenants
+            .binary_search_by_key(&tenant, TenantShard::id)
+            .map_err(|_| FleetError::UnknownTenant { tenant })?;
+        if from != to {
+            self.move_tenant_between_shards(tenant, from, to);
+        }
+        Ok(())
+    }
+
+    /// Number of tenants currently placed away from their hash home shard.
+    pub fn displaced_tenants(&self) -> usize {
+        self.router.displaced_tenants()
+    }
+
     /// Ticks one provisioning slot on a batch of arrival records: buckets
     /// the batch by shard (one router pass), then runs every shard's
     /// predict→allocate→bill cycle in parallel. Records naming unknown
     /// tenants are counted in [`FleetEngine::dropped_records`]. This is the
-    /// single ingestion primitive every front-end funnels into.
+    /// single ingestion primitive every front-end funnels into. When a
+    /// rebalancer is configured its periodic check runs first, between
+    /// slots.
     pub(crate) fn ingest_batch(&mut self, records: &[SlotRecord]) {
+        self.maybe_rebalance();
         let timer = StageTimer::start(&mut self.clock);
         let slot_index = self.slot_index;
         let now_ms = (slot_index + 1) as f64 * self.config.slot_length_ms;
@@ -383,6 +520,15 @@ impl FleetEngine {
                 self.dropped_records += count;
                 *self.dropped_by_tenant.entry(tenant).or_insert(0) += count;
             }
+        }
+        if self.clock.enabled() {
+            let slowest = self
+                .shards
+                .iter()
+                .map(|s| s.telemetry.last_tick_ns())
+                .max()
+                .unwrap_or(0);
+            self.critical_path_ns += slowest;
         }
         self.slot_index += 1;
         let elapsed = timer.stop(&mut self.clock);
@@ -570,7 +716,20 @@ impl FleetEngine {
             slot: self.slot_hist.clone(),
             stages,
             shards: shard_loads,
+            rebalance: self.rebalancer.as_ref().map(Rebalancer::snapshot),
+            critical_path_ns: self.critical_path_ns,
         }
+    }
+
+    /// Latency of each shard's most recent tick, ns, in shard order (all 0
+    /// while stage measurements are disabled). What the skew bench samples
+    /// per slot to project multicore speedups from a single-threaded
+    /// measured run.
+    pub fn last_shard_tick_ns(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.telemetry.last_tick_ns())
+            .collect()
     }
 
     /// Assembles the full metrics registry for exposition
@@ -989,6 +1148,145 @@ mod tests {
             engine.tenant_ids(),
             vec![TenantId(1), TenantId(2), TenantId(4)]
         );
+    }
+
+    #[test]
+    fn migrate_tenant_carries_state_and_keeps_metrics_placement_invariant() {
+        let mut migrated = FleetEngine::new(config(), 3, 9);
+        migrated.add_tenants((0..4).map(TenantId));
+        let mut control = FleetEngine::new(config(), 3, 9);
+        control.add_tenants((0..4).map(TenantId));
+        for _ in 0..3 {
+            migrated.tick_slot(&records(4, 5));
+            control.tick_slot(&records(4, 5));
+        }
+        let tenant = TenantId(2);
+        let home = migrated.shard_of(tenant);
+        let (forecast, history_len, cached) = {
+            let before = migrated.tenant(tenant).unwrap();
+            (
+                before.forecast().cloned(),
+                before.predictor().history().len(),
+                before.cached_allocations(),
+            )
+        };
+        assert!(forecast.is_some() && history_len == 3 && cached > 0);
+
+        let away = (home + 1) % 3;
+        migrated.migrate_tenant(tenant, away).unwrap();
+        assert_eq!(migrated.shard_of(tenant), away);
+        assert_eq!(migrated.displaced_tenants(), 1);
+        let after = migrated.tenant(tenant).unwrap();
+        assert_eq!(after.forecast().cloned(), forecast, "forecast survives");
+        assert_eq!(after.predictor().history().len(), history_len);
+        assert_eq!(after.cached_allocations(), cached, "warm cache survives");
+
+        for _ in 0..3 {
+            migrated.tick_slot(&records(4, 5));
+            control.tick_slot(&records(4, 5));
+        }
+        assert_eq!(migrated.dropped_records(), 0, "records follow the move");
+        assert_eq!(migrated.metrics(), control.metrics());
+        assert_eq!(migrated.forecasts(), control.forecasts());
+    }
+
+    #[test]
+    fn migrate_tenant_rejects_bad_targets() {
+        let mut engine = FleetEngine::new(config(), 2, 1);
+        engine.add_tenant(TenantId(0));
+        engine.add_user_sharded_tenant(TenantId(1));
+        assert_eq!(
+            engine.migrate_tenant(TenantId(1), 0).unwrap_err(),
+            FleetError::UserSharded {
+                tenant: TenantId(1)
+            }
+        );
+        assert_eq!(
+            engine.migrate_tenant(TenantId(0), 5).unwrap_err(),
+            FleetError::InvalidShard {
+                shard: 5,
+                shards: 2
+            }
+        );
+        assert_eq!(
+            engine.migrate_tenant(TenantId(9), 1).unwrap_err(),
+            FleetError::UnknownTenant {
+                tenant: TenantId(9)
+            }
+        );
+        let home = engine.shard_of(TenantId(0));
+        engine.migrate_tenant(TenantId(0), home).unwrap();
+        assert_eq!(engine.displaced_tenants(), 0, "migrating home is a no-op");
+    }
+
+    #[test]
+    fn rebalance_now_moves_load_off_the_hot_shard() {
+        let mut engine = FleetEngine::new(config(), 2, 1).with_rebalancer(
+            RebalancerConfig::default()
+                .with_ratio(1.0)
+                .with_max_moves_per_check(2),
+        );
+        // pin the skew by construction: three heavy tenants on shard 0,
+        // three light ones on shard 1, whichever ids hash there
+        let on_zero: Vec<TenantId> = (0..60u32)
+            .map(TenantId)
+            .filter(|&t| engine.shard_of(t) == 0)
+            .take(3)
+            .collect();
+        let on_one: Vec<TenantId> = (0..60u32)
+            .map(TenantId)
+            .filter(|&t| engine.shard_of(t) == 1)
+            .take(3)
+            .collect();
+        engine.add_tenants(on_zero.iter().chain(&on_one).copied());
+        let batch = || {
+            let mut records = Vec::new();
+            for &t in &on_zero {
+                for u in 0..40u32 {
+                    records.push(SlotRecord::new(
+                        t,
+                        AccelerationGroupId((u % 3 + 1) as u8),
+                        UserId(t.0 * 1000 + u),
+                    ));
+                }
+            }
+            for &t in &on_one {
+                for u in 0..2u32 {
+                    records.push(SlotRecord::new(
+                        t,
+                        AccelerationGroupId(1),
+                        UserId(t.0 * 1000 + u),
+                    ));
+                }
+            }
+            records
+        };
+        // four slots stay inside the default warmup: no automatic check yet
+        for _ in 0..4 {
+            engine.tick_slot(&batch());
+        }
+
+        let forecasts_before = engine.forecasts();
+        let moves = engine.rebalance_now().expect("a rebalancer is configured");
+        assert!(!moves.is_empty(), "the 120:6 skew must trigger a move");
+        assert!(moves.iter().all(|m| m.from == 0 && m.to == 1));
+        assert!(engine.displaced_tenants() > 0);
+        assert_eq!(
+            engine.forecasts(),
+            forecasts_before,
+            "rebalancing moves state without mutating it"
+        );
+        let snapshot = engine.telemetry().rebalance.unwrap();
+        assert_eq!(snapshot.checks, 1);
+        assert_eq!(snapshot.triggers, 1);
+        assert_eq!(snapshot.migrations, moves.len() as u64);
+        assert!(snapshot.last_ratio > 1.0);
+        assert!(snapshot.loads_before[0] > snapshot.loads_after[0]);
+
+        // records keep finding their tenants after the move
+        engine.tick_slot(&batch());
+        assert_eq!(engine.dropped_records(), 0);
+        assert!(engine.telemetry().critical_path_ns > 0);
     }
 
     #[test]

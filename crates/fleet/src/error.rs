@@ -49,6 +49,14 @@ pub enum FleetError {
         /// Number of tenants the mix defines (ids `0..mix_tenants`).
         mix_tenants: usize,
     },
+    /// An operation named a shard index the fleet does not have (e.g. a
+    /// migration target beyond the shard count).
+    InvalidShard {
+        /// The shard index that was named.
+        shard: usize,
+        /// Number of shards the fleet has.
+        shards: usize,
+    },
     /// A record source is already registered for this tenant.
     DuplicateSource {
         /// The tenant with two sources.
@@ -87,6 +95,10 @@ impl fmt::Display for FleetError {
             } => write!(
                 f,
                 "hosted tenant {tenant} is not part of the mix ({mix_tenants} mix tenants)"
+            ),
+            FleetError::InvalidShard { shard, shards } => write!(
+                f,
+                "shard {shard} does not exist (the fleet has {shards} shards)"
             ),
             FleetError::DuplicateSource { tenant } => {
                 write!(
@@ -127,6 +139,12 @@ mod tests {
         }
         .to_string()
         .contains("mix"));
+        let text = FleetError::InvalidShard {
+            shard: 9,
+            shards: 4,
+        }
+        .to_string();
+        assert!(text.contains('9') && text.contains('4'));
     }
 
     #[test]

@@ -46,6 +46,17 @@
 //! * [`metrics`] — [`TenantMetrics`] / [`FleetMetrics`]: per-tenant
 //!   accuracy, spend and allocation volume folded (in tenant-id order, so
 //!   bitwise reproducibly) into fleet-wide rollups.
+//! * [`rebalance`] — the elastic placement layer: [`Rebalancer`] runs
+//!   between slots off each tenant's deterministic users-per-tick load
+//!   EWMA, and when the hottest shard's load diverges from the mean
+//!   (pluggable [`RebalanceTrigger`]) it live-migrates the heaviest movable
+//!   tenants onto the coldest shard (pluggable [`MigrationChooser`],
+//!   deterministic tie-breaks). Migration moves the whole [`TenantShard`] —
+//!   history, nearest-slot index, RNG stream, warm allocation memo cache,
+//!   standing forecast, pool, metrics — and records follow through the
+//!   router's indirection table, so forecasts and [`FleetMetrics`] stay
+//!   bit-identical to a never-rebalanced fleet under any migration
+//!   schedule.
 //! * [`telemetry`] — the observability layer over [`mca_telemetry`]: every
 //!   engine instruments itself by default ([`TelemetryMode::Monotonic`]),
 //!   histogramming the per-slot ingest+tick latency and each tenant's
@@ -84,6 +95,7 @@ pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod metrics;
+pub mod rebalance;
 pub mod router;
 pub mod shard;
 pub mod source;
@@ -94,6 +106,10 @@ pub use engine::FleetEngine;
 pub use error::FleetError;
 pub use ingest::SlotRecord;
 pub use metrics::{FleetMetrics, TenantMetrics};
+pub use rebalance::{
+    MigrationChooser, MigrationRecord, RebalanceSnapshot, RebalanceTrigger, Rebalancer,
+    RebalancerConfig,
+};
 pub use router::ShardRouter;
 pub use shard::TenantShard;
 pub use source::{

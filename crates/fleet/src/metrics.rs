@@ -5,6 +5,14 @@
 //! per-tenant records (in tenant-id order, so the fold is bitwise
 //! reproducible across shard layouts and thread counts) into the fleet-wide
 //! view an operator dashboard would show.
+//!
+//! Everything here is **placement-invariant** by design: a tenant's metrics
+//! travel with its [`crate::TenantShard`] through a live migration, and no
+//! counter records *where* the work ran — so the rollup is bit-identical
+//! under any rebalancing schedule (the determinism suite asserts it).
+//! Placement-dependent accounting (migrations performed, trigger ratios,
+//! per-shard load) lives in [`crate::FleetTelemetry`] instead, which the
+//! [`crate::DriveReport`] equality deliberately excludes.
 
 use mca_offload::TenantId;
 use serde::{Deserialize, Serialize};

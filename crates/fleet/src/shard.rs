@@ -11,7 +11,7 @@
 //! parallel.
 
 use crate::metrics::TenantMetrics;
-use crate::telemetry::ShardTelemetry;
+use crate::telemetry::{ewma, ShardTelemetry};
 use mca_cloudsim::InstancePool;
 use mca_core::{
     accuracy, Allocation, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
@@ -53,6 +53,11 @@ pub struct TenantShard {
     /// the FIFO eviction queue behind [`ALLOC_CACHE_CAP`]. Always in sync
     /// with `alloc_cache` — entries enter and leave both together.
     alloc_cache_order: VecDeque<Vec<(AccelerationGroupId, usize)>>,
+    /// EWMA of observed users per tick — the tenant's contribution to its
+    /// shard's load, and the signal the rebalancer ranks tenants by. Derived
+    /// purely from the observed slot populations, so it is independent of
+    /// placement, thread count and telemetry mode.
+    load_ewma: f64,
 }
 
 impl TenantShard {
@@ -81,6 +86,7 @@ impl TenantShard {
             slot_length_ms: config.slot_length_ms,
             alloc_cache: HashMap::new(),
             alloc_cache_order: VecDeque::new(),
+            load_ewma: 0.0,
         }
     }
 
@@ -115,6 +121,14 @@ impl TenantShard {
         &mut self.rng
     }
 
+    /// EWMA of the tenant's observed users per tick — the load the tenant
+    /// contributes to whichever shard hosts it. A pure function of the
+    /// tenant's own observed slots (first sample seeds, later samples fold
+    /// in at 1/8), so moving the tenant between shards never changes it.
+    pub fn load_ewma(&self) -> f64 {
+        self.load_ewma
+    }
+
     /// Runs one provisioning tick on the observed `slot`: scores the
     /// standing forecast against it, folds it into the knowledge base,
     /// forecasts the next slot, allocates for that forecast and bills the
@@ -140,6 +154,11 @@ impl TenantShard {
         let observed_users = slot.total_users();
         self.metrics.total_user_slots += observed_users;
         self.metrics.peak_users = self.metrics.peak_users.max(observed_users);
+        self.load_ewma = ewma(
+            self.load_ewma,
+            observed_users as f64,
+            self.metrics.slots as u64,
+        );
 
         if let Some(forecast) = &self.pending_forecast {
             self.metrics.scored_slots += 1;
@@ -387,6 +406,17 @@ mod tests {
         assert!(shard.predictor().history().is_empty());
         assert!(shard.forecast().is_none());
         assert!(shard.pool().is_empty());
+    }
+
+    #[test]
+    fn load_ewma_tracks_observed_users() {
+        let mut shard = TenantShard::new(TenantId(2), &config(), 1);
+        assert_eq!(shard.load_ewma(), 0.0);
+        shard.tick(slot(0, 8), 3_600_000.0);
+        assert_eq!(shard.load_ewma(), 8.0, "first sample seeds the average");
+        shard.tick(slot(1, 16), 7_200_000.0);
+        let expected = 0.125 * 16.0 + 0.875 * 8.0;
+        assert!((shard.load_ewma() - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! shard telemetry is a handful of machine words whose clock reads cost one
 //! branch.
 
+use crate::rebalance::RebalanceSnapshot;
 use mca_telemetry::{
     LatencyHistogram, LogicalClock, MonotonicClock, Registry, StageTimer, TelemetryClock,
 };
@@ -106,6 +107,7 @@ pub struct ShardTelemetry {
     records: u64,
     load_ewma: f64,
     tick_ewma_ns: f64,
+    last_tick_ns: u64,
 }
 
 impl ShardTelemetry {
@@ -118,6 +120,7 @@ impl ShardTelemetry {
             records: 0,
             load_ewma: 0.0,
             tick_ewma_ns: 0.0,
+            last_tick_ns: 0,
         }
     }
 
@@ -181,6 +184,7 @@ impl ShardTelemetry {
         if self.enabled() {
             self.stages.tick.record(elapsed);
             self.tick_ewma_ns = ewma(self.tick_ewma_ns, elapsed as f64, self.ticks);
+            self.last_tick_ns = elapsed;
         }
     }
 
@@ -212,6 +216,13 @@ impl ShardTelemetry {
         self.tick_ewma_ns
     }
 
+    /// Latency of the most recent shard tick, ns (0 while disabled). What
+    /// the engine's critical-path accounting and the skew bench read per
+    /// slot.
+    pub fn last_tick_ns(&self) -> u64 {
+        self.last_tick_ns
+    }
+
     /// The shard's load snapshot.
     pub(crate) fn load_snapshot(&self, shard: usize, tenants: usize) -> ShardLoad {
         ShardLoad {
@@ -222,12 +233,15 @@ impl ShardTelemetry {
             load_ewma: self.load_ewma,
             tick_ewma_ns: self.tick_ewma_ns,
             tick_p99_ns: self.stages.tick.p99(),
+            last_tick_ns: self.last_tick_ns,
         }
     }
 }
 
 /// First sample seeds the average; later samples fold in at [`EWMA_ALPHA`].
-fn ewma(prev: f64, sample: f64, count: u64) -> f64 {
+/// Shared with the per-tenant load EWMA in [`crate::TenantShard`] so both
+/// load signals smooth identically.
+pub(crate) fn ewma(prev: f64, sample: f64, count: u64) -> f64 {
     if count <= 1 {
         sample
     } else {
@@ -252,6 +266,8 @@ pub struct ShardLoad {
     pub tick_ewma_ns: f64,
     /// p99 of the shard tick latency, ns (0 while disabled).
     pub tick_p99_ns: u64,
+    /// Latency of the most recent shard tick, ns (0 while disabled).
+    pub last_tick_ns: u64,
 }
 
 /// The engine-wide telemetry snapshot: per-slot ingest latency, stage
@@ -268,6 +284,12 @@ pub struct FleetTelemetry {
     pub stages: StageHistograms,
     /// Per-shard load, one entry per shard in shard order.
     pub shards: Vec<ShardLoad>,
+    /// Rebalancer activity, when the engine runs one.
+    pub rebalance: Option<RebalanceSnapshot>,
+    /// Sum over slots of the slowest shard tick of the slot, ns (0 while
+    /// stage measurements are disabled). The fleet's serial floor: what the
+    /// slot latency would be with one thread per shard.
+    pub critical_path_ns: u64,
 }
 
 impl FleetTelemetry {
@@ -289,6 +311,19 @@ impl FleetTelemetry {
                 &format!("fleet_shard_{}_tick_ewma_ns", shard.shard),
                 shard.tick_ewma_ns,
             );
+        }
+        registry.add_counter("fleet_critical_path_ns_total", self.critical_path_ns);
+        if let Some(rebalance) = &self.rebalance {
+            registry.add_counter("fleet_rebalance_checks_total", rebalance.checks);
+            registry.add_counter("fleet_rebalance_triggers_total", rebalance.triggers);
+            registry.add_counter("fleet_rebalance_migrations_total", rebalance.migrations);
+            registry.set_gauge("fleet_rebalance_last_ratio", rebalance.last_ratio);
+            for (shard, &load) in rebalance.loads_before.iter().enumerate() {
+                registry.set_gauge(&format!("fleet_rebalance_shard_{shard}_load_before"), load);
+            }
+            for (shard, &load) in rebalance.loads_after.iter().enumerate() {
+                registry.set_gauge(&format!("fleet_rebalance_shard_{shard}_load_after"), load);
+            }
         }
     }
 }
@@ -363,6 +398,8 @@ mod tests {
             slot: LatencyHistogram::new(),
             stages: tel.stages().clone(),
             shards: vec![tel.load_snapshot(0, 2)],
+            rebalance: None,
+            critical_path_ns: 0,
         };
         let mut registry = Registry::new();
         snapshot.fill_registry(&mut registry);
@@ -375,5 +412,46 @@ mod tests {
         );
         assert_eq!(registry.gauge("fleet_shard_0_load_ewma"), Some(4.0));
         assert!(registry.gauge("fleet_shard_0_tick_ewma_ns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fill_registry_exposes_rebalancer_activity() {
+        let snapshot = FleetTelemetry {
+            mode: TelemetryMode::Logical,
+            slot: LatencyHistogram::new(),
+            stages: StageHistograms::default(),
+            shards: Vec::new(),
+            rebalance: Some(RebalanceSnapshot {
+                checks: 10,
+                triggers: 3,
+                migrations: 2,
+                last_ratio: 1.4,
+                loads_before: vec![30.0, 10.0],
+                loads_after: vec![20.0, 20.0],
+                recent: Vec::new(),
+            }),
+            critical_path_ns: 7_000,
+        };
+        let mut registry = Registry::new();
+        snapshot.fill_registry(&mut registry);
+        assert_eq!(registry.counter("fleet_rebalance_checks_total"), Some(10));
+        assert_eq!(registry.counter("fleet_rebalance_triggers_total"), Some(3));
+        assert_eq!(
+            registry.counter("fleet_rebalance_migrations_total"),
+            Some(2)
+        );
+        assert_eq!(registry.gauge("fleet_rebalance_last_ratio"), Some(1.4));
+        assert_eq!(
+            registry.gauge("fleet_rebalance_shard_0_load_before"),
+            Some(30.0)
+        );
+        assert_eq!(
+            registry.gauge("fleet_rebalance_shard_1_load_after"),
+            Some(20.0)
+        );
+        assert_eq!(
+            registry.counter("fleet_critical_path_ns_total"),
+            Some(7_000)
+        );
     }
 }

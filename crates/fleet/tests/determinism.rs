@@ -7,7 +7,10 @@
 //! deprecated `tick_mix` path exactly.
 
 use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
-use mca_fleet::{DriveReport, FleetDriver, FleetEngine, FleetMetrics, TelemetryMode, TenantShard};
+use mca_fleet::{
+    DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RebalancerConfig,
+    TelemetryMode, TenantShard,
+};
 use mca_offload::TenantId;
 use mca_workload::TenantMix;
 
@@ -41,6 +44,27 @@ fn run_fleet(
 ) -> (FleetMetrics, Vec<(TenantId, Option<WorkloadForecast>)>) {
     let report = run_fleet_mode(shards, threads, TelemetryMode::default());
     (report.metrics, report.forecasts)
+}
+
+/// An aggressive rebalancer: fires on 5 % imbalance after a 2-slot warmup,
+/// so the heterogeneous mix migrates tenants many times over a short drive.
+fn aggressive_rebalancer() -> RebalancerConfig {
+    RebalancerConfig::default()
+        .with_ratio(1.05)
+        .with_warmup_slots(2)
+}
+
+fn run_fleet_rebalanced(shards: usize, threads: usize, mode: TelemetryMode) -> DriveReport {
+    let mix = mix();
+    let mut engine = FleetEngine::new(config(), shards, SEED)
+        .with_threads(threads)
+        .with_telemetry(mode)
+        .with_rebalancer(aggressive_rebalancer());
+    engine.add_tenants(mix.tenant_ids());
+    let mut driver = FleetDriver::new(engine)
+        .with_mix(&mix)
+        .expect("every tenant is part of the mix");
+    driver.run(SLOTS).expect("mix sources never misbehave")
 }
 
 #[test]
@@ -153,6 +177,89 @@ fn logical_telemetry_snapshots_are_bit_identical_across_thread_counts() {
         let telemetry = run_fleet_mode(6, threads, TelemetryMode::Logical).telemetry;
         assert_eq!(telemetry, baseline, "threads={threads}");
     }
+}
+
+#[test]
+fn rebalancing_does_not_change_forecasts_or_metrics_at_any_thread_count() {
+    // the determinism bar of the elastic layer: a fleet that migrates
+    // tenants between shards mid-drive must report forecasts and metrics
+    // bit-identical to a fleet that never moves anyone
+    let (baseline_metrics, baseline_forecasts) = run_fleet(4, 1);
+    for threads in [1, 2, 4, 8] {
+        let report = run_fleet_rebalanced(4, threads, TelemetryMode::default());
+        let rebalance = report
+            .telemetry
+            .rebalance
+            .as_ref()
+            .expect("the rebalanced run carries its activity snapshot");
+        assert!(
+            rebalance.migrations > 0,
+            "threads={threads}: the aggressive trigger must actually move tenants"
+        );
+        assert_eq!(report.metrics, baseline_metrics, "threads={threads}");
+        assert_eq!(report.forecasts, baseline_forecasts, "threads={threads}");
+    }
+}
+
+#[test]
+fn rebalanced_logical_snapshots_are_bit_identical_across_thread_counts() {
+    // under the logical clock the full telemetry snapshot includes the
+    // rebalancer's activity (checks, migrations, per-shard loads), so
+    // snapshot equality across thread counts proves the migration schedule
+    // itself is thread-independent
+    let baseline = run_fleet_rebalanced(6, 1, TelemetryMode::Logical).telemetry;
+    let rebalance = baseline.rebalance.as_ref().unwrap();
+    assert!(rebalance.migrations > 0);
+    assert!(rebalance.checks >= rebalance.triggers);
+    for threads in [2, 4, 8] {
+        let telemetry = run_fleet_rebalanced(6, threads, TelemetryMode::Logical).telemetry;
+        assert_eq!(telemetry, baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn mid_drive_migration_schedule_is_invisible_in_results() {
+    // an explicit control-plane migration schedule — including moves landing
+    // after the 16-slot window has begun evicting, and a fleet hosting a
+    // user-sharded tenant throughout — must not change a forecast or metric
+    let mix = mix();
+    let drive = |schedule: &[(usize, TenantId, usize)]| {
+        let mut engine = FleetEngine::new(config(), 4, SEED).with_threads(2);
+        engine.add_user_sharded_tenant(TenantId(0));
+        engine.add_tenants((1..TENANTS as u32).map(TenantId));
+        let mut driver = FleetDriver::new(engine)
+            .with_mix(&mix)
+            .expect("every tenant is part of the mix");
+        for slot in 0..SLOTS {
+            for &(at, tenant, to) in schedule {
+                if at == slot {
+                    driver
+                        .engine_mut()
+                        .migrate_tenant(tenant, to)
+                        .expect("the schedule names tenant-sharded tenants");
+                }
+            }
+            driver.step().expect("mix sources never misbehave");
+        }
+        (driver.engine().metrics(), driver.engine().forecasts())
+    };
+    let baseline = drive(&[]);
+    // slot 18 is past the window: those moves land in the same slot as an
+    // eviction on every tenant with a full history
+    let migrated = drive(&[
+        (3, TenantId(5), 0),
+        (18, TenantId(5), 2),
+        (18, TenantId(7), 2),
+    ]);
+    assert_eq!(migrated, baseline);
+
+    // the user-sharded tenant itself is immovable, as a typed error
+    let mut engine = FleetEngine::new(config(), 4, SEED);
+    engine.add_user_sharded_tenant(TenantId(0));
+    assert!(matches!(
+        engine.migrate_tenant(TenantId(0), 1),
+        Err(FleetError::UserSharded { .. })
+    ));
 }
 
 #[test]

@@ -147,6 +147,40 @@ impl TenantMix {
         Self::new(seed, groups, scenarios)
     }
 
+    /// A heavy-tailed mix: tenant `t` carries a Zipf-sized population
+    /// `max_users / (t + 1)^s` (rounded, floored at one user), so tenant 0
+    /// dominates and the tail thins by the skew exponent `s` — the realistic
+    /// skewed-tenant regime the elastic rebalancer is benchmarked against.
+    /// Every tenant runs a flat [`TenantScenario::Ramp`] (constant
+    /// population on the churn/drift path), so populations stay fixed in
+    /// size while ~2 % of each tenant's users churn per slot from the
+    /// tenant's own deterministic stream.
+    pub fn zipf(
+        tenants: usize,
+        max_users: usize,
+        s: f64,
+        groups: Vec<AccelerationGroupId>,
+        seed: u64,
+    ) -> Self {
+        assert!(tenants > 0, "a mix needs at least one tenant");
+        assert!(max_users > 0, "the heaviest tenant needs at least one user");
+        let scenarios = (0..tenants)
+            .map(|t| {
+                let users = ((max_users as f64) / ((t + 1) as f64).powf(s))
+                    .round()
+                    .max(1.0) as usize;
+                // a flat ramp keeps the population constant but on the
+                // churn/drift generation path, unlike Steady
+                TenantScenario::Ramp(RampScenario {
+                    start_users: users,
+                    end_users: users,
+                    slots: 1,
+                })
+            })
+            .collect();
+        Self::new(seed, groups, scenarios)
+    }
+
     /// Number of tenants in the mix.
     pub fn tenants(&self) -> usize {
         self.scenarios.len()
@@ -380,5 +414,31 @@ mod tests {
     #[should_panic(expected = "at least one tenant")]
     fn zero_tenant_mix_panics() {
         let _ = TenantMix::heterogeneous(0, 10, GROUPS.to_vec(), 1);
+    }
+
+    #[test]
+    fn zipf_mix_sizes_follow_the_power_law() {
+        let m = TenantMix::zipf(8, 800, 1.0, GROUPS.to_vec(), 5);
+        let users: Vec<usize> = (0..8).map(|t| m.users_in_slot(TenantId(t), 0)).collect();
+        assert_eq!(users[0], 800, "tenant 0 carries the full max");
+        assert_eq!(users[1], 400);
+        assert_eq!(users[3], 200);
+        assert!(users.windows(2).all(|w| w[0] >= w[1]), "monotone tail");
+        assert!(users.iter().all(|&u| u >= 1), "no empty tenants");
+        // the population stays constant across slots (flat ramp)
+        assert_eq!(m.users_in_slot(TenantId(0), 100), 800);
+    }
+
+    #[test]
+    fn zipf_mix_replays_deterministically_with_per_slot_churn() {
+        let a = TenantMix::zipf(6, 200, 0.8, GROUPS.to_vec(), 7);
+        let b = TenantMix::zipf(6, 200, 0.8, GROUPS.to_vec(), 7);
+        for t in a.tenant_ids() {
+            assert_eq!(replay(&a, t, 24), replay(&b, t, 24));
+        }
+        // churn and drift make consecutive slots overlap without matching
+        let slots = replay(&a, TenantId(0), 4);
+        assert_ne!(slots[0], slots[1], "the id window drifts between slots");
+        assert_eq!(slots[0].len(), slots[1].len(), "sizes stay Zipf-fixed");
     }
 }

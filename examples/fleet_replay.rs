@@ -14,7 +14,7 @@
 
 use mobile_code_acceleration::core::{System, SystemConfig, TraceLog};
 use mobile_code_acceleration::fleet::{
-    ArrivalTraceSource, FleetDriver, FleetEngine, TraceLogSource,
+    ArrivalTraceSource, FleetDriver, FleetEngine, RebalancerConfig, TraceLogSource,
 };
 use mobile_code_acceleration::offload::{TaskPool, TaskSpec, TenantId};
 use mobile_code_acceleration::workload::WorkloadGenerator;
@@ -34,7 +34,13 @@ fn main() {
         .with_history_window(64);
     let entry_group = config.groups.lowest().id;
 
-    let mut engine = FleetEngine::new(config.clone(), SHARDS, SEED);
+    // an aggressive elastic policy so the short replay visibly migrates:
+    // fire on 5 % imbalance once two slots of load signal exist
+    let mut engine = FleetEngine::new(config.clone(), SHARDS, SEED).with_rebalancer(
+        RebalancerConfig::default()
+            .with_ratio(1.05)
+            .with_warmup_slots(2),
+    );
     let mut driver = {
         engine.add_tenants((0..=TRACE_TENANTS).map(TenantId));
         FleetDriver::new(engine)
@@ -142,6 +148,31 @@ fn main() {
             .map(|s| (s.load_ewma * 10.0).round() / 10.0)
             .collect::<Vec<_>>(),
     );
+    let rebalance = telemetry
+        .rebalance
+        .as_ref()
+        .expect("the replay runs with a rebalancer");
+    println!(
+        "\nrebalancer: {} checks, {} triggers, {} migrations (last max/mean {:.2})",
+        rebalance.checks, rebalance.triggers, rebalance.migrations, rebalance.last_ratio,
+    );
+    if !rebalance.loads_before.is_empty() {
+        println!("{:<8} {:>12} {:>12}", "shard", "load before", "load after");
+        for (shard, (before, after)) in rebalance
+            .loads_before
+            .iter()
+            .zip(&rebalance.loads_after)
+            .enumerate()
+        {
+            println!("{shard:<8} {before:>12.1} {after:>12.1}");
+        }
+    }
+    for record in &rebalance.recent {
+        println!(
+            "  slot {:>3}: tenant {} moved shard {} -> {} (load {:.1})",
+            record.slot, record.tenant.0, record.from, record.to, record.load,
+        );
+    }
     assert_eq!(report.exhausted_sources, report.total_sources);
     assert_eq!(report.late_records + report.dropped_records, 0);
     assert_eq!(telemetry.slot.count(), report.slots as u64);
