@@ -1,0 +1,388 @@
+//! Placement-policy sweep for the datacenter-backed bill stage: the same
+//! Zipf-skewed fleet billed against simulated hosts under first-fit,
+//! best-fit and worst-fit placement, with an arithmetic-billing baseline in
+//! lockstep.
+//!
+//! The sweep exists to demonstrate two contracts of the datacenter
+//! refactor at once:
+//!
+//! * **determinism** — all four engines consume the identical
+//!   [`TenantMix::zipf`] stream slot by slot, and their forecasts are
+//!   compared after **every** slot; per-slot billed cost is the identical
+//!   arithmetic expression on every arm, so total cost must agree bit for
+//!   bit across the baseline and all three policies;
+//! * **the policy tradeoff** — at equal cost, a consolidating policy
+//!   (best-fit) powers fewer hosts but co-locates instances (lower energy,
+//!   higher modeled latency), while a spreading policy (worst-fit) powers
+//!   more hosts for lower latency. The gate requires the energy spread to
+//!   be measurable.
+//!
+//! `cargo run --release -p mca-bench --bin bench_datacenter` regenerates
+//! `BENCH_datacenter.json` at the repository root; `--smoke` runs the small
+//! CI shape and gates on both contracts.
+
+use mca_cloudsim::{DatacenterConfig, PlacementKind};
+use mca_fleet::FleetEngine;
+use mca_workload::TenantMix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Shape of the Zipf-skewed placement-sweep workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DatacenterWorkload {
+    /// Number of shards each engine runs.
+    pub shards: usize,
+    /// Number of tenants, Zipf-sized.
+    pub tenants: usize,
+    /// The Zipf exponent `s` of [`TenantMix::zipf`].
+    pub zipf_s: f64,
+    /// Users of the heaviest tenant (tenant 0).
+    pub max_users: usize,
+    /// Number of provisioning slots.
+    pub slots: usize,
+    /// Thread count of every engine.
+    pub threads: usize,
+}
+
+impl DatacenterWorkload {
+    /// The acceptance-bar configuration.
+    pub fn headline() -> Self {
+        Self {
+            shards: 7,
+            tenants: 24,
+            zipf_s: 0.8,
+            max_users: 400,
+            slots: 300,
+            threads: 4,
+        }
+    }
+
+    /// A small configuration for the CI smoke gate.
+    pub fn smoke() -> Self {
+        Self {
+            shards: 5,
+            tenants: 12,
+            zipf_s: 0.8,
+            max_users: 150,
+            slots: 72,
+            threads: 2,
+        }
+    }
+}
+
+/// One arm's end-of-run accounting, straight off its `FleetMetrics` rollup.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyOutcome {
+    /// The placement policy this arm billed under.
+    pub placement: PlacementKind,
+    /// Total billed cost, USD — must agree bit for bit with every other arm.
+    pub total_cost: f64,
+    /// Slots where a group's observed demand exceeded its standing capacity
+    /// or its modeled response blew the target.
+    pub sla_violations: usize,
+    /// Users beyond admission capacity across all violating slots.
+    pub sla_dropped_users: usize,
+    /// Summed worst-case modeled response times, ms.
+    pub sla_latency_ms: f64,
+    /// Energy metered across the fleet's active hosts, watt-hours.
+    pub energy_wh: f64,
+    /// Instances placed onto hosts, summed over slots.
+    pub placed_instance_slots: usize,
+    /// Allocations no host could fit (must be zero on this workload).
+    pub placement_failures: usize,
+    /// Mean wall-clock ms per slot of this arm's lockstep drive.
+    pub ms_per_slot: f64,
+}
+
+/// Measurements of one placement sweep.
+#[derive(Debug, Clone)]
+pub struct DatacenterBenchReport {
+    /// The workload shape measured.
+    pub workload: DatacenterWorkload,
+    /// The host shape every datacenter arm ran (per tenant).
+    pub datacenter: DatacenterConfig,
+    /// Whether every arm's forecasts matched the arithmetic baseline after
+    /// every slot.
+    pub forecasts_identical: bool,
+    /// Whether every arm's total cost matched the baseline bit for bit.
+    pub costs_identical: bool,
+    /// The arithmetic baseline's total billed cost, USD.
+    pub arithmetic_cost: f64,
+    /// The baseline's mean wall-clock ms per slot.
+    pub arithmetic_ms_per_slot: f64,
+    /// One outcome per placement policy, in [`PlacementKind::ALL`] order.
+    pub outcomes: Vec<PolicyOutcome>,
+}
+
+impl DatacenterBenchReport {
+    /// The outcome of one policy arm.
+    pub fn outcome(&self, placement: PlacementKind) -> &PolicyOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.placement == placement)
+            .expect("the sweep runs every placement policy")
+    }
+
+    /// Worst-fit energy over best-fit energy: the spread the consolidation
+    /// tradeoff produces at equal cost. Greater than 1 when consolidation
+    /// actually powers down hosts.
+    pub fn energy_spread(&self) -> f64 {
+        self.outcome(PlacementKind::WorstFit).energy_wh
+            / self.outcome(PlacementKind::BestFit).energy_wh
+    }
+
+    /// Best-fit modeled latency over worst-fit: the co-location price of
+    /// consolidating. Greater than 1 when packed hosts slow their tenants.
+    pub fn latency_spread(&self) -> f64 {
+        self.outcome(PlacementKind::BestFit).sla_latency_ms
+            / self.outcome(PlacementKind::WorstFit).sla_latency_ms
+    }
+
+    /// True when no arm failed a placement.
+    pub fn no_placement_failures(&self) -> bool {
+        self.outcomes.iter().all(|o| o.placement_failures == 0)
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        let mut policies = String::new();
+        for (index, outcome) in self.outcomes.iter().enumerate() {
+            let _ = write!(
+                policies,
+                "{}\n    {{\"placement\": \"{}\", \"total_cost\": {:.6}, \
+                 \"sla_violations\": {}, \"sla_dropped_users\": {}, \
+                 \"sla_latency_ms\": {:.3}, \"energy_wh\": {:.3}, \
+                 \"placed_instance_slots\": {}, \"placement_failures\": {}, \
+                 \"ms_per_slot\": {:.4}}}",
+                if index > 0 { "," } else { "" },
+                outcome.placement.label(),
+                outcome.total_cost,
+                outcome.sla_violations,
+                outcome.sla_dropped_users,
+                outcome.sla_latency_ms,
+                outcome.energy_wh,
+                outcome.placed_instance_slots,
+                outcome.placement_failures,
+                outcome.ms_per_slot,
+            );
+        }
+        format!(
+            "{{\n  \"benchmark\": \"datacenter_placement\",\n  \"tenants\": {},\n  \
+             \"slots\": {},\n  \"max_users\": {},\n  \"zipf_s\": {:.2},\n  \
+             \"shards\": {},\n  \"threads\": {},\n  \"hosts_per_tenant\": {},\n  \
+             \"host_vcpus\": {},\n  \"host_memory_gib\": {:.1},\n  \
+             \"forecasts_identical\": {},\n  \"costs_identical\": {},\n  \
+             \"arithmetic_cost\": {:.6},\n  \"arithmetic_ms_per_slot\": {:.4},\n  \
+             \"energy_spread\": {:.4},\n  \"latency_spread\": {:.4},\n  \
+             \"policies\": [{}\n  ]\n}}\n",
+            self.workload.tenants,
+            self.workload.slots,
+            self.workload.max_users,
+            self.workload.zipf_s,
+            self.workload.shards,
+            self.workload.threads,
+            self.datacenter.hosts,
+            self.datacenter.host_vcpus,
+            self.datacenter.host_memory_gib,
+            self.forecasts_identical,
+            self.costs_identical,
+            self.arithmetic_cost,
+            self.arithmetic_ms_per_slot,
+            self.energy_spread(),
+            self.latency_spread(),
+            policies,
+        )
+    }
+}
+
+/// Runs the sweep: an arithmetic-billing baseline plus one datacenter-billed
+/// engine per placement policy, all consuming the identical Zipf mix in
+/// lockstep with forecasts compared after every slot.
+pub fn run(workload: &DatacenterWorkload, seed: u64) -> DatacenterBenchReport {
+    let base = crate::fleet::bench_config();
+    let datacenter = DatacenterConfig::paper_default();
+    let mix = TenantMix::zipf(
+        workload.tenants,
+        workload.max_users,
+        workload.zipf_s,
+        base.groups.ids(),
+        seed,
+    );
+
+    let build = |config: mca_core::SystemConfig| {
+        let mut engine =
+            FleetEngine::new(config, workload.shards, seed).with_threads(workload.threads);
+        engine.add_tenants(mix.tenant_ids());
+        engine
+    };
+    let mut baseline = build(base.clone());
+    let mut arms: Vec<(PlacementKind, FleetEngine)> = PlacementKind::ALL
+        .into_iter()
+        .map(|placement| {
+            (
+                placement,
+                build(
+                    base.clone()
+                        .with_datacenter(datacenter.with_placement(placement)),
+                ),
+            )
+        })
+        .collect();
+
+    let mut forecasts_identical = true;
+    let mut baseline_ms = 0.0f64;
+    let mut arm_ms = vec![0.0f64; arms.len()];
+    for _ in 0..workload.slots {
+        let start = Instant::now();
+        baseline
+            .try_tick_mix(&mix)
+            .expect("every hosted tenant is in the mix");
+        baseline_ms += start.elapsed().as_secs_f64() * 1_000.0;
+        let reference = baseline.forecasts();
+        for (index, (_, engine)) in arms.iter_mut().enumerate() {
+            let start = Instant::now();
+            engine
+                .try_tick_mix(&mix)
+                .expect("every hosted tenant is in the mix");
+            arm_ms[index] += start.elapsed().as_secs_f64() * 1_000.0;
+            if engine.forecasts() != reference {
+                forecasts_identical = false;
+            }
+        }
+    }
+
+    let arithmetic_cost = baseline.metrics().total_cost;
+    let mut costs_identical = true;
+    let outcomes: Vec<PolicyOutcome> = arms
+        .iter()
+        .zip(&arm_ms)
+        .map(|((placement, engine), ms)| {
+            let metrics = engine.metrics();
+            if metrics.total_cost.to_bits() != arithmetic_cost.to_bits() {
+                costs_identical = false;
+            }
+            PolicyOutcome {
+                placement: *placement,
+                total_cost: metrics.total_cost,
+                sla_violations: metrics.total_sla_violations,
+                sla_dropped_users: metrics.total_sla_dropped_users,
+                sla_latency_ms: metrics.total_sla_latency_ms,
+                energy_wh: metrics.total_energy_wh,
+                placed_instance_slots: metrics.total_placed_instance_slots,
+                placement_failures: metrics.total_placement_failures,
+                ms_per_slot: ms / workload.slots as f64,
+            }
+        })
+        .collect();
+
+    DatacenterBenchReport {
+        workload: *workload,
+        datacenter,
+        forecasts_identical,
+        costs_identical,
+        arithmetic_cost,
+        arithmetic_ms_per_slot: baseline_ms / workload.slots as f64,
+        outcomes,
+    }
+}
+
+/// Prints the sweep as an aligned table.
+pub fn print(report: &DatacenterBenchReport) {
+    println!(
+        "datacenter placement sweep: zipf (s={:.1}) over {} tenants x {} slots, \
+         {} shards, {} thread(s), {} hosts/tenant ({} vcpus each)",
+        report.workload.zipf_s,
+        report.workload.tenants,
+        report.workload.slots,
+        report.workload.shards,
+        report.workload.threads,
+        report.datacenter.hosts,
+        report.datacenter.host_vcpus,
+    );
+    println!(
+        "  {:<12} {:>12} {:>8} {:>9} {:>14} {:>12} {:>8} {:>10}",
+        "policy", "cost $", "viol", "dropped", "latency ms", "energy wh", "fails", "ms/slot"
+    );
+    println!(
+        "  {:<12} {:>12.4} {:>8} {:>9} {:>14} {:>12} {:>8} {:>10.3}",
+        "arithmetic",
+        report.arithmetic_cost,
+        "-",
+        "-",
+        "-",
+        "-",
+        "-",
+        report.arithmetic_ms_per_slot,
+    );
+    for outcome in &report.outcomes {
+        println!(
+            "  {:<12} {:>12.4} {:>8} {:>9} {:>14.1} {:>12.1} {:>8} {:>10.3}",
+            outcome.placement.label(),
+            outcome.total_cost,
+            outcome.sla_violations,
+            outcome.sla_dropped_users,
+            outcome.sla_latency_ms,
+            outcome.energy_wh,
+            outcome.placement_failures,
+            outcome.ms_per_slot,
+        );
+    }
+    println!(
+        "  forecasts identical every slot: {}; costs bit-identical: {}",
+        report.forecasts_identical, report.costs_identical,
+    );
+    println!(
+        "  consolidation tradeoff at equal cost: worst-fit meters {:.2}x the energy of \
+         best-fit; best-fit models {:.2}x the latency of worst-fit",
+        report.energy_spread(),
+        report.latency_spread(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DatacenterWorkload {
+        DatacenterWorkload {
+            shards: 3,
+            tenants: 6,
+            zipf_s: 0.8,
+            max_users: 60,
+            slots: 16,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_holds_cost_identity_and_shows_the_energy_tradeoff() {
+        let report = run(&tiny(), crate::DEFAULT_SEED);
+        assert!(report.forecasts_identical);
+        assert!(report.costs_identical);
+        assert!(report.no_placement_failures());
+        assert_eq!(report.outcomes.len(), 3);
+        for outcome in &report.outcomes {
+            assert_eq!(
+                outcome.total_cost.to_bits(),
+                report.arithmetic_cost.to_bits()
+            );
+            assert!(outcome.energy_wh > 0.0);
+            assert!(outcome.placed_instance_slots > 0);
+        }
+        assert!(
+            report.energy_spread() >= 1.0,
+            "spreading can never meter less energy than consolidating"
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let report = run(&tiny(), crate::DEFAULT_SEED);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"datacenter_placement\""));
+        assert!(json.contains("\"placement\": \"first-fit\""));
+        assert!(json.contains("\"placement\": \"worst-fit\""));
+        mca_telemetry::json::parse(&json).expect("the sweep report is valid JSON");
+    }
+}

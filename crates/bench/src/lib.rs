@@ -12,16 +12,19 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison of every figure.
 //!
-//! Three performance harnesses ride alongside the figures: [`prediction`]
+//! Four performance harnesses ride alongside the figures: [`prediction`]
 //! (pruned versus naive nearest-slot search, `bench_prediction` →
 //! `BENCH_prediction.json`), [`fleet`] (sharded multi-tenant engine versus
-//! the single-shard loop, `bench_fleet` → `BENCH_fleet.json`) and
+//! the single-shard loop, `bench_fleet` → `BENCH_fleet.json`),
 //! [`allocation`] (revised simplex + warm-started branch-and-bound versus
-//! the cold dense tableau, `bench_allocation` → `BENCH_allocation.json`).
+//! the cold dense tableau, `bench_allocation` → `BENCH_allocation.json`)
+//! and [`datacenter`] (the placement-policy sweep of the datacenter-backed
+//! bill stage, `bench_datacenter` → `BENCH_datacenter.json`).
 
 #![forbid(unsafe_code)]
 
 pub mod allocation;
+pub mod datacenter;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;

@@ -24,12 +24,19 @@ impl BillingMeter {
 
     /// Bills `count` instances of `instance_type` for `hours` hours each.
     /// Partial hours are rounded **up** per instance-allocation, as cloud
-    /// vendors do.
+    /// vendors do. Durations within float residue of a whole hour are
+    /// snapped to it first, so a tenant decommissioned *exactly* on an hour
+    /// boundary — whose elapsed time sums to, say, `1.0000000000000002`
+    /// hours of accumulated slot lengths — is not billed the next hour.
     pub fn bill(&mut self, instance_type: InstanceType, count: usize, hours: f64) {
-        let billed = hours
-            .max(0.0)
-            .ceil()
-            .max(if count > 0 && hours > 0.0 { 1.0 } else { 0.0 });
+        let raw = hours.max(0.0);
+        let nearest = raw.round();
+        let whole = if (raw - nearest).abs() < 1e-9 {
+            nearest
+        } else {
+            raw.ceil()
+        };
+        let billed = whole.max(if count > 0 && raw > 0.0 { 1.0 } else { 0.0 });
         if count == 0 || billed == 0.0 {
             return;
         }
@@ -76,6 +83,21 @@ mod tests {
         assert_eq!(m.hours_for(InstanceType::T2Large), 2.0);
         m.bill(InstanceType::T2Large, 1, 1.2);
         assert_eq!(m.hours_for(InstanceType::T2Large), 4.0);
+    }
+
+    #[test]
+    fn hour_boundary_residue_does_not_bill_the_next_hour() {
+        // eleven 1/11-hour slots accumulate to 1.0000000000000002 hours in
+        // f64; a tenant decommissioned on that boundary owes one hour
+        let hours = (0..11).map(|_| 3_600_000.0f64 / 11.0).sum::<f64>() / 3_600_000.0;
+        assert!(hours > 1.0, "the test needs the residue to exist");
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Large, 1, hours);
+        assert_eq!(m.hours_for(InstanceType::T2Large), 1.0);
+        // a genuine partial hour still rounds up
+        let mut m = BillingMeter::new();
+        m.bill(InstanceType::T2Large, 1, 1.001);
+        assert_eq!(m.hours_for(InstanceType::T2Large), 2.0);
     }
 
     #[test]

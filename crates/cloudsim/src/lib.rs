@@ -21,6 +21,11 @@
 //!   process, APK registry, reduced storage footprint).
 //! * [`billing`] and [`pool`] — per-hour billing and the instance pool with
 //!   the 20-instances-per-account cap (`CC` in the allocation model).
+//! * [`datacenter`] — the simulated substrate *under* the billing stage:
+//!   finite-capacity hosts, deterministic placement policies (first/best/
+//!   worst fit), an SLA model scoring actual arrivals against forecast
+//!   capacity, and a linear-interpolation power model metered per host per
+//!   slot.
 //! * [`events`] — the discrete-event machinery shared by the simulations.
 //! * [`benchmark`] — the concurrent-mode characterization harness of §VI-A
 //!   that stresses each instance with 1–100 concurrent users and classifies
@@ -32,6 +37,7 @@
 pub mod benchmark;
 pub mod billing;
 pub mod credits;
+pub mod datacenter;
 pub mod events;
 pub mod instance;
 pub mod pool;
@@ -43,6 +49,10 @@ pub use benchmark::{
 };
 pub use billing::BillingMeter;
 pub use credits::CpuCreditModel;
+pub use datacenter::{
+    BestFit, Datacenter, DatacenterConfig, FirstFit, GroupDemand, Host, PlacedInstance,
+    PlacementError, PlacementKind, PlacementPolicy, PowerModel, SlaAssessment, SlaModel, WorstFit,
+};
 pub use events::{EventQueue, SimTime};
 pub use instance::{InstanceSpec, InstanceType};
 pub use pool::{InstancePool, PoolError, RunningInstance};

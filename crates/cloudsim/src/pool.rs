@@ -346,4 +346,58 @@ mod tests {
         assert!(pool.server_mut(id).is_some());
         assert!(pool.server_mut(999).is_none());
     }
+
+    #[test]
+    fn terminate_on_an_exact_hour_boundary_bills_one_hour() {
+        // eleven 1/11-hour provisioning slots accumulate float residue: the
+        // sum is 3_600_000.000000001 ms, a hair past the hour. A tenant
+        // decommissioned on that boundary owes one hour, not two.
+        let boundary: f64 = (0..11).map(|_| 3_600_000.0f64 / 11.0).sum();
+        assert!(boundary > 3_600_000.0, "the test needs the residue");
+        let mut pool = InstancePool::new();
+        let id = pool.launch(InstanceType::T2Large, 0.0).unwrap();
+        pool.terminate(id, boundary).unwrap();
+        assert_eq!(pool.billing().hours_for(InstanceType::T2Large), 1.0);
+    }
+
+    #[test]
+    fn pool_errors_display_and_implement_error() {
+        let cap = PoolError::AccountCapReached { cap: 20 };
+        assert_eq!(cap.to_string(), "cloud account cap of 20 instances reached");
+        let unknown = PoolError::UnknownInstance { id: 7 };
+        assert_eq!(unknown.to_string(), "instance 7 is not running");
+        // both pool and placement errors present the std error interface
+        let _: &dyn std::error::Error = &cap;
+        let _: &dyn std::error::Error = &unknown;
+        let placement = crate::datacenter::PlacementError::NoHostFits {
+            instance_type: InstanceType::T2Nano,
+            hosts: 0,
+        };
+        let _: &dyn std::error::Error = &placement;
+    }
+
+    #[test]
+    fn cap_hit_leaves_pool_and_placement_unchanged() {
+        use crate::datacenter::{Datacenter, DatacenterConfig};
+        // the pool transaction and the placement transaction fail the same
+        // way: typed error, state exactly as before
+        let mut pool = InstancePool::with_cap(3);
+        let mut dc = Datacenter::new(&DatacenterConfig::paper_default());
+        let modest = vec![(
+            mca_offload::AccelerationGroupId(1),
+            vec![(InstanceType::T2Nano, 2)],
+        )];
+        pool.apply_allocation(&[(InstanceType::T2Nano, 2)], 0.0)
+            .unwrap();
+        dc.place_allocation(&modest).unwrap();
+        let placed_before = dc.placements().to_vec();
+
+        // 21 instances break the pool cap before any placement is attempted
+        let oversized = [(InstanceType::T2Nano, 21)];
+        let err = pool.apply_allocation(&oversized, 1.0).unwrap_err();
+        assert_eq!(err, PoolError::AccountCapReached { cap: 3 });
+        assert_eq!(pool.count_by_type(), vec![(InstanceType::T2Nano, 2)]);
+        assert_eq!(pool.billing().total_hours(), 0.0, "no spurious billing");
+        assert_eq!(dc.placements(), placed_before.as_slice());
+    }
 }

@@ -2,8 +2,10 @@
 
 use crate::accel::AccelerationGroups;
 use crate::allocator::{AllocationPolicy, ResourceAllocator};
+use crate::billing::{ArithmeticBilling, BillingEngine, DatacenterBilling};
 use crate::index::IndexPolicy;
 use crate::predictor::{DistanceKind, ParallelismPolicy, PredictionStrategy, WorkloadPredictor};
+use mca_cloudsim::DatacenterConfig;
 use mca_mobile::{DeviceClass, PromotionPolicy};
 use mca_network::{CellularNetwork, Operator, Technology};
 use serde::{Deserialize, Serialize};
@@ -53,6 +55,12 @@ pub struct SystemConfig {
     pub result_bytes: usize,
     /// Hour of day at which the experiment starts (affects network latency).
     pub start_hour_of_day: f64,
+    /// When set, the bill stage settles against a simulated datacenter
+    /// (placement + SLA + energy) instead of pure arithmetic. Forecasts,
+    /// allocations and costs are bit-identical either way — the datacenter
+    /// only *adds* accounting signals (see `docs/datacenter.md`).
+    #[serde(default)]
+    pub datacenter: Option<DatacenterConfig>,
 }
 
 impl SystemConfig {
@@ -78,6 +86,7 @@ impl SystemConfig {
             index_policy: IndexPolicy::linear(),
             result_bytes: 256,
             start_hour_of_day: 9.0,
+            datacenter: None,
         }
     }
 
@@ -152,6 +161,15 @@ impl SystemConfig {
         self
     }
 
+    /// Bills against a simulated datacenter: the allocation is placed onto
+    /// finite-capacity hosts under `datacenter.placement`, actual arrivals
+    /// are scored against the forecast capacity (SLA), and host power is
+    /// metered per slot (energy).
+    pub fn with_datacenter(mut self, datacenter: DatacenterConfig) -> Self {
+        self.datacenter = Some(datacenter);
+        self
+    }
+
     /// Builds a workload predictor configured exactly as [`crate::System`]
     /// would build its own: same groups, strategy, distance and history
     /// window. A multi-tenant deployment (`mca-fleet`) constructs one per
@@ -176,6 +194,16 @@ impl SystemConfig {
     /// Builds an instance pool capped at this configuration's account cap.
     pub fn build_pool(&self) -> mca_cloudsim::InstancePool {
         mca_cloudsim::InstancePool::with_cap(self.account_cap)
+    }
+
+    /// Builds the billing engine this configuration selects: arithmetic by
+    /// default, a datacenter-backed settlement when
+    /// [`with_datacenter`](Self::with_datacenter) was given.
+    pub fn build_billing(&self) -> BillingEngine {
+        match &self.datacenter {
+            None => BillingEngine::Arithmetic(ArithmeticBilling),
+            Some(datacenter) => BillingEngine::Datacenter(DatacenterBilling::new(datacenter)),
+        }
     }
 }
 
@@ -226,6 +254,18 @@ mod tests {
         assert_eq!(allocator.policy(), AllocationPolicy::GreedyCheapest);
         assert_eq!(allocator.account_cap, c.account_cap);
         assert_eq!(c.build_pool().account_cap(), c.account_cap);
+        // billing defaults to arithmetic; the datacenter knob switches the
+        // engine and threads the placement policy through
+        assert!(!c.build_billing().observes_demand());
+        let c = c.with_datacenter(
+            DatacenterConfig::paper_default().with_placement(mca_cloudsim::PlacementKind::BestFit),
+        );
+        let billing = c.build_billing();
+        assert!(billing.observes_demand());
+        assert_eq!(
+            billing.datacenter().unwrap().placement_kind(),
+            mca_cloudsim::PlacementKind::BestFit
+        );
     }
 
     #[test]

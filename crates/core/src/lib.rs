@@ -40,6 +40,9 @@
 //!   accounting. The bridge every ingestion path shares.
 //! * [`allocator`] — dynamic resource allocation (§IV-C): the ILP and two
 //!   baseline policies (greedy, over-provisioning).
+//! * [`billing`] — the bill stage behind the [`billing::BillingBackend`]
+//!   trait: pure arithmetic (the default) or a transaction against a
+//!   simulated datacenter with placement, SLA and energy accounting.
 //! * [`sdn`] — the SDN-accelerator front-end: request handler, code
 //!   offloader/router, per-component timing `T1`/`T2`/`T_cloud` (Fig. 7a).
 //! * [`system`] — the closed-loop system of Fig. 2: workload →
@@ -72,6 +75,7 @@
 
 pub mod accel;
 pub mod allocator;
+pub mod billing;
 pub mod config;
 pub mod distance;
 pub mod error;
@@ -86,6 +90,10 @@ pub mod window;
 
 pub use accel::{AccelerationGroup, AccelerationGroups};
 pub use allocator::{Allocation, AllocationPolicy, AllocationStats, ResourceAllocator};
+pub use billing::{
+    ArithmeticBilling, BillingBackend, BillingEngine, DatacenterBilling, DatacenterUsage,
+    SlotSettlement,
+};
 pub use config::SystemConfig;
 pub use error::CoreError;
 pub use index::IndexPolicy;

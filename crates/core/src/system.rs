@@ -2,6 +2,7 @@
 //! pool, with per-interval prediction, allocation and client-side promotion.
 
 use crate::allocator::{Allocation, ResourceAllocator};
+use crate::billing::{BillingBackend, BillingEngine, DatacenterUsage, SlotSettlement};
 use crate::config::SystemConfig;
 use crate::metrics::accuracy;
 use crate::predictor::{WorkloadForecast, WorkloadPredictor};
@@ -88,6 +89,9 @@ pub struct SystemReport {
     pub total_cost: f64,
     /// Mean end-to-end response time over all requests, ms.
     pub mean_response_ms: f64,
+    /// Datacenter accounting rollup — all zeros unless the configuration
+    /// enabled [`SystemConfig::with_datacenter`].
+    pub datacenter: DatacenterUsage,
 }
 
 impl SystemReport {
@@ -139,6 +143,8 @@ pub struct System {
     allocator: ResourceAllocator,
     predictor: WorkloadPredictor,
     pool: InstancePool,
+    billing: BillingEngine,
+    usage: DatacenterUsage,
     devices: HashMap<UserId, DeviceState>,
     next_request_id: u64,
 }
@@ -149,6 +155,7 @@ impl System {
         let allocator = config.build_allocator();
         let predictor = config.build_predictor();
         let pool = config.build_pool();
+        let billing = config.build_billing();
         let sdn = SdnAccelerator::new(config.clone());
         Self {
             config,
@@ -156,6 +163,8 @@ impl System {
             allocator,
             predictor,
             pool,
+            billing,
+            usage: DatacenterUsage::default(),
             devices: HashMap::new(),
             next_request_id: 1,
         }
@@ -189,7 +198,7 @@ impl System {
                 matched_slot: None,
             })
             .expect("the minimum fleet always fits the account cap");
-        self.apply_allocation(&initial, 0.0);
+        self.settle_allocation(&initial, &[], 0.0);
 
         for arrival in workload.iter() {
             // Close every slot boundary we have passed.
@@ -266,6 +275,7 @@ impl System {
         slots.push(observation);
 
         self.pool.terminate_all(final_time);
+        self.billing.reset();
 
         let records: Vec<TraceRecord> = self.sdn.log().records().to_vec();
         let mean_response_ms = self.sdn.log().mean_response_ms();
@@ -277,6 +287,7 @@ impl System {
             perceptions,
             total_cost: self.pool.billing().total_cost(),
             mean_response_ms,
+            datacenter: std::mem::take(&mut self.usage),
         }
     }
 
@@ -303,7 +314,7 @@ impl System {
         let (allocation_cost, allocated_instances) = if let Some(f) = &forecast {
             match self.allocator.allocate(f) {
                 Ok(allocation) => {
-                    self.apply_allocation(&allocation, now_ms);
+                    self.settle_allocation(&allocation, &actual, now_ms);
                     (allocation.hourly_cost, allocation.total_instances())
                 }
                 Err(_) => (0.0, 0),
@@ -323,12 +334,25 @@ impl System {
         }
     }
 
-    fn apply_allocation(&mut self, allocation: &Allocation, now_ms: f64) {
-        if self
-            .pool
-            .apply_allocation(&allocation.pool_allocation(), now_ms)
-            .is_ok()
-        {
+    /// Settles an allocation through the billing backend: the pool
+    /// transaction (and, under datacenter billing, SLA scoring of `observed`
+    /// against the standing placement, energy metering and re-placement),
+    /// then the SDN capacity update when the pool accepted it.
+    fn settle_allocation(
+        &mut self,
+        allocation: &Allocation,
+        observed: &[(AccelerationGroupId, usize)],
+        now_ms: f64,
+    ) -> SlotSettlement {
+        let settlement = self.billing.settle(
+            &mut self.pool,
+            allocation,
+            observed,
+            self.config.slot_length_ms,
+            now_ms,
+        );
+        self.usage.absorb(&settlement);
+        if settlement.pool_applied {
             let per_group: Vec<(AccelerationGroupId, usize)> = allocation
                 .per_group
                 .iter()
@@ -336,6 +360,7 @@ impl System {
                 .collect();
             self.sdn.apply_allocation(&per_group);
         }
+        settlement
     }
 
     fn build_perceptions(&self, records: &[TraceRecord]) -> Vec<UserPerception> {
@@ -526,6 +551,30 @@ mod tests {
         assert_eq!(perception.final_group(), Some(AccelerationGroupId(3)));
         assert!(perception.mean_response_ms() > 0.0);
         assert!(report.perception_of(UserId(999)).is_none());
+    }
+
+    #[test]
+    fn datacenter_billing_changes_no_bit_of_the_run_but_adds_accounting() {
+        use mca_cloudsim::DatacenterConfig;
+        let workload = minimax_workload(10, 8.0 * 60_000.0, 18);
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let base_config = SystemConfig::paper_three_groups()
+            .with_slot_length_ms(60_000.0)
+            .with_background_load(5);
+        let plain = System::new(base_config.clone()).run(&workload, &mut rng_a);
+        let datacenter =
+            System::new(base_config.with_datacenter(DatacenterConfig::paper_default()))
+                .run(&workload, &mut rng_b);
+        // identical records, forecasts, allocations and bill — to the bit
+        assert_eq!(plain.records, datacenter.records);
+        assert_eq!(plain.slots, datacenter.slots);
+        assert_eq!(plain.total_cost.to_bits(), datacenter.total_cost.to_bits());
+        // but only the datacenter run carries placement/energy accounting
+        assert_eq!(plain.datacenter, DatacenterUsage::default());
+        assert!(datacenter.datacenter.placements > 0);
+        assert!(datacenter.datacenter.energy_wh > 0.0);
+        assert_eq!(datacenter.datacenter.placement_failures, 0);
     }
 
     #[test]

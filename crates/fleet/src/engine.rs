@@ -778,6 +778,24 @@ impl FleetEngine {
         if let Some(accuracy) = metrics.mean_accuracy {
             registry.set_gauge("fleet_mean_accuracy", accuracy);
         }
+        registry.add_counter(
+            "fleet_sla_violations_total",
+            metrics.total_sla_violations as u64,
+        );
+        registry.add_counter(
+            "fleet_sla_dropped_users_total",
+            metrics.total_sla_dropped_users as u64,
+        );
+        registry.set_gauge("fleet_sla_latency_ms_total", metrics.total_sla_latency_ms);
+        registry.set_gauge("fleet_energy_wh_total", metrics.total_energy_wh);
+        registry.add_counter(
+            "fleet_placement_placed_total",
+            metrics.total_placed_instance_slots as u64,
+        );
+        registry.add_counter(
+            "fleet_placement_failures_total",
+            metrics.total_placement_failures as u64,
+        );
 
         let predictor = self.predictor_stats();
         registry.add_counter("predictor_queries_total", predictor.queries);
@@ -798,6 +816,33 @@ impl FleetEngine {
         registry.add_counter("predictor_index_builds_total", predictor.index_builds);
         registry.add_counter("predictor_index_rebuilds_total", predictor.index_rebuilds);
         registry
+    }
+
+    /// Checks every tenant's standing datacenter placement and surfaces the
+    /// first failure as a typed [`FleetError::Placement`] (tenants scanned
+    /// in shard order, then tenant-id order — deterministic). Host
+    /// exhaustion never panics the tick path: the failing tenant keeps
+    /// running degraded (placement cleared, failures counted in its
+    /// metrics), and a control plane polls this to decide whether to grow
+    /// the host fleet or shed the tenant. Always `Ok` under arithmetic
+    /// billing.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Placement`] naming the first tenant whose allocation
+    /// found no host.
+    pub fn placement_health(&self) -> Result<(), FleetError> {
+        for shard in &self.shards {
+            for tenant in &shard.tenants {
+                if let Some(error) = tenant.placement_error() {
+                    return Err(FleetError::Placement {
+                        tenant: tenant.id(),
+                        error: *error,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The summed scan statistics of every hosted predictor (replicas of a
@@ -974,6 +1019,59 @@ mod tests {
             parsed.get("version").and_then(|v| v.as_u64()),
             Some(mca_telemetry::SNAPSHOT_VERSION)
         );
+    }
+
+    #[test]
+    fn datacenter_registry_families_and_placement_health() {
+        use mca_cloudsim::{DatacenterConfig, PlacementKind};
+        // arithmetic engines expose the new families at zero and stay healthy
+        let mut plain = FleetEngine::new(config(), 2, 1);
+        plain.add_tenants((0..2).map(TenantId));
+        plain.tick_slot(&records(2, 4));
+        let registry = plain.telemetry_registry();
+        assert_eq!(registry.counter("fleet_sla_violations_total"), Some(0));
+        assert_eq!(registry.counter("fleet_placement_placed_total"), Some(0));
+        assert_eq!(registry.gauge("fleet_energy_wh_total"), Some(0.0));
+        assert!(plain.placement_health().is_ok());
+
+        // a datacenter engine populates the families from its rollups
+        let dc_config = config().with_datacenter(
+            DatacenterConfig::paper_default().with_placement(PlacementKind::BestFit),
+        );
+        let mut engine = FleetEngine::new(dc_config, 2, 1);
+        engine.add_tenants((0..2).map(TenantId));
+        for _ in 0..3 {
+            engine.tick_slot(&records(2, 4));
+        }
+        let metrics = engine.metrics();
+        assert!(metrics.total_placed_instance_slots > 0);
+        assert!(metrics.total_energy_wh > 0.0);
+        assert_eq!(metrics.total_placement_failures, 0);
+        let registry = engine.telemetry_registry();
+        assert_eq!(
+            registry.counter("fleet_placement_placed_total"),
+            Some(metrics.total_placed_instance_slots as u64)
+        );
+        assert_eq!(
+            registry.counter("fleet_sla_violations_total"),
+            Some(metrics.total_sla_violations as u64)
+        );
+        assert_eq!(
+            registry.gauge("fleet_energy_wh_total"),
+            Some(metrics.total_energy_wh)
+        );
+        assert!(engine.placement_health().is_ok());
+
+        // starved hosts: placements fail, ticks keep running, health reports it
+        let starved =
+            config().with_datacenter(DatacenterConfig::paper_default().with_hosts(1, 1, 0.5));
+        let mut engine = FleetEngine::new(starved, 2, 1);
+        engine.add_tenants((0..2).map(TenantId));
+        engine.tick_slot(&records(2, 4));
+        let err = engine.placement_health().unwrap_err();
+        assert!(matches!(err, FleetError::Placement { .. }));
+        assert!(err.to_string().contains("placement failed"));
+        assert!(engine.metrics().total_placement_failures > 0);
     }
 
     #[test]

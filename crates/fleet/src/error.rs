@@ -7,6 +7,7 @@
 //! fallible methods, so a control plane can handle a misconfigured tenant or
 //! source without unwinding the whole fleet.
 
+use mca_cloudsim::PlacementError;
 use mca_offload::TenantId;
 use std::error::Error;
 use std::fmt;
@@ -69,6 +70,16 @@ pub enum FleetError {
         /// The tenant the offending record named.
         found: TenantId,
     },
+    /// A tenant's datacenter could not place its standing allocation (host
+    /// exhaustion). The tick path never panics on this — it counts the
+    /// failure in the tenant's metrics and keeps running degraded; the
+    /// engine's `placement_health` surfaces it as this typed error.
+    Placement {
+        /// The tenant whose placement failed.
+        tenant: TenantId,
+        /// The underlying placement failure.
+        error: PlacementError,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -110,6 +121,9 @@ impl fmt::Display for FleetError {
                 f,
                 "source bound to tenant {bound} produced a record for tenant {found}"
             ),
+            FleetError::Placement { tenant, error } => {
+                write!(f, "tenant {tenant} placement failed: {error}")
+            }
         }
     }
 }
@@ -145,6 +159,15 @@ mod tests {
         }
         .to_string();
         assert!(text.contains('9') && text.contains('4'));
+        let text = FleetError::Placement {
+            tenant: TenantId(3),
+            error: PlacementError::NoHostFits {
+                instance_type: mca_cloudsim::InstanceType::M4_4XLarge,
+                hosts: 1,
+            },
+        }
+        .to_string();
+        assert!(text.contains("placement failed") && text.contains("m4.4xlarge"));
     }
 
     #[test]

@@ -44,8 +44,14 @@
 //!   replica serving its own hash-slice of the population, and the engine
 //!   combines slice forecasts and metrics into the tenant-wide view.
 //! * [`metrics`] — [`TenantMetrics`] / [`FleetMetrics`]: per-tenant
-//!   accuracy, spend and allocation volume folded (in tenant-id order, so
-//!   bitwise reproducibly) into fleet-wide rollups.
+//!   accuracy, spend, allocation volume and — under datacenter billing —
+//!   SLA, energy and placement accounting, folded (in tenant-id order, so
+//!   bitwise reproducibly) into fleet-wide rollups. Each shard can bill
+//!   against a simulated datacenter ([`mca_core::BillingEngine`] wrapping
+//!   [`mca_cloudsim::Datacenter`]); the datacenter migrates with the tenant,
+//!   and [`FleetEngine::placement_health`] surfaces host exhaustion as a
+//!   typed [`FleetError::Placement`] instead of a panic (see
+//!   `docs/datacenter.md`).
 //! * [`rebalance`] — the elastic placement layer: [`Rebalancer`] runs
 //!   between slots off each tenant's deterministic users-per-tick load
 //!   EWMA, and when the hottest shard's load diverges from the mean

@@ -58,6 +58,19 @@ pub struct TenantMetrics {
     pub solver_pivots: usize,
     /// Solver nodes re-entered from a parent basis without running phase 1.
     pub solver_phase1_skips: usize,
+    /// Group-slots whose actual arrivals violated the SLA of the standing
+    /// allocation (zero under arithmetic billing).
+    pub sla_violations: usize,
+    /// Users beyond the admission limit of their serving instances.
+    pub sla_dropped_users: usize,
+    /// Modeled worst-response latency summed over scored group-slots, ms.
+    pub sla_latency_ms: f64,
+    /// Energy the tenant's standing placements drew, watt-hours.
+    pub energy_wh: f64,
+    /// Instances placed onto simulated hosts, summed over slots.
+    pub placed_instance_slots: usize,
+    /// Placement transactions that failed on host exhaustion.
+    pub placement_failures: usize,
 }
 
 impl TenantMetrics {
@@ -112,6 +125,12 @@ impl TenantMetrics {
         self.solver_nodes += other.solver_nodes;
         self.solver_pivots += other.solver_pivots;
         self.solver_phase1_skips += other.solver_phase1_skips;
+        self.sla_violations += other.sla_violations;
+        self.sla_dropped_users += other.sla_dropped_users;
+        self.sla_latency_ms += other.sla_latency_ms;
+        self.energy_wh += other.energy_wh;
+        self.placed_instance_slots += other.placed_instance_slots;
+        self.placement_failures += other.placement_failures;
     }
 
     /// Mean allocated instances per slot.
@@ -167,6 +186,20 @@ pub struct FleetMetrics {
     pub total_solver_pivots: usize,
     /// Total phase-1 skips across tenants' ILP solves.
     pub total_solver_phase1_skips: usize,
+    /// Total SLA-violated group-slots across tenants (zero under arithmetic
+    /// billing).
+    pub total_sla_violations: usize,
+    /// Total users dropped beyond admission limits across tenants.
+    pub total_sla_dropped_users: usize,
+    /// Total modeled worst-response latency across tenants, ms (folded in
+    /// tenant-id order, so the float sum is bitwise reproducible).
+    pub total_sla_latency_ms: f64,
+    /// Total energy metered across tenants, watt-hours (tenant-id order).
+    pub total_energy_wh: f64,
+    /// Total instances placed onto simulated hosts across tenants.
+    pub total_placed_instance_slots: usize,
+    /// Total failed placement transactions across tenants.
+    pub total_placement_failures: usize,
 }
 
 impl FleetMetrics {
@@ -187,6 +220,12 @@ impl FleetMetrics {
         let total_solver_nodes = per_tenant.iter().map(|m| m.solver_nodes).sum();
         let total_solver_pivots = per_tenant.iter().map(|m| m.solver_pivots).sum();
         let total_solver_phase1_skips = per_tenant.iter().map(|m| m.solver_phase1_skips).sum();
+        let total_sla_violations = per_tenant.iter().map(|m| m.sla_violations).sum();
+        let total_sla_dropped_users = per_tenant.iter().map(|m| m.sla_dropped_users).sum();
+        let total_sla_latency_ms = per_tenant.iter().map(|m| m.sla_latency_ms).sum();
+        let total_energy_wh = per_tenant.iter().map(|m| m.energy_wh).sum();
+        let total_placed_instance_slots = per_tenant.iter().map(|m| m.placed_instance_slots).sum();
+        let total_placement_failures = per_tenant.iter().map(|m| m.placement_failures).sum();
         let accuracies: Vec<f64> = per_tenant
             .iter()
             .filter_map(|m| m.mean_accuracy())
@@ -208,6 +247,12 @@ impl FleetMetrics {
             total_solver_nodes,
             total_solver_pivots,
             total_solver_phase1_skips,
+            total_sla_violations,
+            total_sla_dropped_users,
+            total_sla_latency_ms,
+            total_energy_wh,
+            total_placed_instance_slots,
+            total_placement_failures,
         }
     }
 
@@ -249,6 +294,12 @@ mod tests {
             solver_nodes: 40,
             solver_pivots: 90,
             solver_phase1_skips: 5,
+            sla_violations: 4,
+            sla_dropped_users: 6,
+            sla_latency_ms: 100.0,
+            energy_wh: 20.0,
+            placed_instance_slots: 25,
+            placement_failures: 1,
         }
     }
 
@@ -270,6 +321,12 @@ mod tests {
         assert_eq!(rollup.total_solver_nodes, 120);
         assert_eq!(rollup.total_solver_pivots, 270);
         assert_eq!(rollup.total_solver_phase1_skips, 15);
+        assert_eq!(rollup.total_sla_violations, 12);
+        assert_eq!(rollup.total_sla_dropped_users, 18);
+        assert!((rollup.total_sla_latency_ms - 300.0).abs() < 1e-12);
+        assert!((rollup.total_energy_wh - 60.0).abs() < 1e-12);
+        assert_eq!(rollup.total_placed_instance_slots, 75);
+        assert_eq!(rollup.total_placement_failures, 3);
         assert!((rollup.cache_hit_rate().unwrap() - 0.7).abs() < 1e-12);
         assert!((rollup.total_cost - 3.5).abs() < 1e-12);
         let ids: Vec<u32> = rollup.per_tenant.iter().map(|m| m.tenant.0).collect();
@@ -314,6 +371,12 @@ mod tests {
         assert_eq!(a.solver_nodes, 80);
         assert_eq!(a.solver_pivots, 180);
         assert_eq!(a.solver_phase1_skips, 10);
+        assert_eq!(a.sla_violations, 8);
+        assert_eq!(a.sla_dropped_users, 12);
+        assert!((a.sla_latency_ms - 200.0).abs() < 1e-12);
+        assert!((a.energy_wh - 40.0).abs() < 1e-12);
+        assert_eq!(a.placed_instance_slots, 50);
+        assert_eq!(a.placement_failures, 2);
     }
 
     #[test]

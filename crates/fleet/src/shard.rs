@@ -12,10 +12,10 @@
 
 use crate::metrics::TenantMetrics;
 use crate::telemetry::{ewma, ShardTelemetry};
-use mca_cloudsim::InstancePool;
+use mca_cloudsim::{Datacenter, InstancePool, PlacementError};
 use mca_core::{
-    accuracy, Allocation, ResourceAllocator, SlotHistory, SystemConfig, TimeSlot, WorkloadForecast,
-    WorkloadPredictor,
+    accuracy, Allocation, BillingBackend, BillingEngine, ResourceAllocator, SlotHistory,
+    SystemConfig, TimeSlot, WorkloadForecast, WorkloadPredictor,
 };
 use mca_offload::{AccelerationGroupId, TenantId};
 use rand::rngs::StdRng;
@@ -38,6 +38,11 @@ pub struct TenantShard {
     predictor: WorkloadPredictor,
     allocator: ResourceAllocator,
     pool: InstancePool,
+    /// The bill stage's backend: pure arithmetic by default, a transaction
+    /// against a per-tenant simulated datacenter when the configuration
+    /// enabled one. Lives inside the shard, so a tenant migration carries
+    /// the standing placement with it.
+    billing: BillingEngine,
     rng: StdRng,
     metrics: TenantMetrics,
     /// Forecast produced at the end of the previous slot, scored against the
@@ -80,6 +85,7 @@ impl TenantShard {
             predictor: config.build_predictor(),
             allocator: config.build_allocator(),
             pool: config.build_pool(),
+            billing: config.build_billing(),
             rng: StdRng::seed_from_u64(Self::stream_seed(fleet_seed, id)),
             metrics: TenantMetrics::new(id),
             pending_forecast: None,
@@ -113,6 +119,23 @@ impl TenantShard {
     /// The tenant's instance pool.
     pub fn pool(&self) -> &InstancePool {
         &self.pool
+    }
+
+    /// The tenant's billing engine.
+    pub fn billing(&self) -> &BillingEngine {
+        &self.billing
+    }
+
+    /// The tenant's simulated datacenter, when the fleet bills against one.
+    pub fn datacenter(&self) -> Option<&Datacenter> {
+        self.billing.datacenter()
+    }
+
+    /// The tenant's standing placement failure, if its most recent
+    /// placement transaction found no host (host exhaustion never panics —
+    /// the engine surfaces it as `FleetError::Placement`).
+    pub fn placement_error(&self) -> Option<&PlacementError> {
+        self.billing.placement_error()
     }
 
     /// The tenant's private RNG stream (used by synthetic workload
@@ -150,6 +173,14 @@ impl TenantShard {
         telemetry: &mut ShardTelemetry,
     ) {
         let groups = self.predictor.groups();
+        // the datacenter backend scores the slot's actual per-group arrivals
+        // against the standing capacity; captured here because the predict
+        // stage consumes the slot. Arithmetic billing skips the collection.
+        let observed_demand: Vec<(AccelerationGroupId, usize)> = if self.billing.observes_demand() {
+            groups.iter().map(|g| (*g, slot.load_of(*g))).collect()
+        } else {
+            Vec::new()
+        };
         self.metrics.slots += 1;
         let observed_users = slot.total_users();
         self.metrics.total_user_slots += observed_users;
@@ -180,13 +211,27 @@ impl TenantShard {
                     let timer = telemetry.start_stage();
                     self.metrics.allocations += 1;
                     self.metrics.allocated_instance_slots += allocation.total_instances();
-                    self.metrics.total_cost +=
-                        allocation.hourly_cost * self.slot_length_ms / 3_600_000.0;
-                    // pool failures cannot occur: the allocator respects the
-                    // same account cap the pool enforces
-                    let _ = self
-                        .pool
-                        .apply_allocation(&allocation.pool_allocation(), now_ms);
+                    // the backend applies the pool transaction (pool failures
+                    // cannot occur: the allocator respects the same account
+                    // cap the pool enforces) and — under datacenter billing —
+                    // scores the elapsed slot, meters energy and re-places.
+                    // The settled cost is the exact arithmetic expression this
+                    // line always computed, so it is bit-identical across
+                    // backends.
+                    let settlement = self.billing.settle(
+                        &mut self.pool,
+                        &allocation,
+                        &observed_demand,
+                        self.slot_length_ms,
+                        now_ms,
+                    );
+                    self.metrics.total_cost += settlement.cost;
+                    self.metrics.sla_violations += settlement.sla_violations;
+                    self.metrics.sla_dropped_users += settlement.sla_dropped_users;
+                    self.metrics.sla_latency_ms += settlement.sla_latency_ms;
+                    self.metrics.energy_wh += settlement.energy_wh;
+                    self.metrics.placed_instance_slots += settlement.placements;
+                    self.metrics.placement_failures += settlement.placement_failures;
                     telemetry.end_bill(timer);
                 }
                 Err(_) => self.metrics.infeasible_allocations += 1,
@@ -246,6 +291,7 @@ impl TenantShard {
         self.alloc_cache.clear();
         self.alloc_cache_order.clear();
         self.pool.terminate_all(now_ms);
+        self.billing.reset();
         self.predictor.take_history()
     }
 }
@@ -393,6 +439,59 @@ mod tests {
             f64::from(index + 1) * 3_600_000.0,
         );
         assert_eq!(shard.metrics().alloc_cache_hits, 33, "hot key retained");
+    }
+
+    #[test]
+    fn datacenter_billing_adds_accounting_without_moving_a_bit() {
+        use mca_cloudsim::DatacenterConfig;
+        let mut plain = TenantShard::new(TenantId(4), &config(), 11);
+        let mut datacenter = TenantShard::new(
+            TenantId(4),
+            &config().with_datacenter(DatacenterConfig::paper_default()),
+            11,
+        );
+        for i in 0..5 {
+            let users = 4 + (i as u32 * 5) % 9;
+            plain.tick(slot(i, users), (i + 1) as f64 * 3_600_000.0);
+            datacenter.tick(slot(i, users), (i + 1) as f64 * 3_600_000.0);
+        }
+        // forecasts and every prediction/allocation/cost field agree bitwise
+        assert_eq!(plain.forecast(), datacenter.forecast());
+        let p = plain.metrics();
+        let d = datacenter.metrics();
+        assert_eq!(p.total_cost.to_bits(), d.total_cost.to_bits());
+        assert_eq!(
+            (p.allocations, p.allocated_instance_slots, p.scored_slots),
+            (d.allocations, d.allocated_instance_slots, d.scored_slots)
+        );
+        // only the datacenter shard carries placement/energy accounting
+        assert_eq!(p.placed_instance_slots, 0);
+        assert_eq!(p.energy_wh, 0.0);
+        assert!(d.placed_instance_slots > 0);
+        assert!(d.energy_wh > 0.0);
+        assert_eq!(d.placement_failures, 0);
+        assert!(datacenter.datacenter().unwrap().active_hosts() > 0);
+        assert!(plain.datacenter().is_none());
+    }
+
+    #[test]
+    fn host_exhaustion_is_a_counted_failure_not_a_panic() {
+        use mca_cloudsim::DatacenterConfig;
+        // one 1-vCPU host cannot hold the three-group minimum fleet (the
+        // m4.4xlarge group member alone needs 16 vCPUs)
+        let starved =
+            config().with_datacenter(DatacenterConfig::paper_default().with_hosts(1, 1, 0.5));
+        let mut shard = TenantShard::new(TenantId(6), &starved, 11);
+        shard.tick(slot(0, 10), 3_600_000.0);
+        shard.tick(slot(1, 10), 7_200_000.0);
+        let m = shard.metrics();
+        assert_eq!(m.allocations, 2, "the pool transaction still lands");
+        assert_eq!(m.placement_failures, 2);
+        assert_eq!(m.placed_instance_slots, 0);
+        assert!(shard.placement_error().is_some());
+        assert!(m.total_cost > 0.0, "the bill does not vanish");
+        shard.decommission(3.0 * 3_600_000.0);
+        assert!(shard.placement_error().is_none(), "reset clears the error");
     }
 
     #[test]

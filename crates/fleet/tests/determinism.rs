@@ -6,6 +6,7 @@
 //! `TenantMixSource`s), which is itself required to reproduce the
 //! deprecated `tick_mix` path exactly.
 
+use mca_cloudsim::{DatacenterConfig, PlacementKind};
 use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
 use mca_fleet::{
     DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RebalancerConfig,
@@ -260,6 +261,131 @@ fn mid_drive_migration_schedule_is_invisible_in_results() {
         engine.migrate_tenant(TenantId(0), 1),
         Err(FleetError::UserSharded { .. })
     ));
+}
+
+fn dc_config(placement: PlacementKind) -> SystemConfig {
+    config().with_datacenter(DatacenterConfig::paper_default().with_placement(placement))
+}
+
+fn run_fleet_dc(
+    shards: usize,
+    threads: usize,
+    placement: PlacementKind,
+) -> (FleetMetrics, Vec<(TenantId, Option<WorkloadForecast>)>) {
+    let mix = mix();
+    let mut engine = FleetEngine::new(dc_config(placement), shards, SEED).with_threads(threads);
+    engine.add_tenants(mix.tenant_ids());
+    let mut driver = FleetDriver::new(engine)
+        .with_mix(&mix)
+        .expect("every tenant is part of the mix");
+    let report = driver.run(SLOTS).expect("mix sources never misbehave");
+    (report.metrics, report.forecasts)
+}
+
+/// The datacenter-only rollup fields, zeroed — what a datacenter run must
+/// share bit-for-bit with an arithmetic run.
+fn strip_datacenter(mut metrics: FleetMetrics) -> FleetMetrics {
+    for tenant in &mut metrics.per_tenant {
+        tenant.sla_violations = 0;
+        tenant.sla_dropped_users = 0;
+        tenant.sla_latency_ms = 0.0;
+        tenant.energy_wh = 0.0;
+        tenant.placed_instance_slots = 0;
+        tenant.placement_failures = 0;
+    }
+    metrics.total_sla_violations = 0;
+    metrics.total_sla_dropped_users = 0;
+    metrics.total_sla_latency_ms = 0.0;
+    metrics.total_energy_wh = 0.0;
+    metrics.total_placed_instance_slots = 0;
+    metrics.total_placement_failures = 0;
+    metrics
+}
+
+#[test]
+fn datacenter_billing_does_not_move_a_forecast_or_a_prediction_metric() {
+    // the tentpole guarantee of the datacenter refactor: routing the bill
+    // stage through simulated hosts must not change a forecast, an
+    // allocation or a billed cent — only add the SLA/energy/placement
+    // accounting on top — at any thread count
+    let (baseline_metrics, baseline_forecasts) = run_fleet(4, 1);
+    assert_eq!(
+        baseline_metrics,
+        strip_datacenter(baseline_metrics.clone()),
+        "the arithmetic run carries no datacenter accounting"
+    );
+    for threads in [1, 2, 4, 8] {
+        let (dc_metrics, dc_forecasts) = run_fleet_dc(4, threads, PlacementKind::FirstFit);
+        assert_eq!(dc_forecasts, baseline_forecasts, "threads={threads}");
+        assert_eq!(
+            strip_datacenter(dc_metrics.clone()),
+            baseline_metrics,
+            "threads={threads}"
+        );
+        assert!(
+            dc_metrics.total_placed_instance_slots > 0,
+            "threads={threads}"
+        );
+        assert!(dc_metrics.total_energy_wh > 0.0, "threads={threads}");
+        assert_eq!(dc_metrics.total_placement_failures, 0, "threads={threads}");
+    }
+}
+
+#[test]
+fn datacenter_rollups_are_bit_identical_across_thread_counts() {
+    // the datacenter's own accounting (SLA scores, energy, placements) is
+    // folded in tenant-id order, so it must reproduce exactly whatever the
+    // thread count — for every placement policy
+    for placement in PlacementKind::ALL {
+        let (baseline, baseline_forecasts) = run_fleet_dc(4, 1, placement);
+        assert!(baseline.total_placed_instance_slots > 0, "{placement}");
+        assert!(baseline.total_energy_wh > 0.0, "{placement}");
+        for threads in [2, 4, 8] {
+            let (metrics, forecasts) = run_fleet_dc(4, threads, placement);
+            assert_eq!(metrics, baseline, "{placement}, threads={threads}");
+            assert_eq!(
+                forecasts, baseline_forecasts,
+                "{placement}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn datacenter_accounting_survives_a_mid_drive_migration_schedule() {
+    // migration moves the whole TenantShard — including its datacenter with
+    // the standing placement — so an explicit control-plane schedule must
+    // leave every rollup (SLA, energy, placements included) bit-identical
+    let mix = mix();
+    let drive = |schedule: &[(usize, TenantId, usize)]| {
+        let mut engine =
+            FleetEngine::new(dc_config(PlacementKind::BestFit), 4, SEED).with_threads(2);
+        engine.add_tenants((0..TENANTS as u32).map(TenantId));
+        let mut driver = FleetDriver::new(engine)
+            .with_mix(&mix)
+            .expect("every tenant is part of the mix");
+        for slot in 0..SLOTS {
+            for &(at, tenant, to) in schedule {
+                if at == slot {
+                    driver
+                        .engine_mut()
+                        .migrate_tenant(tenant, to)
+                        .expect("the schedule names hosted tenants");
+                }
+            }
+            driver.step().expect("mix sources never misbehave");
+        }
+        assert!(driver.engine().placement_health().is_ok());
+        (driver.engine().metrics(), driver.engine().forecasts())
+    };
+    let baseline = drive(&[]);
+    assert!(baseline.0.total_energy_wh > 0.0);
+    let migrated = drive(&[
+        (3, TenantId(5), 0),
+        (18, TenantId(5), 2),
+        (18, TenantId(7), 2),
+    ]);
+    assert_eq!(migrated, baseline);
 }
 
 #[test]

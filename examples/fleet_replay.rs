@@ -12,12 +12,13 @@
 //! cargo run --release --example fleet_replay
 //! ```
 
+use mobile_code_acceleration::cloudsim::{DatacenterConfig, PlacementKind};
 use mobile_code_acceleration::core::{System, SystemConfig, TraceLog};
 use mobile_code_acceleration::fleet::{
     ArrivalTraceSource, FleetDriver, FleetEngine, RebalancerConfig, TraceLogSource,
 };
 use mobile_code_acceleration::offload::{TaskPool, TaskSpec, TenantId};
-use mobile_code_acceleration::workload::WorkloadGenerator;
+use mobile_code_acceleration::workload::{TenantMix, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -176,4 +177,51 @@ fn main() {
     assert_eq!(report.exhausted_sources, report.total_sources);
     assert_eq!(report.late_records + report.dropped_records, 0);
     assert_eq!(telemetry.slot.count(), report.slots as u64);
+
+    // datacenter-in-the-loop: the same small Zipf mix billed against
+    // simulated hosts under each placement policy — the bill is identical
+    // by construction, SLA and energy diverge (docs/datacenter.md)
+    const DC_TENANTS: usize = 8;
+    const DC_SLOTS: usize = 24;
+    let mix = TenantMix::zipf(DC_TENANTS, 60, 0.8, config.groups.ids(), SEED);
+    println!("\ndatacenter billing, {DC_TENANTS}-tenant zipf mix over {DC_SLOTS} slots:");
+    println!(
+        "{:<12} {:>10} {:>6} {:>9} {:>13} {:>11}",
+        "billing", "cost $", "viol", "dropped", "latency ms", "energy wh"
+    );
+    let mut baseline_cost = None;
+    for placement in std::iter::once(None).chain(PlacementKind::ALL.into_iter().map(Some)) {
+        let mut dc_config = config.clone();
+        if let Some(placement) = placement {
+            dc_config = dc_config
+                .with_datacenter(DatacenterConfig::paper_default().with_placement(placement));
+        }
+        let mut engine = FleetEngine::new(dc_config, SHARDS, SEED);
+        engine.add_tenants(mix.tenant_ids());
+        let mut dc_driver = FleetDriver::new(engine)
+            .with_mix(&mix)
+            .expect("every tenant is part of the mix");
+        let dc_report = dc_driver
+            .run(DC_SLOTS)
+            .expect("mix sources never misbehave");
+        let metrics = &dc_report.metrics;
+        match baseline_cost {
+            None => baseline_cost = Some(metrics.total_cost),
+            Some(cost) => assert_eq!(
+                metrics.total_cost.to_bits(),
+                cost.to_bits(),
+                "placement policy changed the bill"
+            ),
+        }
+        println!(
+            "{:<12} {:>10.4} {:>6} {:>9} {:>13.1} {:>11.1}",
+            placement.map_or("arithmetic", PlacementKind::label),
+            metrics.total_cost,
+            metrics.total_sla_violations,
+            metrics.total_sla_dropped_users,
+            metrics.total_sla_latency_ms,
+            metrics.total_energy_wh,
+        );
+        assert!(dc_driver.engine().placement_health().is_ok());
+    }
 }

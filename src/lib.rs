@@ -60,12 +60,15 @@ pub use mca_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mca_cloudsim::{
-        InstanceBenchmark, InstancePool, InstanceType, LevelClassification, Server,
+        BillingMeter, Datacenter, DatacenterConfig, Host, InstanceBenchmark, InstancePool,
+        InstanceType, LevelClassification, PlacementError, PlacementKind, PlacementPolicy,
+        PowerModel, Server, SlaModel,
     };
     pub use mca_core::{
-        accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, DistanceKind,
-        IndexPolicy, ParallelismPolicy, PredictionStrategy, ResourceAllocator, SdnAccelerator,
-        SlotHistory, System, SystemConfig, SystemReport, TimeSlot, WorkloadPredictor,
+        accuracy, cross_validate, AccelerationGroups, Allocation, AllocationPolicy, BillingBackend,
+        BillingEngine, DatacenterUsage, DistanceKind, IndexPolicy, ParallelismPolicy,
+        PredictionStrategy, ResourceAllocator, SdnAccelerator, SlotHistory, System, SystemConfig,
+        SystemReport, TimeSlot, WorkloadPredictor,
     };
     pub use mca_fleet::{
         DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, FleetTelemetry,
@@ -90,5 +93,11 @@ mod tests {
         let pool = TaskPool::paper_default();
         assert_eq!(pool.len(), 10);
         assert_eq!(InstanceType::ALL.len(), 8);
+        // the cloudsim billing/datacenter surface is reachable flat
+        let meter = BillingMeter::new();
+        assert_eq!(meter.total_cost(), 0.0);
+        let datacenter = Datacenter::new(&DatacenterConfig::paper_default());
+        assert_eq!(datacenter.placement_kind(), PlacementKind::FirstFit);
+        assert_eq!(PlacementKind::ALL.len(), 3);
     }
 }
