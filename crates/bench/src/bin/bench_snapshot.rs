@@ -1,0 +1,37 @@
+//! Regenerates `BENCH_snapshot.json`: checkpoint/restore wall-clock latency
+//! and wire bytes as the fleet grows, with every restore verified
+//! bit-identical against the uninterrupted run before it counts.
+//!
+//! Run with `cargo run --release -p mca-bench --bin bench_snapshot`.
+//!
+//! * default: the acceptance-bar sweep (8–128 tenants); exits non-zero if
+//!   any arm's resumed drive diverges from the uninterrupted one.
+//! * `--smoke`: a small CI gate (4–16 tenants); same resume-identity gate.
+
+use mca_bench::snapshot::{self, SnapshotWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.first().map(String::as_str) == Some("--smoke");
+    if !smoke && !args.is_empty() {
+        eprintln!("usage: bench_snapshot [--smoke]");
+        std::process::exit(2);
+    }
+    let workload = if smoke {
+        SnapshotWorkload::smoke()
+    } else {
+        SnapshotWorkload::headline()
+    };
+
+    let report = snapshot::run(&workload, mca_bench::DEFAULT_SEED);
+    snapshot::print(&report);
+
+    let path = "BENCH_snapshot.json";
+    std::fs::write(path, report.to_json()).expect("write BENCH_snapshot.json");
+    println!("wrote {path}");
+
+    if !report.all_identical() {
+        eprintln!("ERROR: a restored fleet diverged from the uninterrupted run");
+        std::process::exit(1);
+    }
+}

@@ -12,14 +12,16 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison of every figure.
 //!
-//! Four performance harnesses ride alongside the figures: [`prediction`]
+//! Five performance harnesses ride alongside the figures: [`prediction`]
 //! (pruned versus naive nearest-slot search, `bench_prediction` →
 //! `BENCH_prediction.json`), [`fleet`] (sharded multi-tenant engine versus
 //! the single-shard loop, `bench_fleet` → `BENCH_fleet.json`),
 //! [`allocation`] (revised simplex + warm-started branch-and-bound versus
-//! the cold dense tableau, `bench_allocation` → `BENCH_allocation.json`)
-//! and [`datacenter`] (the placement-policy sweep of the datacenter-backed
-//! bill stage, `bench_datacenter` → `BENCH_datacenter.json`).
+//! the cold dense tableau, `bench_allocation` → `BENCH_allocation.json`),
+//! [`datacenter`] (the placement-policy sweep of the datacenter-backed
+//! bill stage, `bench_datacenter` → `BENCH_datacenter.json`) and
+//! [`snapshot`] (checkpoint/restore latency and wire bytes versus fleet
+//! size, `bench_snapshot` → `BENCH_snapshot.json`).
 
 #![forbid(unsafe_code)]
 
@@ -35,6 +37,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod prediction;
+pub mod snapshot;
 pub mod util;
 
 /// Default RNG seed used by every figure harness so that regenerated figures

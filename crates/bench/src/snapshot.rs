@@ -1,0 +1,265 @@
+//! Checkpoint/restore cost curve for durable fleet sessions: wall-clock
+//! latency and wire bytes of [`FleetEngine::checkpoint`] /
+//! [`FleetEngine::restore`] as the fleet grows, with every restore verified
+//! bit-identical before it is timed into the report.
+//!
+//! Each arm drives a heterogeneous mix half way, checkpoints to memory,
+//! restores into a fresh engine, and drives **both** engines to the end —
+//! the report only counts an arm as passing when the resumed run's
+//! forecasts and metrics equal the uninterrupted one exactly.
+//!
+//! `cargo run --release -p mca-bench --bin bench_snapshot` regenerates
+//! `BENCH_snapshot.json` at the repository root; `--smoke` runs the small
+//! CI shape and gates on resume identity.
+
+use mca_core::SystemConfig;
+use mca_fleet::FleetEngine;
+use mca_workload::TenantMix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Shape of the checkpoint/restore sweep.
+#[derive(Debug, Clone)]
+pub struct SnapshotWorkload {
+    /// Fleet sizes (tenant counts) to measure, one arm each.
+    pub fleet_sizes: Vec<usize>,
+    /// Users of the heaviest tenant in each mix.
+    pub users_per_tenant: usize,
+    /// Number of shards each engine runs.
+    pub shards: usize,
+    /// Thread count of every engine.
+    pub threads: usize,
+    /// Slots driven before the checkpoint.
+    pub warmup_slots: usize,
+    /// Slots driven after the restore, on both arms.
+    pub resume_slots: usize,
+}
+
+impl SnapshotWorkload {
+    /// The acceptance-bar configuration.
+    pub fn headline() -> Self {
+        Self {
+            fleet_sizes: vec![8, 16, 32, 64, 128],
+            users_per_tenant: 24,
+            shards: 7,
+            threads: 4,
+            warmup_slots: 96,
+            resume_slots: 96,
+        }
+    }
+
+    /// A small configuration for the CI smoke gate.
+    pub fn smoke() -> Self {
+        Self {
+            fleet_sizes: vec![4, 8, 16],
+            users_per_tenant: 12,
+            shards: 3,
+            threads: 2,
+            warmup_slots: 24,
+            resume_slots: 24,
+        }
+    }
+}
+
+/// One fleet size's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPoint {
+    /// Tenants in this arm's fleet.
+    pub tenants: usize,
+    /// Checkpoint size on the wire, bytes.
+    pub bytes: u64,
+    /// Sections in the stream.
+    pub sections: u32,
+    /// Wall-clock time of the checkpoint, ms.
+    pub checkpoint_ms: f64,
+    /// Wall-clock time of the restore, ms.
+    pub restore_ms: f64,
+    /// Whether the resumed drive finished bit-identical to the
+    /// uninterrupted one (forecasts and metrics).
+    pub resume_identical: bool,
+}
+
+/// Measurements of one checkpoint/restore sweep.
+#[derive(Debug, Clone)]
+pub struct SnapshotBenchReport {
+    /// The workload shape measured.
+    pub workload: SnapshotWorkload,
+    /// One point per fleet size, in [`SnapshotWorkload::fleet_sizes`] order.
+    pub points: Vec<SnapshotPoint>,
+}
+
+impl SnapshotBenchReport {
+    /// True when every arm resumed bit-identically.
+    pub fn all_identical(&self) -> bool {
+        self.points.iter().all(|p| p.resume_identical)
+    }
+
+    /// The report as a JSON object (hand-rolled: serde_json is unavailable
+    /// offline).
+    pub fn to_json(&self) -> String {
+        let mut points = String::new();
+        for (index, point) in self.points.iter().enumerate() {
+            let _ = write!(
+                points,
+                "{}\n    {{\"tenants\": {}, \"bytes\": {}, \"sections\": {}, \
+                 \"checkpoint_ms\": {:.4}, \"restore_ms\": {:.4}, \
+                 \"resume_identical\": {}}}",
+                if index > 0 { "," } else { "" },
+                point.tenants,
+                point.bytes,
+                point.sections,
+                point.checkpoint_ms,
+                point.restore_ms,
+                point.resume_identical,
+            );
+        }
+        format!(
+            "{{\n  \"benchmark\": \"fleet_snapshot\",\n  \"users_per_tenant\": {},\n  \
+             \"shards\": {},\n  \"threads\": {},\n  \"warmup_slots\": {},\n  \
+             \"resume_slots\": {},\n  \"all_identical\": {},\n  \
+             \"points\": [{}\n  ]\n}}\n",
+            self.workload.users_per_tenant,
+            self.workload.shards,
+            self.workload.threads,
+            self.workload.warmup_slots,
+            self.workload.resume_slots,
+            self.all_identical(),
+            points,
+        )
+    }
+}
+
+fn snapshot_config() -> SystemConfig {
+    crate::fleet::bench_config()
+}
+
+/// Runs the sweep: per fleet size, warm up, checkpoint, restore, and drive
+/// both the original and the resumed engine to the end under the same mix.
+pub fn run(workload: &SnapshotWorkload, seed: u64) -> SnapshotBenchReport {
+    let config = snapshot_config();
+    let points = workload
+        .fleet_sizes
+        .iter()
+        .map(|&tenants| {
+            let mix = TenantMix::heterogeneous(
+                tenants,
+                workload.users_per_tenant,
+                config.groups.ids(),
+                seed,
+            );
+            let mut engine = FleetEngine::new(config.clone(), workload.shards, seed)
+                .with_threads(workload.threads);
+            engine.add_tenants(mix.tenant_ids());
+            for _ in 0..workload.warmup_slots {
+                engine
+                    .try_tick_mix(&mix)
+                    .expect("every hosted tenant is in the mix");
+            }
+
+            let mut bytes = Vec::new();
+            let start = Instant::now();
+            let stats = engine
+                .checkpoint(&mut bytes)
+                .expect("checkpointing to memory cannot fail");
+            let checkpoint_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+            let start = Instant::now();
+            let mut resumed = FleetEngine::restore(&mut bytes.as_slice(), &config)
+                .expect("the bytes were just written");
+            let restore_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+            let mut resume_identical = resumed.forecasts() == engine.forecasts();
+            for _ in 0..workload.resume_slots {
+                engine
+                    .try_tick_mix(&mix)
+                    .expect("every hosted tenant is in the mix");
+                resumed
+                    .try_tick_mix(&mix)
+                    .expect("every hosted tenant is in the mix");
+            }
+            resume_identical = resume_identical
+                && resumed.forecasts() == engine.forecasts()
+                && resumed.metrics() == engine.metrics();
+
+            SnapshotPoint {
+                tenants,
+                bytes: stats.bytes,
+                sections: stats.sections,
+                checkpoint_ms,
+                restore_ms,
+                resume_identical,
+            }
+        })
+        .collect();
+
+    SnapshotBenchReport {
+        workload: workload.clone(),
+        points,
+    }
+}
+
+/// Prints the sweep as an aligned table.
+pub fn print(report: &SnapshotBenchReport) {
+    println!(
+        "fleet checkpoint/restore sweep: {} shards, {} thread(s), {} users/tenant, \
+         checkpoint after {} slots, {} slots resumed",
+        report.workload.shards,
+        report.workload.threads,
+        report.workload.users_per_tenant,
+        report.workload.warmup_slots,
+        report.workload.resume_slots,
+    );
+    println!(
+        "  {:<10} {:>12} {:>10} {:>14} {:>12} {:>10}",
+        "tenants", "bytes", "sections", "checkpoint ms", "restore ms", "resume"
+    );
+    for point in &report.points {
+        println!(
+            "  {:<10} {:>12} {:>10} {:>14.3} {:>12.3} {:>10}",
+            point.tenants,
+            point.bytes,
+            point.sections,
+            point.checkpoint_ms,
+            point.restore_ms,
+            if point.resume_identical {
+                "exact"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SnapshotWorkload {
+        SnapshotWorkload {
+            fleet_sizes: vec![3, 6],
+            users_per_tenant: 8,
+            shards: 2,
+            threads: 2,
+            warmup_slots: 8,
+            resume_slots: 8,
+        }
+    }
+
+    #[test]
+    fn sweep_resumes_bit_identically_and_bytes_grow_with_the_fleet() {
+        let report = run(&tiny(), crate::DEFAULT_SEED);
+        assert!(report.all_identical());
+        assert_eq!(report.points.len(), 2);
+        assert!(report.points[1].bytes > report.points[0].bytes);
+        assert!(report.points.iter().all(|p| p.sections > 0));
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let report = run(&tiny(), crate::DEFAULT_SEED);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"fleet_snapshot\""));
+        assert!(json.contains("\"resume_identical\": true"));
+        mca_telemetry::json::parse(&json).expect("the sweep report is valid JSON");
+    }
+}

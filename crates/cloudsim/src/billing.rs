@@ -7,6 +7,7 @@
 //! policies.
 
 use crate::instance::InstanceType;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -69,6 +70,20 @@ impl BillingMeter {
     /// Iterates over `(type, billed hours)` pairs in catalogue order.
     pub fn iter(&self) -> impl Iterator<Item = (InstanceType, f64)> + '_ {
         self.hours.iter().map(|(t, h)| (*t, *h))
+    }
+}
+
+impl Snapshot for BillingMeter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hours.encode(out);
+    }
+}
+
+impl Restore for BillingMeter {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            hours: BTreeMap::<InstanceType, f64>::decode(cur)?,
+        })
     }
 }
 

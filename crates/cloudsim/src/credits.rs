@@ -9,6 +9,7 @@
 //! exercise it.
 
 use crate::instance::InstanceType;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Credit accumulator for one burstable instance.
@@ -74,6 +75,26 @@ impl CpuCreditModel {
         let earned = self.earn_rate_per_hour * hours;
         self.balance = (self.balance + earned - spent).clamp(0.0, self.max_credits);
         multiplier
+    }
+}
+
+impl Snapshot for CpuCreditModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.earn_rate_per_hour.encode(out);
+        self.max_credits.encode(out);
+        self.baseline_fraction.encode(out);
+        self.balance.encode(out);
+    }
+}
+
+impl Restore for CpuCreditModel {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            earn_rate_per_hour: f64::decode(cur)?,
+            max_credits: f64::decode(cur)?,
+            baseline_fraction: f64::decode(cur)?,
+            balance: f64::decode(cur)?,
+        })
     }
 }
 

@@ -22,6 +22,7 @@
 use crate::instance::{InstanceSpec, InstanceType};
 use crate::server::Server;
 use mca_offload::AccelerationGroupId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -591,6 +592,160 @@ impl Datacenter {
             out.latency_ms += worst_response;
         }
         out
+    }
+}
+
+impl Snapshot for PlacementError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let PlacementError::NoHostFits {
+            instance_type,
+            hosts,
+        } = self;
+        instance_type.encode(out);
+        hosts.encode(out);
+    }
+}
+
+impl Restore for PlacementError {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(PlacementError::NoHostFits {
+            instance_type: InstanceType::decode(cur)?,
+            hosts: usize::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for Host {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.vcpus.encode(out);
+        self.memory_gib.encode(out);
+        self.used_vcpus.encode(out);
+        self.used_memory_gib.encode(out);
+    }
+}
+
+impl Restore for Host {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: usize::decode(cur)?,
+            vcpus: u32::decode(cur)?,
+            memory_gib: f64::decode(cur)?,
+            used_vcpus: u32::decode(cur)?,
+            used_memory_gib: f64::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for PlacementKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            PlacementKind::FirstFit => 0,
+            PlacementKind::BestFit => 1,
+            PlacementKind::WorstFit => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Restore for PlacementKind {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(PlacementKind::FirstFit),
+            1 => Ok(PlacementKind::BestFit),
+            2 => Ok(PlacementKind::WorstFit),
+            _ => Err(SnapshotError::Malformed {
+                context: "placement kind tag",
+            }),
+        }
+    }
+}
+
+impl Snapshot for PowerModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.idle_watts.encode(out);
+        self.peak_watts.encode(out);
+    }
+}
+
+impl Restore for PowerModel {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            idle_watts: f64::decode(cur)?,
+            peak_watts: f64::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for SlaModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.target_response_ms.encode(out);
+        self.work_units.encode(out);
+        self.co_location_penalty.encode(out);
+    }
+}
+
+impl Restore for SlaModel {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            target_response_ms: f64::decode(cur)?,
+            work_units: f64::decode(cur)?,
+            co_location_penalty: f64::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for PlacedInstance {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.instance_type.encode(out);
+        self.host.encode(out);
+    }
+}
+
+impl Restore for PlacedInstance {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            group: AccelerationGroupId::decode(cur)?,
+            instance_type: InstanceType::decode(cur)?,
+            host: usize::decode(cur)?,
+        })
+    }
+}
+
+/// The datacenter checkpoints its full occupancy state — hosts with their
+/// live vCPU/memory accounting and the standing placement — so a restored
+/// billing backend meters energy and scores SLAs exactly as the
+/// uninterrupted run would.
+impl Snapshot for Datacenter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hosts.encode(out);
+        self.placement.encode(out);
+        self.power.encode(out);
+        self.sla.encode(out);
+        self.placements.encode(out);
+    }
+}
+
+impl Restore for Datacenter {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let hosts = Vec::<Host>::decode(cur)?;
+        let placement = PlacementKind::decode(cur)?;
+        let power = PowerModel::decode(cur)?;
+        let sla = SlaModel::decode(cur)?;
+        let placements = Vec::<PlacedInstance>::decode(cur)?;
+        if placements.iter().any(|p| p.host >= hosts.len()) {
+            return Err(SnapshotError::Malformed {
+                context: "placed instance on a host that does not exist",
+            });
+        }
+        Ok(Self {
+            hosts,
+            placement,
+            power,
+            sla,
+            placements,
+        })
     }
 }
 

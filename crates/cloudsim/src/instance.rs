@@ -8,6 +8,7 @@
 //! ≈1.36× faster than level 2). The c4.8xlarge added in §VI-B sits above all
 //! of them (level 4).
 
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +34,24 @@ pub enum InstanceType {
     C4_8XLarge,
 }
 
+impl Snapshot for InstanceType {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.wire_tag().encode(out);
+    }
+}
+
+impl Restore for InstanceType {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let tag = u8::decode(cur)?;
+        InstanceType::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(SnapshotError::Malformed {
+                context: "instance type tag",
+            })
+    }
+}
+
 impl InstanceType {
     /// Every instance type the paper benchmarks, in catalogue order.
     pub const ALL: [InstanceType; 8] = [
@@ -55,6 +74,15 @@ impl InstanceType {
         InstanceType::T2Large,
         InstanceType::M4_10XLarge,
     ];
+
+    /// Stable wire tag: the position in [`InstanceType::ALL`] (catalogue
+    /// order, which new types must extend at the end).
+    fn wire_tag(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|t| *t == self)
+            .expect("every instance type is in the catalogue") as u8
+    }
 
     /// The API name of the instance type (e.g. `"t2.nano"`).
     pub fn api_name(self) -> &'static str {

@@ -8,6 +8,7 @@
 use crate::billing::BillingMeter;
 use crate::instance::InstanceType;
 use crate::server::Server;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -239,6 +240,60 @@ impl InstancePool {
 impl Default for InstancePool {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Snapshot for RunningInstance {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.instance_type.encode(out);
+        self.launched_at_ms.encode(out);
+        self.server.encode_state(out);
+    }
+}
+
+impl Restore for RunningInstance {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: u64::decode(cur)?,
+            instance_type: InstanceType::decode(cur)?,
+            launched_at_ms: f64::decode(cur)?,
+            server: Server::decode_state(cur)?,
+        })
+    }
+}
+
+impl Snapshot for InstancePool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.instances.encode(out);
+        self.next_id.encode(out);
+        self.account_cap.encode(out);
+        self.billing.encode(out);
+    }
+}
+
+impl Restore for InstancePool {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let instances = Vec::<RunningInstance>::decode(cur)?;
+        let next_id = u64::decode(cur)?;
+        let account_cap = usize::decode(cur)?;
+        let billing = BillingMeter::decode(cur)?;
+        if instances.len() > account_cap {
+            return Err(SnapshotError::Malformed {
+                context: "pool over its account cap",
+            });
+        }
+        if instances.iter().any(|i| i.id >= next_id) {
+            return Err(SnapshotError::Malformed {
+                context: "running instance id from the future",
+            });
+        }
+        Ok(Self {
+            instances,
+            next_id,
+            account_cap,
+            billing,
+        })
     }
 }
 

@@ -20,6 +20,7 @@
 use crate::credits::CpuCreditModel;
 use crate::instance::{InstanceSpec, InstanceType};
 use mca_offload::TaskPool;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +60,28 @@ impl ServerConfig {
     }
 }
 
+impl Snapshot for ServerConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.instance_type.encode(out);
+        self.contention_exponent.encode(out);
+        self.per_request_overhead_ms.encode(out);
+        self.service_noise.encode(out);
+        self.max_outstanding.encode(out);
+    }
+}
+
+impl Restore for ServerConfig {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            instance_type: InstanceType::decode(cur)?,
+            contention_exponent: f64::decode(cur)?,
+            per_request_overhead_ms: f64::decode(cur)?,
+            service_noise: f64::decode(cur)?,
+            max_outstanding: usize::decode(cur)?,
+        })
+    }
+}
+
 /// A simulated cloud server (one instance running the Dalvik-x86 surrogate).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Server {
@@ -95,6 +118,28 @@ impl Server {
     /// Current CPU-credit state, if the instance is burstable.
     pub fn credits(&self) -> Option<&CpuCreditModel> {
         self.credits.as_ref()
+    }
+
+    /// Serializes the server: its configuration plus the live credit
+    /// balance (the spec is derived from the type and not checkpointed).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.credits.encode(out);
+    }
+
+    /// Rebuilds a server from [`Server::encode_state`], re-deriving the spec
+    /// and overlaying the checkpointed credit balance.
+    pub fn decode_state(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let config = ServerConfig::decode(cur)?;
+        let credits = Option::<CpuCreditModel>::decode(cur)?;
+        let mut server = Self::with_config(config);
+        if server.credits.is_some() != credits.is_some() {
+            return Err(SnapshotError::Malformed {
+                context: "credit model disagrees with the instance family",
+            });
+        }
+        server.credits = credits;
+        Ok(server)
     }
 
     /// Contention slowdown factor with `concurrent` requests in service.

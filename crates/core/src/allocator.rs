@@ -16,6 +16,7 @@ use crate::predictor::WorkloadForecast;
 use mca_cloudsim::{InstanceType, Server};
 use mca_lp::{BranchBoundOptions, LpBackend, Problem, Sense, VarKind};
 use mca_offload::AccelerationGroupId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Which allocation policy to use.
@@ -115,6 +116,49 @@ impl Allocation {
     /// (`mca_cloudsim::InstancePool::apply_allocation`).
     pub fn pool_allocation(&self) -> Vec<(InstanceType, usize)> {
         self.counts.clone()
+    }
+}
+
+impl Snapshot for AllocationStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nodes.encode(out);
+        self.pivots.encode(out);
+        self.phase1_skips.encode(out);
+    }
+}
+
+impl Restore for AllocationStats {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            nodes: usize::decode(cur)?,
+            pivots: usize::decode(cur)?,
+            phase1_skips: usize::decode(cur)?,
+        })
+    }
+}
+
+/// The stats travel on the wire even though equality ignores them: a restored
+/// memo cache replays them into the shard metrics on a hit, exactly as the
+/// uninterrupted run would have.
+impl Snapshot for Allocation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.counts.encode(out);
+        self.per_group.encode(out);
+        self.hourly_cost.encode(out);
+        self.capacity_per_group.encode(out);
+        self.stats.encode(out);
+    }
+}
+
+impl Restore for Allocation {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            counts: Vec::<(InstanceType, usize)>::decode(cur)?,
+            per_group: Vec::<(AccelerationGroupId, Vec<(InstanceType, usize)>)>::decode(cur)?,
+            hourly_cost: f64::decode(cur)?,
+            capacity_per_group: Vec::<(AccelerationGroupId, usize)>::decode(cur)?,
+            stats: AllocationStats::decode(cur)?,
+        })
     }
 }
 

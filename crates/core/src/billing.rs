@@ -29,6 +29,7 @@ use mca_cloudsim::{
     Datacenter, DatacenterConfig, GroupDemand, InstancePool, PlacementError, SlaAssessment,
 };
 use mca_offload::AccelerationGroupId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of settling one provisioning slot against a billing backend.
@@ -310,6 +311,72 @@ impl BillingBackend for BillingEngine {
         match self {
             BillingEngine::Arithmetic(backend) => backend.reset(),
             BillingEngine::Datacenter(backend) => backend.reset(),
+        }
+    }
+}
+
+impl Snapshot for DatacenterUsage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sla_violations.encode(out);
+        self.sla_dropped_users.encode(out);
+        self.sla_latency_ms.encode(out);
+        self.energy_wh.encode(out);
+        self.placements.encode(out);
+        self.placement_failures.encode(out);
+    }
+}
+
+impl Restore for DatacenterUsage {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            sla_violations: usize::decode(cur)?,
+            sla_dropped_users: usize::decode(cur)?,
+            sla_latency_ms: f64::decode(cur)?,
+            energy_wh: f64::decode(cur)?,
+            placements: usize::decode(cur)?,
+            placement_failures: usize::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for DatacenterBilling {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.datacenter.encode(out);
+        self.standing_capacity.encode(out);
+        self.last_error.encode(out);
+    }
+}
+
+impl Restore for DatacenterBilling {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            datacenter: Datacenter::decode(cur)?,
+            standing_capacity: Option::<Vec<(AccelerationGroupId, usize)>>::decode(cur)?,
+            last_error: Option::<PlacementError>::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for BillingEngine {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BillingEngine::Arithmetic(ArithmeticBilling) => 0u8.encode(out),
+            BillingEngine::Datacenter(backend) => {
+                1u8.encode(out);
+                backend.encode(out);
+            }
+        }
+    }
+}
+
+impl Restore for BillingEngine {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(BillingEngine::Arithmetic(ArithmeticBilling)),
+            1 => Ok(BillingEngine::Datacenter(DatacenterBilling::decode(cur)?)),
+            _ => Err(SnapshotError::Malformed {
+                context: "billing engine tag",
+            }),
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use crate::timeslot::TimeSlot;
 use mca_offload::{AccelerationGroupId, UserId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -523,6 +524,22 @@ impl GroupBitset {
             self.first_word as usize,
             self.first_word as usize + self.words.len(),
         )
+    }
+}
+
+impl Snapshot for GroupBitset {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.first_word.encode(out);
+        self.words.encode(out);
+    }
+}
+
+impl Restore for GroupBitset {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            first_word: u32::decode(cur)?,
+            words: Vec::<u64>::decode(cur)?,
+        })
     }
 }
 

@@ -48,6 +48,7 @@ use crate::distance::{slot_distance, slot_levenshtein_distance, GroupBitset};
 use crate::predictor::DistanceKind;
 use crate::timeslot::TimeSlot;
 use mca_offload::AccelerationGroupId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -117,6 +118,22 @@ impl IndexPolicy {
 impl Default for IndexPolicy {
     fn default() -> Self {
         Self::linear()
+    }
+}
+
+impl Snapshot for IndexPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pivots.encode(out);
+        self.min_indexed_slots.encode(out);
+    }
+}
+
+impl Restore for IndexPolicy {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            pivots: usize::decode(cur)?,
+            min_indexed_slots: usize::decode(cur)?,
+        })
     }
 }
 
@@ -329,6 +346,61 @@ impl SlotIndex {
             )),
             probe_key,
         }
+    }
+}
+
+/// The ring order is derived state — `(pivot_distances[position * K],
+/// first_index + position)` for every covered slot — so the wire carries
+/// only the caches and the decode rebuilds the `BTreeSet` deterministically.
+impl Snapshot for SlotIndex {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pivots.encode(out);
+        self.pivot_distances.encode(out);
+        self.bitsets.encode(out);
+        self.first_index.encode(out);
+        self.built_len.encode(out);
+        self.observed_since_build.encode(out);
+    }
+}
+
+impl Restore for SlotIndex {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let pivots = Vec::<TimeSlot>::decode(cur)?;
+        let pivot_distances = Vec::<u32>::decode(cur)?;
+        let bitsets = Vec::<Option<GroupBitset>>::decode(cur)?;
+        let first_index = usize::decode(cur)?;
+        let built_len = usize::decode(cur)?;
+        let observed_since_build = usize::decode(cur)?;
+        let pivot_count = pivots.len();
+        if pivot_count == 0 {
+            return Err(SnapshotError::Malformed {
+                context: "slot index with no pivots",
+            });
+        }
+        if pivot_distances.len() % pivot_count != 0 {
+            return Err(SnapshotError::Malformed {
+                context: "pivot distance cache not a multiple of the pivot count",
+            });
+        }
+        let len = pivot_distances.len() / pivot_count;
+        let mut order = BTreeSet::new();
+        for position in 0..len {
+            let ring_key = pivot_distances[position * pivot_count];
+            if !order.insert((ring_key, (first_index + position) as u64)) {
+                return Err(SnapshotError::Malformed {
+                    context: "duplicate ring key in slot index",
+                });
+            }
+        }
+        Ok(Self {
+            pivots,
+            pivot_distances,
+            order,
+            bitsets,
+            first_index,
+            built_len,
+            observed_since_build,
+        })
     }
 }
 

@@ -62,6 +62,7 @@ use crate::error::CoreError;
 use crate::index::{IndexPolicy, SlotIndex};
 use crate::timeslot::{SlotHistory, TimeSlot};
 use mca_offload::AccelerationGroupId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -347,6 +348,122 @@ impl PredictorStatsSnapshot {
         self.scratch_grows += other.scratch_grows;
         self.index_builds += other.index_builds;
         self.index_rebuilds += other.index_rebuilds;
+    }
+}
+
+impl Snapshot for PredictionStrategy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            PredictionStrategy::NearestSlot => 0,
+            PredictionStrategy::SuccessorOfNearest => 1,
+            PredictionStrategy::LastValue => 2,
+            PredictionStrategy::MeanOfHistory => 3,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Restore for PredictionStrategy {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(PredictionStrategy::NearestSlot),
+            1 => Ok(PredictionStrategy::SuccessorOfNearest),
+            2 => Ok(PredictionStrategy::LastValue),
+            3 => Ok(PredictionStrategy::MeanOfHistory),
+            _ => Err(SnapshotError::Malformed {
+                context: "prediction strategy tag",
+            }),
+        }
+    }
+}
+
+impl Snapshot for DistanceKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            DistanceKind::SetEdit => 0,
+            DistanceKind::Levenshtein => 1,
+            DistanceKind::CountDifference => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Restore for DistanceKind {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(DistanceKind::SetEdit),
+            1 => Ok(DistanceKind::Levenshtein),
+            2 => Ok(DistanceKind::CountDifference),
+            _ => Err(SnapshotError::Malformed {
+                context: "distance kind tag",
+            }),
+        }
+    }
+}
+
+impl Snapshot for ParallelismPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.threads.encode(out);
+        self.min_parallel_slots.encode(out);
+    }
+}
+
+impl Restore for ParallelismPolicy {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            threads: usize::decode(cur)?,
+            min_parallel_slots: usize::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for PredictorStatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.queries.encode(out);
+        self.fast_predictions.encode(out);
+        self.rings_walked.encode(out);
+        self.candidates_bounded.encode(out);
+        self.candidates_evaluated.encode(out);
+        self.scratch_grows.encode(out);
+        self.index_builds.encode(out);
+        self.index_rebuilds.encode(out);
+    }
+}
+
+impl Restore for PredictorStatsSnapshot {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            queries: u64::decode(cur)?,
+            fast_predictions: u64::decode(cur)?,
+            rings_walked: u64::decode(cur)?,
+            candidates_bounded: u64::decode(cur)?,
+            candidates_evaluated: u64::decode(cur)?,
+            scratch_grows: u64::decode(cur)?,
+            index_builds: u64::decode(cur)?,
+            index_rebuilds: u64::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for PredictorStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.snapshot().encode(out);
+    }
+}
+
+impl Restore for PredictorStats {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let snapshot = PredictorStatsSnapshot::decode(cur)?;
+        Ok(Self {
+            queries: AtomicU64::new(snapshot.queries),
+            fast_predictions: AtomicU64::new(snapshot.fast_predictions),
+            rings_walked: AtomicU64::new(snapshot.rings_walked),
+            candidates_bounded: AtomicU64::new(snapshot.candidates_bounded),
+            candidates_evaluated: AtomicU64::new(snapshot.candidates_evaluated),
+            scratch_grows: AtomicU64::new(snapshot.scratch_grows),
+            index_builds: AtomicU64::new(snapshot.index_builds),
+            index_rebuilds: AtomicU64::new(snapshot.index_rebuilds),
+        })
     }
 }
 
@@ -1328,6 +1445,89 @@ impl WorkloadPredictor {
             per_group: self.groups.iter().map(|g| (*g, slot.load_of(*g))).collect(),
             matched_slot: Some(self.history.first_index() + source),
         }
+    }
+}
+
+impl Snapshot for WorkloadForecast {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.per_group.encode(out);
+        self.matched_slot.encode(out);
+    }
+}
+
+impl Restore for WorkloadForecast {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            per_group: Vec::<(AccelerationGroupId, usize)>::decode(cur)?,
+            matched_slot: Option::<usize>::decode(cur)?,
+        })
+    }
+}
+
+/// The predictor checkpoints its knowledge base (history and metric index)
+/// plus configuration and counters; the count/id-range signatures are
+/// derived caches and are rebuilt deterministically on decode. The decode
+/// path deliberately bypasses [`WorkloadPredictor::set_history`] — a
+/// post-restore `sync_index` would count a spurious index build — and
+/// restores the index exactly as checkpointed, so `observed_since_build`
+/// (and with it the doubling-rule rebuild schedule) resumes where the
+/// original run left it.
+impl Snapshot for WorkloadPredictor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.history.encode(out);
+        self.strategy.encode(out);
+        self.distance.encode(out);
+        self.groups.encode(out);
+        self.parallelism.encode(out);
+        self.index_policy.encode(out);
+        self.index.encode(out);
+        self.stats.encode(out);
+    }
+}
+
+impl Restore for WorkloadPredictor {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let history = SlotHistory::decode(cur)?;
+        let strategy = PredictionStrategy::decode(cur)?;
+        let distance = DistanceKind::decode(cur)?;
+        let groups = Vec::<AccelerationGroupId>::decode(cur)?;
+        let parallelism = ParallelismPolicy::decode(cur)?;
+        let index_policy = IndexPolicy::decode(cur)?;
+        let index = Option::<SlotIndex>::decode(cur)?;
+        let stats = PredictorStats::decode(cur)?;
+        if let Some(index) = &index {
+            if index.first_index() != history.first_index() || index.len() != history.len() {
+                return Err(SnapshotError::Malformed {
+                    context: "metric index out of step with the history",
+                });
+            }
+        }
+        let mut predictor = Self {
+            history,
+            strategy,
+            distance,
+            groups,
+            signatures: Vec::new(),
+            id_ranges: Vec::new(),
+            signature_first_index: 0,
+            parallelism,
+            index_policy,
+            index,
+            stats,
+        };
+        predictor.signature_first_index = predictor.history.first_index();
+        let group_count = predictor.groups.len();
+        if group_count > 0 {
+            for slot in predictor.history.slots() {
+                predictor
+                    .signatures
+                    .extend(predictor.groups.iter().map(|g| slot.load_of(*g)));
+                predictor
+                    .id_ranges
+                    .extend(predictor.groups.iter().map(|g| id_range(slot.users_in(*g))));
+            }
+        }
+        Ok(predictor)
     }
 }
 

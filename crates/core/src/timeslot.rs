@@ -23,6 +23,7 @@
 use crate::logs::TraceLog;
 use crate::window::SlotWindower;
 use mca_offload::{AccelerationGroupId, TraceRecord, UserId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// The users of one acceleration group within a slot, sorted by id and
@@ -158,6 +159,51 @@ impl TimeSlot {
         let mut builder = TimeSlotBuilder::new(index);
         builder.extend(pairs);
         builder.build()
+    }
+}
+
+impl Snapshot for GroupRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.users.encode(out);
+    }
+}
+
+impl Restore for GroupRun {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let group = AccelerationGroupId::decode(cur)?;
+        let users = Vec::<UserId>::decode(cur)?;
+        if users.is_empty() {
+            return Err(SnapshotError::Malformed {
+                context: "empty group run",
+            });
+        }
+        if users.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotError::Malformed {
+                context: "group run users not strictly increasing",
+            });
+        }
+        Ok(Self { group, users })
+    }
+}
+
+impl Snapshot for TimeSlot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index.encode(out);
+        self.runs.encode(out);
+    }
+}
+
+impl Restore for TimeSlot {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let index = usize::decode(cur)?;
+        let runs = Vec::<GroupRun>::decode(cur)?;
+        if runs.windows(2).any(|w| w[0].group >= w[1].group) {
+            return Err(SnapshotError::Malformed {
+                context: "slot runs not sorted by group",
+            });
+        }
+        Ok(Self { index, runs })
     }
 }
 
@@ -393,6 +439,54 @@ impl SlotHistory {
     /// The most recent slot, if any.
     pub fn last(&self) -> Option<&TimeSlot> {
         self.slots.last()
+    }
+}
+
+impl Snapshot for SlotHistory {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slots.encode(out);
+        self.slot_length_ms.encode(out);
+        self.window.encode(out);
+        self.evicted.encode(out);
+    }
+}
+
+impl Restore for SlotHistory {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let slots = Vec::<TimeSlot>::decode(cur)?;
+        let slot_length_ms = f64::decode(cur)?;
+        let window = Option::<usize>::decode(cur)?;
+        let evicted = usize::decode(cur)?;
+        if slot_length_ms.is_nan() || slot_length_ms <= 0.0 {
+            return Err(SnapshotError::Malformed {
+                context: "non-positive slot length",
+            });
+        }
+        if window == Some(0) {
+            return Err(SnapshotError::Malformed {
+                context: "zero history window",
+            });
+        }
+        if window.is_some_and(|w| slots.len() > w) {
+            return Err(SnapshotError::Malformed {
+                context: "history longer than its window",
+            });
+        }
+        if slots
+            .iter()
+            .enumerate()
+            .any(|(at, slot)| slot.index != evicted + at)
+        {
+            return Err(SnapshotError::Malformed {
+                context: "history slot indices not chronological",
+            });
+        }
+        Ok(Self {
+            slots,
+            slot_length_ms,
+            window,
+            evicted,
+        })
     }
 }
 

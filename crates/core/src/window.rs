@@ -127,6 +127,54 @@ impl<T> SlotWindower<T> {
         self.next_slot += 1;
         batch
     }
+
+    /// Decomposes the windower into its raw state, for checkpointing:
+    /// `(slot_length_ms, pending batches, next slot, late-event count)`.
+    /// The windower is generic over `T`, so serializing the pending batches
+    /// is the caller's job; [`SlotWindower::from_parts`] is the inverse.
+    pub fn into_parts(self) -> (f64, BTreeMap<usize, Vec<T>>, usize, usize) {
+        (
+            self.slot_length_ms,
+            self.pending,
+            self.next_slot,
+            self.late_events,
+        )
+    }
+
+    /// Borrowing view of the raw state ([`SlotWindower::into_parts`] without
+    /// consuming the windower).
+    pub fn parts(&self) -> (f64, &BTreeMap<usize, Vec<T>>, usize, usize) {
+        (
+            self.slot_length_ms,
+            &self.pending,
+            self.next_slot,
+            self.late_events,
+        )
+    }
+
+    /// Rebuilds a windower from [`SlotWindower::into_parts`] state. Returns
+    /// `None` instead of panicking when the state is inconsistent — a
+    /// non-positive (or NaN) slot length, or a pending batch for a slot the
+    /// window already emitted.
+    pub fn from_parts(
+        slot_length_ms: f64,
+        pending: BTreeMap<usize, Vec<T>>,
+        next_slot: usize,
+        late_events: usize,
+    ) -> Option<Self> {
+        if slot_length_ms.is_nan() || slot_length_ms <= 0.0 {
+            return None;
+        }
+        if pending.keys().next().is_some_and(|&slot| slot < next_slot) {
+            return None;
+        }
+        Some(Self {
+            slot_length_ms,
+            pending,
+            next_slot,
+            late_events,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -16,12 +16,19 @@ use crate::ingest::SlotRecord;
 use crate::metrics::FleetMetrics;
 use crate::source::{RecordSource, TenantMixSource};
 use crate::telemetry::FleetTelemetry;
-use mca_core::WorkloadForecast;
+use mca_core::{SystemConfig, WorkloadForecast};
 use mca_offload::TenantId;
+use mca_snapshot::{
+    Cursor, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotStats, SnapshotWriter,
+};
 use mca_workload::TenantMix;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::io::{Read, Write};
 use std::rc::Rc;
+
+/// The driver's own checkpoint section, appended after the engine sections.
+pub(crate) const SECTION_DRIVER: u16 = 0x0006;
 
 /// One registered source and its driving state.
 struct DriverSource {
@@ -359,6 +366,132 @@ impl FleetDriver {
             self.step()?;
         }
         Ok(self.report())
+    }
+
+    /// Writes a durable checkpoint of the whole driving session: every
+    /// engine section ([`FleetEngine::checkpoint`]) plus a driver section
+    /// carrying the ingestion accounting and one resume cursor per
+    /// registered source (replay anchors, RNG stream words, buffered
+    /// windower slots, exhaustion flags), in registration order.
+    ///
+    /// Like the engine's, the checkpoint is taken **between slots** — after
+    /// a [`FleetDriver::step`] returns. A driver restored from these bytes
+    /// with the same configuration and equivalent sources continues the
+    /// session bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError::Io`] from the sink.
+    pub fn checkpoint(&mut self, out: &mut impl Write) -> Result<SnapshotStats, SnapshotError> {
+        let mut writer = SnapshotWriter::new(out)?;
+        self.engine.write_sections(&mut writer)?;
+        let mut body = Vec::new();
+        self.slots_driven.encode(&mut body);
+        self.records_ingested.encode(&mut body);
+        self.late_records.encode(&mut body);
+        self.late_by_tenant.encode(&mut body);
+        self.sources.len().encode(&mut body);
+        let mut cursor = Vec::new();
+        for entry in &self.sources {
+            entry.tenant.encode(&mut body);
+            entry.exhausted.encode(&mut body);
+            cursor.clear();
+            entry.source.save_cursor(&mut cursor);
+            cursor.encode(&mut body);
+        }
+        writer.section(SECTION_DRIVER, &body)?;
+        let stats = writer.finish()?;
+        self.engine.note_checkpoint(&stats);
+        Ok(stats)
+    }
+
+    /// Rebuilds a driving session from [`FleetDriver::checkpoint`] bytes.
+    ///
+    /// The caller supplies the shared configuration (as for
+    /// [`FleetEngine::restore`]) and one **freshly constructed** source per
+    /// checkpointed source, in registration order, each paired with the
+    /// tenant it was bound to (`None` for shared sources). Sources are
+    /// rebuilt from the same underlying data the originals were — the same
+    /// trace, mix or channel — and this function loads each one's resume
+    /// cursor so the stream continues exactly where the checkpoint left it.
+    ///
+    /// # Errors
+    ///
+    /// Every [`FleetEngine::restore`] error, plus [`SnapshotError::Malformed`]
+    /// when the supplied sources disagree with the checkpoint: wrong count,
+    /// a different tenant binding, a cursor the source rejects, a bound
+    /// tenant the engine does not host, or two sources bound to one tenant.
+    pub fn restore(
+        source: &mut impl Read,
+        config: &SystemConfig,
+        sources: Vec<(Option<TenantId>, Box<dyn RecordSource>)>,
+    ) -> Result<Self, SnapshotError> {
+        let mut reader = SnapshotReader::new(source)?;
+        let mut engine = FleetEngine::read_sections(&mut reader, config)?;
+        let body = reader.section(SECTION_DRIVER)?;
+        let mut cur = Cursor::new(&body);
+        let slots_driven = usize::decode(&mut cur)?;
+        let records_ingested = usize::decode(&mut cur)?;
+        let late_records = usize::decode(&mut cur)?;
+        let late_by_tenant = BTreeMap::<TenantId, usize>::decode(&mut cur)?;
+        let source_count = usize::decode(&mut cur)?;
+        if source_count != sources.len() {
+            return Err(SnapshotError::Malformed {
+                context: "restore sources out of step with the checkpoint",
+            });
+        }
+        let mut bound = BTreeSet::new();
+        let mut restored: Vec<DriverSource> = Vec::with_capacity(source_count.min(4096));
+        for (tenant, mut src) in sources {
+            let checkpointed = Option::<TenantId>::decode(&mut cur)?;
+            if checkpointed != tenant {
+                return Err(SnapshotError::Malformed {
+                    context: "restore source bound to a different tenant than the checkpoint",
+                });
+            }
+            let exhausted = bool::decode(&mut cur)?;
+            let cursor_bytes = Vec::<u8>::decode(&mut cur)?;
+            let mut source_cur = Cursor::new(&cursor_bytes);
+            src.load_cursor(&mut source_cur)?;
+            if !source_cur.is_empty() {
+                return Err(SnapshotError::Malformed {
+                    context: "trailing bytes in a source cursor",
+                });
+            }
+            if let Some(tenant) = tenant {
+                if engine.tenant(tenant).is_none() {
+                    return Err(SnapshotError::Malformed {
+                        context: "restore source bound to a tenant the engine does not host",
+                    });
+                }
+                if !bound.insert(tenant) {
+                    return Err(SnapshotError::Malformed {
+                        context: "two restore sources bound to one tenant",
+                    });
+                }
+            }
+            restored.push(DriverSource {
+                tenant,
+                source: src,
+                exhausted,
+            });
+        }
+        if !cur.is_empty() {
+            return Err(SnapshotError::Malformed {
+                context: "trailing bytes in the driver section",
+            });
+        }
+        let stats = reader.finish()?;
+        engine.note_restore(&stats);
+        Ok(Self {
+            engine,
+            sources: restored,
+            bound,
+            slots_driven,
+            records_ingested,
+            late_records,
+            late_by_tenant,
+        })
     }
 
     /// The session report as of now (forecasts, rollup, ingestion

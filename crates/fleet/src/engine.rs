@@ -26,10 +26,23 @@ use mca_core::{
     PredictorStatsSnapshot, SlotHistory, SystemConfig, TimeSlotBuilder, WorkloadForecast,
 };
 use mca_offload::TenantId;
+use mca_snapshot::{
+    Cursor, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotStats, SnapshotWriter,
+};
 use mca_telemetry::{LatencyHistogram, Registry, StageTimer, TelemetryClock};
 use mca_workload::TenantMix;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Write};
+
+/// Wire-section tags of the engine checkpoint stream, in stream order. One
+/// `SHARD` section follows per shard; the driver appends its own sections
+/// after the engine's (see `FleetDriver::checkpoint`).
+pub(crate) const SECTION_META: u16 = 0x0001;
+pub(crate) const SECTION_ROUTER: u16 = 0x0002;
+pub(crate) const SECTION_ENGINE: u16 = 0x0003;
+pub(crate) const SECTION_REBALANCER: u16 = 0x0004;
+pub(crate) const SECTION_SHARD: u16 = 0x0005;
 
 /// One worker partition: the tenants a shard index owns, plus the staging
 /// buffer the engine fills before a parallel tick.
@@ -107,6 +120,15 @@ pub struct FleetEngine {
     /// Sum over slots of the slowest shard tick of the slot — the fleet's
     /// serial floor (0 while stage measurements are disabled).
     critical_path_ns: u64,
+    /// Checkpoint bytes written by this engine (`fleet_snapshot_*` family).
+    snapshot_bytes_written: u64,
+    /// Checkpoint bytes this engine was restored from.
+    snapshot_bytes_read: u64,
+    /// Checkpoint sections written plus read.
+    snapshot_sections: u64,
+    /// Restores this engine went through (0 or 1; the drive history before a
+    /// restore lives in the checkpoint's own counters).
+    snapshot_restores: u64,
 }
 
 impl FleetEngine {
@@ -147,6 +169,10 @@ impl FleetEngine {
             slot_hist: LatencyHistogram::new(),
             rebalancer: None,
             critical_path_ns: 0,
+            snapshot_bytes_written: 0,
+            snapshot_bytes_read: 0,
+            snapshot_sections: 0,
+            snapshot_restores: 0,
         }
     }
 
@@ -815,6 +841,14 @@ impl FleetEngine {
         registry.add_counter("predictor_scratch_grows_total", predictor.scratch_grows);
         registry.add_counter("predictor_index_builds_total", predictor.index_builds);
         registry.add_counter("predictor_index_rebuilds_total", predictor.index_rebuilds);
+
+        registry.add_counter(
+            "fleet_snapshot_bytes_written_total",
+            self.snapshot_bytes_written,
+        );
+        registry.add_counter("fleet_snapshot_bytes_read_total", self.snapshot_bytes_read);
+        registry.add_counter("fleet_snapshot_sections_total", self.snapshot_sections);
+        registry.add_counter("fleet_snapshot_restores_total", self.snapshot_restores);
         registry
     }
 
@@ -855,6 +889,230 @@ impl FleetEngine {
             }
         }
         total
+    }
+
+    /// Writes a durable checkpoint of the engine to `out`: a versioned,
+    /// CRC-guarded section stream carrying the router's indirection table,
+    /// the rebalancer, every shard's telemetry and every tenant's full tick
+    /// state (knowledge base, index, RNG stream words, memo cache in FIFO
+    /// order, standing forecast, pool, billing backend and metrics). An
+    /// engine restored from these bytes with the same [`SystemConfig`] and
+    /// driven over the same records produces bit-identical forecasts,
+    /// [`FleetMetrics`] and logical-clock telemetry at any thread count.
+    ///
+    /// Checkpoints are taken **between slots** — after an ingest returns and
+    /// before the next one — so shard inboxes are empty by construction and
+    /// never travel on the wire. The [`SystemConfig`] itself is not
+    /// serialized; restore receives it from the caller, the same way
+    /// [`FleetEngine::new`] does.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError::Io`] from the sink.
+    pub fn checkpoint(&mut self, out: &mut impl Write) -> Result<SnapshotStats, SnapshotError> {
+        let mut writer = SnapshotWriter::new(out)?;
+        self.write_sections(&mut writer)?;
+        let stats = writer.finish()?;
+        self.note_checkpoint(&stats);
+        Ok(stats)
+    }
+
+    /// Writes the engine's sections into an already-open writer — the shared
+    /// body of [`FleetEngine::checkpoint`] and the driver checkpoint, which
+    /// appends its own cursor section before finishing the stream.
+    pub(crate) fn write_sections<W: Write>(
+        &self,
+        writer: &mut SnapshotWriter<W>,
+    ) -> Result<(), SnapshotError> {
+        debug_assert!(
+            self.shards.iter().all(|s| s.inbox.is_empty()),
+            "checkpoints are taken between slots"
+        );
+        let mut meta = Vec::new();
+        self.seed.encode(&mut meta);
+        self.threads.encode(&mut meta);
+        self.slot_index.encode(&mut meta);
+        self.shards.len().encode(&mut meta);
+        // a fingerprint of the configuration the checkpoint was taken under,
+        // so restore can reject a disagreeing one instead of mis-resuming
+        self.config.slot_length_ms.encode(&mut meta);
+        self.config.groups.ids().encode(&mut meta);
+        writer.section(SECTION_META, &meta)?;
+        writer.encode_section(SECTION_ROUTER, &self.router)?;
+        let mut engine = Vec::new();
+        self.dropped_records.encode(&mut engine);
+        self.dropped_by_tenant.encode(&mut engine);
+        self.user_sharded.encode(&mut engine);
+        self.telemetry_mode.encode(&mut engine);
+        self.clock.encode(&mut engine);
+        self.slot_hist.encode(&mut engine);
+        self.critical_path_ns.encode(&mut engine);
+        writer.section(SECTION_ENGINE, &engine)?;
+        writer.encode_section(SECTION_REBALANCER, &self.rebalancer)?;
+        let mut buf = Vec::new();
+        for shard in &self.shards {
+            buf.clear();
+            shard.telemetry.encode(&mut buf);
+            shard.tenants.len().encode(&mut buf);
+            for tenant in &shard.tenants {
+                tenant.encode_state(&mut buf);
+            }
+            writer.section(SECTION_SHARD, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Credits a finished checkpoint to the engine's snapshot counters.
+    pub(crate) fn note_checkpoint(&mut self, stats: &SnapshotStats) {
+        self.snapshot_bytes_written += stats.bytes;
+        self.snapshot_sections += u64::from(stats.sections);
+    }
+
+    /// Credits a finished restore to the engine's snapshot counters.
+    pub(crate) fn note_restore(&mut self, stats: &SnapshotStats) {
+        self.snapshot_bytes_read = stats.bytes;
+        self.snapshot_sections = u64::from(stats.sections);
+        self.snapshot_restores = 1;
+    }
+
+    /// Rebuilds an engine from [`FleetEngine::checkpoint`] bytes and the
+    /// shared system configuration. The restored engine resumes at the
+    /// checkpoint's slot index with the checkpoint's thread count; driving
+    /// it over the remaining records reproduces the uninterrupted run bit
+    /// for bit (wall-clock telemetry excepted — monotonic clocks restart at
+    /// a fresh epoch).
+    ///
+    /// # Errors
+    ///
+    /// Every corruption is a typed [`SnapshotError`]: truncation, a flipped
+    /// byte (CRC), a wrong or future format version, a configuration that
+    /// disagrees with the checkpoint's fingerprint, or internally
+    /// inconsistent state (a tenant on the wrong shard, an unsorted shard,
+    /// a router override out of range).
+    pub fn restore(source: &mut impl Read, config: &SystemConfig) -> Result<Self, SnapshotError> {
+        let mut reader = SnapshotReader::new(source)?;
+        let mut engine = Self::read_sections(&mut reader, config)?;
+        let stats = reader.finish()?;
+        engine.note_restore(&stats);
+        Ok(engine)
+    }
+
+    /// Reads the engine's sections from an already-open reader — the shared
+    /// body of [`FleetEngine::restore`] and the driver restore, which reads
+    /// its own cursor section before finishing the stream. Snapshot counters
+    /// are left zeroed; the caller credits them via
+    /// [`FleetEngine::note_restore`] once the stream is finished.
+    pub(crate) fn read_sections<R: Read>(
+        reader: &mut SnapshotReader<R>,
+        config: &SystemConfig,
+    ) -> Result<Self, SnapshotError> {
+        let meta = reader.section(SECTION_META)?;
+        let mut cur = Cursor::new(&meta);
+        let seed = u64::decode(&mut cur)?;
+        let threads = usize::decode(&mut cur)?;
+        let slot_index = usize::decode(&mut cur)?;
+        let shard_count = usize::decode(&mut cur)?;
+        let slot_length_ms = f64::decode(&mut cur)?;
+        let group_ids = Vec::<mca_offload::AccelerationGroupId>::decode(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(SnapshotError::Malformed {
+                context: "trailing bytes in the meta section",
+            });
+        }
+        if shard_count == 0 {
+            return Err(SnapshotError::Malformed {
+                context: "engine with no shards",
+            });
+        }
+        if slot_length_ms.to_bits() != config.slot_length_ms.to_bits()
+            || group_ids != config.groups.ids()
+        {
+            return Err(SnapshotError::Malformed {
+                context: "restore configuration disagrees with the checkpoint",
+            });
+        }
+        let router: ShardRouter = reader.decode_section(SECTION_ROUTER)?;
+        if router.shards() != shard_count {
+            return Err(SnapshotError::Malformed {
+                context: "router shard count out of step with the engine",
+            });
+        }
+        let engine = reader.section(SECTION_ENGINE)?;
+        let mut cur = Cursor::new(&engine);
+        let dropped_records = usize::decode(&mut cur)?;
+        let dropped_by_tenant = BTreeMap::<TenantId, usize>::decode(&mut cur)?;
+        let user_sharded = BTreeSet::<TenantId>::decode(&mut cur)?;
+        let telemetry_mode = TelemetryMode::decode(&mut cur)?;
+        let clock = TelemetryClock::decode(&mut cur)?;
+        let slot_hist = LatencyHistogram::decode(&mut cur)?;
+        let critical_path_ns = u64::decode(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(SnapshotError::Malformed {
+                context: "trailing bytes in the engine section",
+            });
+        }
+        let rebalancer: Option<Rebalancer> = reader.decode_section(SECTION_REBALANCER)?;
+        let mut shards = Vec::with_capacity(shard_count.min(4096));
+        for index in 0..shard_count {
+            let payload = reader.section(SECTION_SHARD)?;
+            let mut cur = Cursor::new(&payload);
+            let telemetry = ShardTelemetry::decode(&mut cur)?;
+            let tenant_count = usize::decode(&mut cur)?;
+            let mut tenants = Vec::with_capacity(tenant_count.min(4096));
+            for _ in 0..tenant_count {
+                tenants.push(TenantShard::decode_state(&mut cur, config)?);
+            }
+            if !cur.is_empty() {
+                return Err(SnapshotError::Malformed {
+                    context: "trailing bytes in a shard section",
+                });
+            }
+            if tenants.windows(2).any(|pair| pair[0].id() >= pair[1].id()) {
+                return Err(SnapshotError::Malformed {
+                    context: "shard tenants out of id order",
+                });
+            }
+            // every tenant-sharded tenant must sit where the restored router
+            // routes it; user-sharded replicas live on every shard by design
+            if tenants.iter().any(|tenant| {
+                !user_sharded.contains(&tenant.id()) && router.shard_of_tenant(tenant.id()) != index
+            }) {
+                return Err(SnapshotError::Malformed {
+                    context: "tenant hosted away from its routed shard",
+                });
+            }
+            shards.push(Shard {
+                tenants,
+                inbox: Vec::new(),
+                telemetry,
+            });
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail");
+        let threads = pool.current_num_threads();
+        Ok(Self {
+            config: config.clone(),
+            seed,
+            router,
+            shards,
+            pool,
+            threads,
+            slot_index,
+            dropped_records,
+            dropped_by_tenant,
+            user_sharded,
+            telemetry_mode,
+            clock,
+            slot_hist,
+            rebalancer,
+            critical_path_ns,
+            snapshot_bytes_written: 0,
+            snapshot_bytes_read: 0,
+            snapshot_sections: 0,
+            snapshot_restores: 0,
+        })
     }
 }
 

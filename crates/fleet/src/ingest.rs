@@ -12,6 +12,7 @@
 
 use crate::router::ShardRouter;
 use mca_offload::{AccelerationGroupId, TenantId, UserId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -35,6 +36,24 @@ impl SlotRecord {
             group,
             user,
         }
+    }
+}
+
+impl Snapshot for SlotRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tenant.encode(out);
+        self.group.encode(out);
+        self.user.encode(out);
+    }
+}
+
+impl Restore for SlotRecord {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tenant: TenantId::decode(cur)?,
+            group: AccelerationGroupId::decode(cur)?,
+            user: UserId::decode(cur)?,
+        })
     }
 }
 

@@ -15,6 +15,7 @@
 //! [`crate::DriveReport`] equality deliberately excludes.
 
 use mca_offload::TenantId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Accounting for one tenant: forecast quality, spend and allocation volume.
@@ -149,6 +150,62 @@ impl TenantMetrics {
         } else {
             self.total_user_slots as f64 / self.slots as f64
         }
+    }
+}
+
+impl Snapshot for TenantMetrics {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tenant.encode(out);
+        self.slots.encode(out);
+        self.scored_slots.encode(out);
+        self.accuracy_sum.encode(out);
+        self.total_cost.encode(out);
+        self.allocations.encode(out);
+        self.infeasible_allocations.encode(out);
+        self.allocated_instance_slots.encode(out);
+        self.peak_users.encode(out);
+        self.total_user_slots.encode(out);
+        self.alloc_cache_hits.encode(out);
+        self.alloc_cache_misses.encode(out);
+        self.alloc_cache_evictions.encode(out);
+        self.solver_nodes.encode(out);
+        self.solver_pivots.encode(out);
+        self.solver_phase1_skips.encode(out);
+        self.sla_violations.encode(out);
+        self.sla_dropped_users.encode(out);
+        self.sla_latency_ms.encode(out);
+        self.energy_wh.encode(out);
+        self.placed_instance_slots.encode(out);
+        self.placement_failures.encode(out);
+    }
+}
+
+impl Restore for TenantMetrics {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tenant: TenantId::decode(cur)?,
+            slots: usize::decode(cur)?,
+            scored_slots: usize::decode(cur)?,
+            accuracy_sum: f64::decode(cur)?,
+            total_cost: f64::decode(cur)?,
+            allocations: usize::decode(cur)?,
+            infeasible_allocations: usize::decode(cur)?,
+            allocated_instance_slots: usize::decode(cur)?,
+            peak_users: usize::decode(cur)?,
+            total_user_slots: usize::decode(cur)?,
+            alloc_cache_hits: usize::decode(cur)?,
+            alloc_cache_misses: usize::decode(cur)?,
+            alloc_cache_evictions: usize::decode(cur)?,
+            solver_nodes: usize::decode(cur)?,
+            solver_pivots: usize::decode(cur)?,
+            solver_phase1_skips: usize::decode(cur)?,
+            sla_violations: usize::decode(cur)?,
+            sla_dropped_users: usize::decode(cur)?,
+            sla_latency_ms: f64::decode(cur)?,
+            energy_wh: f64::decode(cur)?,
+            placed_instance_slots: usize::decode(cur)?,
+            placement_failures: usize::decode(cur)?,
+        })
     }
 }
 

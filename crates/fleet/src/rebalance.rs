@@ -27,6 +27,7 @@
 //! static fleet: migrations move state, they never mutate it.
 
 use mca_offload::TenantId;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Migrations kept in the rebalancer's recent-activity log (oldest dropped
@@ -316,6 +317,84 @@ impl Rebalancer {
             loads_after: self.loads_after.clone(),
             recent: self.log.clone(),
         }
+    }
+}
+
+impl Snapshot for RebalancerConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let RebalanceTrigger::MaxMeanRatio { ratio } = self.trigger;
+        ratio.encode(out);
+        let MigrationChooser::HeaviestFromHottest = self.chooser;
+        self.warmup_slots.encode(out);
+        self.check_interval.encode(out);
+        self.max_moves_per_check.encode(out);
+    }
+}
+
+impl Restore for RebalancerConfig {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            trigger: RebalanceTrigger::MaxMeanRatio {
+                ratio: f64::decode(cur)?,
+            },
+            chooser: MigrationChooser::HeaviestFromHottest,
+            warmup_slots: usize::decode(cur)?,
+            check_interval: usize::decode(cur)?,
+            max_moves_per_check: usize::decode(cur)?,
+        })
+    }
+}
+
+impl Snapshot for MigrationRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slot.encode(out);
+        self.tenant.encode(out);
+        self.from.encode(out);
+        self.to.encode(out);
+        self.load.encode(out);
+    }
+}
+
+impl Restore for MigrationRecord {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            slot: usize::decode(cur)?,
+            tenant: TenantId::decode(cur)?,
+            from: usize::decode(cur)?,
+            to: usize::decode(cur)?,
+            load: f64::decode(cur)?,
+        })
+    }
+}
+
+/// The rebalancer section is self-contained: its policy configuration is not
+/// part of [`mca_core::SystemConfig`], so the checkpoint carries it along
+/// with the activity counters and the recent-migration log.
+impl Snapshot for Rebalancer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.checks.encode(out);
+        self.triggers.encode(out);
+        self.migrations.encode(out);
+        self.last_ratio.encode(out);
+        self.loads_before.encode(out);
+        self.loads_after.encode(out);
+        self.log.encode(out);
+    }
+}
+
+impl Restore for Rebalancer {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            config: RebalancerConfig::decode(cur)?,
+            checks: u64::decode(cur)?,
+            triggers: u64::decode(cur)?,
+            migrations: u64::decode(cur)?,
+            last_ratio: f64::decode(cur)?,
+            loads_before: Vec::<f64>::decode(cur)?,
+            loads_after: Vec::<f64>::decode(cur)?,
+            log: Vec::<MigrationRecord>::decode(cur)?,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 //! user, so there is no single placement to move.
 
 use mca_offload::{TenantId, UserId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -114,6 +115,31 @@ impl ShardRouter {
     /// tenants keep one replica per shard.
     pub fn shard_of_user(&self, user: UserId) -> usize {
         (splitmix64(u64::from(user.0) ^ 0xA076_1D64_78BD_642F) % self.shards as u64) as usize
+    }
+}
+
+impl Snapshot for ShardRouter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shards.encode(out);
+        self.overrides.encode(out);
+    }
+}
+
+impl Restore for ShardRouter {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let shards = usize::decode(cur)?;
+        if shards == 0 {
+            return Err(SnapshotError::Malformed {
+                context: "router over zero shards",
+            });
+        }
+        let overrides = BTreeMap::<TenantId, usize>::decode(cur)?;
+        if overrides.values().any(|&shard| shard >= shards) {
+            return Err(SnapshotError::Malformed {
+                context: "router override onto a missing shard",
+            });
+        }
+        Ok(Self { shards, overrides })
     }
 }
 

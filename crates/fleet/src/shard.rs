@@ -18,6 +18,7 @@ use mca_core::{
     SystemConfig, TimeSlot, WorkloadForecast, WorkloadPredictor,
 };
 use mca_offload::{AccelerationGroupId, TenantId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -280,6 +281,84 @@ impl TenantShard {
     /// Number of distinct workload vectors currently memoized.
     pub fn cached_allocations(&self) -> usize {
         self.alloc_cache.len()
+    }
+
+    /// Serializes the shard's full tick state for a checkpoint: identity,
+    /// knowledge base, instance pool, billing backend (standing datacenter
+    /// placement included), the raw RNG stream words, metrics, the standing
+    /// forecast, the allocation memo cache **in FIFO insertion order** (so
+    /// the restored cache evicts the same victims), and the load EWMA. The
+    /// allocator and slot length are not on the wire — both are pure
+    /// functions of the [`SystemConfig`] the restore receives.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.predictor.encode(out);
+        self.pool.encode(out);
+        self.billing.encode(out);
+        self.rng.state().encode(out);
+        self.metrics.encode(out);
+        self.pending_forecast.encode(out);
+        // the HashMap is rebuilt from the FIFO queue: one pass, exact order
+        self.alloc_cache_order.len().encode(out);
+        for key in &self.alloc_cache_order {
+            key.encode(out);
+            self.alloc_cache[key].encode(out);
+        }
+        self.load_ewma.encode(out);
+    }
+
+    /// Rebuilds a shard from [`TenantShard::encode_state`] bytes and the
+    /// shared system configuration (which supplies the allocator and slot
+    /// length, exactly as [`TenantShard::new`] does).
+    pub(crate) fn decode_state(
+        cur: &mut Cursor<'_>,
+        config: &SystemConfig,
+    ) -> Result<Self, SnapshotError> {
+        let id = TenantId::decode(cur)?;
+        let predictor = WorkloadPredictor::decode(cur)?;
+        let pool = InstancePool::decode(cur)?;
+        let billing = BillingEngine::decode(cur)?;
+        let rng = StdRng::from_state(<[u64; 4]>::decode(cur)?);
+        let metrics = TenantMetrics::decode(cur)?;
+        let pending_forecast = Option::<WorkloadForecast>::decode(cur)?;
+        let entries = usize::decode(cur)?;
+        if entries > ALLOC_CACHE_CAP {
+            return Err(SnapshotError::Malformed {
+                context: "allocation memo cache over its cap",
+            });
+        }
+        let mut alloc_cache = HashMap::with_capacity(entries);
+        let mut alloc_cache_order = VecDeque::with_capacity(entries);
+        for _ in 0..entries {
+            let key = Vec::<(AccelerationGroupId, usize)>::decode(cur)?;
+            let allocation = Allocation::decode(cur)?;
+            if alloc_cache.insert(key.clone(), allocation).is_some() {
+                return Err(SnapshotError::Malformed {
+                    context: "duplicate workload vector in the memo cache",
+                });
+            }
+            alloc_cache_order.push_back(key);
+        }
+        let load_ewma = f64::decode(cur)?;
+        if metrics.tenant != id {
+            return Err(SnapshotError::Malformed {
+                context: "tenant metrics belong to another tenant",
+            });
+        }
+        Ok(Self {
+            id,
+            predictor,
+            allocator: config.build_allocator(),
+            pool,
+            billing,
+            rng,
+            metrics,
+            pending_forecast,
+            slot_length_ms: config.slot_length_ms,
+            alloc_cache,
+            alloc_cache_order,
+            load_ewma,
+        })
     }
 
     /// Hands the tenant's slot history out of the shard (offboarding or

@@ -20,6 +20,7 @@ use crate::error::FleetError;
 use crate::ingest::SlotRecord;
 use mca_core::{SlotWindower, TraceLog};
 use mca_offload::{AccelerationGroupId, TenantId};
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use mca_workload::{ArrivalTrace, TenantMix};
 use rand::rngs::StdRng;
 use std::cell::RefCell;
@@ -97,6 +98,26 @@ impl SourceBatch {
 pub trait RecordSource {
     /// Produces the records of provisioning slot `slot`.
     fn next_slot(&mut self, slot: usize) -> SourceBatch;
+
+    /// Serializes the source's **resume cursor**: the minimal mutable state
+    /// a freshly constructed source over the same underlying data needs to
+    /// continue this stream exactly where it stands — a replay anchor, RNG
+    /// stream words, buffered windower slots. Sources that are pure
+    /// functions of the slot index (the default) write nothing.
+    fn save_cursor(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores the cursor written by [`RecordSource::save_cursor`] into a
+    /// freshly constructed source over the **same underlying data**. The
+    /// default accepts only an empty cursor (the driver rejects trailing
+    /// bytes after the load).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapshotError`] on truncation or on a cursor that
+    /// disagrees with the source it is loaded into.
+    fn load_cursor(&mut self, _cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 /// Drains a windower of tenant-tagged records into per-slot batches.
@@ -138,6 +159,25 @@ impl ReplaySlots {
             exhausted: index + 1 >= self.slots.len(),
             ..SourceBatch::default()
         }
+    }
+
+    /// The cursor is the replay anchor; the slot list itself is rebuilt by
+    /// the caller from the original recording, so only its length travels —
+    /// as a fingerprint the load can check the replacement against.
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.slots.len().encode(out);
+        self.base.encode(out);
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        let len = usize::decode(cur)?;
+        if len != self.slots.len() {
+            return Err(SnapshotError::Malformed {
+                context: "replay source length disagrees with the checkpoint",
+            });
+        }
+        self.base = Option::<usize>::decode(cur)?;
+        Ok(())
     }
 }
 
@@ -185,6 +225,14 @@ impl RecordSource for ArrivalTraceSource {
     fn next_slot(&mut self, slot: usize) -> SourceBatch {
         self.slots.next_slot(slot)
     }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.slots.save_cursor(out);
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        self.slots.load_cursor(cur)
+    }
 }
 
 /// A [`RecordSource`] replaying an SDN-accelerator request log
@@ -218,6 +266,14 @@ impl TraceLogSource {
 impl RecordSource for TraceLogSource {
     fn next_slot(&mut self, slot: usize) -> SourceBatch {
         self.slots.next_slot(slot)
+    }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.slots.save_cursor(out);
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        self.slots.load_cursor(cur)
     }
 }
 
@@ -272,6 +328,24 @@ impl RecordSource for TenantMixSource {
             .map(|(group, user)| SlotRecord::new(self.tenant, group, user))
             .collect();
         SourceBatch::live(records)
+    }
+
+    /// The cursor is the tenant's RNG stream position (the mix itself is
+    /// immutable shared data the caller reconstructs).
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.tenant.encode(out);
+        self.rng.state().encode(out);
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        let tenant = TenantId::decode(cur)?;
+        if tenant != self.tenant {
+            return Err(SnapshotError::Malformed {
+                context: "mix source cursor belongs to another tenant",
+            });
+        }
+        self.rng = StdRng::from_state(<[u64; 4]>::decode(cur)?);
+        Ok(())
     }
 }
 
@@ -362,6 +436,41 @@ impl RecordSource for SlotBatchSource {
             }
         }
     }
+
+    /// A replay lane saves its anchor; a live lane saves the queued batches
+    /// themselves (they exist nowhere else — the producer already moved on).
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        match &self.inner {
+            BatchInner::Replay(slots) => {
+                0u8.encode(out);
+                slots.save_cursor(out);
+            }
+            BatchInner::Live(queue) => {
+                1u8.encode(out);
+                let queue = queue.borrow();
+                queue.batches.encode(out);
+                queue.closed.encode(out);
+            }
+        }
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        let mode = u8::decode(cur)?;
+        match (&mut self.inner, mode) {
+            (BatchInner::Replay(slots), 0) => slots.load_cursor(cur),
+            (BatchInner::Live(queue), 1) => {
+                let batches = VecDeque::<Vec<SlotRecord>>::decode(cur)?;
+                let closed = bool::decode(cur)?;
+                let mut queue = queue.borrow_mut();
+                queue.batches = batches;
+                queue.closed = closed;
+                Ok(())
+            }
+            _ => Err(SnapshotError::Malformed {
+                context: "slot batch source mode disagrees with the checkpoint",
+            }),
+        }
+    }
 }
 
 /// Shared state behind [`StreamSource`].
@@ -432,6 +541,50 @@ impl StreamSource {
 }
 
 impl RecordSource for StreamSource {
+    /// The cursor is the whole windower — buffered slots, clock, late
+    /// accounting — plus the stream's close flag: records pushed but not
+    /// yet ticked exist nowhere else.
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        let queue = self.queue.borrow();
+        let (slot_length_ms, pending, next_slot, late_events) = queue.windower.parts();
+        slot_length_ms.encode(out);
+        pending.encode(out);
+        next_slot.encode(out);
+        late_events.encode(out);
+        queue.closed.encode(out);
+        queue.reported_late.encode(out);
+        queue.pending_late_by_tenant.encode(out);
+    }
+
+    fn load_cursor(&mut self, cur: &mut Cursor<'_>) -> Result<(), SnapshotError> {
+        let slot_length_ms = f64::decode(cur)?;
+        let pending = BTreeMap::<usize, Vec<SlotRecord>>::decode(cur)?;
+        let next_slot = usize::decode(cur)?;
+        let late_events = usize::decode(cur)?;
+        let closed = bool::decode(cur)?;
+        let reported_late = usize::decode(cur)?;
+        let pending_late_by_tenant = BTreeMap::<TenantId, usize>::decode(cur)?;
+        if reported_late > late_events {
+            return Err(SnapshotError::Malformed {
+                context: "stream source reported more late events than it saw",
+            });
+        }
+        let mut queue = self.queue.borrow_mut();
+        if slot_length_ms.to_bits() != queue.windower.parts().0.to_bits() {
+            return Err(SnapshotError::Malformed {
+                context: "stream source slot length disagrees with the checkpoint",
+            });
+        }
+        queue.windower = SlotWindower::from_parts(slot_length_ms, pending, next_slot, late_events)
+            .ok_or(SnapshotError::Malformed {
+                context: "stream source windower state is inconsistent",
+            })?;
+        queue.closed = closed;
+        queue.reported_late = reported_late;
+        queue.pending_late_by_tenant = pending_late_by_tenant;
+        Ok(())
+    }
+
     fn next_slot(&mut self, slot: usize) -> SourceBatch {
         let mut queue = self.queue.borrow_mut();
         // fold every buffered slot up to the requested one into this batch

@@ -17,6 +17,7 @@
 //! branch.
 
 use crate::rebalance::RebalanceSnapshot;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use mca_telemetry::{
     LatencyHistogram, LogicalClock, MonotonicClock, Registry, StageTimer, TelemetryClock,
 };
@@ -235,6 +236,84 @@ impl ShardTelemetry {
             tick_p99_ns: self.stages.tick.p99(),
             last_tick_ns: self.last_tick_ns,
         }
+    }
+}
+
+impl Snapshot for TelemetryMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            TelemetryMode::Disabled => 0,
+            TelemetryMode::Monotonic => 1,
+            TelemetryMode::Logical => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Restore for TelemetryMode {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(TelemetryMode::Disabled),
+            1 => Ok(TelemetryMode::Monotonic),
+            2 => Ok(TelemetryMode::Logical),
+            _ => Err(SnapshotError::Malformed {
+                context: "telemetry mode tag",
+            }),
+        }
+    }
+}
+
+impl Snapshot for StageHistograms {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.windowing.encode(out);
+        self.predict.encode(out);
+        self.allocate.encode(out);
+        self.bill.encode(out);
+        self.tick.encode(out);
+    }
+}
+
+impl Restore for StageHistograms {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            windowing: LatencyHistogram::decode(cur)?,
+            predict: LatencyHistogram::decode(cur)?,
+            allocate: LatencyHistogram::decode(cur)?,
+            bill: LatencyHistogram::decode(cur)?,
+            tick: LatencyHistogram::decode(cur)?,
+        })
+    }
+}
+
+/// The whole instrumentation state travels on the wire — clock included, so
+/// a restored [`TelemetryMode::Logical`] run resumes its logical timeline
+/// mid-quantum and stays bit-identical with the uninterrupted run. A
+/// monotonic clock restores to a fresh epoch: wall-clock histograms resume
+/// *counting* exactly but their future samples measure the new process (they
+/// are deliberately outside every determinism comparison).
+impl Snapshot for ShardTelemetry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.clock.encode(out);
+        self.stages.encode(out);
+        self.ticks.encode(out);
+        self.records.encode(out);
+        self.load_ewma.encode(out);
+        self.tick_ewma_ns.encode(out);
+        self.last_tick_ns.encode(out);
+    }
+}
+
+impl Restore for ShardTelemetry {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            clock: TelemetryClock::decode(cur)?,
+            stages: StageHistograms::decode(cur)?,
+            ticks: u64::decode(cur)?,
+            records: u64::decode(cur)?,
+            load_ewma: f64::decode(cur)?,
+            tick_ewma_ns: f64::decode(cur)?,
+            last_tick_ns: u64::decode(cur)?,
+        })
     }
 }
 

@@ -10,9 +10,10 @@ use mca_cloudsim::{DatacenterConfig, PlacementKind};
 use mca_core::{ParallelismPolicy, SystemConfig, TimeSlotBuilder, WorkloadForecast};
 use mca_fleet::{
     DriveReport, FleetDriver, FleetEngine, FleetError, FleetMetrics, RebalancerConfig,
-    TelemetryMode, TenantShard,
+    RecordSource, TelemetryMode, TenantMixSource, TenantShard,
 };
 use mca_offload::TenantId;
+use mca_snapshot::SnapshotError;
 use mca_workload::TenantMix;
 
 const SEED: u64 = 20170605;
@@ -386,6 +387,166 @@ fn datacenter_accounting_survives_a_mid_drive_migration_schedule() {
         (18, TenantId(7), 2),
     ]);
     assert_eq!(migrated, baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Durable sessions: checkpoint/restore resume
+// ---------------------------------------------------------------------------
+
+/// The full-featured configuration the resume bar is set against:
+/// datacenter billing and the vantage-point index both on.
+fn resume_config() -> SystemConfig {
+    dc_config(PlacementKind::BestFit).with_indexed_scan()
+}
+
+/// A driver with everything stateful switched on: rebalancing, datacenter
+/// billing, indexed predictors and the logical telemetry clock (so the
+/// telemetry snapshot itself is comparable across runs).
+fn resume_driver(threads: usize) -> FleetDriver {
+    let mix = mix();
+    let mut engine = FleetEngine::new(resume_config(), 4, SEED)
+        .with_threads(threads)
+        .with_telemetry(TelemetryMode::Logical)
+        .with_rebalancer(aggressive_rebalancer());
+    engine.add_tenants(mix.tenant_ids());
+    FleetDriver::new(engine)
+        .with_mix(&mix)
+        .expect("every tenant is part of the mix")
+}
+
+/// Freshly constructed replacement sources for [`FleetDriver::restore`], in
+/// the registration order `with_mix` used.
+fn mix_sources() -> Vec<(Option<TenantId>, Box<dyn RecordSource>)> {
+    let mix = mix();
+    mix.tenant_ids()
+        .map(|tenant| {
+            let source = TenantMixSource::new(&mix, tenant).expect("tenant is part of the mix");
+            (Some(tenant), Box::new(source) as Box<dyn RecordSource>)
+        })
+        .collect()
+}
+
+#[test]
+fn restore_then_drive_is_bit_identical_to_the_uninterrupted_run() {
+    // the tentpole guarantee of durable sessions: checkpoint at slot k,
+    // restore into a fresh process-shaped driver, drive to slot n — and the
+    // report (forecasts, metrics, datacenter accounting, ingestion
+    // accounting) plus the logical-clock telemetry snapshot must equal the
+    // uninterrupted run bit for bit, at any thread count. Slot 18 is past
+    // the 16-slot window, so that checkpoint lands mid-eviction with the
+    // vantage-point index mid-rebuild.
+    let baseline = {
+        let mut driver = resume_driver(1);
+        driver.run(SLOTS).expect("mix sources never misbehave")
+    };
+    assert!(baseline.metrics.total_energy_wh > 0.0, "datacenter is on");
+    assert!(
+        baseline
+            .telemetry
+            .rebalance
+            .as_ref()
+            .expect("rebalancer is on")
+            .migrations
+            > 0,
+        "the aggressive trigger must actually move tenants"
+    );
+    for checkpoint_slot in [12, 18] {
+        for threads in [1, 2, 4, 8] {
+            let mut driver = resume_driver(threads);
+            driver.run(checkpoint_slot).expect("pre-checkpoint drive");
+            let mut bytes = Vec::new();
+            driver.checkpoint(&mut bytes).expect("checkpoint to memory");
+            let mut source = bytes.as_slice();
+            let mut resumed = FleetDriver::restore(&mut source, &resume_config(), mix_sources())
+                .expect("restore from fresh bytes");
+            assert_eq!(
+                resumed.engine().forecasts(),
+                driver.engine().forecasts(),
+                "slot {checkpoint_slot}, threads={threads}: restored forecasts \
+                 must match the checkpointed engine before any further slot"
+            );
+            let report = resumed
+                .run(SLOTS - checkpoint_slot)
+                .expect("post-restore drive");
+            assert_eq!(
+                report, baseline,
+                "slot {checkpoint_slot}, threads={threads}"
+            );
+            assert_eq!(
+                report.telemetry, baseline.telemetry,
+                "slot {checkpoint_slot}, threads={threads}: logical-clock telemetry"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_checkpoint_roundtrips_without_a_driver() {
+    // the engine-level API stands alone: a restored engine reports the same
+    // forecasts, metrics and telemetry snapshot as the one it was taken from
+    let mut driver = resume_driver(2);
+    driver.run(SLOTS / 2).expect("mix sources never misbehave");
+    let mut engine = driver.into_engine();
+    let mut bytes = Vec::new();
+    let stats = engine.checkpoint(&mut bytes).expect("checkpoint to memory");
+    assert_eq!(u64::try_from(bytes.len()).unwrap(), stats.bytes);
+    assert!(
+        stats.sections >= 4 + 4,
+        "meta, router, engine, rebalancer + one per shard"
+    );
+    let mut source = bytes.as_slice();
+    let restored = FleetEngine::restore(&mut source, &resume_config()).expect("restore");
+    assert_eq!(restored.forecasts(), engine.forecasts());
+    assert_eq!(restored.metrics(), engine.metrics());
+    assert_eq!(restored.telemetry(), engine.telemetry());
+    assert_eq!(restored.slot_index(), engine.slot_index());
+}
+
+#[test]
+fn restore_rejects_disagreeing_inputs_with_typed_errors() {
+    let mut driver = resume_driver(2);
+    driver.run(6).expect("mix sources never misbehave");
+    let mut bytes = Vec::new();
+    driver.checkpoint(&mut bytes).expect("checkpoint to memory");
+
+    // a configuration that disagrees with the checkpoint's fingerprint
+    let wrong_config = resume_config().with_slot_length_ms(12_345.0);
+    let mut source = bytes.as_slice();
+    assert!(matches!(
+        FleetDriver::restore(&mut source, &wrong_config, mix_sources()),
+        Err(SnapshotError::Malformed { .. })
+    ));
+
+    // the wrong number of replacement sources
+    let mut source = bytes.as_slice();
+    assert!(matches!(
+        FleetDriver::restore(&mut source, &resume_config(), Vec::new()),
+        Err(SnapshotError::Malformed { .. })
+    ));
+
+    // a source bound to the wrong tenant
+    let mut swapped = mix_sources();
+    swapped[0].0 = swapped[1].0;
+    let mut source = bytes.as_slice();
+    assert!(matches!(
+        FleetDriver::restore(&mut source, &resume_config(), swapped),
+        Err(SnapshotError::Malformed { .. })
+    ));
+
+    // truncation and corruption surface as their own variants
+    let mut source = &bytes[..bytes.len() - 3];
+    assert!(matches!(
+        FleetDriver::restore(&mut source, &resume_config(), mix_sources()),
+        Err(SnapshotError::Truncated { .. })
+    ));
+    let mut flipped = bytes.clone();
+    let at = flipped.len() / 2;
+    flipped[at] ^= 0x40;
+    let mut source = flipped.as_slice();
+    assert!(
+        FleetDriver::restore(&mut source, &resume_config(), mix_sources()).is_err(),
+        "a flipped byte must never restore silently"
+    );
 }
 
 #[test]

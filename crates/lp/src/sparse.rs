@@ -49,6 +49,12 @@ enum ColState {
 /// [`SparseProblem::solve_warm`] on the same problem with tightened variable
 /// bounds (the branch-and-bound child relation): the solver re-enters
 /// through the dual simplex from this basis instead of running phase 1.
+///
+/// A `Basis` is a **per-solve** artifact and is deliberately not part of
+/// the durable-session wire format (`docs/snapshot.md`): restored fleets
+/// rebuild their warm starts from the memoized allocation inputs on the
+/// next solve, so serializing the basis would pin the solver's internals
+/// into the snapshot version for no resume benefit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Basis {
     /// Basic column per row, `basic[i]` is the column basic in row `i`.

@@ -6,6 +6,7 @@
 //! predictor learns from.
 
 use crate::task::TaskSpec;
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -75,6 +76,23 @@ impl fmt::Display for AccelerationGroupId {
         write!(f, "a{}", self.0)
     }
 }
+
+macro_rules! impl_id_snapshot {
+    ($($id:ident => $repr:ty),*) => {$(
+        impl Snapshot for $id {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+        }
+        impl Restore for $id {
+            fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+                Ok(Self(<$repr>::decode(cur)?))
+            }
+        }
+    )*};
+}
+
+impl_id_snapshot!(UserId => u32, TenantId => u32, RequestId => u64, AccelerationGroupId => u8);
 
 /// A single code-offloading request travelling from a mobile device to the
 /// SDN-accelerator.

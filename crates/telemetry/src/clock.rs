@@ -9,6 +9,7 @@
 //! durations are a pure function of how many reads happened, which the
 //! deterministic tick loop fixes exactly.
 
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use std::time::Instant;
 
 /// A source of monotonic nanosecond timestamps.
@@ -123,6 +124,59 @@ impl Clock for TelemetryClock {
             TelemetryClock::Disabled => 0,
             TelemetryClock::Monotonic(c) => c.now_ns(),
             TelemetryClock::Logical(c) => c.now_ns(),
+        }
+    }
+}
+
+/// A logical clock checkpoints its counter exactly; restored reads continue
+/// the same timestamp sequence, keeping logical-clock telemetry bit-identical
+/// across a resume.
+impl Snapshot for LogicalClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.next.encode(out);
+        self.quantum.encode(out);
+    }
+}
+
+impl Restore for LogicalClock {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let next = u64::decode(cur)?;
+        let quantum = u64::decode(cur)?;
+        if quantum == 0 {
+            return Err(SnapshotError::Malformed {
+                context: "logical clock quantum of zero",
+            });
+        }
+        Ok(Self { next, quantum })
+    }
+}
+
+/// A monotonic clock's epoch is an [`Instant`], which has no meaning in
+/// another process: only the variant is checkpointed, and restore re-anchors
+/// the epoch at "now". Wall-clock histograms therefore do not resume
+/// bit-identically — only logical-clock telemetry carries that guarantee.
+impl Snapshot for TelemetryClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TelemetryClock::Disabled => 0u8.encode(out),
+            TelemetryClock::Monotonic(_) => 1u8.encode(out),
+            TelemetryClock::Logical(c) => {
+                2u8.encode(out);
+                c.encode(out);
+            }
+        }
+    }
+}
+
+impl Restore for TelemetryClock {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        match u8::decode(cur)? {
+            0 => Ok(TelemetryClock::Disabled),
+            1 => Ok(TelemetryClock::Monotonic(MonotonicClock::new())),
+            2 => Ok(TelemetryClock::Logical(LogicalClock::decode(cur)?)),
+            _ => Err(SnapshotError::Malformed {
+                context: "telemetry clock tag",
+            }),
         }
     }
 }

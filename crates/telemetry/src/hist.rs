@@ -9,6 +9,7 @@
 //! both recording and quantile extraction are branch-light integer code —
 //! no floating point, no allocation after the first record.
 
+use mca_snapshot::{Cursor, Restore, Snapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Sub-bucket resolution: each power-of-two octave is split into
@@ -196,6 +197,76 @@ impl LatencyHistogram {
     /// Reset to the empty state, releasing the bucket table.
     pub fn clear(&mut self) {
         *self = Self::default();
+    }
+}
+
+/// The wire form is sparse — `count, sum, min, max` then the non-empty
+/// `(bucket index, count)` pairs — so an idle histogram costs a few bytes
+/// instead of 15 KiB. The bucket table is re-allocated dense on decode
+/// whenever `count > 0`, matching what [`LatencyHistogram::record`] would
+/// have built.
+impl Snapshot for LatencyHistogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.min.encode(out);
+        self.max.encode(out);
+        let nonzero: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(index, &n)| (index as u32, n))
+            .collect();
+        nonzero.encode(out);
+    }
+}
+
+impl Restore for LatencyHistogram {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, SnapshotError> {
+        let count = u64::decode(cur)?;
+        let sum = u64::decode(cur)?;
+        let min = u64::decode(cur)?;
+        let max = u64::decode(cur)?;
+        let nonzero = Vec::<(u32, u64)>::decode(cur)?;
+        if count == 0 {
+            if sum != 0 || !nonzero.is_empty() {
+                return Err(SnapshotError::Malformed {
+                    context: "empty histogram with nonzero buckets",
+                });
+            }
+            return Ok(Self::default());
+        }
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        let mut last_index = None;
+        for (index, n) in nonzero {
+            if last_index.is_some_and(|last| index <= last) {
+                return Err(SnapshotError::Malformed {
+                    context: "histogram bucket indices not strictly increasing",
+                });
+            }
+            last_index = Some(index);
+            let slot = buckets
+                .get_mut(index as usize)
+                .ok_or(SnapshotError::Malformed {
+                    context: "histogram bucket index out of range",
+                })?;
+            *slot = n;
+            total = total.saturating_add(n);
+        }
+        if total != count {
+            return Err(SnapshotError::Malformed {
+                context: "histogram bucket counts disagree with total",
+            });
+        }
+        Ok(Self {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        })
     }
 }
 

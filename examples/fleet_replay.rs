@@ -15,12 +15,13 @@
 use mobile_code_acceleration::cloudsim::{DatacenterConfig, PlacementKind};
 use mobile_code_acceleration::core::{System, SystemConfig, TraceLog};
 use mobile_code_acceleration::fleet::{
-    ArrivalTraceSource, FleetDriver, FleetEngine, RebalancerConfig, TraceLogSource,
+    ArrivalTraceSource, FleetDriver, FleetEngine, RebalancerConfig, RecordSource, TraceLogSource,
 };
 use mobile_code_acceleration::offload::{TaskPool, TaskSpec, TenantId};
-use mobile_code_acceleration::workload::{TenantMix, WorkloadGenerator};
+use mobile_code_acceleration::workload::{ArrivalTrace, TenantMix, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 const TRACE_TENANTS: u32 = 4;
 const USERS_PER_TENANT: usize = 12;
@@ -48,17 +49,23 @@ fn main() {
     };
 
     // four tenants replayed from recorded arrival traces, disjoint user-id
-    // ranges per tenant
+    // ranges per tenant (the traces are kept: the mid-replay restore below
+    // rebuilds its sources from the same recordings)
     let mut max_slots = 0usize;
-    for tenant in 0..TRACE_TENANTS {
-        let mut rng = StdRng::seed_from_u64(SEED ^ u64::from(tenant));
-        let trace = WorkloadGenerator::inter_arrival(
-            USERS_PER_TENANT,
-            TaskPool::static_load(TaskSpec::paper_static_minimax()),
-        )
-        .with_user_id_offset(tenant * 1_000)
-        .generate(DURATION_MS, &mut rng);
-        let source = ArrivalTraceSource::new(TenantId(tenant), &trace, SLOT_MS, entry_group);
+    let traces: Vec<ArrivalTrace> = (0..TRACE_TENANTS)
+        .map(|tenant| {
+            let mut rng = StdRng::seed_from_u64(SEED ^ u64::from(tenant));
+            WorkloadGenerator::inter_arrival(
+                USERS_PER_TENANT,
+                TaskPool::static_load(TaskSpec::paper_static_minimax()),
+            )
+            .with_user_id_offset(tenant * 1_000)
+            .generate(DURATION_MS, &mut rng)
+        })
+        .collect();
+    for (tenant, trace) in traces.iter().enumerate() {
+        let tenant = tenant as u32;
+        let source = ArrivalTraceSource::new(TenantId(tenant), trace, SLOT_MS, entry_group);
         println!(
             "tenant {tenant}: {} recorded arrivals over {} slots",
             trace.len(),
@@ -97,8 +104,44 @@ fn main() {
         .add_source(log_tenant, source)
         .expect("the log tenant is onboarded once");
 
+    // drive half the replay, checkpoint the whole session — engine state
+    // plus every source's resume cursor — and finish on the restored
+    // driver, exactly as a crashed-and-restarted process would
+    let half = max_slots.div_ceil(2);
+    for _ in 0..half {
+        driver.step().expect("replay sources stay on their tenants");
+    }
+    let mut snapshot = Vec::new();
+    let start = Instant::now();
+    let stats = driver
+        .checkpoint(&mut snapshot)
+        .expect("checkpointing to memory cannot fail");
+    let checkpoint_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let fresh_sources: Vec<(Option<TenantId>, Box<dyn RecordSource>)> = traces
+        .iter()
+        .enumerate()
+        .map(|(tenant, trace)| {
+            let tenant = TenantId(tenant as u32);
+            let source = ArrivalTraceSource::new(tenant, trace, SLOT_MS, entry_group);
+            (Some(tenant), Box::new(source) as Box<dyn RecordSource>)
+        })
+        .chain(std::iter::once((
+            Some(log_tenant),
+            Box::new(TraceLogSource::new(log_tenant, &log, SLOT_MS)) as Box<dyn RecordSource>,
+        )))
+        .collect();
+    let start = Instant::now();
+    let mut driver = FleetDriver::restore(&mut snapshot.as_slice(), &config, fresh_sources)
+        .expect("the checkpoint was just written");
+    let restore_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    println!(
+        "mid-replay checkpoint at slot {half}: {} bytes in {} sections, \
+         {checkpoint_ms:.3} ms to write, {restore_ms:.3} ms to restore\n",
+        stats.bytes, stats.sections,
+    );
+
     let report = driver
-        .run_until_exhausted(max_slots + 1)
+        .run_until_exhausted(max_slots + 1 - half)
         .expect("replay sources stay on their tenants");
 
     println!(

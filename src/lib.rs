@@ -26,6 +26,9 @@
 //! * [`workload`] (`mca-workload`) — concurrent and inter-arrival workload
 //!   generation.
 //! * [`lp`] (`mca-lp`) — the simplex + branch-and-bound ILP solver.
+//! * [`snapshot`] (`mca-snapshot`) — the versioned, CRC-guarded checkpoint
+//!   wire format behind durable fleet sessions
+//!   ([`fleet::FleetEngine::checkpoint`] / restore).
 //!
 //! # Quick start
 //!
@@ -54,6 +57,7 @@ pub use mca_lp as lp;
 pub use mca_mobile as mobile;
 pub use mca_network as network;
 pub use mca_offload as offload;
+pub use mca_snapshot as snapshot;
 pub use mca_telemetry as telemetry;
 pub use mca_workload as workload;
 
@@ -79,6 +83,7 @@ pub mod prelude {
     pub use mca_offload::{
         AccelerationGroupId, OffloadRequest, TaskKind, TaskPool, TaskSpec, TenantId, UserId,
     };
+    pub use mca_snapshot::{Restore, Snapshot, SnapshotError, SnapshotStats};
     pub use mca_workload::{ArrivalTrace, DoublingRateScenario, TenantMix, WorkloadGenerator};
 }
 

@@ -115,6 +115,22 @@ pub mod rngs {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         }
+
+        /// The raw xoshiro256++ state words, for checkpointing the stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] words; the restored
+        /// stream continues exactly where the saved one left off. An
+        /// all-zero state (a fixed point of xoshiro) is nudged the same way
+        /// seeding is.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
     }
 
     impl SeedableRng for StdRng {
